@@ -1,0 +1,93 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the experiments listed in DESIGN.md
+(section "Experiment index").  The helpers here build the standard workloads
+(buildings, device deployments, simulated ground truth, raw RSSI) so the
+individual bench files stay focused on the experiment itself.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the per-experiment summary tables that mirror what the
+paper reports qualitatively.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.building.synthetic import building_by_name
+from repro.building.semantics import SemanticExtractor
+from repro.core.types import DeviceType
+from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+from repro.devices.deployment import CheckPointDeployment, CoverageDeployment
+from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+
+
+def make_building(name: str = "office", floors: int = 2):
+    """A semantically annotated synthetic building."""
+    building = building_by_name(name, floors=floors)
+    SemanticExtractor().annotate_building(building)
+    return building
+
+
+def deploy_wifi(building, count_per_floor=8, seed=7, deployment="coverage"):
+    """Deploy Wi-Fi APs with the requested deployment model; return the devices."""
+    controller = PositioningDeviceController(building, seed=seed)
+    model = CoverageDeployment() if deployment == "coverage" else CheckPointDeployment()
+    return controller.deploy(
+        DeviceDeploymentRequest(DeviceType.WIFI, count_per_floor, model)
+    )
+
+
+def simulate(building, count=20, duration=240.0, sampling_period=1.0, seed=29, **kwargs):
+    """Run the Moving Object Layer and return the simulation result."""
+    controller = MovingObjectController(
+        building,
+        ObjectGenerationConfig(
+            count=count,
+            duration=duration,
+            sampling_period=sampling_period,
+            time_step=0.5,
+            seed=seed,
+            **kwargs,
+        ),
+    )
+    return controller.generate()
+
+
+def generate_rssi(building, devices, trajectories, sampling_period=2.0, seed=31):
+    """Generate raw RSSI data for the given ground truth."""
+    generator = RSSIGenerator(
+        building, devices, RSSIGenerationConfig(sampling_period=sampling_period, seed=seed)
+    )
+    return generator.generate(trajectories)
+
+
+@pytest.fixture(scope="session")
+def office_workload():
+    """A medium office workload shared by several benches.
+
+    Returns (building, devices, simulation result, rssi records).
+    """
+    building = make_building("office", floors=2)
+    devices = deploy_wifi(building, count_per_floor=8)
+    simulation = simulate(building, count=20, duration=240.0)
+    rssi = generate_rssi(building, devices, simulation.trajectories)
+    return building, devices, simulation, rssi
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Print a small aligned table (shown with ``pytest -s``)."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    line = " | ".join(str(header).ljust(width) for header, width in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-+-".join("-" * width for width in widths))
+    for row in rows:
+        print(" | ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))

@@ -1,0 +1,132 @@
+"""ABLATION: moving-pattern behaviour and crowd interaction.
+
+Two design choices called out in DESIGN.md:
+
+* **walk-stay vs continuous walking** — the walk-stay mechanism makes objects
+  dwell at destinations, which should lengthen proximity detection periods
+  and reduce the distance covered;
+* **crowd interaction on/off** — the density-slowdown extension (Section 4's
+  "crowd simulation model" hook) should reduce walking speed in congested
+  scenarios while leaving sparse scenarios untouched.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import deploy_wifi, make_building, print_table
+
+from repro.analysis.statistics import trajectory_statistics
+from repro.core.types import DeviceType
+from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+from repro.devices.deployment import CheckPointDeployment
+from repro.mobility.behavior import ContinuousWalkBehavior, WalkStayBehavior
+from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
+from repro.mobility.crowd import DensitySlowdownModel, NoInteraction
+from repro.mobility.distributions import CrowdOutliersDistribution
+from repro.positioning.proximity import ProximityMethod
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+
+DURATION = 240.0
+
+
+def _simulate(building, behavior=None, crowd_model=None, distribution=None,
+              count=20, seed=61):
+    controller = MovingObjectController(
+        building,
+        ObjectGenerationConfig(
+            count=count, duration=DURATION, sampling_period=1.0, time_step=0.5, seed=seed
+        ),
+        distribution=distribution,
+        behavior=behavior,
+        crowd_model=crowd_model,
+    )
+    return controller.generate()
+
+
+@pytest.fixture(scope="module")
+def office():
+    return make_building("office", floors=2)
+
+
+@pytest.fixture(scope="module")
+def rfid_readers(office):
+    controller = PositioningDeviceController(office, seed=17)
+    return controller.deploy(
+        DeviceDeploymentRequest(
+            DeviceType.RFID, 6, CheckPointDeployment(),
+            overrides={"detection_range": 4.0, "detection_interval": 2.0},
+        )
+    )
+
+
+class TestWalkStayVsContinuous:
+    def test_behavior_effect_on_movement_and_detection_periods(self, benchmark, office, rfid_readers):
+        def run(behavior, seed):
+            simulation = _simulate(office, behavior=behavior, seed=seed)
+            rssi = RSSIGenerator(
+                office, rfid_readers, RSSIGenerationConfig(sampling_period=1.0, seed=seed + 1)
+            ).generate(simulation.trajectories)
+            periods = ProximityMethod(office, rfid_readers).detect(rssi)
+            stats = trajectory_statistics(simulation.trajectories)
+            durations = [p.duration for p in periods] or [0.0]
+            return stats, periods, statistics.fmean(durations)
+
+        def run_both():
+            return (
+                run(WalkStayBehavior(min_stay=30.0, max_stay=90.0), seed=62),
+                run(ContinuousWalkBehavior(speed_fraction=0.9), seed=62),
+            )
+
+        (walk_stay_stats, walk_stay_periods, walk_stay_mean), (
+            continuous_stats, continuous_periods, continuous_mean
+        ) = benchmark.pedantic(run_both, rounds=1, iterations=1)
+        print_table(
+            "ABLATION: walk-stay vs continuous behaviour (office, 6 RFID check-points)",
+            ["behaviour", "mean distance walked (m)", "mean speed (m/s)",
+             "detection periods", "mean period length (s)"],
+            [
+                ["walk-stay", f"{walk_stay_stats.mean_length_m:.1f}",
+                 f"{walk_stay_stats.mean_speed_mps:.2f}",
+                 len(walk_stay_periods), f"{walk_stay_mean:.1f}"],
+                ["continuous", f"{continuous_stats.mean_length_m:.1f}",
+                 f"{continuous_stats.mean_speed_mps:.2f}",
+                 len(continuous_periods), f"{continuous_mean:.1f}"],
+            ],
+        )
+        # Walk-stay objects cover less ground but dwell longer near check-points.
+        assert walk_stay_stats.mean_length_m < continuous_stats.mean_length_m
+        assert walk_stay_mean > continuous_mean
+
+
+class TestCrowdInteractionAblation:
+    def test_congestion_slows_crowded_scenarios(self, benchmark, office):
+        distribution = CrowdOutliersDistribution(crowd_count=1, crowd_fraction=1.0, crowd_radius=2.0)
+
+        def run_both():
+            free = _simulate(
+                office, behavior=ContinuousWalkBehavior(1.0),
+                crowd_model=NoInteraction(), distribution=distribution, count=25, seed=63,
+            )
+            congested = _simulate(
+                office, behavior=ContinuousWalkBehavior(1.0),
+                crowd_model=DensitySlowdownModel(personal_radius=2.0, slowdown_per_neighbor=0.2),
+                distribution=distribution, count=25, seed=63,
+            )
+            return (
+                trajectory_statistics(free.trajectories),
+                trajectory_statistics(congested.trajectories),
+            )
+
+        free_stats, congested_stats = benchmark.pedantic(run_both, rounds=1, iterations=1)
+        print_table(
+            "ABLATION: crowd interaction (25 objects released from one crowd)",
+            ["crowd model", "mean distance walked (m)", "mean speed (m/s)"],
+            [
+                ["none", f"{free_stats.mean_length_m:.1f}", f"{free_stats.mean_speed_mps:.2f}"],
+                ["density-slowdown", f"{congested_stats.mean_length_m:.1f}",
+                 f"{congested_stats.mean_speed_mps:.2f}"],
+            ],
+        )
+        assert congested_stats.mean_length_m < free_stats.mean_length_m
+        assert congested_stats.mean_speed_mps < free_stats.mean_speed_mps

@@ -1,0 +1,112 @@
+"""DBI-PROC: Section 4.1 DBI processing as building size grows.
+
+Measures the cost and the output of the full DBI path — serialise a building
+to IFC-SPF, tokenise + parse it back, recover door and staircase connectivity,
+decompose irregular partitions and build the topology — for office buildings
+of increasing size, plus an ablation over the decomposition thresholds.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.building.editor import IndoorEnvironmentController
+from repro.building.synthetic import OfficeSpec, office_building
+from repro.building.topology import AccessibilityGraph
+from repro.geometry.decompose import DecompositionConfig
+from repro.ifc.extractor import DBIProcessor, DBIProcessorOptions
+from repro.ifc.writer import building_to_ifc
+
+
+def _ifc_text(floors, rooms_per_side=6):
+    return building_to_ifc(office_building(OfficeSpec(floors=floors, rooms_per_side=rooms_per_side)))
+
+
+class TestParsingScalability:
+    @pytest.mark.parametrize("floors", [1, 3, 6])
+    def test_process_ifc_file(self, benchmark, floors):
+        text = _ifc_text(floors)
+        building, report = benchmark(lambda: DBIProcessor().process_text(text))
+        assert report.errors == []
+        assert len(building.floors) == floors
+        assert len(report.staircase_connectivity) == floors - 1
+
+    def test_entity_counts_grow_with_building_size(self, benchmark):
+        def sweep():
+            rows = []
+            for floors in (1, 3, 6):
+                text = _ifc_text(floors)
+                building, report = DBIProcessor().process_text(text)
+                graph = AccessibilityGraph(building)
+                rows.append(
+                    (floors, len(text), building.partition_count, building.door_count,
+                     len(building.staircases), graph.edge_count)
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table(
+            "DBI-PROC: processed entities vs building size",
+            ["floors", "IFC chars", "partitions", "doors", "staircases", "topology edges"],
+            rows,
+        )
+        partitions = [row[2] for row in rows]
+        assert partitions == sorted(partitions)
+
+
+class TestDecompositionAblation:
+    """Ablation called out in DESIGN.md: decomposition granularity."""
+
+    @pytest.mark.parametrize("max_area", [40.0, 120.0, 100000.0])
+    def test_decomposition_granularity(self, benchmark, max_area):
+        def run():
+            building = office_building(OfficeSpec(floors=2, rooms_per_side=6))
+            controller = IndoorEnvironmentController(building)
+            report = controller.decompose_irregular_partitions(
+                DecompositionConfig(max_area=max_area, max_aspect_ratio=3.0)
+            )
+            return building, report
+
+        building, report = benchmark(run)
+        graph = AccessibilityGraph(building)
+        assert graph.is_fully_connected()
+
+    def test_granularity_vs_topology_size(self, benchmark):
+        def sweep():
+            rows = []
+            for max_area in (40.0, 120.0, 100000.0):
+                building = office_building(OfficeSpec(floors=2, rooms_per_side=6))
+                controller = IndoorEnvironmentController(building)
+                report = controller.decompose_irregular_partitions(
+                    DecompositionConfig(max_area=max_area, max_aspect_ratio=3.0)
+                )
+                graph = AccessibilityGraph(building)
+                rows.append(
+                    (max_area, report.partitions_split, building.partition_count,
+                     building.door_count, graph.edge_count)
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table(
+            "DBI-PROC ablation: decomposition max_area vs topology size",
+            ["max_area (m^2)", "partitions split", "partitions", "doors", "topology edges"],
+            rows,
+        )
+        partition_counts = [row[2] for row in rows]
+        # Finer decomposition produces more partitions.
+        assert partition_counts[0] > partition_counts[-1]
+
+
+class TestStaircaseRecovery:
+    def test_staircase_connectivity_recovered_for_all_floors(self, benchmark):
+        text = _ifc_text(6)
+
+        def run():
+            _, report = DBIProcessor().process_text(text)
+            return report
+
+        report = benchmark(run)
+        assert len(report.staircase_connectivity) == 5
+        for staircase_id, links in report.staircase_connectivity.items():
+            assert int(links["upper_floor"]) == int(links["lower_floor"]) + 1

@@ -1,0 +1,113 @@
+"""DEMO-PATH: the six-step demonstration path of Section 5, end to end.
+
+The demo walks through: import DBI → edit environment → deploy devices →
+generate objects → generate raw RSSI → generate positioning data, for the
+device/method combinations RFID + proximity, Bluetooth + trilateration and
+Wi-Fi + fingerprinting, on DBI files from office buildings, malls and clinics.
+
+Each benchmark runs the full pipeline for one combination and reports the
+record counts of every layer plus the positioning accuracy against the
+preserved ground truth.
+"""
+
+import pytest
+
+from conftest import print_table
+
+from repro.analysis.accuracy import (
+    evaluate_positioning,
+    evaluate_probabilistic,
+    evaluate_proximity,
+)
+from repro.building.synthetic import building_by_name
+from repro.core.toolkit import Vita
+from repro.ifc.writer import building_to_ifc
+from repro.ifc.extractor import DBIProcessor
+
+
+def _run_demo(building_name, device_type, method, seed, **positioning_options):
+    """Execute the six demo steps and return (vita, positioning output)."""
+    vita = Vita(seed=seed)
+    # Step 1: import a DBI file (round-tripped through the IFC writer/parser).
+    text = building_to_ifc(building_by_name(building_name, floors=2))
+    building, _ = DBIProcessor().process_text(text)
+    vita.use_building(building)
+    # Step 2: the environment is used as parsed (editing is exercised in tests).
+    # Step 3: configure and generate positioning devices.
+    deployment = "check-point" if device_type == "rfid" else "coverage"
+    overrides = {"detection_range": 20.0} if device_type == "bluetooth" else {}
+    vita.deploy_devices(device_type, count_per_floor=8, deployment=deployment, **overrides)
+    # Step 4: configure and generate moving objects (ground truth at 1 Hz).
+    vita.generate_objects(count=15, duration=180.0, sampling_period=1.0, time_step=0.5)
+    # Step 5: configure and generate raw RSSI measurements.
+    vita.generate_rssi(sampling_period=1.0)
+    # Step 6: choose a positioning method and generate positioning data.
+    output = vita.generate_positioning(method, **positioning_options)
+    return vita, output
+
+
+class TestDemoCombinations:
+    def test_rfid_proximity(self, benchmark):
+        vita, output = benchmark.pedantic(
+            lambda: _run_demo("office", "rfid", "proximity", seed=101),
+            rounds=1, iterations=1,
+        )
+        report = evaluate_proximity(output, vita.simulation.trajectories, vita.devices)
+        print_table(
+            "DEMO-PATH: RFID + proximity (office DBI)",
+            ["metric", "value"],
+            [
+                ["trajectory records", vita.summary()["trajectory_records"]],
+                ["rssi records", vita.summary()["rssi_records"]],
+                ["detection periods", len(output)],
+                ["in-range fraction", f"{report.in_range_fraction:.2f}"],
+                ["mean object-device distance (m)", f"{report.mean_distance_m:.2f}"],
+            ],
+        )
+        assert len(output) > 0
+        assert report.in_range_fraction > 0.6
+
+    def test_bluetooth_trilateration(self, benchmark):
+        vita, output = benchmark.pedantic(
+            lambda: _run_demo(
+                "mall", "bluetooth", "trilateration", seed=102, sampling_period=5.0
+            ),
+            rounds=1, iterations=1,
+        )
+        report = evaluate_positioning(output, vita.simulation.trajectories)
+        print_table(
+            "DEMO-PATH: Bluetooth + trilateration (mall DBI)",
+            ["metric", "value"],
+            [
+                ["estimates", len(output)],
+                ["mean error (m)", f"{report.mean_error:.2f}"],
+                ["median error (m)", f"{report.median_error:.2f}"],
+                ["floor accuracy", f"{report.floor_accuracy:.2f}"],
+            ],
+        )
+        assert len(output) > 0
+        assert report.mean_error < 20.0
+        assert report.floor_accuracy > 0.85
+
+    def test_wifi_fingerprinting(self, benchmark):
+        vita, output = benchmark.pedantic(
+            lambda: _run_demo(
+                "clinic", "wifi", "fingerprinting", seed=103,
+                sampling_period=5.0, algorithm="bayes",
+                radio_map_spacing=4.0, radio_map_samples=6,
+            ),
+            rounds=1, iterations=1,
+        )
+        report = evaluate_probabilistic(output, vita.simulation.trajectories)
+        print_table(
+            "DEMO-PATH: Wi-Fi + fingerprinting/Bayes (clinic DBI)",
+            ["metric", "value"],
+            [
+                ["radio map references", len(vita.radio_map)],
+                ["estimates", len(output)],
+                ["mean error (m)", f"{report.mean_error:.2f}"],
+                ["room hit rate", f"{report.partition_hit_rate:.2f}"],
+            ],
+        )
+        assert len(output) > 0
+        assert report.mean_error < 10.0

@@ -1,0 +1,145 @@
+"""FIG3-A / FIG3-B: the data-generation example of Figure 3.
+
+Figure 3 shows two real-world floor plans: the ground floor uses the
+*coverage* deployment model (devices near walls, maximally separated) and the
+first floor the *check-point* model (devices at room entrances / hotspots);
+the moving objects are initialised with the *crowd-outliers* distribution
+(crowds around hot areas plus random outliers).
+
+These benches measure the two deployment models and the two initial
+distributions on the synthetic mall and assert the qualitative relationships
+the figure illustrates:
+
+* coverage deployments hug the walls and spread devices farther apart;
+* check-point deployments sit on room entrances;
+* crowd-outliers snapshots are far more concentrated than uniform ones.
+"""
+
+import random
+
+import pytest
+
+from conftest import make_building, print_table
+
+from repro.analysis.statistics import crowding_at, deployment_statistics
+from repro.core.types import DeviceType
+from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+from repro.devices.deployment import CheckPointDeployment, CoverageDeployment
+from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
+from repro.mobility.distributions import CrowdOutliersDistribution, UniformDistribution
+
+DEVICES_PER_FLOOR = 8
+OBJECT_COUNT = 80
+
+
+def _deploy(building, model, floor_id, seed=3):
+    controller = PositioningDeviceController(building, seed=seed)
+    return controller.deploy(
+        DeviceDeploymentRequest(DeviceType.WIFI, DEVICES_PER_FLOOR, model, floor_ids=[floor_id])
+    )
+
+
+@pytest.fixture(scope="module")
+def mall():
+    return make_building("mall", floors=2)
+
+
+class TestFig3aDeploymentModels:
+    def test_coverage_model_ground_floor(self, benchmark, mall):
+        devices = benchmark(lambda: _deploy(mall, CoverageDeployment(), 0))
+        report = deployment_statistics(mall, devices, 0)
+        assert report.device_count == DEVICES_PER_FLOOR
+        assert report.mean_distance_to_wall < 1.5
+        assert report.covered_area_fraction > 0.6
+
+    def test_checkpoint_model_first_floor(self, benchmark, mall):
+        devices = benchmark(lambda: _deploy(mall, CheckPointDeployment(), 1))
+        report = deployment_statistics(mall, devices, 1)
+        assert report.device_count == DEVICES_PER_FLOOR
+        assert report.mean_distance_to_nearest_door < 1.0
+
+    def test_models_differ_as_in_figure3(self, benchmark, mall):
+        def both():
+            coverage = _deploy(mall, CoverageDeployment(), 0)
+            checkpoint = _deploy(mall, CheckPointDeployment(), 1)
+            return (
+                deployment_statistics(mall, coverage, 0),
+                deployment_statistics(mall, checkpoint, 1),
+            )
+
+        coverage_report, checkpoint_report = benchmark(both)
+        print_table(
+            "FIG3-A: deployment models (ground floor = coverage, first floor = check-point)",
+            ["model", "mean wall dist (m)", "mean door dist (m)", "min separation (m)", "coverage"],
+            [
+                ["coverage", f"{coverage_report.mean_distance_to_wall:.2f}",
+                 f"{coverage_report.mean_distance_to_nearest_door:.2f}",
+                 f"{coverage_report.min_pairwise_distance:.2f}",
+                 f"{coverage_report.covered_area_fraction:.2f}"],
+                ["check-point", f"{checkpoint_report.mean_distance_to_wall:.2f}",
+                 f"{checkpoint_report.mean_distance_to_nearest_door:.2f}",
+                 f"{checkpoint_report.min_pairwise_distance:.2f}",
+                 f"{checkpoint_report.covered_area_fraction:.2f}"],
+            ],
+        )
+        # Check-point devices sit on doors; coverage devices sit on walls and
+        # are spread farther apart.
+        assert checkpoint_report.mean_distance_to_nearest_door < coverage_report.mean_distance_to_nearest_door
+        assert coverage_report.min_pairwise_distance > checkpoint_report.min_pairwise_distance * 0.8
+
+
+class TestFig3bInitialDistributions:
+    def _simulate(self, mall, distribution, seed=11):
+        controller = MovingObjectController(
+            mall,
+            ObjectGenerationConfig(
+                count=OBJECT_COUNT, duration=30.0, time_step=0.5, sampling_period=1.0, seed=seed
+            ),
+            distribution=distribution,
+        )
+        return controller.generate()
+
+    def test_crowd_outliers_distribution(self, benchmark, mall):
+        distribution = CrowdOutliersDistribution(
+            crowd_count=3, crowd_fraction=0.8, hot_partition_tags=("shop", "canteen")
+        )
+        result = benchmark.pedantic(
+            lambda: self._simulate(mall, distribution), rounds=1, iterations=1
+        )
+        report = crowding_at(result.trajectories, 0.0)
+        assert report.top3_share > 0.5  # the three crowds dominate
+
+    def test_uniform_distribution(self, benchmark, mall):
+        result = benchmark.pedantic(
+            lambda: self._simulate(mall, UniformDistribution()), rounds=1, iterations=1
+        )
+        report = crowding_at(result.trajectories, 0.0)
+        assert report.top3_share < 0.6
+
+    def test_crowds_more_concentrated_than_uniform(self, benchmark, mall):
+        def both():
+            crowds = self._simulate(
+                mall,
+                CrowdOutliersDistribution(
+                    crowd_count=3, crowd_fraction=0.8, hot_partition_tags=("shop", "canteen")
+                ),
+            )
+            uniform = self._simulate(mall, UniformDistribution())
+            return crowding_at(crowds.trajectories, 0.0), crowding_at(uniform.trajectories, 0.0)
+
+        crowd_report, uniform_report = benchmark.pedantic(both, rounds=1, iterations=1)
+        print_table(
+            "FIG3-B: initial distributions (80 objects, t=0 snapshot)",
+            ["distribution", "populated partitions", "max share", "top-3 share", "gini"],
+            [
+                ["crowd-outliers", crowd_report.populated_partitions,
+                 f"{crowd_report.max_share:.2f}", f"{crowd_report.top3_share:.2f}",
+                 f"{crowd_report.gini:.2f}"],
+                ["uniform", uniform_report.populated_partitions,
+                 f"{uniform_report.max_share:.2f}", f"{uniform_report.top3_share:.2f}",
+                 f"{uniform_report.gini:.2f}"],
+            ],
+        )
+        assert crowd_report.top3_share > uniform_report.top3_share
+        assert crowd_report.gini > uniform_report.gini
+        assert crowd_report.populated_partitions < uniform_report.populated_partitions

@@ -1,0 +1,135 @@
+"""PATHLOSS: behaviour of the RSSI generation model (Section 3.2).
+
+Regenerates the curves behind the path loss model
+``rssi = -10 n log10(dt) + A + Nob + Nf``:
+
+* RSSI vs transmission distance for several path loss exponents;
+* the wall-attenuation effect of Figure 3(a) (equal distance, different RSSI);
+* the cost of generating RSSI with and without line-of-sight analysis.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import make_building, print_table
+
+from repro.core.types import IndoorLocation
+from repro.devices.wifi import WiFiAccessPoint
+from repro.geometry.line_of_sight import count_wall_crossings
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+from repro.rssi.pathloss import PathLossModel
+
+DISTANCES = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0)
+EXPONENTS = (2.0, 2.8, 3.5)
+
+
+class TestPathLossCurves:
+    def test_rssi_vs_distance_curves(self, benchmark):
+        def curves():
+            return {
+                exponent: [PathLossModel(exponent=exponent).rssi_at(d) for d in DISTANCES]
+                for exponent in EXPONENTS
+            }
+
+        results = benchmark(curves)
+        rows = []
+        for exponent, values in sorted(results.items()):
+            rows.append([exponent] + [f"{value:.1f}" for value in values])
+        print_table(
+            "PATHLOSS: noise-free RSSI (dBm) vs distance (m) per exponent n",
+            ["n \\ d(m)"] + [str(d) for d in DISTANCES],
+            rows,
+        )
+        for values in results.values():
+            assert values == sorted(values, reverse=True)
+        # Larger exponents attenuate faster at 40 m.
+        assert results[3.5][-1] < results[2.0][-1]
+
+    def test_inverse_conversion_cost(self, benchmark):
+        model = PathLossModel(exponent=2.8)
+        values = [model.rssi_at(d) for d in DISTANCES] * 100
+        benchmark(lambda: [model.distance_from_rssi(v) for v in values])
+
+
+class TestWallAttenuation:
+    def test_figure3a_wall_effect(self, benchmark, office_workload):
+        """Equal transmission distance; the wall-blocked pair reads a lower RSSI."""
+        building, _, simulation, _ = office_workload
+        floor = building.floor(0)
+        walls = floor.wall_segments()
+        # Both device/object pairs are exactly 5 m apart: the hallway pair has
+        # a clear line of sight, the room pair is separated by the room wall.
+        device_in_hall = WiFiAccessPoint(
+            "hall_ap", IndoorLocation(building.building_id, 0, x=20.0, y=9.0)
+        )
+        device_in_room = WiFiAccessPoint(
+            "room_ap", IndoorLocation(building.building_id, 0, x=18.0, y=4.0)
+        )
+        hall_object = Point(25.0, 9.0)
+        room_pair_object = Point(18.0, 9.0)
+        generator = RSSIGenerator(
+            building,
+            [device_in_hall, device_in_room],
+            RSSIGenerationConfig(
+                fluctuation_noise=FluctuationNoiseModel(0.0),
+                detection_probability=1.0,
+                seed=3,
+            ),
+        )
+
+        def measure():
+            return (
+                generator.measure(device_in_hall, 0, hall_object),
+                generator.measure(device_in_room, 0, room_pair_object),
+            )
+
+        same_floor_clear, through_wall = benchmark(measure)
+        crossings = count_wall_crossings(
+            Segment(device_in_room.position, room_pair_object), walls
+        )
+        print_table(
+            "PATHLOSS: Figure 3(a) wall asymmetry (both pairs 5 m apart)",
+            ["pair", "wall crossings", "rssi (dBm)"],
+            [
+                ["device in hallway -> object in hallway", 0, f"{same_floor_clear:.1f}"],
+                ["device in room -> object in hallway", crossings, f"{through_wall:.1f}"],
+            ],
+        )
+        assert crossings >= 1
+        assert through_wall < same_floor_clear
+
+    def test_wall_count_sweep(self, benchmark):
+        """RSSI drop as the number of intervening walls grows."""
+        noise = ObstacleNoiseModel(wall_attenuation_db=3.5)
+        model = PathLossModel(exponent=2.8)
+
+        def sweep():
+            return {
+                walls: model.rssi_at(10.0) + noise.attenuation_from_counts(walls, 0)
+                for walls in (0, 1, 2, 4, 8)
+            }
+
+        results = benchmark(sweep)
+        print_table(
+            "PATHLOSS: RSSI at 10 m vs number of intervening walls",
+            ["walls", "rssi (dBm)"],
+            [[walls, f"{value:.1f}"] for walls, value in sorted(results.items())],
+        )
+        ordered = [results[w] for w in (0, 1, 2, 4, 8)]
+        assert ordered == sorted(ordered, reverse=True)
+
+
+class TestGenerationCost:
+    def test_rssi_generation_cost_with_walls(self, benchmark, office_workload):
+        building, devices, simulation, _ = office_workload
+        generator = RSSIGenerator(
+            building, devices, RSSIGenerationConfig(sampling_period=4.0, seed=5)
+        )
+        records = benchmark.pedantic(
+            lambda: generator.generate(simulation.trajectories), rounds=1, iterations=1
+        )
+        assert len(records) > 0

@@ -1,0 +1,111 @@
+"""GT-SAMPLING: ground-truth preservation vs sampling frequency.
+
+Section 1: real indoor positioning data has a low sampling frequency and/or
+low accuracy, so an object's whereabouts are unknown between two consecutive
+reports — which is exactly why Vita preserves the raw trajectory at a finer,
+user-tunable granularity.  This bench quantifies that: the same movement is
+exported at several trajectory sampling periods and the reconstruction error
+against the finest ("true") trajectory is measured, together with the data
+volume each period produces.
+
+Expected shape: error grows with the sampling period while the record count
+shrinks — the classic granularity/volume trade-off the toolkit exposes.
+"""
+
+import statistics
+
+import pytest
+
+from conftest import make_building, print_table, simulate
+
+from repro.core.types import PositioningRecord
+from repro.analysis.accuracy import evaluate_positioning
+
+SAMPLING_PERIODS = (1.0, 2.0, 5.0, 10.0, 30.0)
+
+
+@pytest.fixture(scope="module")
+def fine_ground_truth():
+    """The reference movement, sampled at 0.5 s (the simulation step)."""
+    building = make_building("office", floors=2)
+    simulation = simulate(
+        building, count=12, duration=240.0, sampling_period=0.5, seed=55
+    )
+    return building, simulation
+
+
+def _reconstruction_error(fine, coarse_period):
+    """Mean error of reconstructing the fine trajectory from a coarse resampling."""
+    coarse = fine.resample(coarse_period)
+    errors = []
+    for trajectory in fine:
+        coarse_trajectory = coarse.get(trajectory.object_id)
+        if coarse_trajectory is None:
+            continue
+        for record in trajectory.records:
+            estimate = coarse_trajectory.location_at(record.t)
+            if (
+                estimate is not None
+                and estimate.has_point
+                and record.location.has_point
+                and estimate.floor_id == record.location.floor_id
+            ):
+                errors.append(estimate.distance_to(record.location))
+    return statistics.fmean(errors) if errors else float("nan")
+
+
+class TestSamplingFrequencySweep:
+    def test_granularity_vs_fidelity_tradeoff(self, benchmark, fine_ground_truth):
+        _, simulation = fine_ground_truth
+        fine = simulation.trajectories
+
+        def sweep():
+            rows = []
+            for period in SAMPLING_PERIODS:
+                coarse = fine.resample(period)
+                rows.append(
+                    (period, coarse.total_records, _reconstruction_error(fine, period))
+                )
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table(
+            "GT-SAMPLING: trajectory sampling period vs volume and fidelity",
+            ["sampling period (s)", "records", "mean reconstruction error (m)"],
+            [[period, count, f"{error:.2f}"] for period, count, error in rows],
+        )
+        periods = [row[0] for row in rows]
+        counts = [row[1] for row in rows]
+        errors = [row[2] for row in rows]
+        # Volume decreases monotonically with the sampling period ...
+        assert counts == sorted(counts, reverse=True)
+        # ... while the reconstruction error grows (strictly from 1 s to 30 s).
+        assert errors[-1] > errors[0]
+        assert errors[0] < 0.5
+
+    def test_resampling_cost(self, benchmark, fine_ground_truth):
+        _, simulation = fine_ground_truth
+        benchmark(lambda: simulation.trajectories.resample(5.0))
+
+    def test_positioning_coverage_shrinks_with_period(self, benchmark, fine_ground_truth):
+        """Positioning data at a low frequency leaves gaps in the object's whereabouts."""
+        from repro.analysis.accuracy import ground_truth_coverage
+
+        _, simulation = fine_ground_truth
+        fine = simulation.trajectories
+
+        def coverage_for(period):
+            coarse = fine.resample(period)
+            report_times = [record.t for record in coarse.all_records()]
+            return ground_truth_coverage(report_times, fine)
+
+        def sweep():
+            return {period: coverage_for(period) for period in (1.0, 10.0, 30.0)}
+
+        coverage = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table(
+            "GT-SAMPLING: time coverage of positioning reports",
+            ["sampling period (s)", "covered fraction of the timeline"],
+            [[period, f"{value:.2f}"] for period, value in sorted(coverage.items())],
+        )
+        assert coverage[1.0] > coverage[10.0] > coverage[30.0]

@@ -1,0 +1,110 @@
+"""STORAGE: Data Stream API query performance and spatial-index ablation.
+
+The paper stores generated data in PostgreSQL with "efficient indices" and
+wraps "commonly used functions and query processing algorithms" behind the
+Data Stream APIs.  This bench measures the in-memory equivalents on a
+generated dataset (time-range scans, snapshots, spatial range and kNN
+queries), and runs the grid-vs-R-tree ablation called out in DESIGN.md.
+"""
+
+import random
+
+import pytest
+
+from conftest import print_table
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox, Polygon
+from repro.geometry.spatial_index import GridIndex, RTreeIndex
+from repro.storage.repositories import DataWarehouse
+from repro.storage.stream import DataStreamAPI
+
+
+@pytest.fixture(scope="module")
+def warehouse(office_workload):
+    building, devices, simulation, rssi = office_workload
+    warehouse = DataWarehouse()
+    warehouse.trajectories.add_trajectory_set(simulation.trajectories)
+    warehouse.rssi.add_many(rssi)
+    for device in devices:
+        warehouse.devices.add(device.as_record())
+    return warehouse
+
+
+@pytest.fixture(scope="module")
+def api(warehouse):
+    return DataStreamAPI(warehouse)
+
+
+class TestDataStreamQueries:
+    def test_time_range_scan(self, benchmark, api):
+        records = benchmark(lambda: api.trajectory_window(60.0, 120.0))
+        assert records
+
+    def test_snapshot_query(self, benchmark, api):
+        snapshot = benchmark(lambda: api.snapshot(120.0))
+        assert snapshot
+
+    def test_spatial_range_query(self, benchmark, api, office_workload):
+        building = office_workload[0]
+        box = building.floor(0).bounding_box
+        region = BoundingBox(box.min_x, box.min_y, box.min_x + 20.0, box.max_y)
+        objects = benchmark(lambda: api.objects_in_region(0, region, 0.0, 240.0))
+        assert isinstance(objects, list)
+
+    def test_knn_query(self, benchmark, api):
+        result = benchmark(lambda: api.knn_at(0, Point(20.0, 9.0), t=120.0, k=5))
+        assert isinstance(result, list)
+
+    def test_partition_visit_counts(self, benchmark, api):
+        counts = benchmark(lambda: api.partition_visit_counts())
+        assert counts
+
+    def test_rssi_statistics(self, benchmark, api):
+        statistics_by_device = benchmark(lambda: api.rssi_statistics_by_device())
+        assert statistics_by_device
+
+
+class TestSpatialIndexAblation:
+    """Grid vs STR R-tree on point-location queries (DESIGN.md ablation)."""
+
+    @pytest.fixture(scope="class")
+    def cells(self):
+        rng = random.Random(9)
+        cells = []
+        for _ in range(2000):
+            x, y = rng.uniform(0, 400), rng.uniform(0, 400)
+            cells.append(Polygon.rectangle(x, y, x + rng.uniform(2, 8), y + rng.uniform(2, 8)))
+        return cells
+
+    @pytest.fixture(scope="class")
+    def query_points(self):
+        rng = random.Random(11)
+        return [Point(rng.uniform(0, 400), rng.uniform(0, 400)) for _ in range(500)]
+
+    def test_grid_index_point_queries(self, benchmark, cells, query_points):
+        index = GridIndex(cells, lambda p: p.bounding_box)
+        benchmark(lambda: [index.query_point(point) for point in query_points])
+
+    def test_rtree_index_point_queries(self, benchmark, cells, query_points):
+        index = RTreeIndex(cells, lambda p: p.bounding_box)
+        benchmark(lambda: [index.query_point(point) for point in query_points])
+
+    def test_grid_index_build(self, benchmark, cells):
+        benchmark(lambda: GridIndex(cells, lambda p: p.bounding_box))
+
+    def test_rtree_index_build(self, benchmark, cells):
+        benchmark(lambda: RTreeIndex(cells, lambda p: p.bounding_box))
+
+    def test_both_indexes_agree(self, benchmark, cells, query_points):
+        grid = GridIndex(cells, lambda p: p.bounding_box)
+        rtree = RTreeIndex(cells, lambda p: p.bounding_box)
+
+        def compare():
+            mismatches = 0
+            for point in query_points:
+                if {id(c) for c in grid.query_point(point)} != {id(c) for c in rtree.query_point(point)}:
+                    mismatches += 1
+            return mismatches
+
+        assert benchmark(compare) == 0

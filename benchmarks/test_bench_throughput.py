@@ -1,0 +1,97 @@
+"""THROUGHPUT: generator scalability.
+
+A data generator is only useful if it can produce datasets much faster than
+real time.  This bench measures the wall-clock cost of each pipeline layer as
+the number of moving objects grows, and reports the trajectory-point and RSSI
+throughput (records generated per second of wall-clock time).
+
+Expected shape: cost grows roughly linearly with the object count, and the
+generator stays one to two orders of magnitude faster than real time for
+laptop-scale workloads.
+"""
+
+import time
+
+import pytest
+
+from conftest import deploy_wifi, generate_rssi, make_building, print_table, simulate
+
+DURATION = 120.0
+
+
+@pytest.fixture(scope="module")
+def office():
+    return make_building("office", floors=2)
+
+
+@pytest.fixture(scope="module")
+def office_devices(office):
+    return deploy_wifi(office, count_per_floor=6)
+
+
+class TestMovingObjectThroughput:
+    @pytest.mark.parametrize("count", [10, 50, 150])
+    def test_trajectory_generation_scales_with_objects(self, benchmark, office, count):
+        result = benchmark.pedantic(
+            lambda: simulate(office, count=count, duration=DURATION, seed=count),
+            rounds=1, iterations=1,
+        )
+        assert result.object_count == count
+        assert result.total_samples >= count * DURATION * 0.8
+
+
+class TestRSSIThroughput:
+    @pytest.mark.parametrize("count", [10, 50])
+    def test_rssi_generation_scales_with_objects(self, benchmark, office, office_devices, count):
+        simulation = simulate(office, count=count, duration=DURATION, seed=200 + count)
+        records = benchmark.pedantic(
+            lambda: generate_rssi(office, office_devices, simulation.trajectories),
+            rounds=1, iterations=1,
+        )
+        assert len(records) > 0
+
+
+class TestEndToEndThroughput:
+    def test_throughput_summary(self, benchmark, office, office_devices):
+        def run(count):
+            start = time.perf_counter()
+            simulation = simulate(office, count=count, duration=DURATION, seed=300 + count)
+            trajectory_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            rssi = generate_rssi(office, office_devices, simulation.trajectories)
+            rssi_seconds = time.perf_counter() - start
+            return {
+                "count": count,
+                "trajectory_records": simulation.total_samples,
+                "trajectory_seconds": trajectory_seconds,
+                "rssi_records": len(rssi),
+                "rssi_seconds": rssi_seconds,
+            }
+
+        def sweep():
+            return [run(count) for count in (10, 50, 150)]
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        print_table(
+            "THROUGHPUT: generation cost vs object count (120 s simulated)",
+            ["objects", "trajectory records", "traj records/s", "rssi records", "rssi records/s",
+             "speed-up vs real time"],
+            [
+                [
+                    row["count"],
+                    row["trajectory_records"],
+                    f"{row['trajectory_records'] / max(row['trajectory_seconds'], 1e-9):,.0f}",
+                    row["rssi_records"],
+                    f"{row['rssi_records'] / max(row['rssi_seconds'], 1e-9):,.0f}",
+                    f"{DURATION / max(row['trajectory_seconds'] + row['rssi_seconds'], 1e-9):.1f}x",
+                ]
+                for row in rows
+            ],
+        )
+        # Roughly linear scaling: 15x the objects should cost far less than 60x the time.
+        small, large = rows[0], rows[-1]
+        small_total = small["trajectory_seconds"] + small["rssi_seconds"]
+        large_total = large["trajectory_seconds"] + large["rssi_seconds"]
+        assert large_total < small_total * 60
+        # Faster than real time even at 150 objects.
+        assert large_total < DURATION

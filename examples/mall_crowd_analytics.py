@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Mall scenario: crowd-outliers shoppers, RFID check-points, POI analytics.
+
+This mirrors the motivation of the paper's introduction: businesses such as
+customer engagement and space-use analysis need indoor mobility data.  We
+generate a shopping-mall workload where most customers crowd around shops
+(the crowd-outliers distribution of Section 3.1 / Figure 3(b)), deploy RFID
+readers at shop entrances with the check-point model, derive proximity
+positioning data, and then answer a typical analytics question — which shops
+are visited most — both from the symbolic proximity data and from the ground
+truth, to show how close the two rankings are.
+
+Run with::
+
+    python examples/mall_crowd_analytics.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import Vita
+from repro.analysis.statistics import crowding_at, trajectory_statistics
+
+
+def main() -> None:
+    vita = Vita(seed=77)
+    building = vita.use_synthetic_building("mall", floors=2)
+    print(f"Loaded {building}")
+
+    # RFID readers guarding shop entrances and atrium hotspots.  The detection
+    # interval is set to 2 s so that it is no shorter than the RSSI sampling
+    # period below: a detection period only ends once a whole detection
+    # operation passes without any measurement (Section 3.3).
+    readers = vita.deploy_devices(
+        "rfid", count_per_floor=10, deployment="check-point",
+        detection_range=4.0, detection_interval=2.0,
+    )
+    print(f"Deployed {len(readers)} RFID readers at check-points")
+
+    # Shoppers: 120 objects, 80% of them crowding around shops/food court.
+    result = vita.generate_objects(
+        count=120,
+        duration=900.0,
+        sampling_period=1.0,
+        distribution="crowd-outliers",
+        intention="destination",
+        behavior="walk-stay",
+        arrival_rate_per_minute=4.0,          # new shoppers keep arriving
+    )
+    statistics = trajectory_statistics(result.trajectories)
+    crowding = crowding_at(result.trajectories, 0.0)
+    print(f"Simulated {result.object_count} shoppers "
+          f"({statistics.total_samples} ground-truth samples)")
+    print(f"Initial crowding: top-3 partitions hold {crowding.top3_share:.0%} of the shoppers "
+          f"(gini {crowding.gini:.2f})")
+
+    # Raw RSSI at 1 Hz, then proximity positioning data (o_id, d_id, ts, te).
+    vita.generate_rssi(sampling_period=1.0)
+    detections = vita.generate_positioning("proximity")
+    print(f"Generated {len(detections)} proximity detection periods")
+
+    # Analytics question: which shops are the most visited?
+    reader_partition = {
+        device.device_id: device.location.partition_id for device in readers
+    }
+    visits_by_partition = Counter()
+    for record in detections:
+        partition = reader_partition.get(record.device_id)
+        if partition and record.duration >= 10.0:
+            visits_by_partition[partition] += 1
+
+    # Ground truth restricted to the partitions that actually have a reader,
+    # so the two rankings are computed over the same candidate POIs.
+    monitored = set(reader_partition.values())
+    truth_counts = Counter()
+    for trajectory in result.trajectories:
+        for partition in set(trajectory.partitions_visited()):
+            if partition in monitored:
+                truth_counts[partition] += 1
+
+    print("\nTop monitored POIs by proximity detections (>=10 s dwell) vs ground-truth visitors:")
+    print(f"{'partition':>18} | {'detections':>10} | {'true visitors':>13}")
+    for partition, count in visits_by_partition.most_common(8):
+        print(f"{partition:>18} | {count:>10} | {truth_counts.get(partition, 0):>13}")
+
+    top_detected = {p for p, _ in visits_by_partition.most_common(5)}
+    top_true = {p for p, _ in truth_counts.most_common(5)}
+    overlap = top_detected & top_true
+    print(f"\n{len(overlap)}/5 of the top POIs ranked from symbolic proximity data match the "
+          "ground-truth top-5 — and the preserved raw trajectories are what makes "
+          "this effectiveness check possible.")
+
+    written = vita.export("output/mall_crowd")
+    print("\nExported datasets:")
+    for name, path in sorted(written.items()):
+        print(f"  {name:>14}: {path}")
+
+
+if __name__ == "__main__":
+    main()

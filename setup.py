@@ -1,0 +1,25 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments that lack the ``wheel`` package (legacy editable
+installs do not need it).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Vita: a versatile toolkit for generating indoor mobility data for "
+        "real-world buildings (reproduction of PVLDB 9(13):1453-1456)"
+    ),
+    author="Vita reproduction",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "networkx"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["vita-generate=repro.cli:main"]},
+)

@@ -1,0 +1,35 @@
+"""Analysis: accuracy vs ground truth and dataset statistics."""
+
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    ProximityAccuracyReport,
+    evaluate_positioning,
+    evaluate_probabilistic,
+    evaluate_proximity,
+    ground_truth_coverage,
+)
+from repro.analysis.statistics import (
+    CrowdingReport,
+    DeploymentReport,
+    TrajectoryStatistics,
+    crowding_at,
+    deployment_statistics,
+    rssi_statistics,
+    trajectory_statistics,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "ProximityAccuracyReport",
+    "evaluate_positioning",
+    "evaluate_probabilistic",
+    "evaluate_proximity",
+    "ground_truth_coverage",
+    "CrowdingReport",
+    "DeploymentReport",
+    "TrajectoryStatistics",
+    "crowding_at",
+    "deployment_statistics",
+    "rssi_statistics",
+    "trajectory_statistics",
+]

@@ -1,0 +1,228 @@
+"""Accuracy evaluation of positioning data against the preserved ground truth.
+
+The whole point of preserving raw trajectories at a fine temporal granularity
+(Section 1) is to enable effectiveness evaluations: the generated positioning
+data can be compared against the ground-truth movement it was derived from.
+This module implements that comparison for all three positioning data formats.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.types import (
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+)
+from repro.devices.base import PositioningDevice
+from repro.mobility.trajectory import TrajectorySet
+
+
+@dataclass
+class AccuracyReport:
+    """Summary of positioning error against ground truth."""
+
+    estimates: int = 0
+    matched: int = 0
+    errors_m: List[float] = field(default_factory=list)
+    floor_mismatches: int = 0
+    partition_hits: int = 0
+    partition_comparisons: int = 0
+
+    @property
+    def mean_error(self) -> float:
+        """Mean planar error in metres over matched same-floor estimates."""
+        return statistics.fmean(self.errors_m) if self.errors_m else float("nan")
+
+    @property
+    def median_error(self) -> float:
+        """Median planar error in metres."""
+        return statistics.median(self.errors_m) if self.errors_m else float("nan")
+
+    @property
+    def rmse(self) -> float:
+        """Root-mean-square planar error in metres."""
+        if not self.errors_m:
+            return float("nan")
+        return math.sqrt(statistics.fmean(error ** 2 for error in self.errors_m))
+
+    @property
+    def p90_error(self) -> float:
+        """90th-percentile planar error in metres."""
+        if not self.errors_m:
+            return float("nan")
+        ranked = sorted(self.errors_m)
+        return ranked[min(int(len(ranked) * 0.9), len(ranked) - 1)]
+
+    @property
+    def floor_accuracy(self) -> float:
+        """Fraction of matched estimates placed on the correct floor."""
+        if self.matched == 0:
+            return float("nan")
+        return 1.0 - self.floor_mismatches / self.matched
+
+    @property
+    def partition_hit_rate(self) -> float:
+        """Fraction of estimates whose partition matches the ground truth (room-level accuracy)."""
+        if self.partition_comparisons == 0:
+            return float("nan")
+        return self.partition_hits / self.partition_comparisons
+
+    def as_dict(self) -> Dict[str, float]:
+        """The report as a flat dictionary (for tables and EXPERIMENTS.md)."""
+        return {
+            "estimates": float(self.estimates),
+            "matched": float(self.matched),
+            "mean_error_m": self.mean_error,
+            "median_error_m": self.median_error,
+            "rmse_m": self.rmse,
+            "p90_error_m": self.p90_error,
+            "floor_accuracy": self.floor_accuracy,
+            "partition_hit_rate": self.partition_hit_rate,
+        }
+
+
+def evaluate_positioning(
+    records: Sequence[PositioningRecord],
+    ground_truth: TrajectorySet,
+) -> AccuracyReport:
+    """Compare deterministic positioning records against the ground truth."""
+    report = AccuracyReport(estimates=len(records))
+    for record in records:
+        trajectory = ground_truth.get(record.object_id)
+        if trajectory is None:
+            continue
+        true_location = trajectory.location_at(record.t)
+        if true_location is None:
+            continue
+        report.matched += 1
+        if true_location.floor_id != record.location.floor_id:
+            report.floor_mismatches += 1
+        elif true_location.has_point and record.location.has_point:
+            report.errors_m.append(true_location.distance_to(record.location))
+        if true_location.partition_id and record.location.partition_id:
+            report.partition_comparisons += 1
+            if true_location.partition_id == record.location.partition_id:
+                report.partition_hits += 1
+    return report
+
+
+def evaluate_probabilistic(
+    records: Sequence[ProbabilisticPositioningRecord],
+    ground_truth: TrajectorySet,
+) -> AccuracyReport:
+    """Compare probabilistic records (using their best candidate) against ground truth."""
+    collapsed = [
+        PositioningRecord(
+            object_id=record.object_id,
+            location=record.best,
+            t=record.t,
+        )
+        for record in records
+    ]
+    return evaluate_positioning(collapsed, ground_truth)
+
+
+@dataclass
+class ProximityAccuracyReport:
+    """Accuracy of proximity detection periods against ground truth."""
+
+    periods: int = 0
+    checked_samples: int = 0
+    samples_in_range: int = 0
+    mean_distance_m: float = float("nan")
+
+    @property
+    def in_range_fraction(self) -> float:
+        """Fraction of sampled detection instants where the object really was in range."""
+        if self.checked_samples == 0:
+            return float("nan")
+        return self.samples_in_range / self.checked_samples
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "periods": float(self.periods),
+            "checked_samples": float(self.checked_samples),
+            "in_range_fraction": self.in_range_fraction,
+            "mean_distance_m": self.mean_distance_m,
+        }
+
+
+def evaluate_proximity(
+    records: Sequence[ProximityRecord],
+    ground_truth: TrajectorySet,
+    devices: Sequence[PositioningDevice],
+    samples_per_period: int = 3,
+    range_slack: float = 1.5,
+) -> ProximityAccuracyReport:
+    """Check whether objects really were near the detecting device.
+
+    For each detection period a few instants are sampled; the object's true
+    distance to the device at those instants is measured.  An instant counts
+    as "in range" when the distance is within ``detection_range * range_slack``
+    (the slack accounts for fluctuation noise around the threshold).
+    """
+    device_map = {device.device_id: device for device in devices}
+    report = ProximityAccuracyReport(periods=len(records))
+    distances: List[float] = []
+    for record in records:
+        device = device_map.get(record.device_id)
+        trajectory = ground_truth.get(record.object_id)
+        if device is None or trajectory is None:
+            continue
+        duration = max(record.duration, 0.0)
+        for index in range(samples_per_period):
+            fraction = (index + 0.5) / samples_per_period
+            t = record.t_start + duration * fraction
+            true_location = trajectory.location_at(t)
+            if true_location is None or not true_location.has_point:
+                continue
+            report.checked_samples += 1
+            if true_location.floor_id != device.floor_id:
+                continue
+            x, y = true_location.point()
+            distance = math.hypot(x - device.position.x, y - device.position.y)
+            distances.append(distance)
+            if distance <= device.detection_range * range_slack:
+                report.samples_in_range += 1
+    if distances:
+        report.mean_distance_m = statistics.fmean(distances)
+    return report
+
+
+def ground_truth_coverage(
+    positioning_times: Sequence[float],
+    trajectory: "TrajectorySet",
+) -> float:
+    """Fraction of the ground-truth time span covered by positioning estimates.
+
+    Low positioning sampling frequencies leave an object's whereabouts unknown
+    between consecutive reports (the motivation of Section 1); this metric
+    quantifies that coverage gap for a given set of estimate timestamps.
+    """
+    if not positioning_times:
+        return 0.0
+    all_records = trajectory.all_records()
+    if not all_records:
+        return 0.0
+    t_min = min(record.t for record in all_records)
+    t_max = max(record.t for record in all_records)
+    if t_max <= t_min:
+        return 1.0
+    covered = len({int(t) for t in positioning_times if t_min <= t <= t_max})
+    total_seconds = int(t_max - t_min) + 1
+    return min(covered / total_seconds, 1.0)
+
+
+__all__ = [
+    "AccuracyReport",
+    "evaluate_positioning",
+    "evaluate_probabilistic",
+    "ProximityAccuracyReport",
+    "evaluate_proximity",
+    "ground_truth_coverage",
+]

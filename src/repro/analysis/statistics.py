@@ -1,0 +1,227 @@
+"""Descriptive statistics over generated indoor mobility datasets.
+
+Used by the benchmark harness (feature-comparison and Figure-3 benches) and
+handy for users inspecting what a generation run produced.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.building.model import Building
+from repro.core.types import RSSIRecord
+from repro.devices.base import PositioningDevice
+from repro.geometry.point import Point
+from repro.mobility.trajectory import TrajectorySet
+
+
+@dataclass
+class TrajectoryStatistics:
+    """Aggregate statistics of a set of raw trajectories."""
+
+    object_count: int = 0
+    total_samples: int = 0
+    mean_samples_per_object: float = 0.0
+    mean_duration_s: float = 0.0
+    mean_length_m: float = 0.0
+    mean_speed_mps: float = 0.0
+    multi_floor_objects: int = 0
+    partitions_visited: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "object_count": float(self.object_count),
+            "total_samples": float(self.total_samples),
+            "mean_samples_per_object": self.mean_samples_per_object,
+            "mean_duration_s": self.mean_duration_s,
+            "mean_length_m": self.mean_length_m,
+            "mean_speed_mps": self.mean_speed_mps,
+            "multi_floor_objects": float(self.multi_floor_objects),
+            "partitions_visited": float(self.partitions_visited),
+        }
+
+
+def trajectory_statistics(trajectories: TrajectorySet) -> TrajectoryStatistics:
+    """Compute aggregate statistics for *trajectories*."""
+    stats = TrajectoryStatistics(object_count=len(trajectories))
+    if len(trajectories) == 0:
+        return stats
+    durations, lengths, speeds, samples = [], [], [], []
+    partitions = set()
+    for trajectory in trajectories:
+        samples.append(len(trajectory))
+        durations.append(trajectory.duration)
+        lengths.append(trajectory.length)
+        speeds.append(trajectory.average_speed())
+        if len(trajectory.floors_visited()) > 1:
+            stats.multi_floor_objects += 1
+        partitions.update(trajectory.partitions_visited())
+    stats.total_samples = sum(samples)
+    stats.mean_samples_per_object = statistics.fmean(samples)
+    stats.mean_duration_s = statistics.fmean(durations)
+    stats.mean_length_m = statistics.fmean(lengths)
+    stats.mean_speed_mps = statistics.fmean(speeds)
+    stats.partitions_visited = len(partitions)
+    return stats
+
+
+@dataclass
+class CrowdingReport:
+    """How concentrated the objects are across partitions at a time instant.
+
+    Used by the Figure-3 benchmark to distinguish the crowd-outliers initial
+    distribution (high concentration) from the uniform one (low concentration).
+    """
+
+    populated_partitions: int = 0
+    max_share: float = 0.0
+    top3_share: float = 0.0
+    gini: float = 0.0
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "populated_partitions": float(self.populated_partitions),
+            "max_share": self.max_share,
+            "top3_share": self.top3_share,
+            "gini": self.gini,
+        }
+
+
+def crowding_at(trajectories: TrajectorySet, t: float) -> CrowdingReport:
+    """Concentration of objects over partitions at time *t*."""
+    snapshot = trajectories.snapshot(t)
+    counts = Counter(
+        location.partition_id for location in snapshot.values() if location.partition_id
+    )
+    report = CrowdingReport(counts=dict(counts))
+    total = sum(counts.values())
+    if total == 0:
+        return report
+    ranked = sorted(counts.values(), reverse=True)
+    report.populated_partitions = len(ranked)
+    report.max_share = ranked[0] / total
+    report.top3_share = sum(ranked[:3]) / total
+    report.gini = _gini(ranked)
+    return report
+
+
+def _gini(values: Sequence[int]) -> float:
+    """Gini coefficient of a non-negative count distribution."""
+    values = sorted(values)
+    n = len(values)
+    total = sum(values)
+    if n == 0 or total == 0:
+        return 0.0
+    cumulative = 0.0
+    for index, value in enumerate(values, start=1):
+        cumulative += index * value
+    return (2.0 * cumulative) / (n * total) - (n + 1.0) / n
+
+
+@dataclass
+class DeploymentReport:
+    """Spatial characteristics of a device deployment.
+
+    Used by the Figure-3 benchmark: the coverage model should show larger
+    minimum pairwise separation and smaller mean distance-to-wall than the
+    check-point model, which instead concentrates devices near doors.
+    """
+
+    device_count: int = 0
+    mean_pairwise_distance: float = 0.0
+    min_pairwise_distance: float = 0.0
+    mean_distance_to_wall: float = 0.0
+    mean_distance_to_nearest_door: float = 0.0
+    covered_area_fraction: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "device_count": float(self.device_count),
+            "mean_pairwise_distance": self.mean_pairwise_distance,
+            "min_pairwise_distance": self.min_pairwise_distance,
+            "mean_distance_to_wall": self.mean_distance_to_wall,
+            "mean_distance_to_nearest_door": self.mean_distance_to_nearest_door,
+            "covered_area_fraction": self.covered_area_fraction,
+        }
+
+
+def deployment_statistics(
+    building: Building,
+    devices: Sequence[PositioningDevice],
+    floor_id: int,
+    coverage_samples: int = 400,
+) -> DeploymentReport:
+    """Characterise the devices deployed on *floor_id*."""
+    floor_devices = [device for device in devices if device.floor_id == floor_id]
+    report = DeploymentReport(device_count=len(floor_devices))
+    if not floor_devices:
+        return report
+    floor = building.floor(floor_id)
+    positions = [device.position for device in floor_devices]
+    # Pairwise separation.
+    pairwise = [
+        positions[i].distance_to(positions[j])
+        for i in range(len(positions))
+        for j in range(i + 1, len(positions))
+    ]
+    if pairwise:
+        report.mean_pairwise_distance = statistics.fmean(pairwise)
+        report.min_pairwise_distance = min(pairwise)
+    # Distance to the nearest wall and to the nearest door.
+    walls = floor.wall_segments()
+    doors = list(floor.doors.values())
+    wall_distances, door_distances = [], []
+    for position in positions:
+        if walls:
+            wall_distances.append(min(w.distance_to_point(position) for w in walls))
+        if doors:
+            door_distances.append(min(d.position.distance_to(position) for d in doors))
+    if wall_distances:
+        report.mean_distance_to_wall = statistics.fmean(wall_distances)
+    if door_distances:
+        report.mean_distance_to_nearest_door = statistics.fmean(door_distances)
+    # Fraction of walkable area covered by at least one device's range.
+    import random as _random
+
+    rng = _random.Random(13)
+    covered = 0
+    for _ in range(coverage_samples):
+        partition = floor.random_partition(rng)
+        point = partition.random_point(rng)
+        if any(
+            device.position.distance_to(point) <= device.detection_range
+            for device in floor_devices
+        ):
+            covered += 1
+    report.covered_area_fraction = covered / coverage_samples
+    return report
+
+
+def rssi_statistics(records: Sequence[RSSIRecord]) -> Dict[str, float]:
+    """Overall statistics of a raw RSSI dataset."""
+    if not records:
+        return {"count": 0.0, "mean": float("nan"), "min": float("nan"), "max": float("nan")}
+    values = [record.rssi for record in records]
+    return {
+        "count": float(len(values)),
+        "mean": statistics.fmean(values),
+        "min": min(values),
+        "max": max(values),
+        "stdev": statistics.pstdev(values),
+    }
+
+
+__all__ = [
+    "TrajectoryStatistics",
+    "trajectory_statistics",
+    "CrowdingReport",
+    "crowding_at",
+    "DeploymentReport",
+    "deployment_statistics",
+    "rssi_statistics",
+]

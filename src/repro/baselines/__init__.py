@@ -1,0 +1,38 @@
+"""Baseline generators the paper compares against (Section 1)."""
+
+from repro.baselines.mwgen import ManualFloorPlan, MWGenConfig, MWGenGenerator, MWGenOutput
+from repro.baselines.indoorstg import (
+    IndoorSTGConfig,
+    IndoorSTGGenerator,
+    IndoorSTGOutput,
+    SemanticVisit,
+    VirtualDevice,
+    VirtualRoom,
+)
+from repro.baselines.rfid_tool import (
+    ConveyorBelt,
+    RFIDReaderStation,
+    RFIDReading,
+    RFIDToolConfig,
+    RFIDToolGenerator,
+    RFIDToolOutput,
+)
+
+__all__ = [
+    "ManualFloorPlan",
+    "MWGenConfig",
+    "MWGenGenerator",
+    "MWGenOutput",
+    "IndoorSTGConfig",
+    "IndoorSTGGenerator",
+    "IndoorSTGOutput",
+    "SemanticVisit",
+    "VirtualDevice",
+    "VirtualRoom",
+    "ConveyorBelt",
+    "RFIDReaderStation",
+    "RFIDReading",
+    "RFIDToolConfig",
+    "RFIDToolGenerator",
+    "RFIDToolOutput",
+]

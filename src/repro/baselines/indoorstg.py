@@ -1,0 +1,204 @@
+"""A simplified re-implementation of IndoorSTG (Huang et al., MDM 2013).
+
+Section 1 characterises IndoorSTG as follows: it "generates semantic-based
+trajectories and proximity based positioning data for indoor moving objects in
+an artificial, simulated indoor environment.  It allows for limited
+configuration on the virtual indoor entities (e.g., rooms, staircases, and
+elevators), and virtual positioning devices" — and "it only works for
+proximity based indoor positioning and ignores more popular alternatives like
+Wi-Fi based fingerprinting".
+
+This baseline therefore:
+
+* builds its own *artificial* grid world (it cannot import real buildings);
+* produces semantic trajectories: sequences of (room, enter-time, leave-time);
+* produces proximity records from virtual devices placed at room doors;
+* produces no raw RSSI data and supports no other positioning method.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import ProximityRecord
+
+
+@dataclass(frozen=True)
+class VirtualRoom:
+    """A room of the artificial environment."""
+
+    room_id: str
+    floor: int
+    kind: str = "room"  # room, staircase, elevator, corridor
+
+
+@dataclass(frozen=True)
+class VirtualDevice:
+    """A virtual proximity device guarding a room."""
+
+    device_id: str
+    room_id: str
+    detection_range: float = 3.0
+
+
+@dataclass(frozen=True)
+class SemanticVisit:
+    """One semantic trajectory element: the object stayed in a room for a while."""
+
+    object_id: str
+    room_id: str
+    t_enter: float
+    t_leave: float
+
+    @property
+    def duration(self) -> float:
+        return self.t_leave - self.t_enter
+
+
+@dataclass
+class IndoorSTGConfig:
+    """Configuration of the artificial environment and the generation run."""
+
+    floors: int = 2
+    rooms_per_floor: int = 8
+    object_count: int = 20
+    duration: float = 600.0
+    min_visit: float = 20.0
+    max_visit: float = 120.0
+    transfer_time: float = 15.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.floors < 1 or self.rooms_per_floor < 2:
+            raise ConfigurationError("need at least 1 floor and 2 rooms per floor")
+        if self.object_count < 0:
+            raise ConfigurationError("object_count must be non-negative")
+        if self.min_visit <= 0 or self.max_visit < self.min_visit:
+            raise ConfigurationError("require 0 < min_visit <= max_visit")
+
+
+@dataclass
+class IndoorSTGOutput:
+    """What IndoorSTG produces: semantic trajectories and proximity data."""
+
+    rooms: List[VirtualRoom]
+    devices: List[VirtualDevice]
+    semantic_trajectories: Dict[str, List[SemanticVisit]]
+    proximity_records: List[ProximityRecord]
+
+    @property
+    def produces_positioning_data(self) -> bool:
+        return True
+
+    @property
+    def produces_rssi_data(self) -> bool:
+        """IndoorSTG emits proximity events directly, without raw RSSI."""
+        return False
+
+    @property
+    def supports_real_buildings(self) -> bool:
+        return False
+
+    @property
+    def supported_positioning_methods(self) -> Tuple[str, ...]:
+        return ("proximity",)
+
+    @property
+    def total_visits(self) -> int:
+        return sum(len(visits) for visits in self.semantic_trajectories.values())
+
+
+class IndoorSTGGenerator:
+    """Generates semantic trajectories in an artificial grid environment."""
+
+    def __init__(self, config: Optional[IndoorSTGConfig] = None) -> None:
+        self.config = config or IndoorSTGConfig()
+        self.rng = random.Random(self.config.seed)
+        self.rooms = self._build_rooms()
+        self.devices = [
+            VirtualDevice(device_id=f"vdev_{room.room_id}", room_id=room.room_id)
+            for room in self.rooms
+        ]
+        self._adjacency = self._build_adjacency()
+
+    def _build_rooms(self) -> List[VirtualRoom]:
+        rooms: List[VirtualRoom] = []
+        for floor in range(self.config.floors):
+            for index in range(self.config.rooms_per_floor):
+                kind = "room"
+                if index == 0:
+                    kind = "corridor"
+                elif index == self.config.rooms_per_floor - 1 and self.config.floors > 1:
+                    kind = "staircase"
+                rooms.append(
+                    VirtualRoom(room_id=f"vf{floor}_r{index}", floor=floor, kind=kind)
+                )
+        return rooms
+
+    def _build_adjacency(self) -> Dict[str, List[str]]:
+        """Rooms connect to the corridor of their floor; staircases link floors."""
+        adjacency: Dict[str, List[str]] = {room.room_id: [] for room in self.rooms}
+        by_floor: Dict[int, List[VirtualRoom]] = {}
+        for room in self.rooms:
+            by_floor.setdefault(room.floor, []).append(room)
+        for floor_rooms in by_floor.values():
+            corridor = floor_rooms[0]
+            for room in floor_rooms[1:]:
+                adjacency[corridor.room_id].append(room.room_id)
+                adjacency[room.room_id].append(corridor.room_id)
+        staircases = [room for room in self.rooms if room.kind == "staircase"]
+        for lower, upper in zip(staircases, staircases[1:]):
+            adjacency[lower.room_id].append(upper.room_id)
+            adjacency[upper.room_id].append(lower.room_id)
+        return adjacency
+
+    def generate(self) -> IndoorSTGOutput:
+        """Generate semantic trajectories plus the matching proximity records."""
+        semantic: Dict[str, List[SemanticVisit]] = {}
+        proximity: List[ProximityRecord] = []
+        device_by_room = {device.room_id: device for device in self.devices}
+        for index in range(self.config.object_count):
+            object_id = f"stg_obj_{index + 1:03d}"
+            visits: List[SemanticVisit] = []
+            current = self.rng.choice(self.rooms).room_id
+            t = 0.0
+            while t < self.config.duration:
+                visit_length = self.rng.uniform(self.config.min_visit, self.config.max_visit)
+                t_leave = min(t + visit_length, self.config.duration)
+                visits.append(
+                    SemanticVisit(
+                        object_id=object_id, room_id=current, t_enter=t, t_leave=t_leave
+                    )
+                )
+                device = device_by_room[current]
+                proximity.append(
+                    ProximityRecord(
+                        object_id=object_id,
+                        device_id=device.device_id,
+                        t_start=t,
+                        t_end=t_leave,
+                    )
+                )
+                t = t_leave + self.config.transfer_time
+                neighbors = self._adjacency.get(current) or [current]
+                current = self.rng.choice(neighbors)
+            semantic[object_id] = visits
+        return IndoorSTGOutput(
+            rooms=self.rooms,
+            devices=self.devices,
+            semantic_trajectories=semantic,
+            proximity_records=proximity,
+        )
+
+
+__all__ = [
+    "VirtualRoom",
+    "VirtualDevice",
+    "SemanticVisit",
+    "IndoorSTGConfig",
+    "IndoorSTGOutput",
+    "IndoorSTGGenerator",
+]

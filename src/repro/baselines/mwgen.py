@@ -1,0 +1,263 @@
+"""A simplified re-implementation of MWGen (Xu & Güting, MDM 2012).
+
+The paper positions MWGen as the closest prior generator and lists its
+restrictions (Section 1):
+
+* users must manually extract the building information from a floor plan —
+  there is no DBI import;
+* a multi-floor building is simulated by *duplicating* the floor plan;
+* trajectories follow either the minimum-length or the minimum-walking-time
+  path between two locations;
+* no indoor positioning data is produced, and the output trajectories are
+  semantic (coarse) rather than fine-grained ground truth.
+
+This module reproduces exactly that feature set so the comparison benchmark
+can quantify the gap against Vita on the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.building.distance import RoutePlanner
+from repro.building.model import Building, Door, Floor, Partition, PartitionKind
+from repro.core.errors import ConfigurationError
+from repro.core.types import IndoorLocation, TrajectoryRecord
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+@dataclass
+class ManualFloorPlan:
+    """The manually extracted floor plan MWGen requires.
+
+    Each room is an axis-aligned rectangle ``(name, min_x, min_y, max_x, max_y)``
+    and each connection is a pair of room names joined by a door placed at the
+    midpoint of their shared boundary.
+    """
+
+    rooms: List[Tuple[str, float, float, float, float]] = field(default_factory=list)
+    connections: List[Tuple[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def extract_from(cls, building: Building, floor_id: int = 0) -> "ManualFloorPlan":
+        """Simulate the manual extraction step from one floor of a real building.
+
+        Only bounding boxes survive the manual extraction — interior geometry
+        detail is lost, which is part of what makes MWGen's environments
+        "semi-artificial".
+        """
+        floor = building.floor(floor_id)
+        plan = cls()
+        for partition in floor.partitions.values():
+            box = partition.polygon.bounding_box
+            plan.rooms.append(
+                (partition.partition_id, box.min_x, box.min_y, box.max_x, box.max_y)
+            )
+        for door in floor.doors.values():
+            first, second = door.partitions
+            if first in floor.partitions and second in floor.partitions:
+                plan.connections.append((first, second))
+        return plan
+
+
+@dataclass
+class MWGenConfig:
+    """Configuration of the MWGen-style generator."""
+
+    object_count: int = 20
+    duration: float = 600.0
+    num_floors: int = 1
+    routing: str = "length"  # "length" (min distance) or "time" (min walking time)
+    trips_per_object: int = 3
+    walking_speed: float = 1.4
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.object_count < 0:
+            raise ConfigurationError("object_count must be non-negative")
+        if self.num_floors < 1:
+            raise ConfigurationError("num_floors must be at least 1")
+        if self.routing not in ("length", "time"):
+            raise ConfigurationError("routing must be 'length' or 'time'")
+
+
+@dataclass
+class MWGenOutput:
+    """What MWGen produces: coarse trajectories only."""
+
+    building: Building
+    trajectories: Dict[str, List[TrajectoryRecord]]
+
+    @property
+    def produces_positioning_data(self) -> bool:
+        """MWGen cannot generate indoor positioning data (Section 1)."""
+        return False
+
+    @property
+    def produces_rssi_data(self) -> bool:
+        return False
+
+    @property
+    def trajectory_count(self) -> int:
+        return len(self.trajectories)
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(records) for records in self.trajectories.values())
+
+
+class MWGenGenerator:
+    """Generates MWGen-style trajectories from a manually extracted floor plan."""
+
+    def __init__(self, plan: ManualFloorPlan, config: Optional[MWGenConfig] = None) -> None:
+        if not plan.rooms:
+            raise ConfigurationError("the manual floor plan has no rooms")
+        self.plan = plan
+        self.config = config or MWGenConfig()
+        self.rng = random.Random(self.config.seed)
+        self.building = self._build_building()
+        self.planner = RoutePlanner(self.building, walking_speed=self.config.walking_speed)
+
+    # ------------------------------------------------------------------ #
+    # Building construction: the floor plan is duplicated per floor
+    # ------------------------------------------------------------------ #
+    def _build_building(self) -> Building:
+        building = Building("mwgen_world", name="MWGen mini world")
+        for floor_id in range(self.config.num_floors):
+            floor = building.new_floor(floor_id)
+            self._populate_floor(floor, floor_id)
+        self._connect_floors(building)
+        return building
+
+    def _populate_floor(self, floor: Floor, floor_id: int) -> None:
+        rectangles: Dict[str, Polygon] = {}
+        for name, min_x, min_y, max_x, max_y in self.plan.rooms:
+            polygon = Polygon.rectangle(min_x, min_y, max_x, max_y)
+            rectangles[name] = polygon
+            floor.add_partition(
+                Partition(
+                    partition_id=f"f{floor_id}_{name}",
+                    floor_id=floor_id,
+                    polygon=polygon,
+                    kind=PartitionKind.ROOM,
+                    name=name,
+                )
+            )
+        for index, (first, second) in enumerate(self.plan.connections):
+            if first not in rectangles or second not in rectangles:
+                continue
+            position = self._shared_boundary_midpoint(rectangles[first], rectangles[second])
+            if position is None:
+                continue
+            floor.add_door(
+                Door(
+                    door_id=f"f{floor_id}_conn{index}",
+                    floor_id=floor_id,
+                    position=position,
+                    partitions=(f"f{floor_id}_{first}", f"f{floor_id}_{second}"),
+                    width=1.2,
+                )
+            )
+
+    @staticmethod
+    def _shared_boundary_midpoint(first: Polygon, second: Polygon) -> Optional[Point]:
+        box_a, box_b = first.bounding_box, second.bounding_box
+        overlap_x = (max(box_a.min_x, box_b.min_x), min(box_a.max_x, box_b.max_x))
+        overlap_y = (max(box_a.min_y, box_b.min_y), min(box_a.max_y, box_b.max_y))
+        if overlap_x[0] > overlap_x[1] + 1e-6 or overlap_y[0] > overlap_y[1] + 1e-6:
+            return None
+        return Point(
+            (overlap_x[0] + overlap_x[1]) / 2.0,
+            (overlap_y[0] + overlap_y[1]) / 2.0,
+        )
+
+    def _connect_floors(self, building: Building) -> None:
+        from repro.building.model import Staircase
+
+        if self.config.num_floors < 2 or not self.plan.rooms:
+            return
+        anchor_name = self.plan.rooms[0][0]
+        for lower in range(self.config.num_floors - 1):
+            upper = lower + 1
+            lower_partition = building.partition(lower, f"f{lower}_{anchor_name}")
+            upper_partition = building.partition(upper, f"f{upper}_{anchor_name}")
+            building.add_staircase(
+                Staircase(
+                    staircase_id=f"mwgen_stair_{lower}_{upper}",
+                    lower_floor=lower,
+                    upper_floor=upper,
+                    lower_partition=lower_partition.partition_id,
+                    lower_point=lower_partition.centroid,
+                    upper_partition=upper_partition.partition_id,
+                    upper_point=upper_partition.centroid,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Trajectory generation
+    # ------------------------------------------------------------------ #
+    def generate(self) -> MWGenOutput:
+        """Generate coarse trajectories: one record per visited route waypoint."""
+        trajectories: Dict[str, List[TrajectoryRecord]] = {}
+        partitions = self.building.all_partitions()
+        for index in range(self.config.object_count):
+            object_id = f"mwgen_obj_{index + 1:03d}"
+            records: List[TrajectoryRecord] = []
+            t = 0.0
+            current = self.rng.choice(partitions)
+            position = current.random_point(self.rng)
+            records.append(self._record(object_id, current, position, t))
+            for _ in range(self.config.trips_per_object):
+                target = self.rng.choice(partitions)
+                goal = target.random_point(self.rng)
+                try:
+                    route = self.planner.shortest_route(
+                        current.floor_id, position, target.floor_id, goal,
+                        metric=self.config.routing,
+                    )
+                except Exception:
+                    continue
+                # MWGen reports only waypoint-level granularity.
+                for waypoint in route.waypoints[1:]:
+                    leg_time = (
+                        route.travel_time / max(len(route.waypoints) - 1, 1)
+                    )
+                    t += leg_time
+                    records.append(
+                        TrajectoryRecord(
+                            object_id=object_id,
+                            location=IndoorLocation(
+                                building_id=self.building.building_id,
+                                floor_id=waypoint.floor_id,
+                                partition_id=waypoint.partition_id,
+                                x=waypoint.point.x,
+                                y=waypoint.point.y,
+                            ),
+                            t=t,
+                        )
+                    )
+                current, position = target, goal
+                if t >= self.config.duration:
+                    break
+            trajectories[object_id] = records
+        return MWGenOutput(building=self.building, trajectories=trajectories)
+
+    @staticmethod
+    def _record(object_id: str, partition: Partition, position: Point, t: float) -> TrajectoryRecord:
+        return TrajectoryRecord(
+            object_id=object_id,
+            location=IndoorLocation(
+                building_id=partition.floor_id and "mwgen_world" or "mwgen_world",
+                floor_id=partition.floor_id,
+                partition_id=partition.partition_id,
+                x=position.x,
+                y=position.y,
+            ),
+            t=t,
+        )
+
+
+__all__ = ["ManualFloorPlan", "MWGenConfig", "MWGenOutput", "MWGenGenerator"]

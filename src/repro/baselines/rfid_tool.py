@@ -1,0 +1,163 @@
+"""A simplified re-implementation of the RFID test-data generation tool
+(Zhang et al., ICCIE 2010).
+
+Section 1: "The RFID data generation tool generates RFID data for testing
+RFID business tracking systems where objects are constrained to conveyor
+belts only.  The tool allows for configuration on parameters such as the
+number of virtual RFID readers, the number of RFID tags, and the velocity of
+conveyor belts."  It "only generates RFID data and produces no trajectory
+data".
+
+Tags move along one-dimensional conveyor belts past fixed readers; the output
+is reader-event data (which tag passed which reader when), with no trajectory
+or location information whatsoever.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConveyorBelt:
+    """A conveyor belt of a given length (metres) and velocity (metres/second)."""
+
+    belt_id: str
+    length: float
+    velocity: float
+
+
+@dataclass(frozen=True)
+class RFIDReaderStation:
+    """A reader mounted at a fixed position along a belt."""
+
+    reader_id: str
+    belt_id: str
+    position: float
+    detection_window: float = 0.5
+
+
+@dataclass(frozen=True)
+class RFIDReading:
+    """One reader event: ``tag_id`` observed by ``reader_id`` at time ``t``."""
+
+    tag_id: str
+    reader_id: str
+    t: float
+
+
+@dataclass
+class RFIDToolConfig:
+    """Configuration of the conveyor-belt RFID data generator."""
+
+    belt_count: int = 2
+    belt_length: float = 50.0
+    belt_velocity: float = 0.5
+    readers_per_belt: int = 4
+    tag_count: int = 100
+    inter_tag_gap: float = 5.0
+    read_miss_probability: float = 0.02
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.belt_count < 1 or self.readers_per_belt < 1:
+            raise ConfigurationError("need at least one belt and one reader per belt")
+        if self.belt_length <= 0 or self.belt_velocity <= 0:
+            raise ConfigurationError("belt length and velocity must be positive")
+        if self.tag_count < 0:
+            raise ConfigurationError("tag_count must be non-negative")
+        if not 0.0 <= self.read_miss_probability < 1.0:
+            raise ConfigurationError("read_miss_probability must be in [0, 1)")
+
+
+@dataclass
+class RFIDToolOutput:
+    """What the RFID tool produces: reader events only."""
+
+    belts: List[ConveyorBelt]
+    readers: List[RFIDReaderStation]
+    readings: List[RFIDReading]
+
+    @property
+    def produces_trajectory_data(self) -> bool:
+        """The tool produces no trajectory data (Section 1)."""
+        return False
+
+    @property
+    def produces_positioning_data(self) -> bool:
+        """Reader events are symbolic RFID data, not location estimates."""
+        return False
+
+    @property
+    def supports_real_buildings(self) -> bool:
+        return False
+
+    @property
+    def reading_count(self) -> int:
+        return len(self.readings)
+
+
+class RFIDToolGenerator:
+    """Simulates tags moving along conveyor belts past RFID readers."""
+
+    def __init__(self, config: Optional[RFIDToolConfig] = None) -> None:
+        self.config = config or RFIDToolConfig()
+        self.rng = random.Random(self.config.seed)
+        self.belts = [
+            ConveyorBelt(
+                belt_id=f"belt_{index + 1}",
+                length=self.config.belt_length,
+                velocity=self.config.belt_velocity,
+            )
+            for index in range(self.config.belt_count)
+        ]
+        self.readers = self._place_readers()
+
+    def _place_readers(self) -> List[RFIDReaderStation]:
+        readers: List[RFIDReaderStation] = []
+        for belt in self.belts:
+            spacing = belt.length / (self.config.readers_per_belt + 1)
+            for index in range(self.config.readers_per_belt):
+                readers.append(
+                    RFIDReaderStation(
+                        reader_id=f"{belt.belt_id}_reader_{index + 1}",
+                        belt_id=belt.belt_id,
+                        position=spacing * (index + 1),
+                    )
+                )
+        return readers
+
+    def generate(self) -> RFIDToolOutput:
+        """Send every tag down a random belt and record the reader events."""
+        readings: List[RFIDReading] = []
+        readers_by_belt: Dict[str, List[RFIDReaderStation]] = {}
+        for reader in self.readers:
+            readers_by_belt.setdefault(reader.belt_id, []).append(reader)
+        for index in range(self.config.tag_count):
+            tag_id = f"tag_{index + 1:05d}"
+            belt = self.rng.choice(self.belts)
+            start_time = index * self.config.inter_tag_gap
+            for reader in readers_by_belt[belt.belt_id]:
+                if self.rng.random() < self.config.read_miss_probability:
+                    continue
+                arrival = start_time + reader.position / belt.velocity
+                jitter = self.rng.uniform(-reader.detection_window, reader.detection_window)
+                readings.append(
+                    RFIDReading(tag_id=tag_id, reader_id=reader.reader_id, t=arrival + jitter)
+                )
+        readings.sort(key=lambda reading: reading.t)
+        return RFIDToolOutput(belts=self.belts, readers=self.readers, readings=readings)
+
+
+__all__ = [
+    "ConveyorBelt",
+    "RFIDReaderStation",
+    "RFIDReading",
+    "RFIDToolConfig",
+    "RFIDToolOutput",
+    "RFIDToolGenerator",
+]

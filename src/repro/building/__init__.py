@@ -1,0 +1,63 @@
+"""Host indoor environment: building model, topology, routing, semantics."""
+
+from repro.building.model import (
+    OUTDOOR,
+    Building,
+    Door,
+    Floor,
+    Obstacle,
+    Partition,
+    PartitionKind,
+    Staircase,
+    Wall,
+)
+from repro.building.topology import AccessibilityGraph, build_accessibility_graph
+from repro.building.distance import (
+    DEFAULT_WALKING_SPEED,
+    Route,
+    RouteLeg,
+    RoutePlanner,
+    RouteWaypoint,
+)
+from repro.building.semantics import SemanticExtractor, SemanticRule, default_rules
+from repro.building.editor import DecompositionReport, IndoorEnvironmentController
+from repro.building.synthetic import (
+    ClinicSpec,
+    MallSpec,
+    OfficeSpec,
+    building_by_name,
+    clinic_building,
+    mall_building,
+    office_building,
+)
+
+__all__ = [
+    "OUTDOOR",
+    "Building",
+    "Door",
+    "Floor",
+    "Obstacle",
+    "Partition",
+    "PartitionKind",
+    "Staircase",
+    "Wall",
+    "AccessibilityGraph",
+    "build_accessibility_graph",
+    "DEFAULT_WALKING_SPEED",
+    "Route",
+    "RouteLeg",
+    "RoutePlanner",
+    "RouteWaypoint",
+    "SemanticExtractor",
+    "SemanticRule",
+    "default_rules",
+    "DecompositionReport",
+    "IndoorEnvironmentController",
+    "ClinicSpec",
+    "MallSpec",
+    "OfficeSpec",
+    "building_by_name",
+    "clinic_building",
+    "mall_building",
+    "office_building",
+]

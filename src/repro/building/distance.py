@@ -1,0 +1,404 @@
+"""Indoor distance computation and routing.
+
+Section 3.1 of the paper lists two routing schemata for the *routing* aspect
+of a moving pattern:
+
+* **minimum indoor walking distance** (Yang et al., EDBT 2010) — the shortest
+  walkable path length through doors and staircases;
+* **minimum walking time** (MWGen) — the fastest path when different
+  partition types support different walking speeds (hallways are fast,
+  staircases slow).
+
+Both are computed on a *door-to-door graph*: doors (and staircase endpoints)
+are graph nodes; two doors are connected when a partition exists that one door
+allows you to enter and the other allows you to leave, weighted by the
+intra-partition Euclidean distance between the two door positions.  A query
+adds temporary source/target nodes connected to the doors of their respective
+partitions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.building.model import Building, Door, OUTDOOR, Partition, Staircase
+from repro.core.errors import RoutingError
+from repro.core.types import FloorId, PartitionId
+from repro.geometry.point import Point
+
+#: Default walking speed (metres/second) used to convert distances to times
+#: when the caller does not supply an object-specific speed.
+DEFAULT_WALKING_SPEED = 1.4
+
+
+@dataclass(frozen=True)
+class RouteLeg:
+    """A straight-line walk within a single partition."""
+
+    floor_id: FloorId
+    partition_id: PartitionId
+    start: Point
+    end: Point
+
+    @property
+    def length(self) -> float:
+        """Length of the leg in metres."""
+        return self.start.distance_to(self.end)
+
+
+@dataclass(frozen=True)
+class RouteWaypoint:
+    """A point along the route (door positions, staircase endpoints, endpoints)."""
+
+    floor_id: FloorId
+    partition_id: PartitionId
+    point: Point
+    connector_id: Optional[str] = None
+
+
+@dataclass
+class Route:
+    """A walkable route between two indoor points."""
+
+    waypoints: List[RouteWaypoint]
+    length: float
+    travel_time: float
+    doors: List[str] = field(default_factory=list)
+    staircases: List[str] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self.waypoints) < 2
+
+    @property
+    def floors_visited(self) -> List[FloorId]:
+        """Distinct floors visited, in visit order."""
+        seen: List[FloorId] = []
+        for waypoint in self.waypoints:
+            if not seen or seen[-1] != waypoint.floor_id:
+                seen.append(waypoint.floor_id)
+        return seen
+
+    def legs(self) -> List[RouteLeg]:
+        """Straight-line legs between consecutive same-floor waypoints."""
+        legs: List[RouteLeg] = []
+        for previous, current in zip(self.waypoints, self.waypoints[1:]):
+            if previous.floor_id != current.floor_id:
+                continue
+            legs.append(
+                RouteLeg(
+                    floor_id=previous.floor_id,
+                    partition_id=current.partition_id,
+                    start=previous.point,
+                    end=current.point,
+                )
+            )
+        return legs
+
+
+class RoutePlanner:
+    """Builds the door-to-door graph once and answers routing queries."""
+
+    #: Node ids for doors are ("door", door_id); staircase endpoints use
+    #: ("stair", staircase_id, "lower"/"upper"); query endpoints use
+    #: ("query", tag).
+    def __init__(self, building: Building, walking_speed: float = DEFAULT_WALKING_SPEED) -> None:
+        if walking_speed <= 0:
+            raise RoutingError("walking_speed must be positive")
+        self.building = building
+        self.walking_speed = walking_speed
+        self.graph = nx.DiGraph()
+        #: door/staircase-endpoint nodes grouped by the partition they touch,
+        #: split into nodes that allow *entering* the partition and nodes that
+        #: allow *leaving* it (directionality support).
+        self._entry_nodes: Dict[Tuple[FloorId, PartitionId], List[Tuple]] = {}
+        self._exit_nodes: Dict[Tuple[FloorId, PartitionId], List[Tuple]] = {}
+        self._node_points: Dict[Tuple, Tuple[FloorId, Point]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        for floor_id in self.building.floor_ids:
+            floor = self.building.floors[floor_id]
+            for door in floor.doors.values():
+                node = ("door", door.door_id)
+                self.graph.add_node(node, kind="door")
+                self._node_points[node] = (floor_id, door.position)
+                for partition_id in door.partitions:
+                    if partition_id == OUTDOOR:
+                        continue
+                    other = door.other_side(partition_id)
+                    key = (floor_id, partition_id)
+                    # The door lets an object *leave* partition_id when it
+                    # allows partition_id -> other.
+                    if door.allows(partition_id, other):
+                        self._exit_nodes.setdefault(key, []).append(node)
+                    # It lets an object *enter* partition_id when it allows
+                    # other -> partition_id.
+                    if door.allows(other, partition_id):
+                        self._entry_nodes.setdefault(key, []).append(node)
+        for staircase in self.building.staircases.values():
+            lower_node = ("stair", staircase.staircase_id, "lower")
+            upper_node = ("stair", staircase.staircase_id, "upper")
+            self.graph.add_node(lower_node, kind="staircase")
+            self.graph.add_node(upper_node, kind="staircase")
+            self._node_points[lower_node] = (staircase.lower_floor, staircase.lower_point)
+            self._node_points[upper_node] = (staircase.upper_floor, staircase.upper_point)
+            lower_key = (staircase.lower_floor, staircase.lower_partition)
+            upper_key = (staircase.upper_floor, staircase.upper_partition)
+            # A staircase endpoint acts both as an entry to and an exit from
+            # the partition that hosts it.
+            for key, node in ((lower_key, lower_node), (upper_key, upper_node)):
+                self._entry_nodes.setdefault(key, []).append(node)
+                self._exit_nodes.setdefault(key, []).append(node)
+            stair_time = staircase.length / (self.walking_speed * 0.5)
+            self.graph.add_edge(
+                lower_node, upper_node, length=staircase.length, time=stair_time,
+                partition=None, staircase_id=staircase.staircase_id,
+            )
+            self.graph.add_edge(
+                upper_node, lower_node, length=staircase.length, time=stair_time,
+                partition=None, staircase_id=staircase.staircase_id,
+            )
+        # Intra-partition edges: from every node that can enter a partition to
+        # every node that can leave it.
+        for key, entries in self._entry_nodes.items():
+            exits = self._exit_nodes.get(key, [])
+            floor_id, partition_id = key
+            partition = self.building.partition(floor_id, partition_id)
+            for entry_node, exit_node in itertools.product(entries, exits):
+                if entry_node == exit_node:
+                    continue
+                start = self._node_points[entry_node][1]
+                end = self._node_points[exit_node][1]
+                length = start.distance_to(end)
+                time = length / (self.walking_speed * partition.speed_factor)
+                self.graph.add_edge(
+                    entry_node,
+                    exit_node,
+                    length=length,
+                    time=time,
+                    partition=key,
+                )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def shortest_route(
+        self,
+        source_floor: FloorId,
+        source_point: Point,
+        target_floor: FloorId,
+        target_point: Point,
+        metric: str = "length",
+        walking_speed: Optional[float] = None,
+    ) -> Route:
+        """Compute the optimal route between two indoor points.
+
+        Args:
+            metric: ``"length"`` for minimum indoor walking distance or
+                ``"time"`` for minimum walking time.
+            walking_speed: overrides the planner-level walking speed when the
+                travel time of the resulting route is computed.
+
+        Raises:
+            RoutingError: when either endpoint is outside every partition or
+                no walkable path exists.
+        """
+        if metric not in ("length", "time"):
+            raise RoutingError(f"unknown routing metric {metric!r}")
+        speed = walking_speed or self.walking_speed
+        source_partition = self.building.floor(source_floor).partition_at(source_point)
+        target_partition = self.building.floor(target_floor).partition_at(target_point)
+        if source_partition is None:
+            raise RoutingError(
+                f"source point {source_point} is not inside any partition of floor {source_floor}"
+            )
+        if target_partition is None:
+            raise RoutingError(
+                f"target point {target_point} is not inside any partition of floor {target_floor}"
+            )
+        # Same partition: walk straight.
+        if (source_floor, source_partition.partition_id) == (
+            target_floor,
+            target_partition.partition_id,
+        ):
+            length = source_point.distance_to(target_point)
+            time = length / (speed * source_partition.speed_factor)
+            waypoints = [
+                RouteWaypoint(source_floor, source_partition.partition_id, source_point),
+                RouteWaypoint(target_floor, target_partition.partition_id, target_point),
+            ]
+            return Route(waypoints=waypoints, length=length, travel_time=time)
+        return self._route_through_doors(
+            source_floor, source_point, source_partition,
+            target_floor, target_point, target_partition,
+            metric, speed,
+        )
+
+    def shortest_distance(
+        self,
+        source_floor: FloorId,
+        source_point: Point,
+        target_floor: FloorId,
+        target_point: Point,
+    ) -> float:
+        """Minimum indoor walking distance between two points."""
+        return self.shortest_route(
+            source_floor, source_point, target_floor, target_point, metric="length"
+        ).length
+
+    def _route_through_doors(
+        self,
+        source_floor: FloorId,
+        source_point: Point,
+        source_partition: Partition,
+        target_floor: FloorId,
+        target_point: Point,
+        target_partition: Partition,
+        metric: str,
+        speed: float,
+    ) -> Route:
+        source_key = (source_floor, source_partition.partition_id)
+        target_key = (target_floor, target_partition.partition_id)
+        exit_nodes = self._exit_nodes.get(source_key, [])
+        entry_nodes = self._entry_nodes.get(target_key, [])
+        if not exit_nodes:
+            raise RoutingError(
+                f"partition {source_partition.partition_id} has no traversable door"
+            )
+        if not entry_nodes:
+            raise RoutingError(
+                f"partition {target_partition.partition_id} has no traversable door"
+            )
+        source_node = ("query", "source")
+        target_node = ("query", "target")
+        graph = self.graph
+        added_edges: List[Tuple] = []
+        graph.add_node(source_node)
+        graph.add_node(target_node)
+        try:
+            for node in exit_nodes:
+                door_point = self._node_points[node][1]
+                length = source_point.distance_to(door_point)
+                time = length / (speed * source_partition.speed_factor)
+                graph.add_edge(source_node, node, length=length, time=time,
+                               partition=source_key)
+                added_edges.append((source_node, node))
+            for node in entry_nodes:
+                door_point = self._node_points[node][1]
+                length = door_point.distance_to(target_point)
+                time = length / (speed * target_partition.speed_factor)
+                graph.add_edge(node, target_node, length=length, time=time,
+                               partition=target_key)
+                added_edges.append((node, target_node))
+            try:
+                node_path = nx.shortest_path(graph, source_node, target_node, weight=metric)
+            except nx.NetworkXNoPath:
+                raise RoutingError(
+                    f"no walkable path from {source_partition.partition_id} "
+                    f"(floor {source_floor}) to {target_partition.partition_id} "
+                    f"(floor {target_floor})"
+                )
+            return self._assemble_route(
+                node_path, source_floor, source_point, source_partition,
+                target_floor, target_point, target_partition, speed,
+            )
+        finally:
+            graph.remove_node(source_node)
+            graph.remove_node(target_node)
+
+    def _assemble_route(
+        self,
+        node_path: Sequence,
+        source_floor: FloorId,
+        source_point: Point,
+        source_partition: Partition,
+        target_floor: FloorId,
+        target_point: Point,
+        target_partition: Partition,
+        speed: float,
+    ) -> Route:
+        waypoints: List[RouteWaypoint] = [
+            RouteWaypoint(source_floor, source_partition.partition_id, source_point)
+        ]
+        doors: List[str] = []
+        staircases: List[str] = []
+        total_length = 0.0
+        total_time = 0.0
+        previous_node = node_path[0]
+        for node in node_path[1:]:
+            edge = self.graph.get_edge_data(previous_node, node)
+            if edge is None:
+                # Temporary edges were removed already; recompute from points.
+                edge = {}
+            if node == ("query", "target"):
+                floor_id, partition_id, point = (
+                    target_floor, target_partition.partition_id, target_point,
+                )
+                connector = None
+            else:
+                floor_id, point = self._node_points[node]
+                partition_id = self._partition_of_node(node, floor_id, point)
+                connector = node[1]
+                if node[0] == "door":
+                    doors.append(node[1])
+                elif node[0] == "stair" and node[1] not in staircases:
+                    staircases.append(node[1])
+            waypoints.append(RouteWaypoint(floor_id, partition_id, point, connector))
+            leg_length = edge.get("length")
+            if leg_length is None:
+                leg_length = waypoints[-2].point.distance_to(point)
+            leg_time = edge.get("time")
+            if leg_time is None:
+                leg_time = leg_length / speed
+            total_length += leg_length
+            total_time += leg_time
+            previous_node = node
+        return Route(
+            waypoints=waypoints,
+            length=total_length,
+            travel_time=total_time,
+            doors=doors,
+            staircases=staircases,
+        )
+
+    def _partition_of_node(self, node: Tuple, floor_id: FloorId, point: Point) -> PartitionId:
+        """Best-effort partition annotation for a door/staircase waypoint."""
+        partition = self.building.floor(floor_id).partition_at(point)
+        if partition is not None:
+            return partition.partition_id
+        if node[0] == "door":
+            door = self._find_door(node[1])
+            if door is not None:
+                candidates = [p for p in door.partitions if p != OUTDOOR]
+                if candidates:
+                    return candidates[0]
+        if node[0] == "stair":
+            staircase = self.building.staircases.get(node[1])
+            if staircase is not None:
+                partition_id, _ = staircase.endpoint_on(floor_id)
+                return partition_id
+        return "unknown"
+
+    def _find_door(self, door_id: str) -> Optional[Door]:
+        for floor in self.building.floors.values():
+            door = floor.doors.get(door_id)
+            if door is not None:
+                return door
+        return None
+
+
+__all__ = [
+    "DEFAULT_WALKING_SPEED",
+    "RouteLeg",
+    "RouteWaypoint",
+    "Route",
+    "RoutePlanner",
+]

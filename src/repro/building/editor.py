@@ -1,0 +1,304 @@
+"""Indoor Environment Controller.
+
+The Infrastructure Layer lets the user "configure door directionality and
+deploy obstacles to further customize the host indoor environment"
+(Section 2) and to "decompose the irregular partitions, identify and fix
+parse errors" (Section 5, step 2).  This module provides that controller for
+an in-memory :class:`~repro.building.model.Building`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.building.model import (
+    Building,
+    Door,
+    Obstacle,
+    OUTDOOR,
+    Partition,
+    PartitionKind,
+)
+from repro.core.errors import TopologyError
+from repro.core.types import FloorId, PartitionId
+from repro.geometry.decompose import DecompositionConfig, decompose, is_balanced
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.segment import Segment
+
+
+@dataclass
+class DecompositionReport:
+    """Summary of a partition-decomposition pass."""
+
+    decomposed_partitions: List[str] = field(default_factory=list)
+    created_partitions: List[str] = field(default_factory=list)
+    created_virtual_doors: List[str] = field(default_factory=list)
+
+    @property
+    def partitions_split(self) -> int:
+        return len(self.decomposed_partitions)
+
+
+class IndoorEnvironmentController:
+    """Edits the host indoor environment produced by the DBI processor."""
+
+    def __init__(self, building: Building) -> None:
+        self.building = building
+        self._obstacle_counter = itertools.count(1)
+        self._virtual_door_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # Door directionality
+    # ------------------------------------------------------------------ #
+    def set_door_one_way(
+        self, door_id: str, from_partition: PartitionId, to_partition: PartitionId
+    ) -> Door:
+        """Make *door_id* traversable only from *from_partition* to *to_partition*."""
+        door = self._find_door(door_id)
+        door.set_one_way(from_partition, to_partition)
+        return door
+
+    def set_door_bidirectional(self, door_id: str) -> Door:
+        """Restore two-way traversal on *door_id*."""
+        door = self._find_door(door_id)
+        door.set_bidirectional()
+        return door
+
+    def _find_door(self, door_id: str) -> Door:
+        for floor in self.building.floors.values():
+            if door_id in floor.doors:
+                return floor.doors[door_id]
+        raise TopologyError(f"building {self.building.building_id} has no door {door_id}")
+
+    # ------------------------------------------------------------------ #
+    # Obstacles
+    # ------------------------------------------------------------------ #
+    def deploy_obstacle(
+        self,
+        floor_id: FloorId,
+        polygon: Polygon,
+        attenuation_db: float = 4.0,
+        blocks_movement: bool = False,
+        obstacle_id: Optional[str] = None,
+    ) -> Obstacle:
+        """Place an obstacle polygon on *floor_id*."""
+        floor = self.building.floor(floor_id)
+        obstacle_id = obstacle_id or f"obstacle_{next(self._obstacle_counter)}"
+        obstacle = Obstacle(
+            obstacle_id=obstacle_id,
+            floor_id=floor_id,
+            polygon=polygon,
+            attenuation_db=attenuation_db,
+            blocks_movement=blocks_movement,
+        )
+        return floor.add_obstacle(obstacle)
+
+    def remove_obstacle(self, floor_id: FloorId, obstacle_id: str) -> None:
+        """Remove a previously deployed obstacle."""
+        floor = self.building.floor(floor_id)
+        if obstacle_id not in floor.obstacles:
+            raise TopologyError(f"floor {floor_id} has no obstacle {obstacle_id}")
+        del floor.obstacles[obstacle_id]
+        floor._invalidate_caches()
+
+    # ------------------------------------------------------------------ #
+    # Parse-error fixing
+    # ------------------------------------------------------------------ #
+    def fix_parse_errors(self) -> List[str]:
+        """Remove doors that reference missing partitions; return a change log."""
+        log: List[str] = []
+        for floor in self.building.floors.values():
+            orphan_doors = [
+                door.door_id
+                for door in floor.doors.values()
+                if any(
+                    pid != OUTDOOR and pid not in floor.partitions
+                    for pid in door.partitions
+                )
+            ]
+            for door_id in orphan_doors:
+                del floor.doors[door_id]
+                log.append(f"removed orphan door {door_id} on floor {floor.floor_id}")
+            if orphan_doors:
+                floor._invalidate_caches()
+        return log
+
+    # ------------------------------------------------------------------ #
+    # Partition decomposition
+    # ------------------------------------------------------------------ #
+    def decompose_irregular_partitions(
+        self,
+        config: Optional[DecompositionConfig] = None,
+        kinds: Optional[Tuple[PartitionKind, ...]] = None,
+    ) -> DecompositionReport:
+        """Decompose every unbalanced partition into balanced sub-partitions.
+
+        Doors attached to a decomposed partition are re-attached to the
+        sub-partition nearest the door position, and *virtual doors* are added
+        between adjacent sub-partitions so that the decomposition never breaks
+        connectivity.
+
+        Args:
+            config: decomposition thresholds.
+            kinds: when given, restrict decomposition to these partition kinds
+                (e.g. only hallways and public areas).
+        """
+        config = config or DecompositionConfig()
+        report = DecompositionReport()
+        for floor_id in self.building.floor_ids:
+            floor = self.building.floors[floor_id]
+            targets = [
+                p for p in list(floor.partitions.values())
+                if not is_balanced(p.polygon, config)
+                and (kinds is None or p.kind in kinds)
+            ]
+            for partition in targets:
+                pieces = decompose(partition.polygon, config)
+                if len(pieces) <= 1:
+                    continue
+                self._replace_partition(floor_id, partition, pieces, report)
+        return report
+
+    def _replace_partition(
+        self,
+        floor_id: FloorId,
+        partition: Partition,
+        pieces: List[Polygon],
+        report: DecompositionReport,
+    ) -> None:
+        floor = self.building.floors[floor_id]
+        report.decomposed_partitions.append(partition.partition_id)
+        # Create the sub-partitions.
+        children: List[Partition] = []
+        for index, piece in enumerate(pieces):
+            child = Partition(
+                partition_id=f"{partition.partition_id}#{index}",
+                floor_id=floor_id,
+                polygon=piece,
+                kind=partition.kind,
+                name=partition.name,
+                semantic_tag=partition.semantic_tag,
+            )
+            children.append(child)
+            report.created_partitions.append(child.partition_id)
+        # Remember doors that touched the original partition before removal.
+        affected_doors = list(floor.doors_of(partition.partition_id))
+        affected_staircases = [
+            s for s in self.building.staircases.values()
+            if (s.lower_floor == floor_id and s.lower_partition == partition.partition_id)
+            or (s.upper_floor == floor_id and s.upper_partition == partition.partition_id)
+        ]
+        # Remove the original partition (and with it, its doors).
+        floor.remove_partition(partition.partition_id)
+        for child in children:
+            floor.add_partition(child)
+        # Re-attach the doors to the nearest child.
+        for door in affected_doors:
+            other = door.other_side(partition.partition_id)
+            nearest = self._nearest_child(children, door.position)
+            new_pair = (nearest.partition_id, other)
+            one_way_from = door.one_way_from
+            one_way_to = door.one_way_to
+            if one_way_from == partition.partition_id:
+                one_way_from = nearest.partition_id
+            if one_way_to == partition.partition_id:
+                one_way_to = nearest.partition_id
+            floor.add_door(
+                Door(
+                    door_id=door.door_id,
+                    floor_id=floor_id,
+                    position=door.position,
+                    partitions=new_pair,
+                    width=door.width,
+                    one_way_from=one_way_from,
+                    one_way_to=one_way_to,
+                )
+            )
+        # Re-attach staircase endpoints.
+        for staircase in affected_staircases:
+            if staircase.lower_floor == floor_id and staircase.lower_partition == partition.partition_id:
+                staircase.lower_partition = self._nearest_child(
+                    children, staircase.lower_point
+                ).partition_id
+            if staircase.upper_floor == floor_id and staircase.upper_partition == partition.partition_id:
+                staircase.upper_partition = self._nearest_child(
+                    children, staircase.upper_point
+                ).partition_id
+        # Add virtual doors between adjacent children to keep them connected.
+        for first, second in itertools.combinations(children, 2):
+            opening = _shared_opening(first.polygon, second.polygon)
+            if opening is None:
+                continue
+            position, width = opening
+            door_id = f"vdoor_{partition.partition_id}_{next(self._virtual_door_counter)}"
+            floor.add_door(
+                Door(
+                    door_id=door_id,
+                    floor_id=floor_id,
+                    position=position,
+                    partitions=(first.partition_id, second.partition_id),
+                    width=min(width, 4.0),
+                )
+            )
+            report.created_virtual_doors.append(door_id)
+
+    @staticmethod
+    def _nearest_child(children: List[Partition], point: Point) -> Partition:
+        containing = [c for c in children if c.contains_point(point)]
+        if containing:
+            return containing[0]
+        return min(
+            children,
+            key=lambda child: min(
+                edge.distance_to_point(point) for edge in child.polygon.edges()
+            ),
+        )
+
+
+def _shared_opening(first: Polygon, second: Polygon, min_overlap: float = 0.5):
+    """Detect a shared boundary stretch between two polygons.
+
+    Returns ``(midpoint, overlap_length)`` of the longest collinear overlap
+    between an edge of *first* and an edge of *second*, or ``None`` when the
+    polygons do not share a boundary of at least *min_overlap* metres.
+    """
+    best: Optional[Tuple[Point, float]] = None
+    for edge_a in first.edges():
+        for edge_b in second.edges():
+            overlap = _collinear_overlap(edge_a, edge_b)
+            if overlap is None:
+                continue
+            midpoint, length = overlap
+            if length < min_overlap:
+                continue
+            if best is None or length > best[1]:
+                best = (midpoint, length)
+    return best
+
+
+def _collinear_overlap(edge_a: Segment, edge_b: Segment, tolerance: float = 1e-3):
+    """Overlap of two (nearly) collinear segments as ``(midpoint, length)``."""
+    direction = (edge_a.end - edge_a.start)
+    length_a = direction.norm()
+    if length_a <= tolerance:
+        return None
+    unit = direction / length_a
+    # Both endpoints of edge_b must be close to the supporting line of edge_a.
+    for endpoint in (edge_b.start, edge_b.end):
+        offset = endpoint - edge_a.start
+        perpendicular = abs(offset.cross(unit))
+        if perpendicular > 0.05:
+            return None
+    t0 = (edge_b.start - edge_a.start).dot(unit)
+    t1 = (edge_b.end - edge_a.start).dot(unit)
+    lo, hi = max(0.0, min(t0, t1)), min(length_a, max(t0, t1))
+    if hi - lo <= tolerance:
+        return None
+    mid = edge_a.start + unit * ((lo + hi) / 2.0)
+    return mid, hi - lo
+
+
+__all__ = ["IndoorEnvironmentController", "DecompositionReport"]

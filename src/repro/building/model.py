@@ -1,0 +1,709 @@
+"""The host indoor environment: buildings, floors, partitions, doors, staircases.
+
+This is the output of the Infrastructure Layer's DBI processing and the input
+to everything downstream (topology, routing, device deployment, movement
+simulation, RSSI generation).  The model follows the entities the paper
+manipulates:
+
+* **partitions** — rooms, hallways and other walkable units (Section 4.1
+  decomposes irregular rooms/hallways into balanced partitions);
+* **doors** — connect exactly two partitions (or a partition and the outside)
+  and may be directional (Section 2, Indoor Environment Controller);
+* **staircases** — connect an upper and a lower partition on adjacent floors
+  (Section 4.1 describes how their connectivity is recovered);
+* **obstacles** — user-deployed polygons that attenuate radio signals;
+* **walls** — derived from partition boundaries with gaps cut at doors; used
+  for line-of-sight analysis by the path loss model.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TopologyError
+from repro.core.types import BuildingId, FloorId, IndoorLocation, PartitionId
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox, Polygon
+from repro.geometry.segment import Segment
+from repro.geometry.spatial_index import GridIndex
+
+#: Outside of the building; used as the second side of entrance doors.
+OUTDOOR: PartitionId = "__outdoor__"
+
+
+class PartitionKind(enum.Enum):
+    """Functional classification of a partition."""
+
+    ROOM = "room"
+    HALLWAY = "hallway"
+    STAIRWELL = "stairwell"
+    ELEVATOR = "elevator"
+    PUBLIC_AREA = "public_area"
+    CANTEEN = "canteen"
+    SHOP = "shop"
+    OFFICE = "office"
+    CLINIC_ROOM = "clinic_room"
+    LOBBY = "lobby"
+
+    @property
+    def is_walkable(self) -> bool:
+        """All current kinds are walkable; kept for future extension."""
+        return True
+
+
+#: Typical walking-speed multipliers per partition kind relative to an object's
+#: nominal speed.  Used by the minimum-walking-time routing schema.
+SPEED_FACTORS: Dict[PartitionKind, float] = {
+    PartitionKind.ROOM: 0.85,
+    PartitionKind.OFFICE: 0.85,
+    PartitionKind.CLINIC_ROOM: 0.85,
+    PartitionKind.SHOP: 0.75,
+    PartitionKind.CANTEEN: 0.7,
+    PartitionKind.HALLWAY: 1.0,
+    PartitionKind.LOBBY: 0.95,
+    PartitionKind.PUBLIC_AREA: 0.9,
+    PartitionKind.STAIRWELL: 0.5,
+    PartitionKind.ELEVATOR: 0.4,
+}
+
+
+@dataclass
+class Partition:
+    """A walkable indoor unit (room, hallway, decomposed cell, ...)."""
+
+    partition_id: PartitionId
+    floor_id: FloorId
+    polygon: Polygon
+    kind: PartitionKind = PartitionKind.ROOM
+    name: str = ""
+    semantic_tag: Optional[str] = None
+
+    @property
+    def area(self) -> float:
+        """Floor area of the partition in square metres."""
+        return self.polygon.area
+
+    @property
+    def centroid(self) -> Point:
+        """Area centroid of the partition."""
+        return self.polygon.centroid
+
+    @property
+    def speed_factor(self) -> float:
+        """Walking-speed multiplier inside this partition."""
+        return SPEED_FACTORS.get(self.kind, 0.85)
+
+    def contains_point(self, point: Point) -> bool:
+        """Whether *point* lies inside the partition."""
+        return self.polygon.contains_point(point)
+
+    def random_point(self, rng: Optional[random.Random] = None) -> Point:
+        """Sample a uniformly random point inside the partition."""
+        return self.polygon.random_point(rng)
+
+    def location(self, building_id: BuildingId, point: Optional[Point] = None) -> IndoorLocation:
+        """Build an :class:`IndoorLocation` inside this partition."""
+        point = point if point is not None else self.centroid
+        return IndoorLocation(
+            building_id=building_id,
+            floor_id=self.floor_id,
+            partition_id=self.partition_id,
+            x=point.x,
+            y=point.y,
+        )
+
+
+@dataclass
+class Door:
+    """A door connecting two partitions on the same floor.
+
+    ``partitions`` holds the two partition ids the door joins; entrance doors
+    use :data:`OUTDOOR` as one side.  A door is bidirectional by default;
+    setting ``one_way_from``/``one_way_to`` makes it traversable only in that
+    direction (door directionality, Section 2).
+    """
+
+    door_id: str
+    floor_id: FloorId
+    position: Point
+    partitions: Tuple[PartitionId, PartitionId]
+    width: float = 1.0
+    one_way_from: Optional[PartitionId] = None
+    one_way_to: Optional[PartitionId] = None
+
+    def __post_init__(self) -> None:
+        if self.partitions[0] == self.partitions[1]:
+            raise TopologyError(
+                f"door {self.door_id} must connect two distinct partitions"
+            )
+        if (self.one_way_from is None) != (self.one_way_to is None):
+            raise TopologyError(
+                f"door {self.door_id}: one_way_from and one_way_to must be set together"
+            )
+        if self.one_way_from is not None:
+            pair = set(self.partitions)
+            if {self.one_way_from, self.one_way_to} != pair:
+                raise TopologyError(
+                    f"door {self.door_id}: one-way direction must use its own partitions"
+                )
+
+    @property
+    def is_bidirectional(self) -> bool:
+        """Whether the door can be traversed both ways."""
+        return self.one_way_from is None
+
+    @property
+    def is_entrance(self) -> bool:
+        """Whether this door leads outdoors."""
+        return OUTDOOR in self.partitions
+
+    def connects(self, partition_id: PartitionId) -> bool:
+        """Whether the door touches *partition_id*."""
+        return partition_id in self.partitions
+
+    def other_side(self, partition_id: PartitionId) -> PartitionId:
+        """The partition on the opposite side of *partition_id*."""
+        first, second = self.partitions
+        if partition_id == first:
+            return second
+        if partition_id == second:
+            return first
+        raise TopologyError(
+            f"door {self.door_id} does not touch partition {partition_id}"
+        )
+
+    def allows(self, from_partition: PartitionId, to_partition: PartitionId) -> bool:
+        """Whether the door may be crossed from *from_partition* into *to_partition*."""
+        if set((from_partition, to_partition)) != set(self.partitions):
+            return False
+        if self.is_bidirectional:
+            return True
+        return from_partition == self.one_way_from and to_partition == self.one_way_to
+
+    def set_one_way(self, from_partition: PartitionId, to_partition: PartitionId) -> None:
+        """Restrict the door to one-way traversal."""
+        if set((from_partition, to_partition)) != set(self.partitions):
+            raise TopologyError(
+                f"door {self.door_id} does not connect {from_partition} and {to_partition}"
+            )
+        self.one_way_from = from_partition
+        self.one_way_to = to_partition
+
+    def set_bidirectional(self) -> None:
+        """Restore two-way traversal."""
+        self.one_way_from = None
+        self.one_way_to = None
+
+
+@dataclass
+class Staircase:
+    """A staircase connecting a lower-floor partition to an upper-floor partition.
+
+    Section 4.1: IFC models a staircase as a set of disjoint 3D points; Vita
+    recovers its upper and lower connected floors and partitions.  Here the
+    resolved connectivity is stored explicitly.
+    """
+
+    staircase_id: str
+    lower_floor: FloorId
+    upper_floor: FloorId
+    lower_partition: PartitionId
+    lower_point: Point
+    upper_partition: PartitionId
+    upper_point: Point
+    length: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.upper_floor <= self.lower_floor:
+            raise TopologyError(
+                f"staircase {self.staircase_id}: upper_floor must be above lower_floor"
+            )
+        if self.length <= 0:
+            raise TopologyError(f"staircase {self.staircase_id}: length must be positive")
+
+    def endpoint_on(self, floor_id: FloorId) -> Tuple[PartitionId, Point]:
+        """The (partition, point) where the staircase meets *floor_id*."""
+        if floor_id == self.lower_floor:
+            return self.lower_partition, self.lower_point
+        if floor_id == self.upper_floor:
+            return self.upper_partition, self.upper_point
+        raise TopologyError(
+            f"staircase {self.staircase_id} does not reach floor {floor_id}"
+        )
+
+    def connects_floor(self, floor_id: FloorId) -> bool:
+        """Whether the staircase touches *floor_id*."""
+        return floor_id in (self.lower_floor, self.upper_floor)
+
+
+@dataclass
+class Obstacle:
+    """A user-deployed obstacle that blocks or attenuates radio signals."""
+
+    obstacle_id: str
+    floor_id: FloorId
+    polygon: Polygon
+    attenuation_db: float = 4.0
+    blocks_movement: bool = False
+
+    @property
+    def area(self) -> float:
+        return self.polygon.area
+
+
+@dataclass(frozen=True)
+class Wall:
+    """A wall segment derived from partition boundaries (door gaps removed)."""
+
+    floor_id: FloorId
+    segment: Segment
+    attenuation_db: float = 3.0
+
+    @property
+    def length(self) -> float:
+        return self.segment.length
+
+
+class Floor:
+    """A single storey: its partitions, doors, obstacles and derived walls."""
+
+    def __init__(self, floor_id: FloorId, elevation: float = 0.0, height: float = 3.0) -> None:
+        self.floor_id = floor_id
+        self.elevation = elevation
+        self.height = height
+        self.partitions: Dict[PartitionId, Partition] = {}
+        self.doors: Dict[str, Door] = {}
+        self.obstacles: Dict[str, Obstacle] = {}
+        self._walls: Optional[List[Wall]] = None
+        self._partition_index: Optional[GridIndex[Partition]] = None
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_partition(self, partition: Partition) -> Partition:
+        """Register *partition* on this floor."""
+        if partition.floor_id != self.floor_id:
+            raise TopologyError(
+                f"partition {partition.partition_id} belongs to floor "
+                f"{partition.floor_id}, not {self.floor_id}"
+            )
+        if partition.partition_id in self.partitions:
+            raise TopologyError(f"duplicate partition id {partition.partition_id}")
+        self.partitions[partition.partition_id] = partition
+        self._invalidate_caches()
+        return partition
+
+    def remove_partition(self, partition_id: PartitionId) -> None:
+        """Remove a partition and every door attached to it."""
+        self.partitions.pop(partition_id, None)
+        orphans = [d.door_id for d in self.doors.values() if d.connects(partition_id)]
+        for door_id in orphans:
+            del self.doors[door_id]
+        self._invalidate_caches()
+
+    def add_door(self, door: Door) -> Door:
+        """Register *door* on this floor.
+
+        Both partitions must already exist on this floor (the outdoor
+        pseudo-partition is always allowed).
+        """
+        if door.floor_id != self.floor_id:
+            raise TopologyError(
+                f"door {door.door_id} belongs to floor {door.floor_id}, not {self.floor_id}"
+            )
+        if door.door_id in self.doors:
+            raise TopologyError(f"duplicate door id {door.door_id}")
+        for partition_id in door.partitions:
+            if partition_id != OUTDOOR and partition_id not in self.partitions:
+                raise TopologyError(
+                    f"door {door.door_id} references unknown partition {partition_id}"
+                )
+        self.doors[door.door_id] = door
+        self._invalidate_caches()
+        return door
+
+    def add_obstacle(self, obstacle: Obstacle) -> Obstacle:
+        """Register an obstacle polygon on this floor."""
+        if obstacle.floor_id != self.floor_id:
+            raise TopologyError(
+                f"obstacle {obstacle.obstacle_id} belongs to floor "
+                f"{obstacle.floor_id}, not {self.floor_id}"
+            )
+        if obstacle.obstacle_id in self.obstacles:
+            raise TopologyError(f"duplicate obstacle id {obstacle.obstacle_id}")
+        self.obstacles[obstacle.obstacle_id] = obstacle
+        self._invalidate_caches()
+        return obstacle
+
+    def _invalidate_caches(self) -> None:
+        self._walls = None
+        self._partition_index = None
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def bounding_box(self) -> BoundingBox:
+        """Bounding box covering every partition of the floor."""
+        if not self.partitions:
+            return BoundingBox(0.0, 0.0, 1.0, 1.0)
+        boxes = [p.polygon.bounding_box for p in self.partitions.values()]
+        box = boxes[0]
+        for other in boxes[1:]:
+            box = box.union(other)
+        return box
+
+    @property
+    def total_area(self) -> float:
+        """Sum of partition areas on this floor."""
+        return sum(p.area for p in self.partitions.values())
+
+    def partition_index(self) -> GridIndex[Partition]:
+        """Spatial index over partitions (built lazily, invalidated on change)."""
+        if self._partition_index is None:
+            self._partition_index = GridIndex(
+                self.partitions.values(), lambda p: p.polygon.bounding_box
+            )
+        return self._partition_index
+
+    def partition_at(self, point: Point) -> Optional[Partition]:
+        """The partition containing *point*, or ``None``."""
+        for candidate in self.partition_index().query_point(point):
+            if candidate.contains_point(point):
+                return candidate
+        return None
+
+    def doors_of(self, partition_id: PartitionId) -> List[Door]:
+        """All doors touching *partition_id*."""
+        return [d for d in self.doors.values() if d.connects(partition_id)]
+
+    def entrances(self) -> List[Door]:
+        """Doors connecting the floor to the outdoors."""
+        return [d for d in self.doors.values() if d.is_entrance]
+
+    def neighbors_of(self, partition_id: PartitionId) -> List[PartitionId]:
+        """Partitions reachable from *partition_id* through a single door."""
+        neighbors = []
+        for door in self.doors_of(partition_id):
+            other = door.other_side(partition_id)
+            if other != OUTDOOR and door.allows(partition_id, other):
+                neighbors.append(other)
+        return neighbors
+
+    # ------------------------------------------------------------------ #
+    # Wall derivation
+    # ------------------------------------------------------------------ #
+    def walls(self, wall_attenuation_db: float = 3.0) -> List[Wall]:
+        """Derive the wall segments of this floor.
+
+        Every partition boundary edge is a wall; shared edges between two
+        partitions are emitted once.  A gap of the door's width is cut around
+        each door lying on a wall so that sight lines through open doors are
+        not counted as blocked.
+        """
+        if self._walls is not None:
+            return self._walls
+        unique: Dict[Tuple[Tuple[float, float], Tuple[float, float]], Segment] = {}
+        for partition in self.partitions.values():
+            for edge in partition.polygon.edges():
+                key = _edge_key(edge)
+                unique.setdefault(key, edge)
+        walls: List[Wall] = []
+        doors = list(self.doors.values())
+        for edge in unique.values():
+            for piece in _cut_door_gaps(edge, doors):
+                walls.append(
+                    Wall(
+                        floor_id=self.floor_id,
+                        segment=piece,
+                        attenuation_db=wall_attenuation_db,
+                    )
+                )
+        self._walls = walls
+        return walls
+
+    def wall_segments(self) -> List[Segment]:
+        """Convenience accessor returning only the wall geometry."""
+        return [wall.segment for wall in self.walls()]
+
+    def obstacle_polygons(self) -> List[Polygon]:
+        """Polygons of every deployed obstacle."""
+        return [obstacle.polygon for obstacle in self.obstacles.values()]
+
+    def random_partition(self, rng: Optional[random.Random] = None) -> Partition:
+        """A partition chosen with probability proportional to its area."""
+        rng = rng or random
+        partitions = list(self.partitions.values())
+        if not partitions:
+            raise TopologyError(f"floor {self.floor_id} has no partitions")
+        weights = [p.area for p in partitions]
+        return rng.choices(partitions, weights=weights, k=1)[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"Floor({self.floor_id}, partitions={len(self.partitions)}, "
+            f"doors={len(self.doors)}, obstacles={len(self.obstacles)})"
+        )
+
+
+class Building:
+    """A multi-floor building: floors plus the staircases that connect them."""
+
+    def __init__(self, building_id: BuildingId, name: str = "") -> None:
+        self.building_id = building_id
+        self.name = name or building_id
+        self.floors: Dict[FloorId, Floor] = {}
+        self.staircases: Dict[str, Staircase] = {}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add_floor(self, floor: Floor) -> Floor:
+        """Register *floor* with the building."""
+        if floor.floor_id in self.floors:
+            raise TopologyError(f"duplicate floor id {floor.floor_id}")
+        self.floors[floor.floor_id] = floor
+        return floor
+
+    def new_floor(self, floor_id: FloorId, elevation: Optional[float] = None,
+                  height: float = 3.0) -> Floor:
+        """Create, register and return a new empty floor."""
+        if elevation is None:
+            elevation = floor_id * height
+        return self.add_floor(Floor(floor_id, elevation=elevation, height=height))
+
+    def add_staircase(self, staircase: Staircase) -> Staircase:
+        """Register *staircase*, validating that its endpoints exist."""
+        if staircase.staircase_id in self.staircases:
+            raise TopologyError(f"duplicate staircase id {staircase.staircase_id}")
+        for floor_id, partition_id in (
+            (staircase.lower_floor, staircase.lower_partition),
+            (staircase.upper_floor, staircase.upper_partition),
+        ):
+            floor = self.floors.get(floor_id)
+            if floor is None:
+                raise TopologyError(
+                    f"staircase {staircase.staircase_id} references missing floor {floor_id}"
+                )
+            if partition_id not in floor.partitions:
+                raise TopologyError(
+                    f"staircase {staircase.staircase_id} references missing "
+                    f"partition {partition_id} on floor {floor_id}"
+                )
+        self.staircases[staircase.staircase_id] = staircase
+        return staircase
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def floor_ids(self) -> List[FloorId]:
+        """Floor ids in ascending order."""
+        return sorted(self.floors)
+
+    @property
+    def partition_count(self) -> int:
+        """Total number of partitions across all floors."""
+        return sum(len(f.partitions) for f in self.floors.values())
+
+    @property
+    def door_count(self) -> int:
+        """Total number of doors across all floors."""
+        return sum(len(f.doors) for f in self.floors.values())
+
+    @property
+    def total_area(self) -> float:
+        """Total walkable area across all floors."""
+        return sum(f.total_area for f in self.floors.values())
+
+    def floor(self, floor_id: FloorId) -> Floor:
+        """The floor with id *floor_id*."""
+        try:
+            return self.floors[floor_id]
+        except KeyError:
+            raise TopologyError(f"building {self.building_id} has no floor {floor_id}")
+
+    def partition(self, floor_id: FloorId, partition_id: PartitionId) -> Partition:
+        """The partition *partition_id* on floor *floor_id*."""
+        floor = self.floor(floor_id)
+        try:
+            return floor.partitions[partition_id]
+        except KeyError:
+            raise TopologyError(
+                f"floor {floor_id} has no partition {partition_id}"
+            )
+
+    def all_partitions(self) -> List[Partition]:
+        """Every partition of the building."""
+        result: List[Partition] = []
+        for floor_id in self.floor_ids:
+            result.extend(self.floors[floor_id].partitions.values())
+        return result
+
+    def all_doors(self) -> List[Door]:
+        """Every door of the building."""
+        result: List[Door] = []
+        for floor_id in self.floor_ids:
+            result.extend(self.floors[floor_id].doors.values())
+        return result
+
+    def staircases_on(self, floor_id: FloorId) -> List[Staircase]:
+        """Staircases touching *floor_id*."""
+        return [s for s in self.staircases.values() if s.connects_floor(floor_id)]
+
+    def locate(self, floor_id: FloorId, point: Point) -> IndoorLocation:
+        """Build an :class:`IndoorLocation` for *point*, resolving its partition."""
+        partition = self.floor(floor_id).partition_at(point)
+        return IndoorLocation(
+            building_id=self.building_id,
+            floor_id=floor_id,
+            partition_id=partition.partition_id if partition else None,
+            x=point.x,
+            y=point.y,
+        )
+
+    def random_location(self, rng: Optional[random.Random] = None) -> IndoorLocation:
+        """A uniformly random walkable location (area-weighted across floors)."""
+        rng = rng or random
+        floors = [self.floors[fid] for fid in self.floor_ids if self.floors[fid].partitions]
+        if not floors:
+            raise TopologyError(f"building {self.building_id} has no partitions")
+        weights = [f.total_area for f in floors]
+        floor = rng.choices(floors, weights=weights, k=1)[0]
+        partition = floor.random_partition(rng)
+        point = partition.random_point(rng)
+        return partition.location(self.building_id, point)
+
+    def validate(self) -> List[str]:
+        """Run consistency checks; return a list of human-readable problems.
+
+        This mirrors the "data errors ... identified through geometry
+        calculations" step of Section 4.1.
+        """
+        problems: List[str] = []
+        for floor in self.floors.values():
+            for door in floor.doors.values():
+                for partition_id in door.partitions:
+                    if partition_id == OUTDOOR:
+                        continue
+                    partition = floor.partitions.get(partition_id)
+                    if partition is None:
+                        problems.append(
+                            f"door {door.door_id} references missing partition {partition_id}"
+                        )
+                        continue
+                    distance = min(
+                        edge.distance_to_point(door.position)
+                        for edge in partition.polygon.edges()
+                    )
+                    if distance > max(door.width, 1.0) + 0.5 and not partition.contains_point(door.position):
+                        problems.append(
+                            f"door {door.door_id} lies {distance:.2f} m away from "
+                            f"partition {partition_id}"
+                        )
+            for a_id, a in floor.partitions.items():
+                for b_id, b in floor.partitions.items():
+                    if a_id >= b_id:
+                        continue
+                    if a.polygon.overlaps(b.polygon):
+                        overlap = _overlap_area_estimate(a.polygon, b.polygon)
+                        if overlap > 0.5:
+                            problems.append(
+                                f"partitions {a_id} and {b_id} on floor {floor.floor_id} "
+                                f"overlap by ~{overlap:.1f} m^2"
+                            )
+        for staircase in self.staircases.values():
+            lower = self.floors[staircase.lower_floor].partitions[staircase.lower_partition]
+            if not lower.contains_point(staircase.lower_point):
+                problems.append(
+                    f"staircase {staircase.staircase_id} lower point is outside "
+                    f"partition {staircase.lower_partition}"
+                )
+            upper = self.floors[staircase.upper_floor].partitions[staircase.upper_partition]
+            if not upper.contains_point(staircase.upper_point):
+                problems.append(
+                    f"staircase {staircase.staircase_id} upper point is outside "
+                    f"partition {staircase.upper_partition}"
+                )
+        return problems
+
+    def __repr__(self) -> str:
+        return (
+            f"Building({self.building_id!r}, floors={len(self.floors)}, "
+            f"partitions={self.partition_count}, doors={self.door_count})"
+        )
+
+
+def _edge_key(edge: Segment) -> Tuple[Tuple[float, float], Tuple[float, float]]:
+    """Order-independent rounded key identifying a shared partition edge."""
+    a = (round(edge.start.x, 4), round(edge.start.y, 4))
+    b = (round(edge.end.x, 4), round(edge.end.y, 4))
+    return (a, b) if a <= b else (b, a)
+
+
+def _cut_door_gaps(edge: Segment, doors: Iterable[Door], tolerance: float = 0.35) -> List[Segment]:
+    """Split *edge* removing a gap around every door lying on it."""
+    length = edge.length
+    if length <= 1e-9:
+        return []
+    gaps: List[Tuple[float, float]] = []
+    for door in doors:
+        if edge.distance_to_point(door.position) > tolerance:
+            continue
+        closest = edge.closest_point_to(door.position)
+        offset = closest.distance_to(edge.start)
+        half = max(door.width, 0.8) / 2.0
+        gaps.append((max(0.0, offset - half), min(length, offset + half)))
+    if not gaps:
+        return [edge]
+    gaps.sort()
+    merged: List[Tuple[float, float]] = []
+    for start, end in gaps:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    pieces: List[Segment] = []
+    cursor = 0.0
+    for start, end in merged:
+        if start - cursor > 0.05:
+            pieces.append(Segment(edge.point_at(cursor / length), edge.point_at(start / length)))
+        cursor = max(cursor, end)
+    if length - cursor > 0.05:
+        pieces.append(Segment(edge.point_at(cursor / length), edge.point_at(1.0)))
+    return pieces
+
+
+def _overlap_area_estimate(a: Polygon, b: Polygon, samples: int = 64) -> float:
+    """Monte-Carlo estimate of the overlap area of two polygons.
+
+    Used only by :meth:`Building.validate` to decide whether an overlap is a
+    genuine modelling error or just shared boundary.
+    """
+    rng = random.Random(7)
+    smaller = a if a.area <= b.area else b
+    larger = b if smaller is a else a
+    hits = 0
+    for _ in range(samples):
+        point = smaller.random_point(rng)
+        if larger.contains_point(point, include_boundary=False):
+            hits += 1
+    return smaller.area * hits / samples
+
+
+__all__ = [
+    "OUTDOOR",
+    "PartitionKind",
+    "SPEED_FACTORS",
+    "Partition",
+    "Door",
+    "Staircase",
+    "Obstacle",
+    "Wall",
+    "Floor",
+    "Building",
+]

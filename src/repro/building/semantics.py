@@ -1,0 +1,207 @@
+"""Semantic extraction for indoor partitions.
+
+Section 4.1: "Vita also supports semantic extraction by defining empirical
+rules.  For example, a canteen will be identified if its entity name contains
+the word 'canteen' or 'dining room', a public area will be recognized in the
+terms of its door connectivity and floorage."
+
+The rule engine below works on partition names, geometry (floorage, aspect
+ratio) and door connectivity and assigns a semantic tag and, optionally, a
+refined :class:`~repro.building.model.PartitionKind`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.building.model import Building, Partition, PartitionKind
+from repro.building.topology import AccessibilityGraph
+
+
+@dataclass
+class RuleContext:
+    """Everything a semantic rule may look at when classifying a partition."""
+
+    partition: Partition
+    door_degree: int
+    floor_area: float
+
+    @property
+    def name(self) -> str:
+        return (self.partition.name or self.partition.partition_id).lower()
+
+    @property
+    def area(self) -> float:
+        return self.partition.area
+
+    @property
+    def aspect_ratio(self) -> float:
+        return self.partition.polygon.aspect_ratio
+
+    @property
+    def area_share(self) -> float:
+        """Fraction of the floor's total area occupied by this partition."""
+        if self.floor_area <= 0:
+            return 0.0
+        return self.partition.area / self.floor_area
+
+
+@dataclass
+class SemanticRule:
+    """A single empirical rule: predicate plus the tag/kind to assign."""
+
+    name: str
+    predicate: Callable[[RuleContext], bool]
+    tag: str
+    kind: Optional[PartitionKind] = None
+    priority: int = 0
+
+    def matches(self, context: RuleContext) -> bool:
+        """Whether this rule applies to the partition described by *context*."""
+        return self.predicate(context)
+
+
+def _name_contains(*keywords: str) -> Callable[[RuleContext], bool]:
+    keywords = tuple(k.lower() for k in keywords)
+    return lambda context: any(keyword in context.name for keyword in keywords)
+
+
+def default_rules() -> List[SemanticRule]:
+    """The empirical rules shipped with the toolkit.
+
+    Users can extend or replace these via :class:`SemanticExtractor`.
+    """
+    return [
+        SemanticRule(
+            name="canteen-by-name",
+            predicate=_name_contains("canteen", "dining room", "food court", "cafeteria"),
+            tag="canteen",
+            kind=PartitionKind.CANTEEN,
+            priority=100,
+        ),
+        SemanticRule(
+            name="shop-by-name",
+            predicate=_name_contains("shop", "store", "boutique"),
+            tag="shop",
+            kind=PartitionKind.SHOP,
+            priority=90,
+        ),
+        SemanticRule(
+            name="clinic-room-by-name",
+            predicate=_name_contains("consult", "exam", "ward", "treatment"),
+            tag="clinic_room",
+            kind=PartitionKind.CLINIC_ROOM,
+            priority=90,
+        ),
+        SemanticRule(
+            name="office-by-name",
+            predicate=_name_contains("office"),
+            tag="office",
+            kind=PartitionKind.OFFICE,
+            priority=80,
+        ),
+        SemanticRule(
+            name="lobby-by-name",
+            predicate=_name_contains("lobby", "reception", "waiting"),
+            tag="lobby",
+            kind=PartitionKind.LOBBY,
+            priority=80,
+        ),
+        SemanticRule(
+            name="stairwell-by-name",
+            predicate=_name_contains("stair"),
+            tag="stairwell",
+            kind=PartitionKind.STAIRWELL,
+            priority=80,
+        ),
+        SemanticRule(
+            name="hallway-by-shape",
+            predicate=lambda c: c.aspect_ratio >= 3.0 and c.door_degree >= 3,
+            tag="hallway",
+            kind=PartitionKind.HALLWAY,
+            priority=40,
+        ),
+        SemanticRule(
+            name="public-area-by-connectivity-and-floorage",
+            predicate=lambda c: c.door_degree >= 3 and (c.area >= 60.0 or c.area_share >= 0.25),
+            tag="public_area",
+            kind=PartitionKind.PUBLIC_AREA,
+            priority=30,
+        ),
+        SemanticRule(
+            name="room-fallback",
+            predicate=lambda c: True,
+            tag="room",
+            kind=None,
+            priority=0,
+        ),
+    ]
+
+
+class SemanticExtractor:
+    """Applies empirical rules to every partition of a building."""
+
+    def __init__(self, rules: Optional[Sequence[SemanticRule]] = None) -> None:
+        self.rules: List[SemanticRule] = sorted(
+            rules if rules is not None else default_rules(),
+            key=lambda rule: -rule.priority,
+        )
+
+    def add_rule(self, rule: SemanticRule) -> None:
+        """Register an extra rule (kept sorted by priority)."""
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: -r.priority)
+
+    def classify_partition(self, context: RuleContext) -> Tuple[str, Optional[PartitionKind]]:
+        """Return (tag, kind) of the highest-priority matching rule."""
+        for rule in self.rules:
+            if rule.matches(context):
+                return rule.tag, rule.kind
+        return "room", None
+
+    def annotate_building(
+        self,
+        building: Building,
+        graph: Optional[AccessibilityGraph] = None,
+        overwrite_kind: bool = True,
+    ) -> Dict[str, str]:
+        """Assign a ``semantic_tag`` to every partition of *building*.
+
+        Args:
+            graph: a pre-built accessibility graph (built on demand otherwise).
+            overwrite_kind: also update ``Partition.kind`` when a rule supplies
+                a more specific kind and the current kind is the generic ROOM.
+
+        Returns:
+            Mapping from ``"floor:partition"`` key to the assigned tag.
+        """
+        graph = graph or AccessibilityGraph(building)
+        assignments: Dict[str, str] = {}
+        for floor_id in building.floor_ids:
+            floor = building.floors[floor_id]
+            floor_area = floor.total_area
+            for partition in floor.partitions.values():
+                context = RuleContext(
+                    partition=partition,
+                    door_degree=graph.degree_of(floor_id, partition.partition_id),
+                    floor_area=floor_area,
+                )
+                tag, kind = self.classify_partition(context)
+                partition.semantic_tag = tag
+                if overwrite_kind and kind is not None and partition.kind == PartitionKind.ROOM:
+                    partition.kind = kind
+                assignments[f"{floor_id}:{partition.partition_id}"] = tag
+        return assignments
+
+    def partitions_with_tag(self, building: Building, tag: str) -> List[Partition]:
+        """All partitions currently carrying *tag* (annotate first)."""
+        return [p for p in building.all_partitions() if p.semantic_tag == tag]
+
+
+__all__ = [
+    "RuleContext",
+    "SemanticRule",
+    "SemanticExtractor",
+    "default_rules",
+]

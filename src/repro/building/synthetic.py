@@ -1,0 +1,408 @@
+"""Synthetic real-world-style buildings.
+
+The paper demonstrates Vita on DBI files "from clinics, malls and office
+buildings" (Section 5).  Those proprietary IFC exports are not available, so
+this module generates multi-floor buildings of the three archetypes with
+realistic structure — rooms along hallways, elongated hallways (which the
+decomposition step will split), a stairwell per floor connected by staircases,
+entrance doors on the ground floor, and named rooms that exercise the
+semantic-extraction rules (canteens, shops, consultation rooms, ...).
+
+Each generator returns an in-memory :class:`~repro.building.model.Building`.
+:mod:`repro.ifc.writer` can serialise these buildings to IFC-like SPF text so
+the full DBI-processing path (parse → extract → decompose → topology) is
+exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.building.model import (
+    Building,
+    Door,
+    Floor,
+    OUTDOOR,
+    Partition,
+    PartitionKind,
+    Staircase,
+)
+from repro.core.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+@dataclass(frozen=True)
+class OfficeSpec:
+    """Parameters of the synthetic office building."""
+
+    floors: int = 2
+    rooms_per_side: int = 5
+    room_width: float = 8.0
+    room_depth: float = 7.0
+    hallway_width: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.floors < 1:
+            raise ConfigurationError("an office building needs at least one floor")
+        if self.rooms_per_side < 2:
+            raise ConfigurationError("rooms_per_side must be at least 2")
+
+
+@dataclass(frozen=True)
+class MallSpec:
+    """Parameters of the synthetic shopping mall."""
+
+    floors: int = 2
+    shops_per_side: int = 6
+    shop_width: float = 10.0
+    shop_depth: float = 12.0
+    atrium_width: float = 14.0
+
+    def __post_init__(self) -> None:
+        if self.floors < 1:
+            raise ConfigurationError("a mall needs at least one floor")
+        if self.shops_per_side < 2:
+            raise ConfigurationError("shops_per_side must be at least 2")
+
+
+@dataclass(frozen=True)
+class ClinicSpec:
+    """Parameters of the synthetic clinic."""
+
+    floors: int = 1
+    rooms_per_side: int = 4
+    room_width: float = 6.0
+    room_depth: float = 5.0
+    hallway_width: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.floors < 1:
+            raise ConfigurationError("a clinic needs at least one floor")
+        if self.rooms_per_side < 2:
+            raise ConfigurationError("rooms_per_side must be at least 2")
+
+
+# --------------------------------------------------------------------------- #
+# Office
+# --------------------------------------------------------------------------- #
+def office_building(spec: Optional[OfficeSpec] = None, building_id: str = "office") -> Building:
+    """A multi-floor office: rooms on both sides of a central hallway.
+
+    Per floor: ``rooms_per_side`` rooms below and above a central hallway, a
+    stairwell at the right end of the upper row, a canteen in the lower-left
+    corner of the ground floor, and an entrance on the ground floor hallway.
+    """
+    spec = spec or OfficeSpec()
+    building = Building(building_id, name="Synthetic office building")
+    width = spec.rooms_per_side * spec.room_width
+    hallway_y0 = spec.room_depth
+    hallway_y1 = spec.room_depth + spec.hallway_width
+    for floor_id in range(spec.floors):
+        floor = building.new_floor(floor_id)
+        hallway = Partition(
+            partition_id=f"f{floor_id}_hall",
+            floor_id=floor_id,
+            polygon=Polygon.rectangle(0.0, hallway_y0, width, hallway_y1),
+            kind=PartitionKind.HALLWAY,
+            name=f"Hallway {floor_id}",
+        )
+        floor.add_partition(hallway)
+        # Lower row of rooms (doors open onto the hallway's lower edge).
+        for index in range(spec.rooms_per_side):
+            x0 = index * spec.room_width
+            x1 = x0 + spec.room_width
+            room_id = f"f{floor_id}_room_s{index}"
+            name = f"Office S{index}"
+            kind = PartitionKind.OFFICE
+            if floor_id == 0 and index == 0:
+                name = "Canteen"
+                kind = PartitionKind.CANTEEN
+            room = Partition(
+                partition_id=room_id,
+                floor_id=floor_id,
+                polygon=Polygon.rectangle(x0, 0.0, x1, spec.room_depth),
+                kind=kind,
+                name=name,
+            )
+            floor.add_partition(room)
+            floor.add_door(
+                Door(
+                    door_id=f"f{floor_id}_door_s{index}",
+                    floor_id=floor_id,
+                    position=Point((x0 + x1) / 2.0, spec.room_depth),
+                    partitions=(room_id, hallway.partition_id),
+                    width=1.2,
+                )
+            )
+        # Upper row of rooms; the rightmost one is the stairwell.
+        for index in range(spec.rooms_per_side):
+            x0 = index * spec.room_width
+            x1 = x0 + spec.room_width
+            is_stairwell = index == spec.rooms_per_side - 1
+            room_id = f"f{floor_id}_stair" if is_stairwell else f"f{floor_id}_room_n{index}"
+            room = Partition(
+                partition_id=room_id,
+                floor_id=floor_id,
+                polygon=Polygon.rectangle(x0, hallway_y1, x1, hallway_y1 + spec.room_depth),
+                kind=PartitionKind.STAIRWELL if is_stairwell else PartitionKind.OFFICE,
+                name="Stairwell" if is_stairwell else f"Office N{index}",
+            )
+            floor.add_partition(room)
+            floor.add_door(
+                Door(
+                    door_id=f"f{floor_id}_door_n{index}",
+                    floor_id=floor_id,
+                    position=Point((x0 + x1) / 2.0, hallway_y1),
+                    partitions=(room_id, hallway.partition_id),
+                    width=1.2,
+                )
+            )
+        # Ground-floor entrance to the outdoors at the left end of the hallway.
+        if floor_id == 0:
+            floor.add_door(
+                Door(
+                    door_id="f0_entrance",
+                    floor_id=0,
+                    position=Point(0.0, (hallway_y0 + hallway_y1) / 2.0),
+                    partitions=(hallway.partition_id, OUTDOOR),
+                    width=2.0,
+                )
+            )
+    _connect_stairwells(building, spec.floors, lambda f: f"f{f}_stair")
+    return building
+
+
+# --------------------------------------------------------------------------- #
+# Mall
+# --------------------------------------------------------------------------- #
+def mall_building(spec: Optional[MallSpec] = None, building_id: str = "mall") -> Building:
+    """A multi-floor shopping mall: shops around a central atrium.
+
+    Per floor: ``shops_per_side`` shops below and above a wide central atrium
+    (a public area), a food court replacing the first upper shop, and a
+    stairwell replacing the last upper shop.  The ground floor has two
+    entrances at the atrium ends.
+    """
+    spec = spec or MallSpec()
+    building = Building(building_id, name="Synthetic shopping mall")
+    width = spec.shops_per_side * spec.shop_width
+    atrium_y0 = spec.shop_depth
+    atrium_y1 = spec.shop_depth + spec.atrium_width
+    for floor_id in range(spec.floors):
+        floor = building.new_floor(floor_id, height=4.5)
+        atrium = Partition(
+            partition_id=f"f{floor_id}_atrium",
+            floor_id=floor_id,
+            polygon=Polygon.rectangle(0.0, atrium_y0, width, atrium_y1),
+            kind=PartitionKind.PUBLIC_AREA,
+            name=f"Atrium {floor_id}",
+        )
+        floor.add_partition(atrium)
+        for index in range(spec.shops_per_side):
+            x0 = index * spec.shop_width
+            x1 = x0 + spec.shop_width
+            shop_id = f"f{floor_id}_shop_s{index}"
+            shop = Partition(
+                partition_id=shop_id,
+                floor_id=floor_id,
+                polygon=Polygon.rectangle(x0, 0.0, x1, spec.shop_depth),
+                kind=PartitionKind.SHOP,
+                name=f"Shop S{floor_id}-{index}",
+            )
+            floor.add_partition(shop)
+            floor.add_door(
+                Door(
+                    door_id=f"f{floor_id}_sdoor_s{index}",
+                    floor_id=floor_id,
+                    position=Point((x0 + x1) / 2.0, spec.shop_depth),
+                    partitions=(shop_id, atrium.partition_id),
+                    width=2.5,
+                )
+            )
+        for index in range(spec.shops_per_side):
+            x0 = index * spec.shop_width
+            x1 = x0 + spec.shop_width
+            if index == 0:
+                shop_id = f"f{floor_id}_foodcourt"
+                name = "Food court"
+                kind = PartitionKind.CANTEEN
+            elif index == spec.shops_per_side - 1:
+                shop_id = f"f{floor_id}_stair"
+                name = "Stairwell"
+                kind = PartitionKind.STAIRWELL
+            else:
+                shop_id = f"f{floor_id}_shop_n{index}"
+                name = f"Shop N{floor_id}-{index}"
+                kind = PartitionKind.SHOP
+            shop = Partition(
+                partition_id=shop_id,
+                floor_id=floor_id,
+                polygon=Polygon.rectangle(x0, atrium_y1, x1, atrium_y1 + spec.shop_depth),
+                kind=kind,
+                name=name,
+            )
+            floor.add_partition(shop)
+            floor.add_door(
+                Door(
+                    door_id=f"f{floor_id}_sdoor_n{index}",
+                    floor_id=floor_id,
+                    position=Point((x0 + x1) / 2.0, atrium_y1),
+                    partitions=(shop_id, atrium.partition_id),
+                    width=2.5,
+                )
+            )
+        if floor_id == 0:
+            mid_y = (atrium_y0 + atrium_y1) / 2.0
+            floor.add_door(
+                Door(
+                    door_id="f0_entrance_west",
+                    floor_id=0,
+                    position=Point(0.0, mid_y),
+                    partitions=(atrium.partition_id, OUTDOOR),
+                    width=3.0,
+                )
+            )
+            floor.add_door(
+                Door(
+                    door_id="f0_entrance_east",
+                    floor_id=0,
+                    position=Point(width, mid_y),
+                    partitions=(atrium.partition_id, OUTDOOR),
+                    width=3.0,
+                )
+            )
+    _connect_stairwells(building, spec.floors, lambda f: f"f{f}_stair", stair_length=8.0)
+    return building
+
+
+# --------------------------------------------------------------------------- #
+# Clinic
+# --------------------------------------------------------------------------- #
+def clinic_building(spec: Optional[ClinicSpec] = None, building_id: str = "clinic") -> Building:
+    """A clinic: consultation rooms and wards around a hallway plus a waiting room."""
+    spec = spec or ClinicSpec()
+    building = Building(building_id, name="Synthetic clinic")
+    width = spec.rooms_per_side * spec.room_width
+    hallway_y0 = spec.room_depth
+    hallway_y1 = spec.room_depth + spec.hallway_width
+    for floor_id in range(spec.floors):
+        floor = building.new_floor(floor_id)
+        hallway = Partition(
+            partition_id=f"f{floor_id}_hall",
+            floor_id=floor_id,
+            polygon=Polygon.rectangle(0.0, hallway_y0, width, hallway_y1),
+            kind=PartitionKind.HALLWAY,
+            name=f"Corridor {floor_id}",
+        )
+        floor.add_partition(hallway)
+        lower_names = ["Waiting room", "Consultation room", "Examination room", "Treatment room"]
+        for index in range(spec.rooms_per_side):
+            x0 = index * spec.room_width
+            x1 = x0 + spec.room_width
+            room_id = f"f{floor_id}_room_s{index}"
+            name = lower_names[index % len(lower_names)]
+            kind = PartitionKind.LOBBY if index == 0 else PartitionKind.CLINIC_ROOM
+            room = Partition(
+                partition_id=room_id,
+                floor_id=floor_id,
+                polygon=Polygon.rectangle(x0, 0.0, x1, spec.room_depth),
+                kind=kind,
+                name=f"{name} {floor_id}-{index}",
+            )
+            floor.add_partition(room)
+            floor.add_door(
+                Door(
+                    door_id=f"f{floor_id}_door_s{index}",
+                    floor_id=floor_id,
+                    position=Point((x0 + x1) / 2.0, spec.room_depth),
+                    partitions=(room_id, hallway.partition_id),
+                    width=1.1,
+                )
+            )
+        for index in range(spec.rooms_per_side):
+            x0 = index * spec.room_width
+            x1 = x0 + spec.room_width
+            is_stairwell = spec.floors > 1 and index == spec.rooms_per_side - 1
+            room_id = f"f{floor_id}_stair" if is_stairwell else f"f{floor_id}_ward_{index}"
+            room = Partition(
+                partition_id=room_id,
+                floor_id=floor_id,
+                polygon=Polygon.rectangle(x0, hallway_y1, x1, hallway_y1 + spec.room_depth),
+                kind=PartitionKind.STAIRWELL if is_stairwell else PartitionKind.CLINIC_ROOM,
+                name="Stairwell" if is_stairwell else f"Ward {floor_id}-{index}",
+            )
+            floor.add_partition(room)
+            floor.add_door(
+                Door(
+                    door_id=f"f{floor_id}_door_n{index}",
+                    floor_id=floor_id,
+                    position=Point((x0 + x1) / 2.0, hallway_y1),
+                    partitions=(room_id, hallway.partition_id),
+                    width=1.1,
+                )
+            )
+        if floor_id == 0:
+            floor.add_door(
+                Door(
+                    door_id="f0_entrance",
+                    floor_id=0,
+                    position=Point(0.0, (hallway_y0 + hallway_y1) / 2.0),
+                    partitions=(hallway.partition_id, OUTDOOR),
+                    width=1.8,
+                )
+            )
+    if spec.floors > 1:
+        _connect_stairwells(building, spec.floors, lambda f: f"f{f}_stair")
+    return building
+
+
+def building_by_name(name: str, floors: int = 2) -> Building:
+    """Factory used by the configuration loader: "office", "mall" or "clinic"."""
+    name = name.lower()
+    if name == "office":
+        return office_building(OfficeSpec(floors=floors))
+    if name == "mall":
+        return mall_building(MallSpec(floors=floors))
+    if name == "clinic":
+        return clinic_building(ClinicSpec(floors=max(1, floors)))
+    raise ConfigurationError(
+        f"unknown synthetic building {name!r}; expected office, mall or clinic"
+    )
+
+
+def _connect_stairwells(
+    building: Building,
+    floors: int,
+    stairwell_id_of,
+    stair_length: float = 6.0,
+) -> None:
+    """Add a staircase between the stairwells of every pair of adjacent floors."""
+    for lower in range(floors - 1):
+        upper = lower + 1
+        lower_partition = building.partition(lower, stairwell_id_of(lower))
+        upper_partition = building.partition(upper, stairwell_id_of(upper))
+        building.add_staircase(
+            Staircase(
+                staircase_id=f"stair_{lower}_{upper}",
+                lower_floor=lower,
+                upper_floor=upper,
+                lower_partition=lower_partition.partition_id,
+                lower_point=lower_partition.centroid,
+                upper_partition=upper_partition.partition_id,
+                upper_point=upper_partition.centroid,
+                length=stair_length,
+            )
+        )
+
+
+__all__ = [
+    "OfficeSpec",
+    "MallSpec",
+    "ClinicSpec",
+    "office_building",
+    "mall_building",
+    "clinic_building",
+    "building_by_name",
+]

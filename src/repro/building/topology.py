@@ -1,0 +1,170 @@
+"""Indoor topology: the accessibility graph over partitions.
+
+The accessibility graph has one node per partition and a directed edge for
+every permitted door crossing (door directionality is honoured) plus an edge
+pair for every staircase connecting two floors.  It supports connectivity
+queries, neighbourhood expansion and is the coarse structure on which the
+door-to-door routing graph of :mod:`repro.building.distance` is built.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.building.model import Building, Door, OUTDOOR, Partition, Staircase
+from repro.core.errors import TopologyError
+from repro.core.types import FloorId, PartitionId
+
+#: A partition is globally identified by (floor_id, partition_id).
+PartitionKey = Tuple[FloorId, PartitionId]
+
+
+class AccessibilityGraph:
+    """Directed partition-level connectivity of a building."""
+
+    def __init__(self, building: Building) -> None:
+        self.building = building
+        self.graph = nx.DiGraph()
+        self._build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self) -> None:
+        for floor_id in self.building.floor_ids:
+            floor = self.building.floors[floor_id]
+            for partition in floor.partitions.values():
+                self.graph.add_node(
+                    (floor_id, partition.partition_id),
+                    kind=partition.kind,
+                    area=partition.area,
+                )
+            for door in floor.doors.values():
+                self._add_door_edges(floor_id, door)
+        for staircase in self.building.staircases.values():
+            self._add_staircase_edges(staircase)
+
+    def _add_door_edges(self, floor_id: FloorId, door: Door) -> None:
+        first, second = door.partitions
+        for source, target in ((first, second), (second, first)):
+            if OUTDOOR in (source, target):
+                continue
+            if door.allows(source, target):
+                self.graph.add_edge(
+                    (floor_id, source),
+                    (floor_id, target),
+                    door_id=door.door_id,
+                    connector="door",
+                )
+
+    def _add_staircase_edges(self, staircase: Staircase) -> None:
+        lower = (staircase.lower_floor, staircase.lower_partition)
+        upper = (staircase.upper_floor, staircase.upper_partition)
+        for source, target in ((lower, upper), (upper, lower)):
+            self.graph.add_edge(
+                source,
+                target,
+                staircase_id=staircase.staircase_id,
+                connector="staircase",
+            )
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def node_count(self) -> int:
+        """Number of partitions in the graph."""
+        return self.graph.number_of_nodes()
+
+    @property
+    def edge_count(self) -> int:
+        """Number of directed crossings in the graph."""
+        return self.graph.number_of_edges()
+
+    def has_partition(self, floor_id: FloorId, partition_id: PartitionId) -> bool:
+        """Whether the graph knows the given partition."""
+        return (floor_id, partition_id) in self.graph
+
+    def neighbors(self, floor_id: FloorId, partition_id: PartitionId) -> List[PartitionKey]:
+        """Partitions directly reachable from the given partition."""
+        key = (floor_id, partition_id)
+        if key not in self.graph:
+            raise TopologyError(f"unknown partition {partition_id} on floor {floor_id}")
+        return list(self.graph.successors(key))
+
+    def is_reachable(self, source: PartitionKey, target: PartitionKey) -> bool:
+        """Whether *target* can be reached from *source* respecting directionality."""
+        if source not in self.graph or target not in self.graph:
+            return False
+        return nx.has_path(self.graph, source, target)
+
+    def partition_hop_path(
+        self, source: PartitionKey, target: PartitionKey
+    ) -> Optional[List[PartitionKey]]:
+        """Fewest-door path between two partitions, or ``None`` if unreachable."""
+        if source not in self.graph or target not in self.graph:
+            return None
+        try:
+            return nx.shortest_path(self.graph, source, target)
+        except nx.NetworkXNoPath:
+            return None
+
+    def reachable_set(self, source: PartitionKey) -> Set[PartitionKey]:
+        """Every partition reachable from *source* (including itself)."""
+        if source not in self.graph:
+            return set()
+        return set(nx.descendants(self.graph, source)) | {source}
+
+    def connected_components(self) -> List[Set[PartitionKey]]:
+        """Weakly connected components of the accessibility graph."""
+        return [set(component) for component in nx.weakly_connected_components(self.graph)]
+
+    def is_fully_connected(self) -> bool:
+        """Whether every partition can reach every other one (ignoring direction)."""
+        if self.graph.number_of_nodes() <= 1:
+            return True
+        return nx.is_weakly_connected(self.graph)
+
+    def isolated_partitions(self) -> List[PartitionKey]:
+        """Partitions with no incident door or staircase edge."""
+        return [node for node in self.graph.nodes if self.graph.degree(node) == 0]
+
+    def door_between(
+        self, source: PartitionKey, target: PartitionKey
+    ) -> Optional[str]:
+        """Door (or staircase) id used to cross directly from *source* to *target*."""
+        data = self.graph.get_edge_data(source, target)
+        if not data:
+            return None
+        return data.get("door_id") or data.get("staircase_id")
+
+    def degree_of(self, floor_id: FloorId, partition_id: PartitionId) -> int:
+        """Number of distinct connectors (doors/staircases) incident to a partition."""
+        key = (floor_id, partition_id)
+        if key not in self.graph:
+            return 0
+        connectors = set()
+        for _, _, data in self.graph.in_edges(key, data=True):
+            connectors.add(data.get("door_id") or data.get("staircase_id"))
+        for _, _, data in self.graph.out_edges(key, data=True):
+            connectors.add(data.get("door_id") or data.get("staircase_id"))
+        return len(connectors)
+
+    def partitions_by_degree(self, minimum_degree: int = 1) -> List[PartitionKey]:
+        """Partitions with at least *minimum_degree* connectors, most-connected first."""
+        scored = [
+            (self.degree_of(floor_id, partition_id), (floor_id, partition_id))
+            for floor_id, partition_id in self.graph.nodes
+        ]
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [key for degree, key in scored if degree >= minimum_degree]
+
+
+def build_accessibility_graph(building: Building) -> AccessibilityGraph:
+    """Convenience wrapper constructing the accessibility graph of *building*."""
+    return AccessibilityGraph(building)
+
+
+__all__ = ["PartitionKey", "AccessibilityGraph", "build_accessibility_graph"]

@@ -1,0 +1,302 @@
+"""Configuration Loader.
+
+"The Configuration Loader allows one to directly edit the parameters for data
+generation" (Section 2).  This module defines the typed configuration schema
+of a full generation run and loads/validates it from plain dictionaries or
+JSON files, so that an entire pipeline run can be described declaratively::
+
+    {
+      "environment": {"building": "office", "floors": 2, "decompose": true},
+      "devices": [{"type": "wifi", "count_per_floor": 6, "deployment": "coverage"}],
+      "objects": {"count": 50, "duration": 600, "distribution": "crowd-outliers"},
+      "rssi": {"sampling_period": 2.0, "fluctuation_sigma": 2.0},
+      "positioning": {"method": "fingerprinting", "algorithm": "knn"}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import DeviceType, PositioningMethod
+
+
+@dataclass
+class EnvironmentConfig:
+    """Where the host indoor environment comes from and how it is prepared."""
+
+    building: str = "office"          # "office" | "mall" | "clinic" or an IFC path
+    floors: int = 2
+    ifc_path: Optional[str] = None
+    decompose: bool = False
+    max_partition_area: float = 120.0
+    max_aspect_ratio: float = 3.0
+    extract_semantics: bool = True
+
+    def __post_init__(self) -> None:
+        if self.floors < 1:
+            raise ConfigurationError("environment.floors must be at least 1")
+        if self.max_partition_area <= 0:
+            raise ConfigurationError("environment.max_partition_area must be positive")
+        if self.max_aspect_ratio < 1.0:
+            raise ConfigurationError("environment.max_aspect_ratio must be >= 1")
+
+
+@dataclass
+class DeviceConfig:
+    """One device-deployment instruction of the Infrastructure Layer."""
+
+    device_type: DeviceType = DeviceType.WIFI
+    count_per_floor: int = 6
+    deployment: str = "coverage"       # "coverage" | "check-point"
+    floors: Optional[List[int]] = None
+    detection_range: Optional[float] = None
+    detection_interval: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.count_per_floor <= 0:
+            raise ConfigurationError("devices.count_per_floor must be positive")
+        if self.deployment.lower().replace("_", "-") not in ("coverage", "check-point", "checkpoint"):
+            raise ConfigurationError(
+                f"devices.deployment must be 'coverage' or 'check-point', got {self.deployment!r}"
+            )
+
+    def overrides(self) -> Dict[str, float]:
+        """Constructor overrides derived from the optional fields."""
+        values: Dict[str, float] = {}
+        if self.detection_range is not None:
+            values["detection_range"] = self.detection_range
+        if self.detection_interval is not None:
+            values["detection_interval"] = self.detection_interval
+        return values
+
+
+@dataclass
+class ObjectConfig:
+    """Moving Object Layer configuration."""
+
+    count: int = 50
+    duration: float = 600.0
+    min_speed: float = 0.8
+    max_speed: float = 1.8
+    min_lifespan: float = 300.0
+    max_lifespan: float = 900.0
+    sampling_period: float = 1.0
+    time_step: float = 0.25
+    distribution: str = "uniform"         # "uniform" | "crowd-outliers"
+    crowd_count: int = 3
+    crowd_fraction: float = 0.8
+    arrival_rate_per_minute: float = 0.0  # 0 disables Poisson arrivals
+    intention: str = "destination"        # "destination" | "random-way"
+    behavior: str = "walk-stay"           # "walk-stay" | "continuous" | "variable-speed"
+    routing: str = "length"               # "length" | "time"
+    crowd_interaction: str = "none"       # "none" | "density-slowdown"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError("objects.count must be non-negative")
+        if self.duration <= 0:
+            raise ConfigurationError("objects.duration must be positive")
+        if self.sampling_period <= 0:
+            raise ConfigurationError("objects.sampling_period must be positive")
+        if self.routing not in ("length", "time"):
+            raise ConfigurationError("objects.routing must be 'length' or 'time'")
+        if self.arrival_rate_per_minute < 0:
+            raise ConfigurationError("objects.arrival_rate_per_minute must be non-negative")
+
+
+@dataclass
+class RSSIConfig:
+    """RSSI Measurement Controller configuration."""
+
+    sampling_period: float = 2.0
+    path_loss_exponent: Optional[float] = None
+    calibration_rssi: Optional[float] = None
+    wall_attenuation_db: float = 3.5
+    fluctuation_sigma_db: float = 2.0
+    detection_probability: float = 0.95
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sampling_period <= 0:
+            raise ConfigurationError("rssi.sampling_period must be positive")
+        if self.fluctuation_sigma_db < 0:
+            raise ConfigurationError("rssi.fluctuation_sigma_db must be non-negative")
+        if not 0.0 < self.detection_probability <= 1.0:
+            raise ConfigurationError("rssi.detection_probability must be in (0, 1]")
+
+
+@dataclass
+class PositioningLayerConfig:
+    """Positioning Method Controller configuration."""
+
+    method: PositioningMethod = PositioningMethod.TRILATERATION
+    sampling_period: float = 5.0
+    algorithm: str = "knn"                # fingerprinting: "knn" | "bayes"
+    knn_k: int = 3
+    bayes_top_k: int = 5
+    min_devices: int = 3
+    radio_map_spacing: float = 4.0
+    radio_map_samples: int = 8
+    rssi_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sampling_period <= 0:
+            raise ConfigurationError("positioning.sampling_period must be positive")
+        if self.algorithm not in ("knn", "bayes"):
+            raise ConfigurationError("positioning.algorithm must be 'knn' or 'bayes'")
+        if self.radio_map_spacing <= 0:
+            raise ConfigurationError("positioning.radio_map_spacing must be positive")
+
+
+@dataclass
+class VitaConfig:
+    """The complete configuration of one generation run."""
+
+    environment: EnvironmentConfig = field(default_factory=EnvironmentConfig)
+    devices: List[DeviceConfig] = field(default_factory=lambda: [DeviceConfig()])
+    objects: ObjectConfig = field(default_factory=ObjectConfig)
+    rssi: RSSIConfig = field(default_factory=RSSIConfig)
+    positioning: PositioningLayerConfig = field(default_factory=PositioningLayerConfig)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ConfigurationError("at least one device deployment must be configured")
+        # Propagate the top-level seed to the sub-configurations that accept one.
+        if self.seed is not None:
+            if self.objects.seed is None:
+                self.objects.seed = self.seed
+            if self.rssi.seed is None:
+                self.rssi.seed = self.seed + 1
+
+
+# --------------------------------------------------------------------------- #
+# Loading from dictionaries / JSON
+# --------------------------------------------------------------------------- #
+_DEVICE_TYPE_ALIASES = {
+    "wifi": DeviceType.WIFI,
+    "wi-fi": DeviceType.WIFI,
+    "bluetooth": DeviceType.BLUETOOTH,
+    "ble": DeviceType.BLUETOOTH,
+    "rfid": DeviceType.RFID,
+}
+
+_METHOD_ALIASES = {
+    "trilateration": PositioningMethod.TRILATERATION,
+    "fingerprinting": PositioningMethod.FINGERPRINTING,
+    "proximity": PositioningMethod.PROXIMITY,
+}
+
+
+def _only_known_keys(section: str, payload: Dict[str, Any], known: Sequence[str]) -> None:
+    unknown = [key for key in payload if key not in known]
+    if unknown:
+        raise ConfigurationError(f"{section}: unknown configuration keys {unknown}")
+
+
+def _parse_device(payload: Dict[str, Any]) -> DeviceConfig:
+    _only_known_keys(
+        "devices[]", payload,
+        ("type", "count_per_floor", "deployment", "floors", "detection_range", "detection_interval"),
+    )
+    type_name = str(payload.get("type", "wifi")).lower()
+    if type_name not in _DEVICE_TYPE_ALIASES:
+        raise ConfigurationError(f"devices[].type: unknown device type {type_name!r}")
+    return DeviceConfig(
+        device_type=_DEVICE_TYPE_ALIASES[type_name],
+        count_per_floor=int(payload.get("count_per_floor", 6)),
+        deployment=str(payload.get("deployment", "coverage")),
+        floors=list(payload["floors"]) if payload.get("floors") is not None else None,
+        detection_range=payload.get("detection_range"),
+        detection_interval=payload.get("detection_interval"),
+    )
+
+
+def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
+    """Build a validated :class:`VitaConfig` from a plain dictionary."""
+    _only_known_keys(
+        "config", payload,
+        ("environment", "devices", "objects", "rssi", "positioning", "seed"),
+    )
+    environment_payload = dict(payload.get("environment", {}))
+    _only_known_keys(
+        "environment", environment_payload,
+        ("building", "floors", "ifc_path", "decompose", "max_partition_area",
+         "max_aspect_ratio", "extract_semantics"),
+    )
+    environment = EnvironmentConfig(**environment_payload)
+
+    device_payloads = payload.get("devices", [{}])
+    if isinstance(device_payloads, dict):
+        device_payloads = [device_payloads]
+    devices = [_parse_device(dict(item)) for item in device_payloads]
+
+    object_payload = dict(payload.get("objects", {}))
+    _only_known_keys(
+        "objects", object_payload,
+        ("count", "duration", "min_speed", "max_speed", "min_lifespan", "max_lifespan",
+         "sampling_period", "time_step", "distribution", "crowd_count", "crowd_fraction",
+         "arrival_rate_per_minute", "intention", "behavior", "routing",
+         "crowd_interaction", "seed"),
+    )
+    objects = ObjectConfig(**object_payload)
+
+    rssi_payload = dict(payload.get("rssi", {}))
+    _only_known_keys(
+        "rssi", rssi_payload,
+        ("sampling_period", "path_loss_exponent", "calibration_rssi",
+         "wall_attenuation_db", "fluctuation_sigma_db", "detection_probability", "seed"),
+    )
+    rssi = RSSIConfig(**rssi_payload)
+
+    positioning_payload = dict(payload.get("positioning", {}))
+    _only_known_keys(
+        "positioning", positioning_payload,
+        ("method", "sampling_period", "algorithm", "knn_k", "bayes_top_k",
+         "min_devices", "radio_map_spacing", "radio_map_samples", "rssi_threshold"),
+    )
+    if "method" in positioning_payload:
+        method_name = str(positioning_payload["method"]).lower()
+        if method_name not in _METHOD_ALIASES:
+            raise ConfigurationError(f"positioning.method: unknown method {method_name!r}")
+        positioning_payload["method"] = _METHOD_ALIASES[method_name]
+    positioning = PositioningLayerConfig(**positioning_payload)
+
+    return VitaConfig(
+        environment=environment,
+        devices=devices,
+        objects=objects,
+        rssi=rssi,
+        positioning=positioning,
+        seed=payload.get("seed"),
+    )
+
+
+def config_from_json(path: Union[str, Path]) -> VitaConfig:
+    """Load and validate a :class:`VitaConfig` from a JSON file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"{path}: invalid JSON ({error})")
+    if not isinstance(payload, dict):
+        raise ConfigurationError(f"{path}: the top-level JSON value must be an object")
+    return config_from_dict(payload)
+
+
+__all__ = [
+    "EnvironmentConfig",
+    "DeviceConfig",
+    "ObjectConfig",
+    "RSSIConfig",
+    "PositioningLayerConfig",
+    "VitaConfig",
+    "config_from_dict",
+    "config_from_json",
+]

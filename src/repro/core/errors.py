@@ -1,0 +1,67 @@
+"""Exception hierarchy for the Vita toolkit.
+
+Every error raised by the toolkit derives from :class:`VitaError` so that
+callers can catch a single base class.  Sub-classes are organised by the
+pipeline layer that raises them (interface / infrastructure / moving-object /
+positioning / storage).
+"""
+
+from __future__ import annotations
+
+
+class VitaError(Exception):
+    """Base class for all errors raised by the Vita toolkit."""
+
+
+class ConfigurationError(VitaError):
+    """A user-supplied configuration value is missing, malformed or out of range."""
+
+
+class DBIError(VitaError):
+    """Base class for errors raised while processing digital building information."""
+
+
+class IFCParseError(DBIError):
+    """The IFC (STEP-SPF) file could not be tokenised or parsed."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class IFCExtractionError(DBIError):
+    """The parsed IFC entities could not be turned into a building model."""
+
+
+class TopologyError(DBIError):
+    """The indoor topology is inconsistent (e.g. a door references a missing partition)."""
+
+
+class GeometryError(VitaError):
+    """An invalid geometric primitive was supplied (e.g. a degenerate polygon)."""
+
+
+class DeploymentError(VitaError):
+    """Positioning devices could not be deployed with the requested model/parameters."""
+
+
+class MovementError(VitaError):
+    """Moving-object generation failed (e.g. no route exists between two partitions)."""
+
+
+class RoutingError(MovementError):
+    """No route could be found between the requested indoor locations."""
+
+
+class PositioningError(VitaError):
+    """A positioning method could not produce an estimate from the raw RSSI data."""
+
+
+class RadioMapError(PositioningError):
+    """The fingerprinting radio map is missing, empty or incompatible with the query."""
+
+
+class StorageError(VitaError):
+    """A repository or Data-Stream-API operation failed."""

@@ -1,0 +1,271 @@
+"""The three-layer generation pipeline (Figure 1 of the paper).
+
+Given a :class:`~repro.core.config.VitaConfig`, the pipeline runs:
+
+1. **Infrastructure Layer** — obtain the host indoor environment (synthetic
+   building or IFC file), optionally decompose irregular partitions and run
+   semantic extraction, then deploy the configured positioning devices;
+2. **Moving Object Layer** — generate moving objects and their raw trajectory
+   data at the trajectory sampling frequency;
+3. **Positioning Layer** — generate raw RSSI measurements at the RSSI sampling
+   frequency and derive positioning data with the chosen method.
+
+All generated data is stored into a :class:`~repro.storage.repositories.DataWarehouse`
+so that the Data Stream APIs can query it afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.building.editor import IndoorEnvironmentController
+from repro.building.model import Building
+from repro.building.semantics import SemanticExtractor
+from repro.building.synthetic import building_by_name
+from repro.core.config import VitaConfig
+from repro.core.errors import ConfigurationError
+from repro.core.types import PositioningMethod, PositioningRecord, ProbabilisticPositioningRecord
+from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+from repro.devices.deployment import deployment_model_by_name
+from repro.geometry.decompose import DecompositionConfig
+from repro.ifc.extractor import DBIProcessor, DBIProcessorOptions
+from repro.mobility.behavior import behavior_by_name
+from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
+from repro.mobility.crowd import crowd_model_by_name
+from repro.mobility.distributions import (
+    CrowdOutliersDistribution,
+    NoArrivals,
+    PoissonArrivals,
+    UniformDistribution,
+)
+from repro.mobility.engine import SimulationResult
+from repro.mobility.intentions import intention_by_name
+from repro.positioning.controller import PositioningConfig, PositioningMethodController
+from repro.positioning.fingerprinting import RadioMap
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+from repro.rssi.pathloss import PathLossModel
+from repro.storage.repositories import DataWarehouse
+
+
+@dataclass
+class GenerationResult:
+    """Everything a full pipeline run produced."""
+
+    config: VitaConfig
+    building: Building
+    warehouse: DataWarehouse
+    simulation: SimulationResult
+    positioning_output: list
+    radio_map: Optional[RadioMap] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        """Counts plus per-layer wall-clock timings."""
+        summary: Dict[str, float] = {key: float(value) for key, value in self.warehouse.summary().items()}
+        summary.update({f"seconds_{name}": value for name, value in self.timings.items()})
+        return summary
+
+
+class VitaPipeline:
+    """Runs the three-layer pipeline for one configuration."""
+
+    def __init__(self, config: Optional[VitaConfig] = None) -> None:
+        self.config = config or VitaConfig()
+
+    # ------------------------------------------------------------------ #
+    # Layer 1: Infrastructure
+    # ------------------------------------------------------------------ #
+    def build_environment(self) -> Building:
+        """Load/construct the host indoor environment."""
+        environment = self.config.environment
+        if environment.ifc_path:
+            options = DBIProcessorOptions(
+                decompose_partitions=environment.decompose,
+                decomposition=DecompositionConfig(
+                    max_area=environment.max_partition_area,
+                    max_aspect_ratio=environment.max_aspect_ratio,
+                ),
+                extract_semantics=environment.extract_semantics,
+            )
+            building, _ = DBIProcessor(options).process_file(environment.ifc_path)
+            return building
+        building = building_by_name(environment.building, floors=environment.floors)
+        if environment.decompose:
+            controller = IndoorEnvironmentController(building)
+            controller.decompose_irregular_partitions(
+                DecompositionConfig(
+                    max_area=environment.max_partition_area,
+                    max_aspect_ratio=environment.max_aspect_ratio,
+                )
+            )
+        if environment.extract_semantics:
+            SemanticExtractor().annotate_building(building)
+        return building
+
+    def deploy_devices(self, building: Building) -> PositioningDeviceController:
+        """Deploy every configured device group."""
+        controller = PositioningDeviceController(building, seed=self.config.seed)
+        for device_config in self.config.devices:
+            model = deployment_model_by_name(device_config.deployment)
+            controller.deploy(
+                DeviceDeploymentRequest(
+                    device_type=device_config.device_type,
+                    count_per_floor=device_config.count_per_floor,
+                    model=model,
+                    floor_ids=device_config.floors,
+                    overrides=device_config.overrides(),
+                )
+            )
+        return controller
+
+    # ------------------------------------------------------------------ #
+    # Layer 2: Moving objects
+    # ------------------------------------------------------------------ #
+    def generate_objects(self, building: Building) -> SimulationResult:
+        """Generate moving objects and their raw trajectories."""
+        objects = self.config.objects
+        if objects.distribution.lower().replace("_", "-") in ("crowd-outliers", "crowdoutliers"):
+            distribution = CrowdOutliersDistribution(
+                crowd_count=objects.crowd_count,
+                crowd_fraction=objects.crowd_fraction,
+                hot_partition_tags=("shop", "canteen", "public_area"),
+            )
+        else:
+            distribution = UniformDistribution()
+        arrival_process = (
+            PoissonArrivals(rate_per_minute=objects.arrival_rate_per_minute)
+            if objects.arrival_rate_per_minute > 0
+            else NoArrivals()
+        )
+        controller = MovingObjectController(
+            building,
+            config=ObjectGenerationConfig(
+                count=objects.count,
+                min_speed=objects.min_speed,
+                max_speed=objects.max_speed,
+                min_lifespan=objects.min_lifespan,
+                max_lifespan=objects.max_lifespan,
+                duration=objects.duration,
+                sampling_period=objects.sampling_period,
+                time_step=objects.time_step,
+                routing_metric=objects.routing,
+                seed=objects.seed,
+            ),
+            distribution=distribution,
+            arrival_process=arrival_process,
+            intention=intention_by_name(objects.intention),
+            behavior=behavior_by_name(objects.behavior),
+            crowd_model=crowd_model_by_name(objects.crowd_interaction),
+        )
+        return controller.generate()
+
+    # ------------------------------------------------------------------ #
+    # Layer 3: RSSI + positioning
+    # ------------------------------------------------------------------ #
+    def _rssi_config(self) -> RSSIGenerationConfig:
+        rssi = self.config.rssi
+        path_loss = None
+        if rssi.path_loss_exponent is not None or rssi.calibration_rssi is not None:
+            path_loss = PathLossModel(
+                exponent=rssi.path_loss_exponent or 2.5,
+                calibration_rssi=rssi.calibration_rssi if rssi.calibration_rssi is not None else -40.0,
+            )
+        return RSSIGenerationConfig(
+            sampling_period=rssi.sampling_period,
+            path_loss=path_loss,
+            obstacle_noise=ObstacleNoiseModel(wall_attenuation_db=rssi.wall_attenuation_db),
+            fluctuation_noise=FluctuationNoiseModel(sigma_db=rssi.fluctuation_sigma_db),
+            detection_probability=rssi.detection_probability,
+            seed=rssi.seed,
+        )
+
+    def generate_rssi(self, building: Building, devices, simulation: SimulationResult):
+        """Generate raw RSSI measurements for the simulated trajectories."""
+        generator = RSSIGenerator(building, devices, self._rssi_config())
+        return generator.generate(simulation.trajectories)
+
+    def generate_positioning(self, building: Building, devices, rssi_records):
+        """Derive positioning data with the configured method."""
+        positioning = self.config.positioning
+        radio_map = None
+        if positioning.method is PositioningMethod.FINGERPRINTING:
+            survey_generator = RSSIGenerator(building, devices, self._rssi_config())
+            radio_map = RadioMap.survey_grid(
+                building,
+                survey_generator,
+                spacing=positioning.radio_map_spacing,
+                samples_per_location=positioning.radio_map_samples,
+            )
+        controller = PositioningMethodController(
+            building,
+            devices,
+            PositioningConfig(
+                method=positioning.method,
+                sampling_period=positioning.sampling_period,
+                fingerprinting_algorithm=positioning.algorithm,
+                knn_k=positioning.knn_k,
+                bayes_top_k=positioning.bayes_top_k,
+                min_devices=positioning.min_devices,
+                rssi_threshold=positioning.rssi_threshold,
+            ),
+            radio_map=radio_map,
+        )
+        return controller.generate(rssi_records), radio_map
+
+    # ------------------------------------------------------------------ #
+    # Full run
+    # ------------------------------------------------------------------ #
+    def run(self) -> GenerationResult:
+        """Execute all three layers and collect the output in a warehouse."""
+        timings: Dict[str, float] = {}
+
+        start = time.perf_counter()
+        building = self.build_environment()
+        device_controller = self.deploy_devices(building)
+        devices = list(device_controller.devices.values())
+        timings["infrastructure"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        simulation = self.generate_objects(building)
+        timings["moving_objects"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        rssi_records = self.generate_rssi(building, devices, simulation)
+        timings["rssi"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        positioning_output, radio_map = self.generate_positioning(building, devices, rssi_records)
+        timings["positioning"] = time.perf_counter() - start
+
+        warehouse = DataWarehouse()
+        warehouse.devices.add_many(device_controller.device_records())
+        warehouse.trajectories.add_trajectory_set(simulation.trajectories)
+        warehouse.rssi.add_many(rssi_records)
+        self._store_positioning(warehouse, positioning_output)
+
+        return GenerationResult(
+            config=self.config,
+            building=building,
+            warehouse=warehouse,
+            simulation=simulation,
+            positioning_output=positioning_output,
+            radio_map=radio_map,
+            timings=timings,
+        )
+
+    @staticmethod
+    def _store_positioning(warehouse: DataWarehouse, output: list) -> None:
+        for record in output:
+            if isinstance(record, PositioningRecord):
+                warehouse.positioning.add(record)
+            elif isinstance(record, ProbabilisticPositioningRecord):
+                warehouse.probabilistic.add(record)
+            else:
+                warehouse.proximity.add(record)
+
+
+__all__ = ["GenerationResult", "VitaPipeline"]

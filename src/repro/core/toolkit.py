@@ -1,0 +1,345 @@
+"""The ``Vita`` facade: the step-by-step API of the demonstration path.
+
+Section 5 summarises the system operations as a common six-step path:
+
+1. import a DBI file;
+2. view and modify the host indoor environment;
+3. configure and generate indoor positioning devices;
+4. configure and generate indoor moving objects;
+5. configure and generate raw RSSI measurements;
+6. choose and configure a positioning method and generate positioning data.
+
+:class:`Vita` exposes exactly those steps as methods, keeping the intermediate
+state (building, devices, trajectories, RSSI data) so that each step can be
+re-run with different parameters — just like the GUI tabs of the prototype.
+For one-shot declarative runs, use :class:`~repro.core.pipeline.VitaPipeline`
+with a :class:`~repro.core.config.VitaConfig` instead.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.building.editor import IndoorEnvironmentController
+from repro.building.model import Building
+from repro.building.semantics import SemanticExtractor
+from repro.building.synthetic import building_by_name
+from repro.core.errors import VitaError
+from repro.core.types import (
+    DeviceType,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    RSSIRecord,
+)
+from repro.devices.base import PositioningDevice
+from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+from repro.devices.deployment import deployment_model_by_name
+from repro.ifc.extractor import DBIProcessor, DBIProcessorOptions, ExtractionReport
+from repro.mobility.behavior import behavior_by_name
+from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
+from repro.mobility.crowd import crowd_model_by_name
+from repro.mobility.distributions import (
+    CrowdOutliersDistribution,
+    NoArrivals,
+    PoissonArrivals,
+    UniformDistribution,
+)
+from repro.mobility.engine import SimulationResult
+from repro.mobility.intentions import intention_by_name
+from repro.positioning.controller import PositioningConfig, PositioningMethodController
+from repro.positioning.fingerprinting import RadioMap
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+from repro.storage.export import (
+    export_devices_csv,
+    export_positioning_csv,
+    export_probabilistic_jsonl,
+    export_proximity_csv,
+    export_rssi_csv,
+    export_trajectories_csv,
+)
+from repro.storage.repositories import DataWarehouse
+from repro.storage.stream import DataStreamAPI
+
+
+class Vita:
+    """The toolkit facade following the six-step demonstration path."""
+
+    def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
+        self.building: Optional[Building] = None
+        self.extraction_report: Optional[ExtractionReport] = None
+        self.environment_controller: Optional[IndoorEnvironmentController] = None
+        self.device_controller: Optional[PositioningDeviceController] = None
+        self.simulation: Optional[SimulationResult] = None
+        self.rssi_records: List[RSSIRecord] = []
+        self.radio_map: Optional[RadioMap] = None
+        self.positioning_output: list = []
+        self.warehouse = DataWarehouse()
+
+    # ------------------------------------------------------------------ #
+    # Step 1 — import a DBI file (or use a synthetic building)
+    # ------------------------------------------------------------------ #
+    def import_dbi(self, path: Union[str, Path], decompose: bool = False) -> Building:
+        """Import an IFC (DBI) file and construct the host indoor environment."""
+        options = DBIProcessorOptions(decompose_partitions=decompose)
+        building, report = DBIProcessor(options).process_file(str(path))
+        self.extraction_report = report
+        return self._adopt_building(building)
+
+    def use_synthetic_building(self, name: str = "office", floors: int = 2) -> Building:
+        """Use one of the built-in synthetic buildings (office, mall, clinic)."""
+        building = building_by_name(name, floors=floors)
+        SemanticExtractor().annotate_building(building)
+        return self._adopt_building(building)
+
+    def use_building(self, building: Building) -> Building:
+        """Use an externally constructed building model."""
+        return self._adopt_building(building)
+
+    def _adopt_building(self, building: Building) -> Building:
+        self.building = building
+        self.environment_controller = IndoorEnvironmentController(building)
+        self.device_controller = PositioningDeviceController(building, seed=self.seed)
+        return building
+
+    # ------------------------------------------------------------------ #
+    # Step 2 — view and modify the host indoor environment
+    # ------------------------------------------------------------------ #
+    @property
+    def environment(self) -> IndoorEnvironmentController:
+        """The Indoor Environment Controller (decompose, obstacles, door direction)."""
+        self._require_building()
+        return self.environment_controller
+
+    # ------------------------------------------------------------------ #
+    # Step 3 — configure and generate indoor positioning devices
+    # ------------------------------------------------------------------ #
+    def deploy_devices(
+        self,
+        device_type: Union[DeviceType, str] = DeviceType.WIFI,
+        count_per_floor: int = 6,
+        deployment: str = "coverage",
+        floors: Optional[Sequence[int]] = None,
+        **overrides,
+    ) -> List[PositioningDevice]:
+        """Deploy positioning devices with a deployment model."""
+        self._require_building()
+        if isinstance(device_type, str):
+            device_type = DeviceType(device_type.lower())
+        devices = self.device_controller.deploy(
+            DeviceDeploymentRequest(
+                device_type=device_type,
+                count_per_floor=count_per_floor,
+                model=deployment_model_by_name(deployment),
+                floor_ids=floors,
+                overrides=overrides,
+            )
+        )
+        self.warehouse.devices.add_many(device.as_record() for device in devices)
+        return devices
+
+    @property
+    def devices(self) -> List[PositioningDevice]:
+        """Every deployed positioning device."""
+        if self.device_controller is None:
+            return []
+        return list(self.device_controller.devices.values())
+
+    # ------------------------------------------------------------------ #
+    # Step 4 — configure and generate indoor moving objects
+    # ------------------------------------------------------------------ #
+    def generate_objects(
+        self,
+        count: int = 50,
+        duration: float = 600.0,
+        sampling_period: float = 1.0,
+        max_speed: float = 1.8,
+        min_lifespan: float = 300.0,
+        max_lifespan: float = 900.0,
+        distribution: str = "uniform",
+        intention: str = "destination",
+        behavior: str = "walk-stay",
+        routing: str = "length",
+        arrival_rate_per_minute: float = 0.0,
+        crowd_interaction: str = "none",
+        time_step: float = 0.25,
+        snapshot_times: Optional[List[float]] = None,
+    ) -> SimulationResult:
+        """Generate moving objects and their raw ("ground truth") trajectories."""
+        self._require_building()
+        if distribution.lower().replace("_", "-") in ("crowd-outliers", "crowdoutliers"):
+            initial = CrowdOutliersDistribution(
+                hot_partition_tags=("shop", "canteen", "public_area")
+            )
+        else:
+            initial = UniformDistribution()
+        arrivals = (
+            PoissonArrivals(rate_per_minute=arrival_rate_per_minute)
+            if arrival_rate_per_minute > 0
+            else NoArrivals()
+        )
+        controller = MovingObjectController(
+            self.building,
+            config=ObjectGenerationConfig(
+                count=count,
+                max_speed=max_speed,
+                min_lifespan=min_lifespan,
+                max_lifespan=max_lifespan,
+                duration=duration,
+                sampling_period=sampling_period,
+                time_step=time_step,
+                routing_metric=routing,
+                seed=self.seed,
+            ),
+            distribution=initial,
+            arrival_process=arrivals,
+            intention=intention_by_name(intention),
+            behavior=behavior_by_name(behavior),
+            crowd_model=crowd_model_by_name(crowd_interaction),
+        )
+        self.simulation = controller.generate(snapshot_times=snapshot_times)
+        self.warehouse.trajectories.add_trajectory_set(self.simulation.trajectories)
+        return self.simulation
+
+    # ------------------------------------------------------------------ #
+    # Step 5 — configure and generate raw RSSI measurements
+    # ------------------------------------------------------------------ #
+    def generate_rssi(
+        self,
+        sampling_period: float = 2.0,
+        fluctuation_sigma_db: float = 2.0,
+        wall_attenuation_db: float = 3.5,
+        detection_probability: float = 0.95,
+    ) -> List[RSSIRecord]:
+        """Generate raw RSSI measurement data from the trajectories and devices."""
+        self._require_building()
+        if self.simulation is None:
+            raise VitaError("generate moving objects (step 4) before generating RSSI data")
+        if not self.devices:
+            raise VitaError("deploy positioning devices (step 3) before generating RSSI data")
+        config = RSSIGenerationConfig(
+            sampling_period=sampling_period,
+            obstacle_noise=ObstacleNoiseModel(wall_attenuation_db=wall_attenuation_db),
+            fluctuation_noise=FluctuationNoiseModel(sigma_db=fluctuation_sigma_db),
+            detection_probability=detection_probability,
+            seed=self.seed,
+        )
+        generator = RSSIGenerator(self.building, self.devices, config)
+        self.rssi_records = generator.generate(self.simulation.trajectories)
+        self.warehouse.rssi.add_many(self.rssi_records)
+        self._rssi_config = config
+        return self.rssi_records
+
+    # ------------------------------------------------------------------ #
+    # Step 6 — choose a positioning method and generate positioning data
+    # ------------------------------------------------------------------ #
+    def generate_positioning(
+        self,
+        method: Union[PositioningMethod, str] = PositioningMethod.TRILATERATION,
+        sampling_period: float = 5.0,
+        algorithm: str = "knn",
+        radio_map_spacing: float = 4.0,
+        radio_map_samples: int = 8,
+        **method_options,
+    ) -> list:
+        """Generate indoor positioning data from the raw RSSI data."""
+        self._require_building()
+        if not self.rssi_records:
+            raise VitaError("generate raw RSSI data (step 5) before positioning data")
+        if isinstance(method, str):
+            method = PositioningMethod(method.lower())
+        radio_map = None
+        if method is PositioningMethod.FINGERPRINTING:
+            survey_config = getattr(self, "_rssi_config", RSSIGenerationConfig(seed=self.seed))
+            generator = RSSIGenerator(self.building, self.devices, survey_config)
+            radio_map = RadioMap.survey_grid(
+                self.building,
+                generator,
+                spacing=radio_map_spacing,
+                samples_per_location=radio_map_samples,
+            )
+            self.radio_map = radio_map
+        controller = PositioningMethodController(
+            self.building,
+            self.devices,
+            PositioningConfig(
+                method=method,
+                sampling_period=sampling_period,
+                fingerprinting_algorithm=algorithm,
+                **method_options,
+            ),
+            radio_map=radio_map,
+        )
+        self.positioning_output = controller.generate(self.rssi_records)
+        for record in self.positioning_output:
+            if isinstance(record, PositioningRecord):
+                self.warehouse.positioning.add(record)
+            elif isinstance(record, ProbabilisticPositioningRecord):
+                self.warehouse.probabilistic.add(record)
+            else:
+                self.warehouse.proximity.add(record)
+        return self.positioning_output
+
+    # ------------------------------------------------------------------ #
+    # Data access and export
+    # ------------------------------------------------------------------ #
+    @property
+    def stream_api(self) -> DataStreamAPI:
+        """Data Stream APIs over everything generated so far."""
+        return DataStreamAPI(self.warehouse)
+
+    def export(self, directory: Union[str, Path]) -> Dict[str, str]:
+        """Export every generated dataset to CSV/JSON files in *directory*."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: Dict[str, str] = {}
+        if len(self.warehouse.devices):
+            written["devices"] = str(
+                export_devices_csv(self.warehouse.devices.all_records(), directory / "devices.csv")
+            )
+        if len(self.warehouse.trajectories):
+            records = self.warehouse.trajectories.to_trajectory_set().all_records()
+            written["trajectories"] = str(
+                export_trajectories_csv(records, directory / "raw_trajectories.csv")
+            )
+        if len(self.warehouse.rssi):
+            written["rssi"] = str(
+                export_rssi_csv(self.warehouse.rssi.all_records(), directory / "raw_rssi.csv")
+            )
+        if len(self.warehouse.positioning):
+            written["positioning"] = str(
+                export_positioning_csv(
+                    self.warehouse.positioning.all_records(), directory / "positioning.csv"
+                )
+            )
+        if len(self.warehouse.probabilistic):
+            written["probabilistic"] = str(
+                export_probabilistic_jsonl(
+                    self.warehouse.probabilistic.all_records(),
+                    directory / "positioning_probabilistic.jsonl",
+                )
+            )
+        if len(self.warehouse.proximity):
+            written["proximity"] = str(
+                export_proximity_csv(
+                    self.warehouse.proximity.all_records(), directory / "proximity.csv"
+                )
+            )
+        return written
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts of everything generated so far."""
+        return self.warehouse.summary()
+
+    def _require_building(self) -> None:
+        if self.building is None:
+            raise VitaError(
+                "no host indoor environment loaded; call import_dbi() or "
+                "use_synthetic_building() first (step 1)"
+            )
+
+
+__all__ = ["Vita"]

@@ -1,0 +1,329 @@
+"""Common value types shared by every layer of the Vita pipeline.
+
+The paper (Section 4.2) stores all generated records with a location ``loc``
+composed of a ``buildingID + floorID`` prefix followed by either a
+``partitionID`` or a coordinate point.  :class:`IndoorLocation` models exactly
+that.  The remaining record types mirror the storage formats listed in the
+paper:
+
+* raw trajectory records ``(o_id, loc, t)``,
+* raw RSSI measurements ``(o_id, d_id, rssi)`` (we also keep the timestamp),
+* deterministic positioning records ``(o_id, loc, t)``,
+* probabilistic positioning records ``(o_id, {(loc_i, prob_i)}, t)``,
+* proximity records ``(o_id, d_id, ts, te)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+ObjectId = str
+DeviceId = str
+PartitionId = str
+BuildingId = str
+FloorId = int
+Timestamp = float
+
+
+class DeviceType(enum.Enum):
+    """Positioning-device technologies supported by the Infrastructure Layer."""
+
+    WIFI = "wifi"
+    BLUETOOTH = "bluetooth"
+    RFID = "rfid"
+
+
+class PositioningMethod(enum.Enum):
+    """Indoor positioning methods supported by the Positioning Layer."""
+
+    TRILATERATION = "trilateration"
+    FINGERPRINTING = "fingerprinting"
+    PROXIMITY = "proximity"
+
+
+#: Which positioning methods are applicable to which device technology.
+#: The demonstration section of the paper states that all three methods apply
+#: to Wi-Fi, whereas fingerprinting is not offered for RFID and Bluetooth.
+METHOD_COMPATIBILITY = {
+    DeviceType.WIFI: (
+        PositioningMethod.TRILATERATION,
+        PositioningMethod.FINGERPRINTING,
+        PositioningMethod.PROXIMITY,
+    ),
+    DeviceType.BLUETOOTH: (
+        PositioningMethod.TRILATERATION,
+        PositioningMethod.PROXIMITY,
+    ),
+    DeviceType.RFID: (
+        PositioningMethod.PROXIMITY,
+        PositioningMethod.TRILATERATION,
+    ),
+}
+
+
+def method_applies_to(method: PositioningMethod, device_type: DeviceType) -> bool:
+    """Return ``True`` if *method* can be used with devices of *device_type*."""
+    return method in METHOD_COMPATIBILITY[device_type]
+
+
+@dataclass(frozen=True)
+class IndoorLocation:
+    """A location inside a building.
+
+    ``building_id`` and ``floor_id`` are always present.  At least one of
+    ``partition_id`` and ``(x, y)`` is present; both may be set when the exact
+    coordinate and its enclosing partition are known.
+    """
+
+    building_id: BuildingId
+    floor_id: FloorId
+    partition_id: Optional[PartitionId] = None
+    x: Optional[float] = None
+    y: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.partition_id is None and (self.x is None or self.y is None):
+            raise ValueError(
+                "IndoorLocation requires a partition_id or an (x, y) coordinate"
+            )
+
+    @property
+    def has_point(self) -> bool:
+        """Whether this location carries an exact coordinate."""
+        return self.x is not None and self.y is not None
+
+    @property
+    def is_symbolic(self) -> bool:
+        """Whether this location is purely symbolic (partition only)."""
+        return not self.has_point
+
+    def point(self) -> Tuple[float, float]:
+        """Return the coordinate as an ``(x, y)`` tuple.
+
+        Raises:
+            ValueError: if the location is symbolic.
+        """
+        if not self.has_point:
+            raise ValueError("location %r has no coordinate point" % (self,))
+        return (float(self.x), float(self.y))
+
+    def distance_to(self, other: "IndoorLocation", floor_penalty: float = 0.0) -> float:
+        """Euclidean distance to *other*, adding *floor_penalty* per floor apart.
+
+        This is a convenience used by accuracy metrics; precise indoor walking
+        distances are computed by :mod:`repro.building.distance`.
+        """
+        if not (self.has_point and other.has_point):
+            raise ValueError("both locations need coordinates to compute a distance")
+        dx = float(self.x) - float(other.x)
+        dy = float(self.y) - float(other.y)
+        planar = math.hypot(dx, dy)
+        return planar + abs(self.floor_id - other.floor_id) * floor_penalty
+
+    def with_partition(self, partition_id: PartitionId) -> "IndoorLocation":
+        """Return a copy of this location annotated with *partition_id*."""
+        return IndoorLocation(
+            building_id=self.building_id,
+            floor_id=self.floor_id,
+            partition_id=partition_id,
+            x=self.x,
+            y=self.y,
+        )
+
+    def as_record(self) -> dict:
+        """Serialise the location as a flat dictionary (for CSV/JSON export)."""
+        return {
+            "building_id": self.building_id,
+            "floor_id": self.floor_id,
+            "partition_id": self.partition_id,
+            "x": self.x,
+            "y": self.y,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "IndoorLocation":
+        """Inverse of :meth:`as_record`."""
+        return cls(
+            building_id=record["building_id"],
+            floor_id=int(record["floor_id"]),
+            partition_id=record.get("partition_id") or None,
+            x=None if record.get("x") in (None, "") else float(record["x"]),
+            y=None if record.get("y") in (None, "") else float(record["y"]),
+        )
+
+
+@dataclass(frozen=True)
+class TrajectoryRecord:
+    """A raw ("ground truth") trajectory sample ``(o_id, loc, t)``."""
+
+    object_id: ObjectId
+    location: IndoorLocation
+    t: Timestamp
+
+    def as_record(self) -> dict:
+        row = {"object_id": self.object_id, "t": self.t}
+        row.update(self.location.as_record())
+        return row
+
+
+@dataclass(frozen=True)
+class RSSIRecord:
+    """A raw RSSI measurement ``(o_id, d_id, rssi)`` taken at time ``t``."""
+
+    object_id: ObjectId
+    device_id: DeviceId
+    rssi: float
+    t: Timestamp
+
+    def as_record(self) -> dict:
+        return {
+            "object_id": self.object_id,
+            "device_id": self.device_id,
+            "rssi": self.rssi,
+            "t": self.t,
+        }
+
+
+@dataclass(frozen=True)
+class PositioningRecord:
+    """A deterministic positioning estimate ``(o_id, loc, t)``.
+
+    Produced by trilateration and deterministic fingerprinting.
+    """
+
+    object_id: ObjectId
+    location: IndoorLocation
+    t: Timestamp
+    method: PositioningMethod = PositioningMethod.TRILATERATION
+
+    def as_record(self) -> dict:
+        row = {
+            "object_id": self.object_id,
+            "t": self.t,
+            "method": self.method.value,
+        }
+        row.update(self.location.as_record())
+        return row
+
+
+@dataclass(frozen=True)
+class ProbabilisticPositioningRecord:
+    """A probabilistic estimate ``(o_id, {(loc_i, prob_i)}, t)``.
+
+    Produced by probabilistic fingerprinting algorithms (e.g. Naive Bayes):
+    each candidate location carries a probability; the probabilities sum to 1.
+    """
+
+    object_id: ObjectId
+    candidates: Tuple[Tuple[IndoorLocation, float], ...]
+    t: Timestamp
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError("a probabilistic record needs at least one candidate")
+
+    @property
+    def best(self) -> IndoorLocation:
+        """The most probable candidate location."""
+        return max(self.candidates, key=lambda pair: pair[1])[0]
+
+    @property
+    def best_probability(self) -> float:
+        """Probability mass of the most probable candidate."""
+        return max(prob for _, prob in self.candidates)
+
+    def as_record(self) -> dict:
+        return {
+            "object_id": self.object_id,
+            "t": self.t,
+            "method": PositioningMethod.FINGERPRINTING.value,
+            "candidates": [
+                {"location": loc.as_record(), "prob": prob}
+                for loc, prob in self.candidates
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class ProximityRecord:
+    """A proximity detection period ``(o_id, d_id, ts, te)``.
+
+    Object ``object_id`` was detected by device ``device_id`` continuously from
+    ``t_start`` to ``t_end``.
+    """
+
+    object_id: ObjectId
+    device_id: DeviceId
+    t_start: Timestamp
+    t_end: Timestamp
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError("proximity record must have t_end >= t_start")
+
+    @property
+    def duration(self) -> float:
+        """Length of the detection period in seconds."""
+        return self.t_end - self.t_start
+
+    def as_record(self) -> dict:
+        return {
+            "object_id": self.object_id,
+            "device_id": self.device_id,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+        }
+
+
+@dataclass(frozen=True)
+class DeviceRecord:
+    """Positioning-device metadata produced by the Infrastructure Layer."""
+
+    device_id: DeviceId
+    device_type: DeviceType
+    location: IndoorLocation
+    detection_range: float
+    detection_interval: float
+
+    def as_record(self) -> dict:
+        row = {
+            "device_id": self.device_id,
+            "device_type": self.device_type.value,
+            "detection_range": self.detection_range,
+            "detection_interval": self.detection_interval,
+        }
+        row.update(self.location.as_record())
+        return row
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of *values* (0.0 for an empty sequence)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+__all__ = [
+    "ObjectId",
+    "DeviceId",
+    "PartitionId",
+    "BuildingId",
+    "FloorId",
+    "Timestamp",
+    "DeviceType",
+    "PositioningMethod",
+    "METHOD_COMPATIBILITY",
+    "method_applies_to",
+    "IndoorLocation",
+    "TrajectoryRecord",
+    "RSSIRecord",
+    "PositioningRecord",
+    "ProbabilisticPositioningRecord",
+    "ProximityRecord",
+    "DeviceRecord",
+    "mean",
+]

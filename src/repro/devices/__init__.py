@@ -1,0 +1,30 @@
+"""Indoor positioning devices: technologies, deployment models, controller."""
+
+from repro.devices.base import PositioningDevice
+from repro.devices.wifi import WiFiAccessPoint
+from repro.devices.bluetooth import BluetoothBeacon
+from repro.devices.rfid import RFIDReader
+from repro.devices.deployment import (
+    CheckPointDeployment,
+    CoverageDeployment,
+    DeploymentModel,
+    ManualDeployment,
+    MountingSite,
+    deployment_model_by_name,
+)
+from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+
+__all__ = [
+    "PositioningDevice",
+    "WiFiAccessPoint",
+    "BluetoothBeacon",
+    "RFIDReader",
+    "CheckPointDeployment",
+    "CoverageDeployment",
+    "DeploymentModel",
+    "ManualDeployment",
+    "MountingSite",
+    "deployment_model_by_name",
+    "DeviceDeploymentRequest",
+    "PositioningDeviceController",
+]

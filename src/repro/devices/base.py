@@ -1,0 +1,90 @@
+"""Base class for indoor positioning devices.
+
+The Positioning Device Controller (Section 2) lets the user configure a
+device's "number, deployed locations, type, and other type-dependent
+properties (e.g., the detection range of RFID readers)".  The concrete
+technologies — Wi-Fi access points, Bluetooth beacons and RFID readers — are
+defined in sibling modules and differ only in their default radio parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.types import DeviceId, DeviceRecord, DeviceType, IndoorLocation
+from repro.geometry.point import Point
+
+
+@dataclass
+class PositioningDevice:
+    """A deployed positioning device.
+
+    Attributes:
+        device_id: unique identifier.
+        device_type: the radio technology.
+        location: where the device is mounted (always carries a coordinate).
+        detection_range: maximum distance (metres) at which the device can
+            observe an object.
+        detection_interval: how often (seconds) the device performs a
+            detection operation; used by the RSSI sampling and by proximity
+            positioning to terminate detection periods.
+        tx_power_dbm: nominal transmit power, used as the default calibration
+            constant ``A`` of the path loss model when the user does not
+            override it.
+        path_loss_exponent: default path loss exponent ``n`` for this device.
+    """
+
+    device_id: DeviceId
+    device_type: DeviceType
+    location: IndoorLocation
+    detection_range: float
+    detection_interval: float
+    tx_power_dbm: float = -40.0
+    path_loss_exponent: float = 2.5
+
+    def __post_init__(self) -> None:
+        if not self.location.has_point:
+            raise ValueError(f"device {self.device_id} must be placed at a coordinate")
+        if self.detection_range <= 0:
+            raise ValueError(f"device {self.device_id}: detection_range must be positive")
+        if self.detection_interval <= 0:
+            raise ValueError(f"device {self.device_id}: detection_interval must be positive")
+
+    @property
+    def floor_id(self) -> int:
+        """Floor the device is mounted on."""
+        return self.location.floor_id
+
+    @property
+    def position(self) -> Point:
+        """Mounting position as a geometric point."""
+        x, y = self.location.point()
+        return Point(x, y)
+
+    def in_range(self, floor_id: int, point: Point) -> bool:
+        """Whether an object at *point* on *floor_id* is within detection range.
+
+        Devices only observe objects on their own floor: floor slabs block the
+        short-range signals Vita models (Wi-Fi/BLE/RFID).
+        """
+        if floor_id != self.floor_id:
+            return False
+        return self.position.distance_to(point) <= self.detection_range
+
+    def distance_to(self, point: Point) -> float:
+        """Planar transmission distance to *point* (same-floor)."""
+        return self.position.distance_to(point)
+
+    def as_record(self) -> DeviceRecord:
+        """Serialise the device as positioning-device data."""
+        return DeviceRecord(
+            device_id=self.device_id,
+            device_type=self.device_type,
+            location=self.location,
+            detection_range=self.detection_range,
+            detection_interval=self.detection_interval,
+        )
+
+
+__all__ = ["PositioningDevice"]

@@ -1,0 +1,48 @@
+"""Bluetooth Low Energy beacons.
+
+Shorter range than Wi-Fi and usually deployed more densely; used for
+trilateration and proximity (the paper's demo pairs Bluetooth with
+trilateration).
+"""
+
+from __future__ import annotations
+
+from repro.core.types import DeviceType, IndoorLocation
+from repro.devices.base import PositioningDevice
+
+DEFAULT_BLE_RANGE = 12.0
+DEFAULT_BLE_INTERVAL = 0.5
+DEFAULT_BLE_TX_POWER = -55.0
+DEFAULT_BLE_PATH_LOSS_EXPONENT = 2.2
+
+
+class BluetoothBeacon(PositioningDevice):
+    """A BLE beacon used for RSSI-based positioning."""
+
+    def __init__(
+        self,
+        device_id: str,
+        location: IndoorLocation,
+        detection_range: float = DEFAULT_BLE_RANGE,
+        detection_interval: float = DEFAULT_BLE_INTERVAL,
+        tx_power_dbm: float = DEFAULT_BLE_TX_POWER,
+        path_loss_exponent: float = DEFAULT_BLE_PATH_LOSS_EXPONENT,
+    ) -> None:
+        super().__init__(
+            device_id=device_id,
+            device_type=DeviceType.BLUETOOTH,
+            location=location,
+            detection_range=detection_range,
+            detection_interval=detection_interval,
+            tx_power_dbm=tx_power_dbm,
+            path_loss_exponent=path_loss_exponent,
+        )
+
+
+__all__ = [
+    "BluetoothBeacon",
+    "DEFAULT_BLE_RANGE",
+    "DEFAULT_BLE_INTERVAL",
+    "DEFAULT_BLE_TX_POWER",
+    "DEFAULT_BLE_PATH_LOSS_EXPONENT",
+]

@@ -1,0 +1,169 @@
+"""Positioning Device Controller.
+
+"The Positioning Device Controller allows a user to configure the devices'
+number, deployed locations, type, and other type-dependent properties (e.g.,
+the detection range of RFID readers)" (Section 2).  This controller turns a
+deployment request (device type + count + deployment model, per floor) into
+concrete device instances and produces the positioning-device data records.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.building.model import Building
+from repro.core.errors import DeploymentError
+from repro.core.types import DeviceRecord, DeviceType, FloorId, IndoorLocation
+from repro.devices.base import PositioningDevice
+from repro.devices.bluetooth import BluetoothBeacon
+from repro.devices.deployment import DeploymentModel, MountingSite
+from repro.devices.rfid import RFIDReader
+from repro.devices.wifi import WiFiAccessPoint
+from repro.geometry.point import Point
+
+_DEVICE_CLASSES = {
+    DeviceType.WIFI: WiFiAccessPoint,
+    DeviceType.BLUETOOTH: BluetoothBeacon,
+    DeviceType.RFID: RFIDReader,
+}
+
+_DEVICE_PREFIXES = {
+    DeviceType.WIFI: "ap",
+    DeviceType.BLUETOOTH: "ble",
+    DeviceType.RFID: "rfid",
+}
+
+
+@dataclass
+class DeviceDeploymentRequest:
+    """One deployment instruction handled by the controller.
+
+    Attributes:
+        device_type: technology to deploy.
+        count_per_floor: number of devices per floor.
+        model: the deployment model proposing mounting sites.
+        floor_ids: floors to cover (all floors when ``None``).
+        overrides: optional keyword overrides forwarded to the device
+            constructor (e.g. ``detection_range`` for RFID readers).
+    """
+
+    device_type: DeviceType
+    count_per_floor: int
+    model: DeploymentModel
+    floor_ids: Optional[Sequence[FloorId]] = None
+    overrides: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.count_per_floor <= 0:
+            raise DeploymentError("count_per_floor must be positive")
+
+
+class PositioningDeviceController:
+    """Creates, stores and exports the positioning devices of a building."""
+
+    def __init__(self, building: Building, seed: Optional[int] = None) -> None:
+        self.building = building
+        self.devices: Dict[str, PositioningDevice] = {}
+        self._rng = random.Random(seed)
+        self._counters = {device_type: itertools.count(1) for device_type in DeviceType}
+
+    # ------------------------------------------------------------------ #
+    # Deployment
+    # ------------------------------------------------------------------ #
+    def deploy(self, request: DeviceDeploymentRequest) -> List[PositioningDevice]:
+        """Execute one deployment request; return the devices created."""
+        floor_ids = list(request.floor_ids) if request.floor_ids is not None else self.building.floor_ids
+        created: List[PositioningDevice] = []
+        for floor_id in floor_ids:
+            sites = request.model.propose(
+                self.building, floor_id, request.count_per_floor, self._rng
+            )
+            if len(sites) < request.count_per_floor:
+                raise DeploymentError(
+                    f"deployment model {request.model.name!r} proposed only "
+                    f"{len(sites)} sites on floor {floor_id}, "
+                    f"{request.count_per_floor} requested"
+                )
+            for site in sites[: request.count_per_floor]:
+                created.append(self._create_device(request, site))
+        return created
+
+    def add_device_at(
+        self,
+        device_type: DeviceType,
+        floor_id: FloorId,
+        x: float,
+        y: float,
+        **overrides,
+    ) -> PositioningDevice:
+        """Place a single device at an explicit coordinate."""
+        site = MountingSite(floor_id=floor_id, point=Point(x, y))
+        device_class = _DEVICE_CLASSES[device_type]
+        prefix = _DEVICE_PREFIXES[device_type]
+        device_id = f"{prefix}_{next(self._counters[device_type]):03d}"
+        partition = self.building.floor(floor_id).partition_at(site.point)
+        location = IndoorLocation(
+            building_id=self.building.building_id,
+            floor_id=floor_id,
+            partition_id=partition.partition_id if partition is not None else None,
+            x=x,
+            y=y,
+        )
+        device = device_class(device_id=device_id, location=location, **overrides)
+        self.devices[device_id] = device
+        return device
+
+    def _create_device(
+        self, request: DeviceDeploymentRequest, site: MountingSite
+    ) -> PositioningDevice:
+        device_class = _DEVICE_CLASSES[request.device_type]
+        prefix = _DEVICE_PREFIXES[request.device_type]
+        device_id = f"{prefix}_{next(self._counters[request.device_type]):03d}"
+        partition = self.building.floor(site.floor_id).partition_at(site.point)
+        location = IndoorLocation(
+            building_id=self.building.building_id,
+            floor_id=site.floor_id,
+            partition_id=(
+                site.partition_id
+                or (partition.partition_id if partition is not None else None)
+            ),
+            x=site.point.x,
+            y=site.point.y,
+        )
+        device = device_class(device_id=device_id, location=location, **request.overrides)
+        self.devices[device_id] = device
+        return device
+
+    def remove_device(self, device_id: str) -> None:
+        """Remove a previously deployed device."""
+        if device_id not in self.devices:
+            raise DeploymentError(f"unknown device {device_id}")
+        del self.devices[device_id]
+
+    def clear(self) -> None:
+        """Remove every deployed device."""
+        self.devices.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries / export
+    # ------------------------------------------------------------------ #
+    def devices_of_type(self, device_type: DeviceType) -> List[PositioningDevice]:
+        """All deployed devices of *device_type*."""
+        return [d for d in self.devices.values() if d.device_type == device_type]
+
+    def devices_on_floor(self, floor_id: FloorId) -> List[PositioningDevice]:
+        """All deployed devices mounted on *floor_id*."""
+        return [d for d in self.devices.values() if d.floor_id == floor_id]
+
+    def device_records(self) -> List[DeviceRecord]:
+        """Positioning-device data: one record per deployed device."""
+        return [device.as_record() for device in self.devices.values()]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+
+__all__ = ["DeviceDeploymentRequest", "PositioningDeviceController"]

@@ -1,0 +1,251 @@
+"""Deployment models for positioning devices.
+
+Section 3.2 describes two deployment models:
+
+* **coverage model** — "devices should be close to the wall to get power
+  supply and they should be separate from each other to have maximum signal
+  coverage" (used for access points; the ground floor of Figure 3);
+* **check-point model** — "devices are deployed at entrances to rooms and/or
+  hotspots in large rooms" (the first floor of Figure 3).
+
+Both models produce a list of candidate mounting locations on a floor; the
+:class:`~repro.devices.controller.PositioningDeviceController` turns those
+locations into concrete device instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.building.model import Building, Floor, OUTDOOR
+from repro.core.errors import DeploymentError
+from repro.core.types import FloorId
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class MountingSite:
+    """A candidate device location produced by a deployment model."""
+
+    floor_id: FloorId
+    point: Point
+    partition_id: Optional[str] = None
+    reason: str = ""
+
+
+class DeploymentModel:
+    """Base class: a strategy that proposes device mounting sites on a floor."""
+
+    name = "abstract"
+
+    def propose(self, building: Building, floor_id: FloorId, count: int,
+                rng: Optional[random.Random] = None) -> List[MountingSite]:
+        """Return *count* mounting sites on floor *floor_id*."""
+        raise NotImplementedError
+
+
+class CoverageDeployment(DeploymentModel):
+    """Wall-adjacent, maximally separated placements (access-point style).
+
+    Candidate sites are sampled along partition walls and pulled slightly
+    towards the partition interior; the final selection greedily maximises the
+    minimum pairwise separation (farthest-point sampling), which yields the
+    "separate from each other to have maximum signal coverage" behaviour.
+    """
+
+    name = "coverage"
+
+    def __init__(self, wall_offset: float = 0.6, sample_spacing: float = 2.0) -> None:
+        if wall_offset < 0:
+            raise DeploymentError("wall_offset must be non-negative")
+        if sample_spacing <= 0:
+            raise DeploymentError("sample_spacing must be positive")
+        self.wall_offset = wall_offset
+        self.sample_spacing = sample_spacing
+
+    def propose(self, building: Building, floor_id: FloorId, count: int,
+                rng: Optional[random.Random] = None) -> List[MountingSite]:
+        if count <= 0:
+            return []
+        floor = building.floor(floor_id)
+        candidates = self._wall_candidates(floor)
+        if not candidates:
+            raise DeploymentError(f"floor {floor_id} offers no wall-adjacent sites")
+        if len(candidates) <= count:
+            return candidates
+        return _farthest_point_selection(candidates, count)
+
+    def _wall_candidates(self, floor: Floor) -> List[MountingSite]:
+        sites: List[MountingSite] = []
+        for partition in floor.partitions.values():
+            centroid = partition.centroid
+            for edge in partition.polygon.edges():
+                samples = max(1, int(edge.length // self.sample_spacing))
+                for index in range(samples):
+                    fraction = (index + 0.5) / samples
+                    on_wall = edge.point_at(fraction)
+                    inward = (centroid - on_wall).normalized()
+                    point = on_wall + inward * self.wall_offset
+                    if not partition.contains_point(point):
+                        point = on_wall.lerp(centroid, 0.1)
+                        if not partition.contains_point(point):
+                            continue
+                    sites.append(
+                        MountingSite(
+                            floor_id=floor.floor_id,
+                            point=point,
+                            partition_id=partition.partition_id,
+                            reason="wall-adjacent",
+                        )
+                    )
+        return sites
+
+
+class CheckPointDeployment(DeploymentModel):
+    """Placements at room entrances and hotspots in large rooms.
+
+    Sites are proposed at door positions first (entrances to rooms), ordered
+    by how "busy" the door is expected to be (connectivity of its partitions),
+    and then at the centroids of the largest rooms when more devices are
+    requested than there are doors.
+    """
+
+    name = "check-point"
+
+    def __init__(self, door_inset: float = 0.5, hotspot_min_area: float = 30.0) -> None:
+        self.door_inset = door_inset
+        self.hotspot_min_area = hotspot_min_area
+
+    def propose(self, building: Building, floor_id: FloorId, count: int,
+                rng: Optional[random.Random] = None) -> List[MountingSite]:
+        if count <= 0:
+            return []
+        floor = building.floor(floor_id)
+        sites = self._door_sites(floor)
+        if len(sites) < count:
+            sites.extend(self._hotspot_sites(floor, count - len(sites)))
+        if not sites:
+            raise DeploymentError(f"floor {floor_id} offers no check-point sites")
+        if len(sites) <= count:
+            return sites[:count]
+        # Prefer a spread-out subset among the door sites.
+        return _farthest_point_selection(sites, count)
+
+    def _door_sites(self, floor: Floor) -> List[MountingSite]:
+        def door_score(door) -> float:
+            score = 0.0
+            for partition_id in door.partitions:
+                if partition_id == OUTDOOR:
+                    score += 50.0  # entrances are prime check-points
+                    continue
+                partition = floor.partitions.get(partition_id)
+                if partition is not None:
+                    score += partition.area
+            return score
+
+        sites: List[MountingSite] = []
+        for door in sorted(floor.doors.values(), key=door_score, reverse=True):
+            partition_id = next(
+                (pid for pid in door.partitions if pid != OUTDOOR), None
+            )
+            point = door.position
+            if partition_id is not None:
+                partition = floor.partitions.get(partition_id)
+                if partition is not None:
+                    inward = (partition.centroid - door.position).normalized()
+                    candidate = door.position + inward * self.door_inset
+                    if partition.contains_point(candidate):
+                        point = candidate
+            sites.append(
+                MountingSite(
+                    floor_id=floor.floor_id,
+                    point=point,
+                    partition_id=partition_id,
+                    reason="room entrance",
+                )
+            )
+        return sites
+
+    def _hotspot_sites(self, floor: Floor, count: int) -> List[MountingSite]:
+        large_rooms = sorted(
+            (p for p in floor.partitions.values() if p.area >= self.hotspot_min_area),
+            key=lambda p: p.area,
+            reverse=True,
+        )
+        sites = []
+        for partition in large_rooms[:count]:
+            sites.append(
+                MountingSite(
+                    floor_id=floor.floor_id,
+                    point=partition.centroid,
+                    partition_id=partition.partition_id,
+                    reason="hotspot in large room",
+                )
+            )
+        return sites
+
+
+class ManualDeployment(DeploymentModel):
+    """Explicit user-specified device locations."""
+
+    name = "manual"
+
+    def __init__(self, sites: Sequence[MountingSite]) -> None:
+        if not sites:
+            raise DeploymentError("manual deployment needs at least one site")
+        self.sites = list(sites)
+
+    def propose(self, building: Building, floor_id: FloorId, count: int,
+                rng: Optional[random.Random] = None) -> List[MountingSite]:
+        matching = [s for s in self.sites if s.floor_id == floor_id]
+        if count and len(matching) < count:
+            raise DeploymentError(
+                f"manual deployment provides {len(matching)} sites on floor {floor_id}, "
+                f"but {count} devices were requested"
+            )
+        return matching[:count] if count else matching
+
+
+def deployment_model_by_name(name: str, **kwargs) -> DeploymentModel:
+    """Factory used by the configuration loader."""
+    normalized = name.lower().replace("_", "-")
+    if normalized == "coverage":
+        return CoverageDeployment(**kwargs)
+    if normalized in ("check-point", "checkpoint"):
+        return CheckPointDeployment(**kwargs)
+    raise DeploymentError(
+        f"unknown deployment model {name!r}; expected 'coverage' or 'check-point'"
+    )
+
+
+def _farthest_point_selection(sites: List[MountingSite], count: int) -> List[MountingSite]:
+    """Greedy farthest-point subset of *count* sites (maximises min separation)."""
+    if count >= len(sites):
+        return list(sites)
+    # Seed with the site farthest from the centroid of all candidates so the
+    # selection starts at the periphery (near an outer wall).
+    cx = sum(s.point.x for s in sites) / len(sites)
+    cy = sum(s.point.y for s in sites) / len(sites)
+    center = Point(cx, cy)
+    chosen = [max(sites, key=lambda s: s.point.distance_to(center))]
+    remaining = [s for s in sites if s is not chosen[0]]
+    while len(chosen) < count and remaining:
+        best = max(
+            remaining,
+            key=lambda s: min(s.point.distance_to(c.point) for c in chosen),
+        )
+        chosen.append(best)
+        remaining.remove(best)
+    return chosen
+
+
+__all__ = [
+    "MountingSite",
+    "DeploymentModel",
+    "CoverageDeployment",
+    "CheckPointDeployment",
+    "ManualDeployment",
+    "deployment_model_by_name",
+]

@@ -1,0 +1,48 @@
+"""RFID readers.
+
+Very short detection range and inherently proximity-oriented: an object is
+either detected (collocated with the reader) or not.  The paper's demo pairs
+RFID with the proximity positioning method.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import DeviceType, IndoorLocation
+from repro.devices.base import PositioningDevice
+
+DEFAULT_RFID_RANGE = 3.0
+DEFAULT_RFID_INTERVAL = 0.5
+DEFAULT_RFID_TX_POWER = -60.0
+DEFAULT_RFID_PATH_LOSS_EXPONENT = 2.0
+
+
+class RFIDReader(PositioningDevice):
+    """An RFID reader used for proximity-based positioning."""
+
+    def __init__(
+        self,
+        device_id: str,
+        location: IndoorLocation,
+        detection_range: float = DEFAULT_RFID_RANGE,
+        detection_interval: float = DEFAULT_RFID_INTERVAL,
+        tx_power_dbm: float = DEFAULT_RFID_TX_POWER,
+        path_loss_exponent: float = DEFAULT_RFID_PATH_LOSS_EXPONENT,
+    ) -> None:
+        super().__init__(
+            device_id=device_id,
+            device_type=DeviceType.RFID,
+            location=location,
+            detection_range=detection_range,
+            detection_interval=detection_interval,
+            tx_power_dbm=tx_power_dbm,
+            path_loss_exponent=path_loss_exponent,
+        )
+
+
+__all__ = [
+    "RFIDReader",
+    "DEFAULT_RFID_RANGE",
+    "DEFAULT_RFID_INTERVAL",
+    "DEFAULT_RFID_TX_POWER",
+    "DEFAULT_RFID_PATH_LOSS_EXPONENT",
+]

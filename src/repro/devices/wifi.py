@@ -1,0 +1,50 @@
+"""Wi-Fi access points.
+
+Wi-Fi is the workhorse technology for indoor positioning: long range, regular
+beaconing, and all three positioning methods (trilateration, fingerprinting,
+proximity) apply to it.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import DeviceType, IndoorLocation
+from repro.devices.base import PositioningDevice
+
+#: Defaults follow common 2.4 GHz office deployments: ~25 m useful range,
+#: one scan per second, calibration RSSI of about -40 dBm at 1 metre.
+DEFAULT_WIFI_RANGE = 25.0
+DEFAULT_WIFI_INTERVAL = 1.0
+DEFAULT_WIFI_TX_POWER = -40.0
+DEFAULT_WIFI_PATH_LOSS_EXPONENT = 2.8
+
+
+class WiFiAccessPoint(PositioningDevice):
+    """A Wi-Fi access point used for RSSI-based positioning."""
+
+    def __init__(
+        self,
+        device_id: str,
+        location: IndoorLocation,
+        detection_range: float = DEFAULT_WIFI_RANGE,
+        detection_interval: float = DEFAULT_WIFI_INTERVAL,
+        tx_power_dbm: float = DEFAULT_WIFI_TX_POWER,
+        path_loss_exponent: float = DEFAULT_WIFI_PATH_LOSS_EXPONENT,
+    ) -> None:
+        super().__init__(
+            device_id=device_id,
+            device_type=DeviceType.WIFI,
+            location=location,
+            detection_range=detection_range,
+            detection_interval=detection_interval,
+            tx_power_dbm=tx_power_dbm,
+            path_loss_exponent=path_loss_exponent,
+        )
+
+
+__all__ = [
+    "WiFiAccessPoint",
+    "DEFAULT_WIFI_RANGE",
+    "DEFAULT_WIFI_INTERVAL",
+    "DEFAULT_WIFI_TX_POWER",
+    "DEFAULT_WIFI_PATH_LOSS_EXPONENT",
+]

@@ -1,0 +1,37 @@
+"""Geometric substrate: points, segments, polygons, decomposition, indexes."""
+
+from repro.geometry.point import Point, centroid_of, polyline_length
+from repro.geometry.segment import Segment
+from repro.geometry.polygon import BoundingBox, Polygon
+from repro.geometry.decompose import DecompositionConfig, decompose, is_balanced
+from repro.geometry.spatial_index import GridIndex, RTreeIndex, SpatialIndex, build_index
+from repro.geometry.line_of_sight import (
+    SightlineReport,
+    analyze_sightline,
+    count_obstacle_crossings,
+    count_wall_crossings,
+    has_line_of_sight,
+    visible_targets,
+)
+
+__all__ = [
+    "Point",
+    "centroid_of",
+    "polyline_length",
+    "Segment",
+    "BoundingBox",
+    "Polygon",
+    "DecompositionConfig",
+    "decompose",
+    "is_balanced",
+    "GridIndex",
+    "RTreeIndex",
+    "SpatialIndex",
+    "build_index",
+    "SightlineReport",
+    "analyze_sightline",
+    "count_obstacle_crossings",
+    "count_wall_crossings",
+    "has_line_of_sight",
+    "visible_targets",
+]

@@ -1,0 +1,100 @@
+"""Balanced decomposition of irregular partitions.
+
+Section 4.1 of the paper: "Rooms or hallways with irregular shapes are
+decomposed into balanced, smaller partitions according to their sizes and
+shapes, and the resultant partitions are indexed by a spatial index in order
+to support the indoor distance computations."
+
+The decomposition used here splits a polygon recursively with axis-aligned
+cuts (always perpendicular to the longer bounding-box side, through the
+middle) until every piece satisfies both a maximum-area and a maximum
+aspect-ratio threshold.  The cuts are performed by clipping against
+half-plane boxes, so the union of the produced pieces covers the original
+polygon and their total area equals the original area (up to floating point
+error) — a property the test suite checks with hypothesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.geometry.polygon import BoundingBox, Polygon
+
+
+@dataclass(frozen=True)
+class DecompositionConfig:
+    """Thresholds controlling when a partition is considered "balanced".
+
+    Attributes:
+        max_area: pieces larger than this (square metres) are split further.
+        max_aspect_ratio: pieces more elongated than this are split further.
+        max_depth: hard recursion bound guaranteeing termination.
+    """
+
+    max_area: float = 120.0
+    max_aspect_ratio: float = 3.0
+    max_depth: int = 12
+
+    def __post_init__(self) -> None:
+        if self.max_area <= 0:
+            raise ValueError("max_area must be positive")
+        if self.max_aspect_ratio < 1.0:
+            raise ValueError("max_aspect_ratio must be >= 1")
+        if self.max_depth < 0:
+            raise ValueError("max_depth must be non-negative")
+
+
+def is_balanced(polygon: Polygon, config: DecompositionConfig) -> bool:
+    """Whether *polygon* already satisfies the decomposition thresholds."""
+    return (
+        polygon.area <= config.max_area
+        and polygon.aspect_ratio <= config.max_aspect_ratio
+    )
+
+
+def decompose(polygon: Polygon, config: DecompositionConfig | None = None) -> List[Polygon]:
+    """Decompose *polygon* into balanced sub-polygons.
+
+    Returns the input polygon unchanged (as a single-element list) when it is
+    already balanced.
+    """
+    config = config or DecompositionConfig()
+    return _decompose(polygon, config, depth=0)
+
+
+def _decompose(polygon: Polygon, config: DecompositionConfig, depth: int) -> List[Polygon]:
+    if depth >= config.max_depth or is_balanced(polygon, config):
+        return [polygon]
+    left, right = _split(polygon)
+    if left is None or right is None:
+        # The split failed (e.g. extremely thin sliver); keep the piece as is.
+        return [polygon]
+    return _decompose(left, config, depth + 1) + _decompose(right, config, depth + 1)
+
+
+def _split(polygon: Polygon):
+    """Split *polygon* in two with an axis-aligned cut through the bbox middle.
+
+    The cut is perpendicular to the longer bounding-box dimension so that the
+    resulting pieces become progressively squarer.
+    """
+    box = polygon.bounding_box
+    margin = 1e-6
+    if box.width >= box.height:
+        cut = (box.min_x + box.max_x) / 2.0
+        left_box = BoundingBox(box.min_x - margin, box.min_y - margin, cut, box.max_y + margin)
+        right_box = BoundingBox(cut, box.min_y - margin, box.max_x + margin, box.max_y + margin)
+    else:
+        cut = (box.min_y + box.max_y) / 2.0
+        left_box = BoundingBox(box.min_x - margin, box.min_y - margin, box.max_x + margin, cut)
+        right_box = BoundingBox(box.min_x - margin, cut, box.max_x + margin, box.max_y + margin)
+    return polygon.clip_to_box(left_box), polygon.clip_to_box(right_box)
+
+
+def total_area(polygons: List[Polygon]) -> float:
+    """Sum of the areas of *polygons* (convenience for invariant checks)."""
+    return sum(p.area for p in polygons)
+
+
+__all__ = ["DecompositionConfig", "decompose", "is_balanced", "total_area"]

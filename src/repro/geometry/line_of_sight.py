@@ -1,0 +1,115 @@
+"""Line-of-sight analysis between two indoor points.
+
+The path loss model of Section 3.2 adds an obstacle-noise term ``Nob`` for
+"influence of obstacles like walls and doors".  The example of Figure 3(a)
+makes the behaviour concrete: object *p* is at equal transmission distance
+from devices *d1* and *d2*, yet *d2* measures a stronger RSSI because walls
+block the line of sight between *p* and *d1*.
+
+This module computes, for a sight line between two points on the same floor,
+how many wall segments and obstacle polygons it crosses.  The RSSI noise model
+(:mod:`repro.rssi.noise`) converts those counts into attenuation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True)
+class SightlineReport:
+    """Result of a line-of-sight computation.
+
+    Attributes:
+        distance: Euclidean length of the sight line in metres.
+        wall_crossings: number of wall segments strictly crossed.
+        obstacle_crossings: number of obstacle polygons the line passes through.
+        clear: ``True`` when nothing blocks the line of sight.
+    """
+
+    distance: float
+    wall_crossings: int
+    obstacle_crossings: int
+
+    @property
+    def clear(self) -> bool:
+        return self.wall_crossings == 0 and self.obstacle_crossings == 0
+
+    @property
+    def total_crossings(self) -> int:
+        return self.wall_crossings + self.obstacle_crossings
+
+
+def count_wall_crossings(sightline: Segment, walls: Iterable[Segment]) -> int:
+    """Number of wall segments whose interiors are crossed by *sightline*."""
+    return sum(1 for wall in walls if sightline.crosses(wall))
+
+
+def count_obstacle_crossings(sightline: Segment, obstacles: Iterable[Polygon]) -> int:
+    """Number of obstacle polygons that the sight line passes through.
+
+    An obstacle counts when the line crosses its boundary or either endpoint
+    sits inside it.
+    """
+    count = 0
+    for obstacle in obstacles:
+        if obstacle.contains_point(sightline.start) or obstacle.contains_point(sightline.end):
+            count += 1
+            continue
+        if any(sightline.crosses(edge) for edge in obstacle.edges()):
+            count += 1
+    return count
+
+
+def analyze_sightline(
+    origin: Point,
+    target: Point,
+    walls: Sequence[Segment] = (),
+    obstacles: Sequence[Polygon] = (),
+) -> SightlineReport:
+    """Compute the full line-of-sight report between *origin* and *target*."""
+    sightline = Segment(origin, target)
+    return SightlineReport(
+        distance=sightline.length,
+        wall_crossings=count_wall_crossings(sightline, walls),
+        obstacle_crossings=count_obstacle_crossings(sightline, obstacles),
+    )
+
+
+def has_line_of_sight(
+    origin: Point,
+    target: Point,
+    walls: Sequence[Segment] = (),
+    obstacles: Sequence[Polygon] = (),
+) -> bool:
+    """Whether nothing blocks the straight line between the two points."""
+    return analyze_sightline(origin, target, walls, obstacles).clear
+
+
+def visible_targets(
+    origin: Point,
+    targets: Sequence[Point],
+    walls: Sequence[Segment] = (),
+    obstacles: Sequence[Polygon] = (),
+) -> List[int]:
+    """Indices of *targets* that are in clear line of sight from *origin*."""
+    return [
+        index
+        for index, target in enumerate(targets)
+        if has_line_of_sight(origin, target, walls, obstacles)
+    ]
+
+
+__all__ = [
+    "SightlineReport",
+    "analyze_sightline",
+    "count_wall_crossings",
+    "count_obstacle_crossings",
+    "has_line_of_sight",
+    "visible_targets",
+]

@@ -1,0 +1,115 @@
+"""2D points and basic vector arithmetic.
+
+All indoor geometry in Vita is per-floor and two-dimensional; floors are tied
+together by staircases at the topology level, not at the geometry level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2D point / vector."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def dot(self, other: "Point") -> float:
+        """Dot product with *other*."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 2D cross product with *other*."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length of the vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to *other*."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def normalized(self) -> "Point":
+        """Return a unit-length copy (the zero vector is returned unchanged)."""
+        length = self.norm()
+        if length == 0.0:
+            return self
+        return Point(self.x / length, self.y / length)
+
+    def rotated(self, angle_rad: float, around: "Point" = None) -> "Point":
+        """Return this point rotated by *angle_rad* radians around *around*."""
+        origin = around if around is not None else Point(0.0, 0.0)
+        dx, dy = self.x - origin.x, self.y - origin.y
+        cos_a, sin_a = math.cos(angle_rad), math.sin(angle_rad)
+        return Point(
+            origin.x + dx * cos_a - dy * sin_a,
+            origin.y + dx * sin_a + dy * cos_a,
+        )
+
+    def midpoint(self, other: "Point") -> "Point":
+        """Midpoint between this point and *other*."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def lerp(self, other: "Point", fraction: float) -> "Point":
+        """Linear interpolation towards *other*; ``fraction`` in ``[0, 1]``."""
+        return Point(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+        )
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def is_close(self, other: "Point", tolerance: float = 1e-9) -> bool:
+        """Whether this point is within *tolerance* of *other*."""
+        return self.distance_to(other) <= tolerance
+
+
+def centroid_of(points: Iterable[Point]) -> Point:
+    """Arithmetic centroid of an iterable of points.
+
+    Raises:
+        ValueError: if *points* is empty.
+    """
+    points = list(points)
+    if not points:
+        raise ValueError("cannot compute the centroid of an empty point set")
+    sx = sum(p.x for p in points)
+    sy = sum(p.y for p in points)
+    return Point(sx / len(points), sy / len(points))
+
+
+def polyline_length(points: Iterable[Point]) -> float:
+    """Total length of the polyline visiting *points* in order."""
+    points = list(points)
+    total = 0.0
+    for previous, current in zip(points, points[1:]):
+        total += previous.distance_to(current)
+    return total
+
+
+__all__ = ["Point", "centroid_of", "polyline_length"]

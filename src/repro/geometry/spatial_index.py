@@ -1,0 +1,294 @@
+"""Spatial indexes used to answer point-location and range queries.
+
+The paper stores indoor entities in PostGIS "indexed by featured spatial
+indices".  This module provides two in-memory equivalents with the same query
+interface:
+
+* :class:`GridIndex` — a uniform grid (fast to build, good for evenly sized
+  partitions such as decomposed rooms);
+* :class:`RTreeIndex` — a static Sort-Tile-Recursive (STR) packed R-tree
+  (better for skewed extents, e.g. long hallways mixed with small offices).
+
+Both index arbitrary objects with an associated :class:`BoundingBox` and
+support bounding-box range queries, point queries and nearest-neighbour
+queries.  The ablation bench ``benchmarks/test_bench_storage_queries.py``
+compares them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Generic, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox
+
+T = TypeVar("T")
+
+
+class SpatialIndex(Generic[T]):
+    """Interface shared by all spatial indexes."""
+
+    def query_box(self, box: BoundingBox) -> List[T]:
+        """Return all items whose bounding box intersects *box*."""
+        raise NotImplementedError
+
+    def query_point(self, point: Point) -> List[T]:
+        """Return all items whose bounding box contains *point*."""
+        raise NotImplementedError
+
+    def nearest(self, point: Point, k: int = 1) -> List[T]:
+        """Return the *k* items whose bounding boxes are closest to *point*."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+def _box_distance(box: BoundingBox, point: Point) -> float:
+    """Distance from *point* to the closest point of *box* (0 if inside)."""
+    dx = max(box.min_x - point.x, 0.0, point.x - box.max_x)
+    dy = max(box.min_y - point.y, 0.0, point.y - box.max_y)
+    return math.hypot(dx, dy)
+
+
+class GridIndex(SpatialIndex[T]):
+    """A uniform grid over the indexed items' combined extent."""
+
+    def __init__(
+        self,
+        items: Iterable[T],
+        bbox_of: Callable[[T], BoundingBox],
+        cell_size: Optional[float] = None,
+    ) -> None:
+        self._items: List[T] = list(items)
+        self._bbox_of = bbox_of
+        if not self._items:
+            self._extent = BoundingBox(0.0, 0.0, 1.0, 1.0)
+            self._cell_size = cell_size or 1.0
+            self._cells: dict = {}
+            self._cols = self._rows = 1
+            return
+        boxes = [bbox_of(item) for item in self._items]
+        extent = boxes[0]
+        for box in boxes[1:]:
+            extent = extent.union(box)
+        self._extent = extent.expanded(1e-6)
+        if cell_size is None:
+            # Aim for roughly one item per cell on average.
+            span = max(self._extent.width, self._extent.height)
+            cell_size = max(span / max(1, int(math.sqrt(len(self._items)))), 1e-3)
+        self._cell_size = cell_size
+        self._cols = max(1, int(math.ceil(self._extent.width / cell_size)))
+        self._rows = max(1, int(math.ceil(self._extent.height / cell_size)))
+        self._cells = {}
+        for item, box in zip(self._items, boxes):
+            for key in self._cells_for_box(box):
+                self._cells.setdefault(key, []).append((item, box))
+
+    def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
+        col = int((x - self._extent.min_x) / self._cell_size)
+        row = int((y - self._extent.min_y) / self._cell_size)
+        col = min(max(col, 0), self._cols - 1)
+        row = min(max(row, 0), self._rows - 1)
+        return col, row
+
+    def _cells_for_box(self, box: BoundingBox) -> Iterable[Tuple[int, int]]:
+        min_col, min_row = self._cell_of(box.min_x, box.min_y)
+        max_col, max_row = self._cell_of(box.max_x, box.max_y)
+        for col in range(min_col, max_col + 1):
+            for row in range(min_row, max_row + 1):
+                yield (col, row)
+
+    def query_box(self, box: BoundingBox) -> List[T]:
+        seen: List[T] = []
+        seen_ids = set()
+        for key in self._cells_for_box(box):
+            for item, item_box in self._cells.get(key, ()):
+                if id(item) in seen_ids:
+                    continue
+                if item_box.intersects(box):
+                    seen.append(item)
+                    seen_ids.add(id(item))
+        return seen
+
+    def query_point(self, point: Point) -> List[T]:
+        key = self._cell_of(point.x, point.y)
+        results: List[T] = []
+        for item, item_box in self._cells.get(key, ()):
+            if item_box.contains_point(point):
+                results.append(item)
+        return results
+
+    def nearest(self, point: Point, k: int = 1) -> List[T]:
+        if k <= 0:
+            return []
+        scored = sorted(
+            ((_box_distance(self._bbox_of(item), point), index, item)
+             for index, item in enumerate(self._items)),
+            key=lambda triple: (triple[0], triple[1]),
+        )
+        return [item for _, _, item in scored[:k]]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class _RTreeNode(Generic[T]):
+    __slots__ = ("box", "children", "entries")
+
+    def __init__(self, box: BoundingBox, children=None, entries=None) -> None:
+        self.box = box
+        self.children: List["_RTreeNode[T]"] = children or []
+        self.entries: List[Tuple[BoundingBox, T]] = entries or []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class RTreeIndex(SpatialIndex[T]):
+    """A static packed R-tree built with Sort-Tile-Recursive bulk loading."""
+
+    def __init__(
+        self,
+        items: Iterable[T],
+        bbox_of: Callable[[T], BoundingBox],
+        node_capacity: int = 8,
+    ) -> None:
+        if node_capacity < 2:
+            raise GeometryError("node_capacity must be at least 2")
+        self._items = list(items)
+        self._bbox_of = bbox_of
+        self._capacity = node_capacity
+        entries = [(bbox_of(item), item) for item in self._items]
+        self._root = self._build(entries) if entries else None
+
+    # ------------------------------------------------------------------ #
+    # Construction (STR bulk loading)
+    # ------------------------------------------------------------------ #
+    def _build(self, entries: Sequence[Tuple[BoundingBox, T]]) -> _RTreeNode[T]:
+        leaves = self._pack_leaves(entries)
+        nodes = leaves
+        while len(nodes) > 1:
+            nodes = self._pack_nodes(nodes)
+        return nodes[0]
+
+    def _pack_leaves(self, entries: Sequence[Tuple[BoundingBox, T]]) -> List[_RTreeNode[T]]:
+        groups = self._str_partition(entries, key=lambda e: e[0])
+        leaves = []
+        for group in groups:
+            box = group[0][0]
+            for entry_box, _ in group[1:]:
+                box = box.union(entry_box)
+            leaves.append(_RTreeNode(box, entries=list(group)))
+        return leaves
+
+    def _pack_nodes(self, nodes: Sequence[_RTreeNode[T]]) -> List[_RTreeNode[T]]:
+        groups = self._str_partition(nodes, key=lambda n: n.box)
+        parents = []
+        for group in groups:
+            box = group[0].box
+            for node in group[1:]:
+                box = box.union(node.box)
+            parents.append(_RTreeNode(box, children=list(group)))
+        return parents
+
+    def _str_partition(self, items: Sequence, key) -> List[List]:
+        """Sort-Tile-Recursive grouping into slices of ``node_capacity``."""
+        count = len(items)
+        capacity = self._capacity
+        leaf_count = math.ceil(count / capacity)
+        slice_count = max(1, math.ceil(math.sqrt(leaf_count)))
+        per_slice = math.ceil(count / slice_count)
+        by_x = sorted(items, key=lambda item: key(item).center.x)
+        groups: List[List] = []
+        for i in range(0, count, per_slice):
+            vertical = sorted(by_x[i:i + per_slice], key=lambda item: key(item).center.y)
+            for j in range(0, len(vertical), capacity):
+                groups.append(vertical[j:j + capacity])
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query_box(self, box: BoundingBox) -> List[T]:
+        results: List[T] = []
+        if self._root is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.intersects(box):
+                continue
+            if node.is_leaf:
+                for entry_box, item in node.entries:
+                    if entry_box.intersects(box):
+                        results.append(item)
+            else:
+                stack.extend(node.children)
+        return results
+
+    def query_point(self, point: Point) -> List[T]:
+        results: List[T] = []
+        if self._root is None:
+            return results
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.box.contains_point(point):
+                continue
+            if node.is_leaf:
+                for entry_box, item in node.entries:
+                    if entry_box.contains_point(point):
+                        results.append(item)
+            else:
+                stack.extend(node.children)
+        return results
+
+    def nearest(self, point: Point, k: int = 1) -> List[T]:
+        if k <= 0 or self._root is None:
+            return []
+        # Best-first search over nodes ordered by box distance.
+        import heapq
+
+        heap: List[Tuple[float, int, object, bool]] = []
+        counter = 0
+        heapq.heappush(heap, (_box_distance(self._root.box, point), counter, self._root, False))
+        results: List[T] = []
+        while heap and len(results) < k:
+            distance, _, payload, is_entry = heapq.heappop(heap)
+            if is_entry:
+                results.append(payload)  # type: ignore[arg-type]
+                continue
+            node = payload
+            if node.is_leaf:  # type: ignore[union-attr]
+                for entry_box, item in node.entries:  # type: ignore[union-attr]
+                    counter += 1
+                    heapq.heappush(heap, (_box_distance(entry_box, point), counter, item, True))
+            else:
+                for child in node.children:  # type: ignore[union-attr]
+                    counter += 1
+                    heapq.heappush(heap, (_box_distance(child.box, point), counter, child, False))
+        return results
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+def build_index(
+    items: Iterable[T],
+    bbox_of: Callable[[T], BoundingBox],
+    kind: str = "rtree",
+) -> SpatialIndex[T]:
+    """Factory: build a spatial index of the requested *kind* ("grid" or "rtree")."""
+    kind = kind.lower()
+    if kind == "grid":
+        return GridIndex(items, bbox_of)
+    if kind == "rtree":
+        return RTreeIndex(items, bbox_of)
+    raise GeometryError(f"unknown spatial index kind: {kind!r}")
+
+
+__all__ = ["SpatialIndex", "GridIndex", "RTreeIndex", "build_index"]

@@ -1,0 +1,48 @@
+"""Digital building information (DBI) processing: IFC parse, extract, write."""
+
+from repro.ifc.tokenizer import EntityRef, EnumValue, StepFile, StepInstance, tokenize, tokenize_file
+from repro.ifc.entities import (
+    IfcBuilding,
+    IfcBuildingStorey,
+    IfcCartesianPoint,
+    IfcDoor,
+    IfcModel,
+    IfcPolyline,
+    IfcSpace,
+    IfcStairFlight,
+)
+from repro.ifc.parser import IFCParser, parse_ifc_file, parse_ifc_text
+from repro.ifc.extractor import (
+    DBIProcessor,
+    DBIProcessorOptions,
+    ExtractionReport,
+    load_building,
+)
+from repro.ifc.writer import ErrorInjection, building_to_ifc, write_ifc
+
+__all__ = [
+    "EntityRef",
+    "EnumValue",
+    "StepFile",
+    "StepInstance",
+    "tokenize",
+    "tokenize_file",
+    "IfcBuilding",
+    "IfcBuildingStorey",
+    "IfcCartesianPoint",
+    "IfcDoor",
+    "IfcModel",
+    "IfcPolyline",
+    "IfcSpace",
+    "IfcStairFlight",
+    "IFCParser",
+    "parse_ifc_file",
+    "parse_ifc_text",
+    "DBIProcessor",
+    "DBIProcessorOptions",
+    "ExtractionReport",
+    "load_building",
+    "ErrorInjection",
+    "building_to_ifc",
+    "write_ifc",
+]

@@ -1,0 +1,181 @@
+"""Typed views over the IFC entity subset used by the DBI processor.
+
+Only the entity types needed to describe the indoor structure that Vita
+consumes are modelled:
+
+* ``IFCBUILDING`` — the building itself;
+* ``IFCBUILDINGSTOREY`` — a floor with an elevation;
+* ``IFCSPACE`` — a partition (room / hallway) with a 2D footprint polyline;
+* ``IFCDOOR`` — a door placed at a point on a storey (its connected
+  partitions are *not* stored in IFC; the extractor recovers them);
+* ``IFCSTAIRFLIGHT`` — a staircase described only as a set of disjoint 3D
+  points (Section 4.1), whose floor/partition connectivity the extractor has
+  to reconstruct;
+* ``IFCCARTESIANPOINT`` / ``IFCPOLYLINE`` — shared geometry resources.
+
+The attribute layouts follow the conventions emitted by
+:mod:`repro.ifc.writer`; they are a simplification of the real IFC schema
+(which routes placement through ``IfcLocalPlacement`` chains) but keep the
+same information content for Vita's purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class IfcCartesianPoint:
+    """A 2D or 3D point resource."""
+
+    entity_id: int
+    coordinates: Tuple[float, ...]
+
+    @property
+    def x(self) -> float:
+        return self.coordinates[0]
+
+    @property
+    def y(self) -> float:
+        return self.coordinates[1]
+
+    @property
+    def z(self) -> float:
+        """Z coordinate (0 for 2D points)."""
+        return self.coordinates[2] if len(self.coordinates) > 2 else 0.0
+
+    @property
+    def is_3d(self) -> bool:
+        return len(self.coordinates) >= 3
+
+
+@dataclass(frozen=True)
+class IfcPolyline:
+    """An ordered list of point references forming a footprint boundary."""
+
+    entity_id: int
+    points: Tuple[IfcCartesianPoint, ...]
+
+    def xy(self) -> List[Tuple[float, float]]:
+        """The polyline as a list of (x, y) tuples."""
+        return [(p.x, p.y) for p in self.points]
+
+
+@dataclass(frozen=True)
+class IfcBuilding:
+    """The building entity."""
+
+    entity_id: int
+    global_id: str
+    name: str
+    long_name: str = ""
+
+
+@dataclass(frozen=True)
+class IfcBuildingStorey:
+    """A storey with its elevation above the building datum."""
+
+    entity_id: int
+    global_id: str
+    name: str
+    elevation: float
+    building_ref: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class IfcSpace:
+    """A partition: footprint polyline on a specific storey."""
+
+    entity_id: int
+    global_id: str
+    name: str
+    long_name: str
+    storey_ref: int
+    boundary: IfcPolyline
+    usage: str = "room"
+
+
+@dataclass(frozen=True)
+class IfcDoor:
+    """A door placed at a point on a storey.
+
+    Note that the connected partitions are intentionally absent: "Connected
+    partitions for each door are identified through topology and geometry
+    computations" (Section 4.1).
+    """
+
+    entity_id: int
+    global_id: str
+    name: str
+    storey_ref: int
+    position: IfcCartesianPoint
+    width: float = 1.0
+
+
+@dataclass(frozen=True)
+class IfcStairFlight:
+    """A staircase given only as a set of disjoint 3D points.
+
+    "IFC models a staircase as a set of disjointed 3D points, but its
+    connectivity to other partitions is missing" (Section 4.1).  The extractor
+    recovers the upper/lower connected floors and partitions.
+    """
+
+    entity_id: int
+    global_id: str
+    name: str
+    points: Tuple[IfcCartesianPoint, ...]
+
+    def z_values(self) -> List[float]:
+        """Distinct z elevations present among the stair points, ascending."""
+        return sorted({round(p.z, 6) for p in self.points})
+
+    def points_at_z(self, z: float, tolerance: float = 1e-3) -> List[IfcCartesianPoint]:
+        """Stair points lying at elevation *z*."""
+        return [p for p in self.points if abs(p.z - z) <= tolerance]
+
+
+@dataclass
+class IfcModel:
+    """The typed contents of one parsed IFC file."""
+
+    building: Optional[IfcBuilding] = None
+    storeys: List[IfcBuildingStorey] = field(default_factory=list)
+    spaces: List[IfcSpace] = field(default_factory=list)
+    doors: List[IfcDoor] = field(default_factory=list)
+    stairs: List[IfcStairFlight] = field(default_factory=list)
+
+    def storeys_by_elevation(self) -> List[IfcBuildingStorey]:
+        """Storeys sorted bottom-up."""
+        return sorted(self.storeys, key=lambda storey: storey.elevation)
+
+    def spaces_on(self, storey_entity_id: int) -> List[IfcSpace]:
+        """Spaces whose storey reference is *storey_entity_id*."""
+        return [s for s in self.spaces if s.storey_ref == storey_entity_id]
+
+    def doors_on(self, storey_entity_id: int) -> List[IfcDoor]:
+        """Doors whose storey reference is *storey_entity_id*."""
+        return [d for d in self.doors if d.storey_ref == storey_entity_id]
+
+    @property
+    def entity_counts(self) -> dict:
+        """Summary counts, useful for logs and the DBI-processing benchmark."""
+        return {
+            "storeys": len(self.storeys),
+            "spaces": len(self.spaces),
+            "doors": len(self.doors),
+            "stairs": len(self.stairs),
+        }
+
+
+__all__ = [
+    "IfcCartesianPoint",
+    "IfcPolyline",
+    "IfcBuilding",
+    "IfcBuildingStorey",
+    "IfcSpace",
+    "IfcDoor",
+    "IfcStairFlight",
+    "IfcModel",
+]

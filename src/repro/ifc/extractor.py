@@ -1,0 +1,345 @@
+"""DBI Processor: turn a parsed IFC model into the host indoor environment.
+
+This implements the processing steps of Section 4.1:
+
+1. build partitions from ``IFCSPACE`` footprints (irregular ones can later be
+   decomposed by the Indoor Environment Controller);
+2. identify data errors through geometry calculations (doors far from any
+   partition, degenerate space footprints, overlapping spaces) and report
+   them;
+3. recover each door's connected partitions "through topology and geometry
+   computations" — IFC does not store them;
+4. recover staircase connectivity: find the upper/lower vertices of the stair
+   point cloud, pick the floor with maximum intersection as upper/lower
+   connected floor, then the partition containing those vertices as the
+   upper/lower connected partition;
+5. optionally run semantic extraction and partition decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.building.editor import IndoorEnvironmentController
+from repro.building.model import (
+    Building,
+    Door,
+    Floor,
+    OUTDOOR,
+    Partition,
+    PartitionKind,
+    Staircase,
+)
+from repro.building.semantics import SemanticExtractor
+from repro.core.errors import GeometryError, IFCExtractionError
+from repro.geometry.decompose import DecompositionConfig
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.ifc.entities import IfcDoor, IfcModel, IfcSpace, IfcStairFlight
+from repro.ifc.parser import parse_ifc_file, parse_ifc_text
+
+#: Maximum distance between a door position and a partition boundary for the
+#: door to be considered attached to that partition.
+DOOR_ATTACH_TOLERANCE = 0.6
+
+_KIND_BY_USAGE = {
+    "room": PartitionKind.ROOM,
+    "office": PartitionKind.OFFICE,
+    "hallway": PartitionKind.HALLWAY,
+    "corridor": PartitionKind.HALLWAY,
+    "stairwell": PartitionKind.STAIRWELL,
+    "elevator": PartitionKind.ELEVATOR,
+    "public_area": PartitionKind.PUBLIC_AREA,
+    "canteen": PartitionKind.CANTEEN,
+    "shop": PartitionKind.SHOP,
+    "clinic_room": PartitionKind.CLINIC_ROOM,
+    "lobby": PartitionKind.LOBBY,
+}
+
+
+@dataclass
+class ExtractionReport:
+    """Everything the DBI processor wants to tell the user about one file."""
+
+    entity_counts: Dict[str, int] = field(default_factory=dict)
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    door_connectivity: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    staircase_connectivity: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    decomposition_summary: Optional[Dict[str, int]] = None
+
+    @property
+    def has_errors(self) -> bool:
+        return bool(self.errors)
+
+
+@dataclass
+class DBIProcessorOptions:
+    """Knobs of the DBI processing pipeline."""
+
+    decompose_partitions: bool = False
+    decomposition: DecompositionConfig = field(default_factory=DecompositionConfig)
+    extract_semantics: bool = True
+    wall_attenuation_db: float = 3.0
+    strict: bool = False
+
+
+class DBIProcessor:
+    """Constructs the host indoor environment from DBI (IFC) input."""
+
+    def __init__(self, options: Optional[DBIProcessorOptions] = None) -> None:
+        self.options = options or DBIProcessorOptions()
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def process_text(self, text: str, building_id: Optional[str] = None) -> Tuple[Building, ExtractionReport]:
+        """Process IFC SPF *text*; return the building and an extraction report."""
+        model = parse_ifc_text(text)
+        return self.process_model(model, building_id)
+
+    def process_file(self, path: str, building_id: Optional[str] = None) -> Tuple[Building, ExtractionReport]:
+        """Process the IFC SPF file at *path*."""
+        model = parse_ifc_file(path)
+        return self.process_model(model, building_id)
+
+    def process_model(self, model: IfcModel, building_id: Optional[str] = None) -> Tuple[Building, ExtractionReport]:
+        """Process an already-parsed :class:`IfcModel`."""
+        report = ExtractionReport(entity_counts=model.entity_counts)
+        if not model.storeys:
+            raise IFCExtractionError("the IFC model contains no IFCBUILDINGSTOREY")
+        name = model.building.name if model.building else "building"
+        building = Building(building_id or name, name=name)
+
+        storey_to_floor = self._build_floors(model, building)
+        self._build_partitions(model, building, storey_to_floor, report)
+        self._build_doors(model, building, storey_to_floor, report)
+        self._build_staircases(model, building, report)
+
+        for problem in building.validate():
+            report.warnings.append(problem)
+
+        if self.options.decompose_partitions:
+            controller = IndoorEnvironmentController(building)
+            decomposition = controller.decompose_irregular_partitions(self.options.decomposition)
+            report.decomposition_summary = {
+                "partitions_split": decomposition.partitions_split,
+                "partitions_created": len(decomposition.created_partitions),
+                "virtual_doors_created": len(decomposition.created_virtual_doors),
+            }
+        if self.options.extract_semantics:
+            SemanticExtractor().annotate_building(building)
+        if self.options.strict and report.has_errors:
+            raise IFCExtractionError(
+                "DBI processing found errors: " + "; ".join(report.errors)
+            )
+        return building, report
+
+    # ------------------------------------------------------------------ #
+    # Floors and partitions
+    # ------------------------------------------------------------------ #
+    def _build_floors(self, model: IfcModel, building: Building) -> Dict[int, int]:
+        """Create one floor per storey (bottom-up); return storey-entity → floor-id."""
+        storey_to_floor: Dict[int, int] = {}
+        storeys = model.storeys_by_elevation()
+        for floor_id, storey in enumerate(storeys):
+            height = 3.0
+            if floor_id + 1 < len(storeys):
+                height = max(storeys[floor_id + 1].elevation - storey.elevation, 2.5)
+            building.add_floor(Floor(floor_id, elevation=storey.elevation, height=height))
+            storey_to_floor[storey.entity_id] = floor_id
+        return storey_to_floor
+
+    def _build_partitions(
+        self,
+        model: IfcModel,
+        building: Building,
+        storey_to_floor: Dict[int, int],
+        report: ExtractionReport,
+    ) -> None:
+        for space in model.spaces:
+            floor_id = storey_to_floor.get(space.storey_ref)
+            if floor_id is None:
+                report.errors.append(
+                    f"space {space.name}: references unknown storey #{space.storey_ref}"
+                )
+                continue
+            try:
+                polygon = Polygon([Point(x, y) for x, y in space.boundary.xy()])
+            except GeometryError as error:
+                report.errors.append(f"space {space.name}: invalid footprint ({error})")
+                continue
+            kind = _KIND_BY_USAGE.get(space.usage.lower(), PartitionKind.ROOM)
+            partition = Partition(
+                partition_id=space.name,
+                floor_id=floor_id,
+                polygon=polygon,
+                kind=kind,
+                name=space.long_name or space.name,
+            )
+            building.floors[floor_id].add_partition(partition)
+
+    # ------------------------------------------------------------------ #
+    # Doors
+    # ------------------------------------------------------------------ #
+    def _build_doors(
+        self,
+        model: IfcModel,
+        building: Building,
+        storey_to_floor: Dict[int, int],
+        report: ExtractionReport,
+    ) -> None:
+        for ifc_door in model.doors:
+            floor_id = storey_to_floor.get(ifc_door.storey_ref)
+            if floor_id is None:
+                report.errors.append(
+                    f"door {ifc_door.name}: references unknown storey #{ifc_door.storey_ref}"
+                )
+                continue
+            floor = building.floors[floor_id]
+            position = Point(ifc_door.position.x, ifc_door.position.y)
+            attached = self._attached_partitions(floor.partitions.values(), position)
+            if not attached:
+                report.errors.append(
+                    f"door {ifc_door.name}: not adjacent to any partition on floor {floor_id}"
+                )
+                continue
+            if len(attached) == 1:
+                partitions = (attached[0], OUTDOOR)
+            else:
+                partitions = (attached[0], attached[1])
+            try:
+                floor.add_door(
+                    Door(
+                        door_id=ifc_door.name,
+                        floor_id=floor_id,
+                        position=position,
+                        partitions=partitions,
+                        width=ifc_door.width,
+                    )
+                )
+            except Exception as error:  # duplicate ids etc.
+                report.errors.append(f"door {ifc_door.name}: {error}")
+                continue
+            report.door_connectivity[ifc_door.name] = partitions
+
+    @staticmethod
+    def _attached_partitions(partitions, position: Point) -> List[str]:
+        """Partition ids whose boundary is within tolerance of *position*, nearest first."""
+        scored = []
+        for partition in partitions:
+            distance = min(
+                edge.distance_to_point(position) for edge in partition.polygon.edges()
+            )
+            if distance <= DOOR_ATTACH_TOLERANCE:
+                scored.append((distance, partition.partition_id))
+        scored.sort()
+        return [partition_id for _, partition_id in scored[:2]]
+
+    # ------------------------------------------------------------------ #
+    # Staircases
+    # ------------------------------------------------------------------ #
+    def _build_staircases(
+        self, model: IfcModel, building: Building, report: ExtractionReport
+    ) -> None:
+        floors_by_elevation = [
+            (building.floors[floor_id].elevation, floor_id)
+            for floor_id in building.floor_ids
+        ]
+        for stair in model.stairs:
+            resolved = self._resolve_staircase(stair, building, floors_by_elevation, report)
+            if resolved is None:
+                continue
+            try:
+                building.add_staircase(resolved)
+            except Exception as error:
+                report.errors.append(f"staircase {stair.name}: {error}")
+                continue
+            report.staircase_connectivity[stair.name] = {
+                "lower_floor": str(resolved.lower_floor),
+                "lower_partition": resolved.lower_partition,
+                "upper_floor": str(resolved.upper_floor),
+                "upper_partition": resolved.upper_partition,
+            }
+
+    def _resolve_staircase(
+        self,
+        stair: IfcStairFlight,
+        building: Building,
+        floors_by_elevation: List[Tuple[float, int]],
+        report: ExtractionReport,
+    ) -> Optional[Staircase]:
+        z_values = stair.z_values()
+        if len(z_values) < 2:
+            report.errors.append(
+                f"staircase {stair.name}: needs points at two distinct elevations"
+            )
+            return None
+        lower_z, upper_z = z_values[0], z_values[-1]
+        # Step 1 of Section 4.1: pick the floor with maximum intersection with
+        # the upper (lower) vertices — here, the floor whose elevation is
+        # nearest to the vertex elevation.
+        lower_floor = self._closest_floor(lower_z, floors_by_elevation)
+        upper_floor = self._closest_floor(upper_z, floors_by_elevation)
+        if lower_floor == upper_floor:
+            report.errors.append(
+                f"staircase {stair.name}: lower and upper vertices resolve to the same floor"
+            )
+            return None
+        if lower_floor > upper_floor:
+            lower_floor, upper_floor = upper_floor, lower_floor
+            lower_z, upper_z = upper_z, lower_z
+        # Step 2: within the connected floor, the partition containing the
+        # vertices is the connected partition.
+        lower_point = _centroid_xy(stair.points_at_z(lower_z))
+        upper_point = _centroid_xy(stair.points_at_z(upper_z))
+        lower_partition = building.floors[lower_floor].partition_at(lower_point)
+        upper_partition = building.floors[upper_floor].partition_at(upper_point)
+        if lower_partition is None or upper_partition is None:
+            report.errors.append(
+                f"staircase {stair.name}: endpoints are not inside any partition"
+            )
+            return None
+        vertical = abs(
+            building.floors[upper_floor].elevation - building.floors[lower_floor].elevation
+        )
+        horizontal = lower_point.distance_to(upper_point)
+        length = max((vertical ** 2 + horizontal ** 2) ** 0.5 * 1.2, 3.0)
+        return Staircase(
+            staircase_id=stair.name,
+            lower_floor=lower_floor,
+            upper_floor=upper_floor,
+            lower_partition=lower_partition.partition_id,
+            lower_point=lower_point,
+            upper_partition=upper_partition.partition_id,
+            upper_point=upper_point,
+            length=length,
+        )
+
+    @staticmethod
+    def _closest_floor(z: float, floors_by_elevation: List[Tuple[float, int]]) -> int:
+        return min(floors_by_elevation, key=lambda pair: abs(pair[0] - z))[1]
+
+
+def _centroid_xy(points) -> Point:
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    if not xs:
+        return Point(0.0, 0.0)
+    return Point(sum(xs) / len(xs), sum(ys) / len(ys))
+
+
+def load_building(path: str, options: Optional[DBIProcessorOptions] = None) -> Building:
+    """Convenience: process the IFC file at *path* and return only the building."""
+    building, _ = DBIProcessor(options).process_file(path)
+    return building
+
+
+__all__ = [
+    "DOOR_ATTACH_TOLERANCE",
+    "ExtractionReport",
+    "DBIProcessorOptions",
+    "DBIProcessor",
+    "load_building",
+]

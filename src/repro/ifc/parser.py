@@ -1,0 +1,233 @@
+"""IFC parser: STEP instances → typed :class:`~repro.ifc.entities.IfcModel`.
+
+The parser resolves cross-references (storey → building, space → polyline →
+points, ...) and validates that referenced instances exist and have the
+expected types, raising :class:`~repro.core.errors.IFCParseError` /
+:class:`~repro.core.errors.IFCExtractionError` with the offending line number
+otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.errors import IFCParseError
+from repro.ifc.entities import (
+    IfcBuilding,
+    IfcBuildingStorey,
+    IfcCartesianPoint,
+    IfcDoor,
+    IfcModel,
+    IfcPolyline,
+    IfcSpace,
+    IfcStairFlight,
+)
+from repro.ifc.tokenizer import EntityRef, StepFile, StepInstance, tokenize, tokenize_file
+
+
+class IFCParser:
+    """Builds an :class:`IfcModel` from a tokenised :class:`StepFile`."""
+
+    def __init__(self, step: StepFile) -> None:
+        self.step = step
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_text(cls, text: str) -> "IFCParser":
+        """Parse *text* (STEP-SPF) and wrap the result."""
+        return cls(tokenize(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "IFCParser":
+        """Parse the file at *path* and wrap the result."""
+        return cls(tokenize_file(path))
+
+    def parse(self) -> IfcModel:
+        """Resolve every supported entity type into a typed model."""
+        model = IfcModel()
+        buildings = self.step.by_type("IFCBUILDING")
+        if buildings:
+            model.building = self._parse_building(buildings[0])
+        for instance in self.step.by_type("IFCBUILDINGSTOREY"):
+            model.storeys.append(self._parse_storey(instance))
+        for instance in self.step.by_type("IFCSPACE"):
+            model.spaces.append(self._parse_space(instance))
+        for instance in self.step.by_type("IFCDOOR"):
+            model.doors.append(self._parse_door(instance))
+        for instance in self.step.by_type("IFCSTAIRFLIGHT") + self.step.by_type("IFCSTAIR"):
+            model.stairs.append(self._parse_stair(instance))
+        return model
+
+    # ------------------------------------------------------------------ #
+    # Per-entity parsing
+    # ------------------------------------------------------------------ #
+    def _parse_building(self, instance: StepInstance) -> IfcBuilding:
+        return IfcBuilding(
+            entity_id=instance.entity_id,
+            global_id=self._string(instance, 0, "GlobalId"),
+            name=self._string(instance, 1, "Name", default="building"),
+            long_name=str(instance.arg(2, "") or ""),
+        )
+
+    def _parse_storey(self, instance: StepInstance) -> IfcBuildingStorey:
+        elevation = instance.arg(2, 0.0)
+        if not isinstance(elevation, (int, float)):
+            raise IFCParseError(
+                f"IFCBUILDINGSTOREY #{instance.entity_id}: elevation must be numeric",
+                instance.line,
+            )
+        building_ref = instance.arg(3)
+        return IfcBuildingStorey(
+            entity_id=instance.entity_id,
+            global_id=self._string(instance, 0, "GlobalId"),
+            name=self._string(instance, 1, "Name", default=f"storey_{instance.entity_id}"),
+            elevation=float(elevation),
+            building_ref=building_ref.entity_id if isinstance(building_ref, EntityRef) else None,
+        )
+
+    def _parse_space(self, instance: StepInstance) -> IfcSpace:
+        storey_ref = self._reference(instance, 3, "IFCBUILDINGSTOREY")
+        boundary = self._polyline(instance, 4)
+        usage = instance.arg(5, "room")
+        return IfcSpace(
+            entity_id=instance.entity_id,
+            global_id=self._string(instance, 0, "GlobalId"),
+            name=self._string(instance, 1, "Name", default=f"space_{instance.entity_id}"),
+            long_name=str(instance.arg(2, "") or ""),
+            storey_ref=storey_ref.entity_id,
+            boundary=boundary,
+            usage=str(usage) if usage else "room",
+        )
+
+    def _parse_door(self, instance: StepInstance) -> IfcDoor:
+        storey_ref = self._reference(instance, 2, "IFCBUILDINGSTOREY")
+        position = self._point(instance, 3)
+        width = instance.arg(4, 1.0)
+        if not isinstance(width, (int, float)) or width <= 0:
+            raise IFCParseError(
+                f"IFCDOOR #{instance.entity_id}: width must be a positive number",
+                instance.line,
+            )
+        return IfcDoor(
+            entity_id=instance.entity_id,
+            global_id=self._string(instance, 0, "GlobalId"),
+            name=self._string(instance, 1, "Name", default=f"door_{instance.entity_id}"),
+            storey_ref=storey_ref.entity_id,
+            position=position,
+            width=float(width),
+        )
+
+    def _parse_stair(self, instance: StepInstance) -> IfcStairFlight:
+        raw_points = instance.arg(2, [])
+        if not isinstance(raw_points, list) or not raw_points:
+            raise IFCParseError(
+                f"stair #{instance.entity_id}: expected a list of 3D points",
+                instance.line,
+            )
+        points = tuple(self._resolve_point(ref, instance) for ref in raw_points)
+        return IfcStairFlight(
+            entity_id=instance.entity_id,
+            global_id=self._string(instance, 0, "GlobalId"),
+            name=self._string(instance, 1, "Name", default=f"stair_{instance.entity_id}"),
+            points=points,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Argument helpers
+    # ------------------------------------------------------------------ #
+    def _string(
+        self, instance: StepInstance, index: int, attribute: str, default: Optional[str] = None
+    ) -> str:
+        value = instance.arg(index, default)
+        if value is None:
+            raise IFCParseError(
+                f"{instance.type_name} #{instance.entity_id}: missing {attribute}",
+                instance.line,
+            )
+        return str(value)
+
+    def _reference(self, instance: StepInstance, index: int, expected_type: str) -> StepInstance:
+        value = instance.arg(index)
+        if not isinstance(value, EntityRef):
+            raise IFCParseError(
+                f"{instance.type_name} #{instance.entity_id}: argument {index} "
+                f"must reference an {expected_type}",
+                instance.line,
+            )
+        target = self.step.resolve(value)
+        if target is None:
+            raise IFCParseError(
+                f"{instance.type_name} #{instance.entity_id}: dangling reference {value}",
+                instance.line,
+            )
+        if target.type_name != expected_type:
+            raise IFCParseError(
+                f"{instance.type_name} #{instance.entity_id}: expected {expected_type}, "
+                f"found {target.type_name}",
+                instance.line,
+            )
+        return target
+
+    def _polyline(self, instance: StepInstance, index: int) -> IfcPolyline:
+        target = self._reference(instance, index, "IFCPOLYLINE")
+        raw_points = target.arg(0, [])
+        if not isinstance(raw_points, list) or len(raw_points) < 3:
+            raise IFCParseError(
+                f"IFCPOLYLINE #{target.entity_id}: needs at least three points",
+                target.line,
+            )
+        points = tuple(self._resolve_point(ref, target) for ref in raw_points)
+        return IfcPolyline(entity_id=target.entity_id, points=points)
+
+    def _point(self, instance: StepInstance, index: int) -> IfcCartesianPoint:
+        value = instance.arg(index)
+        if not isinstance(value, EntityRef):
+            raise IFCParseError(
+                f"{instance.type_name} #{instance.entity_id}: argument {index} "
+                "must reference an IFCCARTESIANPOINT",
+                instance.line,
+            )
+        return self._resolve_point(value, instance)
+
+    def _resolve_point(self, ref: Any, context: StepInstance) -> IfcCartesianPoint:
+        if not isinstance(ref, EntityRef):
+            raise IFCParseError(
+                f"{context.type_name} #{context.entity_id}: expected a point reference, "
+                f"found {ref!r}",
+                context.line,
+            )
+        target = self.step.resolve(ref)
+        if target is None or target.type_name != "IFCCARTESIANPOINT":
+            raise IFCParseError(
+                f"{context.type_name} #{context.entity_id}: {ref} is not an IFCCARTESIANPOINT",
+                context.line,
+            )
+        coordinates = target.arg(0, [])
+        if (
+            not isinstance(coordinates, list)
+            or len(coordinates) < 2
+            or not all(isinstance(c, (int, float)) for c in coordinates)
+        ):
+            raise IFCParseError(
+                f"IFCCARTESIANPOINT #{target.entity_id}: malformed coordinates",
+                target.line,
+            )
+        return IfcCartesianPoint(
+            entity_id=target.entity_id,
+            coordinates=tuple(float(c) for c in coordinates),
+        )
+
+
+def parse_ifc_text(text: str) -> IfcModel:
+    """Parse IFC SPF *text* into a typed model."""
+    return IFCParser.from_text(text).parse()
+
+
+def parse_ifc_file(path: str) -> IfcModel:
+    """Parse the IFC SPF file at *path* into a typed model."""
+    return IFCParser.from_file(path).parse()
+
+
+__all__ = ["IFCParser", "parse_ifc_text", "parse_ifc_file"]

@@ -1,0 +1,359 @@
+"""Tokenizer / low-level parser for STEP physical files (ISO 10303-21).
+
+Industry-standard DBI files (IFC) are STEP "SPF" text files: a ``HEADER``
+section followed by a ``DATA`` section whose lines have the shape::
+
+    #42=IFCSPACE('2fD$kq...', $, 'Office S0', 'office room', ...);
+
+This module turns the textual instance lines into structured
+:class:`StepInstance` values whose arguments are plain Python objects:
+
+* ``'text'``            → ``str``
+* ``42`` / ``42.5``     → ``int`` / ``float``
+* ``#17``               → :class:`EntityRef`
+* ``.ELEMENT.``         → :class:`EnumValue`
+* ``$`` (unset) / ``*`` → ``None`` / :data:`WILDCARD`
+* ``(a, b, c)``         → ``list``
+
+The grammar supported here is the subset required to round-trip the files
+produced by :mod:`repro.ifc.writer` and to survive typical vendor quirks
+(whitespace, blank lines, comments, multi-line instances).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import IFCParseError
+
+
+@dataclass(frozen=True)
+class EntityRef:
+    """A reference to another instance, written ``#<id>`` in the file."""
+
+    entity_id: int
+
+    def __repr__(self) -> str:
+        return f"#{self.entity_id}"
+
+
+@dataclass(frozen=True)
+class EnumValue:
+    """A STEP enumeration literal, written ``.NAME.`` in the file."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f".{self.name}."
+
+
+class _Wildcard:
+    """Singleton for the ``*`` (derived attribute) token."""
+
+    _instance: Optional["_Wildcard"] = None
+
+    def __new__(cls) -> "_Wildcard":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "*"
+
+
+WILDCARD = _Wildcard()
+
+
+@dataclass
+class StepInstance:
+    """One parsed ``#id=TYPE(...)`` instance line."""
+
+    entity_id: int
+    type_name: str
+    arguments: List[Any] = field(default_factory=list)
+    line: int = 0
+
+    def arg(self, index: int, default: Any = None) -> Any:
+        """The *index*-th argument, or *default* when absent/unset."""
+        if index >= len(self.arguments):
+            return default
+        value = self.arguments[index]
+        return default if value is None else value
+
+
+@dataclass
+class StepFile:
+    """A parsed STEP file: header fields plus the instances of the DATA section."""
+
+    header: Dict[str, List[Any]] = field(default_factory=dict)
+    instances: Dict[int, StepInstance] = field(default_factory=dict)
+
+    def by_type(self, type_name: str) -> List[StepInstance]:
+        """All instances of *type_name* (case-insensitive), in id order."""
+        wanted = type_name.upper()
+        found = [i for i in self.instances.values() if i.type_name == wanted]
+        return sorted(found, key=lambda instance: instance.entity_id)
+
+    def resolve(self, ref: Any) -> Optional[StepInstance]:
+        """Dereference an :class:`EntityRef` (returns ``None`` for anything else)."""
+        if isinstance(ref, EntityRef):
+            return self.instances.get(ref.entity_id)
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+
+# --------------------------------------------------------------------------- #
+# Argument scanner
+# --------------------------------------------------------------------------- #
+class _ArgumentScanner:
+    """Recursive-descent scanner for a STEP argument list."""
+
+    def __init__(self, text: str, line: int) -> None:
+        self.text = text
+        self.position = 0
+        self.line = line
+
+    def parse_arguments(self) -> List[Any]:
+        """Parse the full ``(...)`` argument list."""
+        self._skip_whitespace()
+        self._expect("(")
+        arguments = self._parse_list_body()
+        self._skip_whitespace()
+        if self.position != len(self.text):
+            raise IFCParseError(
+                f"unexpected trailing characters {self.text[self.position:]!r}", self.line
+            )
+        return arguments
+
+    def _parse_list_body(self) -> List[Any]:
+        values: List[Any] = []
+        self._skip_whitespace()
+        if self._peek() == ")":
+            self.position += 1
+            return values
+        while True:
+            values.append(self._parse_value())
+            self._skip_whitespace()
+            character = self._peek()
+            if character == ",":
+                self.position += 1
+                continue
+            if character == ")":
+                self.position += 1
+                return values
+            raise IFCParseError(
+                f"expected ',' or ')' at offset {self.position}", self.line
+            )
+
+    def _parse_value(self) -> Any:
+        self._skip_whitespace()
+        character = self._peek()
+        if character == "'":
+            return self._parse_string()
+        if character == "#":
+            return self._parse_reference()
+        if character == ".":
+            return self._parse_enum()
+        if character == "(":
+            self.position += 1
+            return self._parse_list_body()
+        if character == "$":
+            self.position += 1
+            return None
+        if character == "*":
+            self.position += 1
+            return WILDCARD
+        return self._parse_number_or_keyword()
+
+    def _parse_string(self) -> str:
+        # STEP escapes a quote by doubling it: 'it''s'.
+        assert self._peek() == "'"
+        self.position += 1
+        pieces: List[str] = []
+        while True:
+            if self.position >= len(self.text):
+                raise IFCParseError("unterminated string literal", self.line)
+            character = self.text[self.position]
+            if character == "'":
+                if self.position + 1 < len(self.text) and self.text[self.position + 1] == "'":
+                    pieces.append("'")
+                    self.position += 2
+                    continue
+                self.position += 1
+                return "".join(pieces)
+            pieces.append(character)
+            self.position += 1
+
+    def _parse_reference(self) -> EntityRef:
+        match = re.match(r"#(\d+)", self.text[self.position:])
+        if not match:
+            raise IFCParseError(
+                f"malformed entity reference at offset {self.position}", self.line
+            )
+        self.position += match.end()
+        return EntityRef(int(match.group(1)))
+
+    def _parse_enum(self) -> EnumValue:
+        match = re.match(r"\.([A-Za-z0-9_]+)\.", self.text[self.position:])
+        if not match:
+            raise IFCParseError(
+                f"malformed enumeration at offset {self.position}", self.line
+            )
+        self.position += match.end()
+        return EnumValue(match.group(1).upper())
+
+    def _parse_number_or_keyword(self) -> Any:
+        match = re.match(
+            r"[-+]?\d+\.\d*(?:[eE][-+]?\d+)?|[-+]?\.\d+(?:[eE][-+]?\d+)?"
+            r"|[-+]?\d+(?:[eE][-+]?\d+)?|[A-Za-z_][A-Za-z0-9_]*",
+            self.text[self.position:],
+        )
+        if not match:
+            raise IFCParseError(
+                f"unexpected character {self._peek()!r} at offset {self.position}",
+                self.line,
+            )
+        token = match.group(0)
+        self.position += match.end()
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            # Typed aggregates such as IFCBOOLEAN(.T.) degrade to the keyword.
+            return token
+        if any(symbol in token for symbol in ".eE") and not token.lstrip("+-").isdigit():
+            return float(token)
+        return int(token)
+
+    def _peek(self) -> str:
+        if self.position >= len(self.text):
+            raise IFCParseError("unexpected end of arguments", self.line)
+        return self.text[self.position]
+
+    def _expect(self, character: str) -> None:
+        if self._peek() != character:
+            raise IFCParseError(
+                f"expected {character!r} at offset {self.position}", self.line
+            )
+        self.position += 1
+
+    def _skip_whitespace(self) -> None:
+        while self.position < len(self.text) and self.text[self.position] in " \t\r\n":
+            self.position += 1
+
+
+# --------------------------------------------------------------------------- #
+# File-level tokenizer
+# --------------------------------------------------------------------------- #
+_INSTANCE_RE = re.compile(r"^#(\d+)\s*=\s*([A-Za-z0-9_]+)\s*(\(.*\))\s*$", re.DOTALL)
+_HEADER_RE = re.compile(r"^([A-Za-z0-9_]+)\s*(\(.*\))\s*$", re.DOTALL)
+
+
+def _iter_statements(text: str) -> Iterator[Tuple[str, int]]:
+    """Yield ``(statement, line_number)`` for each ';'-terminated statement.
+
+    Comments (``/* ... */``) are stripped; statements may span multiple lines;
+    semicolons inside string literals (e.g. ``'2;1'``) do not terminate a
+    statement.
+    """
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+    buffer: List[str] = []
+    start_line = 1
+    line = 1
+    in_string = False
+    for character in text:
+        if character == "\n":
+            line += 1
+        if character == "'":
+            # STEP escapes a quote by doubling it; toggling on every quote
+            # still tracks "inside a string" correctly for '' pairs.
+            in_string = not in_string
+        if character == ";" and not in_string:
+            statement = "".join(buffer).strip()
+            if statement:
+                yield statement, start_line
+            buffer = []
+            start_line = line
+            continue
+        if not buffer and character in " \t\r\n":
+            start_line = line
+            continue
+        buffer.append(character)
+    remainder = "".join(buffer).strip()
+    if remainder:
+        yield remainder, start_line
+
+
+def tokenize(text: str) -> StepFile:
+    """Parse the STEP text into a :class:`StepFile`.
+
+    Raises:
+        IFCParseError: on malformed section structure or instance syntax.
+    """
+    step = StepFile()
+    section: Optional[str] = None
+    saw_iso = False
+    for statement, line in _iter_statements(text):
+        upper = statement.upper()
+        if upper.startswith("ISO-10303-21"):
+            saw_iso = True
+            continue
+        if upper.startswith("END-ISO-10303-21"):
+            continue
+        if upper == "HEADER":
+            section = "HEADER"
+            continue
+        if upper == "DATA":
+            section = "DATA"
+            continue
+        if upper == "ENDSEC":
+            section = None
+            continue
+        if section == "HEADER":
+            match = _HEADER_RE.match(statement)
+            if not match:
+                raise IFCParseError(f"malformed header statement {statement!r}", line)
+            name, arguments_text = match.group(1).upper(), match.group(2)
+            step.header[name] = _ArgumentScanner(arguments_text, line).parse_arguments()
+            continue
+        if section == "DATA":
+            match = _INSTANCE_RE.match(statement)
+            if not match:
+                raise IFCParseError(f"malformed instance statement {statement!r}", line)
+            entity_id = int(match.group(1))
+            type_name = match.group(2).upper()
+            arguments = _ArgumentScanner(match.group(3), line).parse_arguments()
+            if entity_id in step.instances:
+                raise IFCParseError(f"duplicate instance id #{entity_id}", line)
+            step.instances[entity_id] = StepInstance(
+                entity_id=entity_id,
+                type_name=type_name,
+                arguments=arguments,
+                line=line,
+            )
+            continue
+        # Statements outside any section are tolerated only before ISO marker.
+        if not saw_iso and not statement:
+            continue
+        raise IFCParseError(f"statement outside HEADER/DATA section: {statement!r}", line)
+    if not saw_iso:
+        raise IFCParseError("missing ISO-10303-21 marker; not a STEP file")
+    return step
+
+
+def tokenize_file(path: str) -> StepFile:
+    """Read and tokenize the STEP file at *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return tokenize(handle.read())
+
+
+__all__ = [
+    "EntityRef",
+    "EnumValue",
+    "WILDCARD",
+    "StepInstance",
+    "StepFile",
+    "tokenize",
+    "tokenize_file",
+]

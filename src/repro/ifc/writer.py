@@ -1,0 +1,173 @@
+"""IFC (STEP-SPF) writer: serialise a building model back to DBI text.
+
+The writer intentionally drops the information that real IFC files also lack:
+door–partition connectivity and staircase connectivity are *not* written, so
+that the extractor has to recover them exactly as Section 4.1 describes.
+
+The writer can also *inject errors* into the output (doors placed away from
+any partition, spaces with degenerate footprints) to exercise the "identify
+and fix parse errors" step of the demonstration path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.building.model import Building, OUTDOOR
+from repro.geometry.point import Point
+
+
+@dataclass
+class ErrorInjection:
+    """Optional artificial data errors added to the written file."""
+
+    orphan_doors: int = 0
+    degenerate_spaces: int = 0
+
+
+class _InstanceWriter:
+    """Accumulates numbered STEP instances."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        self.lines: List[str] = []
+
+    def add(self, type_name: str, arguments: str) -> int:
+        entity_id = next(self._counter)
+        self.lines.append(f"#{entity_id}={type_name}({arguments});")
+        return entity_id
+
+
+def _escape(text: str) -> str:
+    return text.replace("'", "''")
+
+
+def _format_float(value: float) -> str:
+    return f"{value:.6f}".rstrip("0").rstrip(".") or "0."
+
+
+def building_to_ifc(
+    building: Building,
+    injection: Optional[ErrorInjection] = None,
+) -> str:
+    """Serialise *building* to IFC SPF text."""
+    injection = injection or ErrorInjection()
+    writer = _InstanceWriter()
+    guid_counter = itertools.count(1)
+
+    def guid() -> str:
+        return f"GUID{next(guid_counter):06d}"
+
+    building_ref = writer.add(
+        "IFCBUILDING",
+        f"'{guid()}','{_escape(building.building_id)}','{_escape(building.name)}'",
+    )
+    storey_refs: Dict[int, int] = {}
+    for floor_id in building.floor_ids:
+        floor = building.floors[floor_id]
+        storey_refs[floor_id] = writer.add(
+            "IFCBUILDINGSTOREY",
+            f"'{guid()}','Floor {floor_id}',{_format_float(floor.elevation)},#{building_ref}",
+        )
+
+    def write_point_2d(point: Point) -> int:
+        return writer.add(
+            "IFCCARTESIANPOINT",
+            f"({_format_float(point.x)},{_format_float(point.y)})",
+        )
+
+    def write_point_3d(point: Point, z: float) -> int:
+        return writer.add(
+            "IFCCARTESIANPOINT",
+            f"({_format_float(point.x)},{_format_float(point.y)},{_format_float(z)})",
+        )
+
+    # Spaces ---------------------------------------------------------------
+    degenerate_budget = injection.degenerate_spaces
+    for floor_id in building.floor_ids:
+        floor = building.floors[floor_id]
+        for partition in floor.partitions.values():
+            vertices = list(partition.polygon.vertices)
+            if degenerate_budget > 0:
+                # Collapse the footprint to a line: a degenerate space.
+                vertices = [vertices[0], vertices[1], vertices[0]]
+                degenerate_budget -= 1
+            point_refs = [write_point_2d(vertex) for vertex in vertices]
+            polyline_ref = writer.add(
+                "IFCPOLYLINE",
+                "(" + ",".join(f"#{ref}" for ref in point_refs) + ")",
+            )
+            writer.add(
+                "IFCSPACE",
+                f"'{guid()}','{_escape(partition.partition_id)}',"
+                f"'{_escape(partition.name)}',#{storey_refs[floor_id]},"
+                f"#{polyline_ref},'{partition.kind.value}'",
+            )
+
+    # Doors ------------------------------------------------------------------
+    orphan_budget = injection.orphan_doors
+    for floor_id in building.floor_ids:
+        floor = building.floors[floor_id]
+        bounding = floor.bounding_box
+        for door in floor.doors.values():
+            position = door.position
+            if orphan_budget > 0:
+                # Place the door far outside the floor extent.
+                position = Point(bounding.max_x + 50.0, bounding.max_y + 50.0)
+                orphan_budget -= 1
+            point_ref = write_point_2d(position)
+            writer.add(
+                "IFCDOOR",
+                f"'{guid()}','{_escape(door.door_id)}',#{storey_refs[floor_id]},"
+                f"#{point_ref},{_format_float(door.width)}",
+            )
+
+    # Staircases: emitted only as disjoint 3D point sets -----------------------
+    for staircase in building.staircases.values():
+        lower_floor = building.floors[staircase.lower_floor]
+        upper_floor = building.floors[staircase.upper_floor]
+        lower_z = lower_floor.elevation
+        upper_z = upper_floor.elevation
+        corner_offsets = [Point(-0.5, -0.5), Point(0.5, -0.5), Point(0.5, 0.5), Point(-0.5, 0.5)]
+        point_refs = [
+            write_point_3d(staircase.lower_point + offset, lower_z)
+            for offset in corner_offsets
+        ] + [
+            write_point_3d(staircase.upper_point + offset, upper_z)
+            for offset in corner_offsets
+        ]
+        writer.add(
+            "IFCSTAIRFLIGHT",
+            f"'{guid()}','{_escape(staircase.staircase_id)}',"
+            "(" + ",".join(f"#{ref}" for ref in point_refs) + ")",
+        )
+
+    header = (
+        "ISO-10303-21;\n"
+        "HEADER;\n"
+        "FILE_DESCRIPTION(('Vita synthetic DBI export'),'2;1');\n"
+        f"FILE_NAME('{_escape(building.building_id)}.ifc','2016-09-05',('vita'),"
+        "('vita'),'','','');\n"
+        "FILE_SCHEMA(('IFC2X3'));\n"
+        "ENDSEC;\n"
+        "DATA;\n"
+    )
+    footer = "ENDSEC;\nEND-ISO-10303-21;\n"
+    return header + "\n".join(writer.lines) + "\n" + footer
+
+
+def write_ifc(
+    building: Building,
+    path: str,
+    injection: Optional[ErrorInjection] = None,
+) -> str:
+    """Serialise *building* and write it to *path*; return the path."""
+    text = building_to_ifc(building, injection)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path
+
+
+__all__ = ["ErrorInjection", "building_to_ifc", "write_ifc"]

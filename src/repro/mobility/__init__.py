@@ -1,0 +1,69 @@
+"""Moving Object Layer: objects, distributions, patterns, simulation engine."""
+
+from repro.mobility.objects import Lifespan, MovementState, MovingObject
+from repro.mobility.trajectory import Trajectory, TrajectorySet
+from repro.mobility.distributions import (
+    ArrivalProcess,
+    CrowdOutliersDistribution,
+    CrowdSpec,
+    InitialDistribution,
+    NoArrivals,
+    PoissonArrivals,
+    UniformDistribution,
+    distribution_by_name,
+)
+from repro.mobility.intentions import (
+    DestinationIntention,
+    Intention,
+    RandomWayIntention,
+    intention_by_name,
+)
+from repro.mobility.behavior import (
+    Behavior,
+    ContinuousWalkBehavior,
+    VariableSpeedBehavior,
+    WalkStayBehavior,
+    behavior_by_name,
+)
+from repro.mobility.crowd import (
+    CrowdInteractionModel,
+    DensitySlowdownModel,
+    NoInteraction,
+    crowd_model_by_name,
+)
+from repro.mobility.engine import EngineConfig, SimulationEngine, SimulationResult
+from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
+
+__all__ = [
+    "Lifespan",
+    "MovementState",
+    "MovingObject",
+    "Trajectory",
+    "TrajectorySet",
+    "ArrivalProcess",
+    "CrowdOutliersDistribution",
+    "CrowdSpec",
+    "InitialDistribution",
+    "NoArrivals",
+    "PoissonArrivals",
+    "UniformDistribution",
+    "distribution_by_name",
+    "DestinationIntention",
+    "Intention",
+    "RandomWayIntention",
+    "intention_by_name",
+    "Behavior",
+    "ContinuousWalkBehavior",
+    "VariableSpeedBehavior",
+    "WalkStayBehavior",
+    "behavior_by_name",
+    "CrowdInteractionModel",
+    "DensitySlowdownModel",
+    "NoInteraction",
+    "crowd_model_by_name",
+    "EngineConfig",
+    "SimulationEngine",
+    "SimulationResult",
+    "MovingObjectController",
+    "ObjectGenerationConfig",
+]

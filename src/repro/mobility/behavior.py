@@ -1,0 +1,145 @@
+"""Moving behaviours: how an object walks along its route.
+
+Section 3.1 (3), *behavior*: "users can choose from pre-defined mechanisms to
+configure details such as the change of speed, the stop during the moving,
+etc.  For example, in the walk-stay mechanism, an object will switch between
+the states 'walking along the path to its destination' and 'staying at the
+destination or a location on path' after a random period of time."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import ConfigurationError
+
+
+class Behavior:
+    """Strategy controlling stops and speed changes while moving."""
+
+    name = "abstract"
+
+    def stay_duration_at_destination(self, rng: random.Random) -> float:
+        """Seconds to stay once a destination is reached (0 = keep going)."""
+        return 0.0
+
+    def pause_probability_per_second(self) -> float:
+        """Probability per simulated second of pausing somewhere on the path."""
+        return 0.0
+
+    def pause_duration(self, rng: random.Random) -> float:
+        """Seconds of an on-path pause."""
+        return 0.0
+
+    def speed_multiplier(self, rng: random.Random) -> float:
+        """Multiplier applied to the object's maximum speed for the next leg."""
+        return 1.0
+
+
+class ContinuousWalkBehavior(Behavior):
+    """Walk at a steady fraction of maximum speed, never stopping."""
+
+    name = "continuous"
+
+    def __init__(self, speed_fraction: float = 0.9) -> None:
+        if not 0.0 < speed_fraction <= 1.0:
+            raise ConfigurationError("speed_fraction must be in (0, 1]")
+        self.speed_fraction = speed_fraction
+
+    def speed_multiplier(self, rng: random.Random) -> float:
+        return self.speed_fraction
+
+
+class WalkStayBehavior(Behavior):
+    """The walk-stay mechanism of the paper.
+
+    The object walks toward its destination, stays there for a random period
+    drawn from ``[min_stay, max_stay]`` and may also pause mid-path with a
+    small probability per second.
+    """
+
+    name = "walk-stay"
+
+    def __init__(
+        self,
+        min_stay: float = 10.0,
+        max_stay: float = 120.0,
+        on_path_stop_rate: float = 0.01,
+        on_path_stop_min: float = 2.0,
+        on_path_stop_max: float = 15.0,
+    ) -> None:
+        if min_stay < 0 or max_stay < min_stay:
+            raise ConfigurationError("require 0 <= min_stay <= max_stay")
+        if not 0.0 <= on_path_stop_rate <= 1.0:
+            raise ConfigurationError("on_path_stop_rate must be within [0, 1]")
+        if on_path_stop_min < 0 or on_path_stop_max < on_path_stop_min:
+            raise ConfigurationError("require 0 <= on_path_stop_min <= on_path_stop_max")
+        self.min_stay = min_stay
+        self.max_stay = max_stay
+        self.on_path_stop_rate = on_path_stop_rate
+        self.on_path_stop_min = on_path_stop_min
+        self.on_path_stop_max = on_path_stop_max
+
+    def stay_duration_at_destination(self, rng: random.Random) -> float:
+        return rng.uniform(self.min_stay, self.max_stay)
+
+    def pause_probability_per_second(self) -> float:
+        return self.on_path_stop_rate
+
+    def pause_duration(self, rng: random.Random) -> float:
+        return rng.uniform(self.on_path_stop_min, self.on_path_stop_max)
+
+    def speed_multiplier(self, rng: random.Random) -> float:
+        # Mild per-leg variation so that successive legs are not identical.
+        return rng.uniform(0.8, 1.0)
+
+
+class VariableSpeedBehavior(Behavior):
+    """Change of speed: each leg is walked at a random fraction of max speed."""
+
+    name = "variable-speed"
+
+    def __init__(
+        self,
+        min_fraction: float = 0.4,
+        max_fraction: float = 1.0,
+        stay_at_destination: float = 5.0,
+    ) -> None:
+        if not 0.0 < min_fraction <= max_fraction <= 1.0:
+            raise ConfigurationError("require 0 < min_fraction <= max_fraction <= 1")
+        if stay_at_destination < 0:
+            raise ConfigurationError("stay_at_destination must be non-negative")
+        self.min_fraction = min_fraction
+        self.max_fraction = max_fraction
+        self.stay_at_destination = stay_at_destination
+
+    def stay_duration_at_destination(self, rng: random.Random) -> float:
+        return self.stay_at_destination
+
+    def speed_multiplier(self, rng: random.Random) -> float:
+        return rng.uniform(self.min_fraction, self.max_fraction)
+
+
+def behavior_by_name(name: str, **kwargs) -> Behavior:
+    """Factory used by the configuration loader."""
+    normalized = name.lower().replace("_", "-")
+    if normalized in ("continuous", "continuous-walk"):
+        return ContinuousWalkBehavior(**kwargs)
+    if normalized in ("walk-stay", "walkstay"):
+        return WalkStayBehavior(**kwargs)
+    if normalized in ("variable-speed", "variablespeed"):
+        return VariableSpeedBehavior(**kwargs)
+    raise ConfigurationError(
+        f"unknown behaviour {name!r}; expected 'continuous', 'walk-stay' or 'variable-speed'"
+    )
+
+
+__all__ = [
+    "Behavior",
+    "ContinuousWalkBehavior",
+    "WalkStayBehavior",
+    "VariableSpeedBehavior",
+    "behavior_by_name",
+]

@@ -1,0 +1,173 @@
+"""Moving Object Controller.
+
+"The Moving Object Controller allows a user to set object parameters
+including number, maximum speed, moving pattern, and lifespan.  In this layer,
+users can also tune the sampling frequency in order to set the temporal
+granularity for the raw trajectory data to be generated." (Section 2)
+
+The controller translates an :class:`ObjectGenerationConfig` into concrete
+:class:`~repro.mobility.objects.MovingObject` instances (initial population
+plus Poisson arrivals), runs the simulation engine and returns the raw
+trajectory data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.building.distance import RoutePlanner
+from repro.building.model import Building
+from repro.core.errors import ConfigurationError
+from repro.core.types import Timestamp
+from repro.geometry.point import Point
+from repro.mobility.behavior import Behavior, WalkStayBehavior
+from repro.mobility.crowd import CrowdInteractionModel
+from repro.mobility.distributions import (
+    ArrivalProcess,
+    InitialDistribution,
+    NoArrivals,
+    Placement,
+    UniformDistribution,
+)
+from repro.mobility.engine import EngineConfig, SimulationEngine, SimulationResult
+from repro.mobility.intentions import DestinationIntention, Intention
+from repro.mobility.objects import Lifespan, MovingObject
+
+
+@dataclass
+class ObjectGenerationConfig:
+    """User configuration of the Moving Object Layer.
+
+    Attributes:
+        count: number of objects in the initial population.
+        min_speed / max_speed: an object's maximum walking speed is drawn
+            uniformly from this range (metres/second).
+        min_lifespan / max_lifespan: each object's lifespan is drawn uniformly
+            from this range (seconds), as Section 3.1 specifies.
+        duration: total generation period in seconds.
+        sampling_period: trajectory sampling period in seconds (the inverse of
+            the sampling frequency).
+        time_step: simulation step in seconds.
+        routing_metric: ``"length"`` (minimum indoor walking distance) or
+            ``"time"`` (minimum walking time).
+        seed: seed for reproducible generation.
+    """
+
+    count: int = 50
+    min_speed: float = 0.8
+    max_speed: float = 1.8
+    min_lifespan: float = 300.0
+    max_lifespan: float = 900.0
+    duration: float = 600.0
+    sampling_period: float = 1.0
+    time_step: float = 0.25
+    routing_metric: str = "length"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ConfigurationError("count must be non-negative")
+        if self.min_speed <= 0 or self.max_speed < self.min_speed:
+            raise ConfigurationError("require 0 < min_speed <= max_speed")
+        if self.min_lifespan <= 0 or self.max_lifespan < self.min_lifespan:
+            raise ConfigurationError("require 0 < min_lifespan <= max_lifespan")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.sampling_period <= 0:
+            raise ConfigurationError("sampling_period must be positive")
+        if self.routing_metric not in ("length", "time"):
+            raise ConfigurationError("routing_metric must be 'length' or 'time'")
+
+
+class MovingObjectController:
+    """Creates moving objects and generates their raw trajectory data."""
+
+    def __init__(
+        self,
+        building: Building,
+        config: Optional[ObjectGenerationConfig] = None,
+        distribution: Optional[InitialDistribution] = None,
+        arrival_process: Optional[ArrivalProcess] = None,
+        intention: Optional[Intention] = None,
+        behavior: Optional[Behavior] = None,
+        planner: Optional[RoutePlanner] = None,
+        crowd_model: Optional[CrowdInteractionModel] = None,
+    ) -> None:
+        self.building = building
+        self.config = config or ObjectGenerationConfig()
+        self.distribution = distribution or UniformDistribution()
+        self.arrival_process = arrival_process or NoArrivals()
+        self.intention = intention or DestinationIntention()
+        self.behavior = behavior or WalkStayBehavior()
+        self.crowd_model = crowd_model
+        self.planner = planner or RoutePlanner(building)
+        self.rng = random.Random(self.config.seed)
+        self._id_counter = itertools.count(1)
+        self.objects: List[MovingObject] = []
+        self.last_result: Optional[SimulationResult] = None
+
+    # ------------------------------------------------------------------ #
+    # Object creation
+    # ------------------------------------------------------------------ #
+    def create_objects(self) -> List[MovingObject]:
+        """Instantiate and place the initial population of objects."""
+        placements = self.distribution.place(self.building, self.config.count, self.rng)
+        objects = [
+            self._new_object(birth=0.0, placement=placement) for placement in placements
+        ]
+        self.objects = objects
+        return objects
+
+    def create_arrivals(self) -> List[Tuple[Timestamp, MovingObject]]:
+        """Instantiate objects that emerge during the generation period."""
+        arrivals = self.arrival_process.arrivals(
+            self.building, self.config.duration, self.rng
+        )
+        result: List[Tuple[Timestamp, MovingObject]] = []
+        for start_time, placement in arrivals:
+            result.append((start_time, self._new_object(birth=start_time, placement=placement)))
+        return result
+
+    def _new_object(self, birth: float, placement: Placement) -> MovingObject:
+        floor_id, point = placement
+        lifespan_duration = self.rng.uniform(
+            self.config.min_lifespan, self.config.max_lifespan
+        )
+        moving_object = MovingObject(
+            object_id=f"obj_{next(self._id_counter):04d}",
+            max_speed=self.rng.uniform(self.config.min_speed, self.config.max_speed),
+            lifespan=Lifespan(birth=birth, death=birth + lifespan_duration),
+            routing_metric=self.config.routing_metric,
+        )
+        moving_object.place_at(floor_id, point)
+        return moving_object
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, snapshot_times: Optional[List[float]] = None) -> SimulationResult:
+        """Run the full Moving Object Layer and return the simulation result."""
+        engine = SimulationEngine(
+            building=self.building,
+            planner=self.planner,
+            config=EngineConfig(
+                duration=self.config.duration,
+                time_step=self.config.time_step,
+                sampling_period=self.config.sampling_period,
+                seed=self.config.seed,
+            ),
+            intention=self.intention,
+            behavior=self.behavior,
+            crowd_model=self.crowd_model,
+        )
+        objects = self.create_objects() if not self.objects else self.objects
+        arrivals = self.create_arrivals()
+        result = engine.run(objects, arrivals=arrivals, snapshot_times=snapshot_times)
+        self.last_result = result
+        return result
+
+
+__all__ = ["ObjectGenerationConfig", "MovingObjectController"]

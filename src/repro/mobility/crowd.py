@@ -1,0 +1,114 @@
+"""Crowd interaction between moving objects.
+
+Section 4 of the paper notes that Vita "is designed and implemented in an
+extensible way for easy integration of more advanced features in the future.
+For example, to introduce the interference between moving objects, it can be
+configured to use more complicated movement generation processes like a crowd
+simulation model."
+
+This module provides that extension point: a :class:`CrowdInteractionModel`
+that the simulation engine consults every tick.  The default
+:class:`DensitySlowdownModel` is a lightweight congestion model — the more
+neighbours an object has within its personal-space radius, the slower it
+walks — which captures the first-order effect of crowding (queues form in
+doorways and crowded shops) without a full social-force simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.types import FloorId
+from repro.geometry.point import Point
+
+
+class CrowdInteractionModel:
+    """Strategy deciding how surrounding objects affect an object's speed."""
+
+    name = "abstract"
+
+    def speed_factor(
+        self,
+        floor_id: FloorId,
+        position: Point,
+        neighbors: Sequence[Tuple[FloorId, Point]],
+    ) -> float:
+        """Multiplicative speed factor in ``(0, 1]`` given nearby objects."""
+        raise NotImplementedError
+
+
+class NoInteraction(CrowdInteractionModel):
+    """Objects ignore each other entirely (the paper's default behaviour)."""
+
+    name = "none"
+
+    def speed_factor(self, floor_id, position, neighbors) -> float:  # noqa: D102
+        return 1.0
+
+
+@dataclass
+class DensitySlowdownModel(CrowdInteractionModel):
+    """Congestion: walking speed drops with the number of close-by neighbours.
+
+    Attributes:
+        personal_radius: neighbours within this planar distance (metres) on the
+            same floor count towards the local density.
+        slowdown_per_neighbor: fractional speed loss per neighbour.
+        min_factor: lower bound so heavily congested objects still creep
+            forward instead of deadlocking.
+    """
+
+    personal_radius: float = 1.5
+    slowdown_per_neighbor: float = 0.15
+    min_factor: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.personal_radius <= 0:
+            raise ConfigurationError("personal_radius must be positive")
+        if not 0.0 <= self.slowdown_per_neighbor <= 1.0:
+            raise ConfigurationError("slowdown_per_neighbor must be within [0, 1]")
+        if not 0.0 < self.min_factor <= 1.0:
+            raise ConfigurationError("min_factor must be within (0, 1]")
+
+    name = "density-slowdown"
+
+    def speed_factor(
+        self,
+        floor_id: FloorId,
+        position: Point,
+        neighbors: Sequence[Tuple[FloorId, Point]],
+    ) -> float:
+        close = 0
+        radius_sq = self.personal_radius ** 2
+        for other_floor, other_position in neighbors:
+            if other_floor != floor_id:
+                continue
+            dx = other_position.x - position.x
+            dy = other_position.y - position.y
+            if dx * dx + dy * dy <= radius_sq:
+                close += 1
+        factor = 1.0 - self.slowdown_per_neighbor * close
+        return max(factor, self.min_factor)
+
+
+def crowd_model_by_name(name: str, **kwargs) -> CrowdInteractionModel:
+    """Factory used by the configuration loader."""
+    normalized = name.lower().replace("_", "-")
+    if normalized in ("none", "off"):
+        return NoInteraction()
+    if normalized in ("density-slowdown", "density", "congestion"):
+        return DensitySlowdownModel(**kwargs)
+    raise ConfigurationError(
+        f"unknown crowd interaction model {name!r}; expected 'none' or 'density-slowdown'"
+    )
+
+
+__all__ = [
+    "CrowdInteractionModel",
+    "NoInteraction",
+    "DensitySlowdownModel",
+    "crowd_model_by_name",
+]

@@ -1,0 +1,324 @@
+"""Fixed-step simulation engine advancing indoor moving objects.
+
+The engine owns the simulation clock.  On every tick it advances each alive
+object along its current route (respecting partition speed factors and the
+behaviour's speed multiplier / pauses) and, at the configured trajectory
+sampling frequency, records a ground-truth sample ``(o_id, loc, t)`` for every
+alive object.  The result is a :class:`~repro.mobility.trajectory.TrajectorySet`.
+
+The paper emphasises that the trajectory sampling frequency is independent of
+the positioning sampling frequency (Section 2): the engine only produces the
+former; the Positioning Layer later samples RSSI at its own rate from the
+ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.building.distance import Route, RoutePlanner
+from repro.building.model import Building
+from repro.core.errors import MovementError, RoutingError
+from repro.core.types import IndoorLocation, ObjectId, Timestamp, TrajectoryRecord
+from repro.geometry.point import Point
+from repro.mobility.behavior import Behavior, WalkStayBehavior
+from repro.mobility.crowd import CrowdInteractionModel, NoInteraction
+from repro.mobility.intentions import DestinationIntention, Intention
+from repro.mobility.objects import MovementState, MovingObject
+from repro.mobility.trajectory import TrajectorySet
+
+
+@dataclass
+class EngineConfig:
+    """Simulation parameters of the Moving Object Layer."""
+
+    duration: float = 600.0
+    time_step: float = 0.25
+    sampling_period: float = 1.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise MovementError("duration must be positive")
+        if self.time_step <= 0:
+            raise MovementError("time_step must be positive")
+        if self.sampling_period < self.time_step:
+            # Sampling can never be finer than the simulation step.
+            self.sampling_period = self.time_step
+
+
+@dataclass
+class SimulationResult:
+    """Output of one simulation run."""
+
+    trajectories: TrajectorySet
+    duration: float
+    objects: List[MovingObject] = field(default_factory=list)
+    snapshots: Dict[float, Dict[ObjectId, IndoorLocation]] = field(default_factory=dict)
+
+    @property
+    def object_count(self) -> int:
+        return len(self.objects)
+
+    @property
+    def total_samples(self) -> int:
+        return self.trajectories.total_records
+
+
+class SimulationEngine:
+    """Advances moving objects through a building over simulated time."""
+
+    def __init__(
+        self,
+        building: Building,
+        planner: Optional[RoutePlanner] = None,
+        config: Optional[EngineConfig] = None,
+        intention: Optional[Intention] = None,
+        behavior: Optional[Behavior] = None,
+        crowd_model: Optional[CrowdInteractionModel] = None,
+    ) -> None:
+        self.building = building
+        self.planner = planner or RoutePlanner(building)
+        self.config = config or EngineConfig()
+        self.intention = intention or DestinationIntention()
+        self.behavior = behavior or WalkStayBehavior()
+        #: Interference between moving objects (Section 4 extension point).
+        self.crowd_model = crowd_model or NoInteraction()
+        self.rng = random.Random(self.config.seed)
+        #: Positions of the currently active objects, refreshed every tick and
+        #: used by the crowd interaction model.
+        self._active_snapshot: List = []
+        #: Optional per-tick observers, e.g. for live visualisation.
+        self.observers: List[Callable[[float, List[MovingObject]], None]] = []
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        objects: List[MovingObject],
+        arrivals: Optional[List[Tuple[Timestamp, MovingObject]]] = None,
+        snapshot_times: Optional[List[float]] = None,
+    ) -> SimulationResult:
+        """Simulate *objects* (plus timed *arrivals*) for the configured duration.
+
+        Args:
+            objects: objects present from their ``lifespan.birth`` onwards
+                (already placed at their initial position).
+            arrivals: extra objects entering at given times (already placed at
+                their emerging location).
+            snapshot_times: times at which a full position snapshot is kept in
+                the result (the paper's demo pauses generation to extract a
+                snapshot of the moving objects).
+        """
+        trajectories = TrajectorySet()
+        pending = sorted(arrivals or [], key=lambda pair: pair[0])
+        all_objects: List[MovingObject] = list(objects)
+        activated: set = set()
+        snapshots: Dict[float, Dict[ObjectId, IndoorLocation]] = {}
+        snapshot_queue = sorted(snapshot_times or [])
+
+        config = self.config
+        steps = int(round(config.duration / config.time_step))
+        samples_every = max(1, int(round(config.sampling_period / config.time_step)))
+        t = 0.0
+        for step in range(steps + 1):
+            # Inject arrivals whose start time has come.
+            while pending and pending[0][0] <= t + 1e-9:
+                _, new_object = pending.pop(0)
+                all_objects.append(new_object)
+            # Activate objects whose birth time has come (assign a first goal).
+            for moving_object in all_objects:
+                if moving_object.object_id in activated:
+                    continue
+                if moving_object.lifespan.birth <= t + 1e-9:
+                    self._activate(moving_object, t)
+                    activated.add(moving_object.object_id)
+            active = [
+                o for o in all_objects
+                if o.object_id in activated and o.alive_at(t)
+            ]
+            # Snapshot of everyone's position for the crowd interaction model.
+            self._active_snapshot = [
+                (o.object_id, o.floor_id, o.position) for o in active
+            ]
+            # Advance every active object.
+            for moving_object in active:
+                if t > moving_object.lifespan.death:
+                    moving_object.finish()
+                    continue
+                self._step_object(moving_object, t)
+            # Record ground truth at the trajectory sampling frequency.
+            if step % samples_every == 0:
+                for moving_object in active:
+                    if moving_object.state == MovementState.FINISHED:
+                        continue
+                    trajectories.add_record(self._record_of(moving_object, t))
+            # Snapshots requested by the caller.
+            while snapshot_queue and snapshot_queue[0] <= t + 1e-9:
+                snapshot_time = snapshot_queue.pop(0)
+                snapshots[snapshot_time] = {
+                    o.object_id: self._record_of(o, t).location
+                    for o in active
+                    if o.state != MovementState.FINISHED
+                }
+            for observer in self.observers:
+                observer(t, active)
+            t += config.time_step
+        return SimulationResult(
+            trajectories=trajectories,
+            duration=config.duration,
+            objects=all_objects,
+            snapshots=snapshots,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Per-object stepping
+    # ------------------------------------------------------------------ #
+    def _activate(self, moving_object: MovingObject, now: float) -> None:
+        """Give a newly active object its first goal."""
+        moving_object.speed_multiplier = self.behavior.speed_multiplier(self.rng)
+        self._assign_new_route(moving_object, now)
+
+    def _step_object(self, moving_object: MovingObject, now: float) -> None:
+        if moving_object.state == MovementState.STAYING:
+            if now >= moving_object.stay_until:
+                if moving_object.has_route:
+                    moving_object.state = MovementState.WALKING
+                else:
+                    self._assign_new_route(moving_object, now)
+            return
+        if moving_object.state != MovementState.WALKING:
+            return
+        # Random on-path pause (walk-stay mechanism).
+        pause_rate = self.behavior.pause_probability_per_second()
+        if pause_rate > 0 and self.rng.random() < pause_rate * self.config.time_step:
+            moving_object.begin_stay(now + self.behavior.pause_duration(self.rng))
+            return
+        self._advance_along_route(moving_object, now)
+
+    def _advance_along_route(self, moving_object: MovingObject, now: float) -> None:
+        route = moving_object.route
+        if route is None or not moving_object.has_route:
+            self._arrive(moving_object, now)
+            return
+        remaining_time = self.config.time_step
+        while remaining_time > 0 and moving_object.has_route:
+            waypoints = route.waypoints
+            current_wp = waypoints[moving_object.route_leg_index]
+            next_wp = waypoints[moving_object.route_leg_index + 1]
+            leg_vector = next_wp.point - current_wp.point
+            leg_length = leg_vector.norm()
+            speed = self._current_speed(moving_object, next_wp.floor_id, next_wp.partition_id)
+            if next_wp.floor_id != current_wp.floor_id:
+                # Staircase leg: use the connector length instead of the
+                # planar distance and keep the object at the stair endpoints.
+                staircase = self._staircase_length(route, current_wp, next_wp)
+                leg_length = staircase
+            if leg_length <= 1e-9:
+                self._complete_leg(moving_object, next_wp)
+                continue
+            distance_left = leg_length * (1.0 - moving_object.route_leg_progress)
+            travel = speed * remaining_time
+            if travel >= distance_left:
+                time_used = distance_left / speed if speed > 0 else remaining_time
+                remaining_time -= time_used
+                self._complete_leg(moving_object, next_wp)
+            else:
+                moving_object.route_leg_progress += travel / leg_length
+                fraction = moving_object.route_leg_progress
+                if next_wp.floor_id == current_wp.floor_id:
+                    moving_object.position = current_wp.point.lerp(next_wp.point, fraction)
+                    moving_object.floor_id = current_wp.floor_id
+                else:
+                    # While on the stairs, report the nearer endpoint.
+                    if fraction < 0.5:
+                        moving_object.position = current_wp.point
+                        moving_object.floor_id = current_wp.floor_id
+                    else:
+                        moving_object.position = next_wp.point
+                        moving_object.floor_id = next_wp.floor_id
+                remaining_time = 0.0
+        if not moving_object.has_route:
+            self._arrive(moving_object, now)
+
+    def _complete_leg(self, moving_object: MovingObject, next_wp) -> None:
+        moving_object.position = next_wp.point
+        moving_object.floor_id = next_wp.floor_id
+        moving_object.route_leg_index += 1
+        moving_object.route_leg_progress = 0.0
+
+    def _arrive(self, moving_object: MovingObject, now: float) -> None:
+        moving_object.destinations_reached += 1
+        moving_object.route = None
+        stay = self.behavior.stay_duration_at_destination(self.rng)
+        moving_object.speed_multiplier = self.behavior.speed_multiplier(self.rng)
+        if stay > 0:
+            moving_object.begin_stay(now + stay)
+        else:
+            self._assign_new_route(moving_object, now)
+
+    def _assign_new_route(self, moving_object: MovingObject, now: float) -> None:
+        """Ask the intention for a goal and plan a route to it."""
+        for _ in range(5):
+            goal_floor, goal_point = self.intention.next_goal(
+                self.building, moving_object.floor_id, moving_object.position, self.rng
+            )
+            try:
+                route = self.planner.shortest_route(
+                    moving_object.floor_id,
+                    moving_object.position,
+                    goal_floor,
+                    goal_point,
+                    metric=moving_object.routing_metric,
+                    walking_speed=moving_object.effective_speed,
+                )
+            except RoutingError:
+                continue
+            if route.is_empty or len(route.waypoints) < 2:
+                continue
+            moving_object.begin_route(route)
+            return
+        # No reachable goal found: stay put for a while and try again later.
+        moving_object.begin_stay(now + 5.0)
+
+    def _current_speed(self, moving_object: MovingObject, floor_id, partition_id) -> float:
+        factor = 0.85
+        try:
+            partition = self.building.partition(floor_id, partition_id)
+            factor = partition.speed_factor
+        except Exception:
+            pass
+        crowd_factor = self._crowd_factor(moving_object)
+        return max(moving_object.effective_speed * factor * crowd_factor, 0.05)
+
+    def _crowd_factor(self, moving_object: MovingObject) -> float:
+        """Interference from nearby objects (1.0 when no crowd model is set)."""
+        if isinstance(self.crowd_model, NoInteraction):
+            return 1.0
+        neighbors = [
+            (floor_id, position)
+            for object_id, floor_id, position in self._active_snapshot
+            if object_id != moving_object.object_id
+        ]
+        return self.crowd_model.speed_factor(
+            moving_object.floor_id, moving_object.position, neighbors
+        )
+
+    def _staircase_length(self, route: Route, current_wp, next_wp) -> float:
+        for staircase_id in route.staircases:
+            staircase = self.building.staircases.get(staircase_id)
+            if staircase is None:
+                continue
+            if staircase.connects_floor(current_wp.floor_id) and staircase.connects_floor(next_wp.floor_id):
+                return staircase.length
+        return max(current_wp.point.distance_to(next_wp.point), 3.0)
+
+    def _record_of(self, moving_object: MovingObject, t: float) -> TrajectoryRecord:
+        location = self.building.locate(moving_object.floor_id, moving_object.position)
+        return TrajectoryRecord(object_id=moving_object.object_id, location=location, t=t)
+
+
+__all__ = ["EngineConfig", "SimulationResult", "SimulationEngine"]

@@ -1,0 +1,155 @@
+"""Moving intentions: where an object decides to go next.
+
+Section 3.1 (3) splits a moving pattern into *intention*, *routing* and
+*behaviour*.  For intention, the paper offers the **destination model** (the
+object moves toward a destination) and the **random-way model** (it moves
+randomly).  Both are implemented here as strategies that, whenever an object
+needs a new goal, return the next target location.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.building.model import Building, Partition
+from repro.building.topology import AccessibilityGraph
+from repro.core.errors import ConfigurationError
+from repro.core.types import FloorId
+from repro.geometry.point import Point
+
+#: A movement goal is a (floor_id, point) pair.
+Goal = Tuple[FloorId, Point]
+
+
+class Intention:
+    """Strategy producing the next movement goal of an object."""
+
+    name = "abstract"
+
+    def next_goal(
+        self,
+        building: Building,
+        current_floor: FloorId,
+        current_position: Point,
+        rng: random.Random,
+    ) -> Goal:
+        """Return the next goal for an object currently at the given position."""
+        raise NotImplementedError
+
+
+class DestinationIntention(Intention):
+    """The destination model: pick a (possibly semantic) destination to walk to.
+
+    Args:
+        target_tags: when given, destinations are drawn preferentially from
+            partitions carrying one of these semantic tags (e.g. customers
+            heading to ``("shop", "canteen")``); with probability
+            ``1 - tag_bias`` any partition may still be chosen.
+        tag_bias: probability of honouring ``target_tags`` for a given goal.
+        allow_same_partition: whether the next destination may lie in the
+            object's current partition.
+    """
+
+    name = "destination"
+
+    def __init__(
+        self,
+        target_tags: Optional[Sequence[str]] = None,
+        tag_bias: float = 0.8,
+        allow_same_partition: bool = False,
+    ) -> None:
+        if not 0.0 <= tag_bias <= 1.0:
+            raise ConfigurationError("tag_bias must be within [0, 1]")
+        self.target_tags = tuple(target_tags) if target_tags else None
+        self.tag_bias = tag_bias
+        self.allow_same_partition = allow_same_partition
+
+    def next_goal(
+        self,
+        building: Building,
+        current_floor: FloorId,
+        current_position: Point,
+        rng: random.Random,
+    ) -> Goal:
+        current_partition = building.floor(current_floor).partition_at(current_position)
+        candidates = self._candidates(building, rng)
+        if not self.allow_same_partition and current_partition is not None:
+            filtered = [
+                p for p in candidates
+                if not (
+                    p.floor_id == current_floor
+                    and p.partition_id == current_partition.partition_id
+                )
+            ]
+            if filtered:
+                candidates = filtered
+        partition = rng.choices(candidates, weights=[p.area for p in candidates], k=1)[0]
+        return partition.floor_id, partition.random_point(rng)
+
+    def _candidates(self, building: Building, rng: random.Random) -> List[Partition]:
+        partitions = building.all_partitions()
+        if self.target_tags is not None and rng.random() < self.tag_bias:
+            tagged = [p for p in partitions if p.semantic_tag in self.target_tags]
+            if tagged:
+                return tagged
+        return partitions
+
+
+class RandomWayIntention(Intention):
+    """The random-way model: wander to a random neighbouring partition.
+
+    The next goal is a random point inside a partition adjacent to the current
+    one (falling back to any partition when the current one is unknown or has
+    no traversable neighbour), which produces locally random movement.
+    """
+
+    name = "random-way"
+
+    def __init__(self, graph: Optional[AccessibilityGraph] = None) -> None:
+        self._graph = graph
+
+    def _ensure_graph(self, building: Building) -> AccessibilityGraph:
+        if self._graph is None or self._graph.building is not building:
+            self._graph = AccessibilityGraph(building)
+        return self._graph
+
+    def next_goal(
+        self,
+        building: Building,
+        current_floor: FloorId,
+        current_position: Point,
+        rng: random.Random,
+    ) -> Goal:
+        graph = self._ensure_graph(building)
+        current_partition = building.floor(current_floor).partition_at(current_position)
+        if current_partition is not None:
+            neighbors = graph.neighbors(current_floor, current_partition.partition_id)
+            if neighbors:
+                floor_id, partition_id = rng.choice(neighbors)
+                partition = building.partition(floor_id, partition_id)
+                return floor_id, partition.random_point(rng)
+        location = building.random_location(rng)
+        x, y = location.point()
+        return location.floor_id, Point(x, y)
+
+
+def intention_by_name(name: str, **kwargs) -> Intention:
+    """Factory used by the configuration loader."""
+    normalized = name.lower().replace("_", "-")
+    if normalized == "destination":
+        return DestinationIntention(**kwargs)
+    if normalized in ("random-way", "randomway", "random"):
+        return RandomWayIntention(**kwargs)
+    raise ConfigurationError(
+        f"unknown intention {name!r}; expected 'destination' or 'random-way'"
+    )
+
+
+__all__ = [
+    "Goal",
+    "Intention",
+    "DestinationIntention",
+    "RandomWayIntention",
+    "intention_by_name",
+]

@@ -1,0 +1,138 @@
+"""Indoor moving objects.
+
+The Moving Object Controller configures objects' "number, maximum speed,
+moving pattern, and lifespan" (Section 2).  A :class:`MovingObject` couples
+that static configuration with the runtime movement state advanced by the
+simulation engine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.building.distance import Route
+from repro.core.errors import MovementError
+from repro.core.types import FloorId, ObjectId, Timestamp
+from repro.geometry.point import Point
+
+
+class MovementState(enum.Enum):
+    """The per-tick movement state of an object."""
+
+    WALKING = "walking"
+    STAYING = "staying"
+    FINISHED = "finished"
+
+
+@dataclass
+class Lifespan:
+    """Birth and death times of a moving object."""
+
+    birth: Timestamp
+    death: Timestamp
+
+    def __post_init__(self) -> None:
+        if self.death < self.birth:
+            raise MovementError("lifespan death must not precede birth")
+
+    @property
+    def duration(self) -> float:
+        return self.death - self.birth
+
+    def alive_at(self, t: Timestamp) -> bool:
+        """Whether the object exists at time *t*."""
+        return self.birth <= t <= self.death
+
+
+@dataclass
+class MovingObject:
+    """One simulated indoor moving object.
+
+    Attributes:
+        object_id: unique identifier.
+        max_speed: maximum walking speed in metres/second; the effective
+            speed is further modulated by the behaviour and by partition
+            speed factors.
+        lifespan: when the object enters and leaves the building.
+        routing_metric: ``"length"`` (minimum indoor walking distance) or
+            ``"time"`` (minimum walking time).
+    """
+
+    object_id: ObjectId
+    max_speed: float
+    lifespan: Lifespan
+    routing_metric: str = "length"
+
+    # Runtime state (owned by the simulation engine) ----------------------
+    floor_id: FloorId = 0
+    position: Point = field(default_factory=lambda: Point(0.0, 0.0))
+    state: MovementState = MovementState.STAYING
+    route: Optional[Route] = None
+    route_leg_index: int = 0
+    route_leg_progress: float = 0.0
+    stay_until: Timestamp = 0.0
+    speed_multiplier: float = 1.0
+    destinations_reached: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_speed <= 0:
+            raise MovementError(f"object {self.object_id}: max_speed must be positive")
+        if self.routing_metric not in ("length", "time"):
+            raise MovementError(
+                f"object {self.object_id}: routing_metric must be 'length' or 'time'"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle helpers
+    # ------------------------------------------------------------------ #
+    def alive_at(self, t: Timestamp) -> bool:
+        """Whether the object is inside the building at time *t*."""
+        return self.lifespan.alive_at(t) and self.state != MovementState.FINISHED
+
+    def place_at(self, floor_id: FloorId, position: Point) -> None:
+        """Teleport the object (used for initial placement)."""
+        self.floor_id = floor_id
+        self.position = position
+
+    def begin_route(self, route: Route) -> None:
+        """Start walking along *route*."""
+        if route.is_empty:
+            raise MovementError(f"object {self.object_id}: cannot follow an empty route")
+        self.route = route
+        self.route_leg_index = 0
+        self.route_leg_progress = 0.0
+        self.state = MovementState.WALKING
+
+    def begin_stay(self, until: Timestamp) -> None:
+        """Pause in place until time *until*."""
+        self.stay_until = until
+        self.state = MovementState.STAYING
+
+    def finish(self) -> None:
+        """Mark the object as having left the building."""
+        self.state = MovementState.FINISHED
+        self.route = None
+
+    @property
+    def has_route(self) -> bool:
+        """Whether a route is currently assigned and not yet completed."""
+        return (
+            self.route is not None
+            and self.route_leg_index < len(self.route.waypoints) - 1
+        )
+
+    @property
+    def effective_speed(self) -> float:
+        """Current walking speed before partition speed factors."""
+        return self.max_speed * self.speed_multiplier
+
+    def current_waypoints(self) -> List:
+        """Waypoints of the active route (empty when idle)."""
+        if self.route is None:
+            return []
+        return self.route.waypoints
+
+
+__all__ = ["MovementState", "Lifespan", "MovingObject"]

@@ -1,0 +1,39 @@
+"""Positioning Layer: trilateration, fingerprinting, proximity and the PMC."""
+
+from repro.positioning.base import ObservationWindow, PositioningMethodBase, build_windows
+from repro.positioning.trilateration import (
+    RSSIConversion,
+    TrilaterationMethod,
+    default_rssi_conversion,
+)
+from repro.positioning.fingerprinting import (
+    KNNFingerprinting,
+    MISSING_RSSI_DBM,
+    NaiveBayesFingerprinting,
+    RadioMap,
+    ReferenceLocation,
+)
+from repro.positioning.proximity import ProximityMethod
+from repro.positioning.controller import (
+    PositioningConfig,
+    PositioningMethodController,
+    PositioningOutput,
+)
+
+__all__ = [
+    "ObservationWindow",
+    "PositioningMethodBase",
+    "build_windows",
+    "RSSIConversion",
+    "TrilaterationMethod",
+    "default_rssi_conversion",
+    "KNNFingerprinting",
+    "MISSING_RSSI_DBM",
+    "NaiveBayesFingerprinting",
+    "RadioMap",
+    "ReferenceLocation",
+    "ProximityMethod",
+    "PositioningConfig",
+    "PositioningMethodController",
+    "PositioningOutput",
+]

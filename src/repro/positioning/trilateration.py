@@ -1,0 +1,169 @@
+"""Trilateration positioning.
+
+Section 3.3 (1): "Trilateration infers deterministic locations from the
+intersection of at least three circles.  The key is to convert an RSSI
+measurement to the distance between a positioning device and an object.  To
+this end, we allow users to define their own RSSI conversion functions that
+derive the distances from the noisy RSSI measurements.  A default function is
+also provided."
+
+The implementation converts each device's mean window RSSI to a distance
+(circle radius) and solves the over-determined circle-intersection system by
+linearised least squares (each pair of circles yields a linear equation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.building.model import Building
+from repro.core.types import PositioningMethod, PositioningRecord
+from repro.devices.base import PositioningDevice
+from repro.geometry.point import Point
+from repro.positioning.base import ObservationWindow, PositioningMethodBase
+from repro.rssi.pathloss import PathLossModel, default_model_for
+
+#: An RSSI conversion function maps (device, rssi_dbm) to a distance in metres.
+RSSIConversion = Callable[[PositioningDevice, float], float]
+
+
+def default_rssi_conversion(device: PositioningDevice, rssi: float) -> float:
+    """The default conversion: invert the device's noise-free path loss curve."""
+    return default_model_for(device).distance_from_rssi(rssi)
+
+
+class TrilaterationMethod(PositioningMethodBase):
+    """Least-squares trilateration over at least three same-floor devices."""
+
+    name = "trilateration"
+
+    def __init__(
+        self,
+        building: Building,
+        devices: Sequence[PositioningDevice],
+        rssi_conversion: Optional[RSSIConversion] = None,
+        min_devices: int = 3,
+        max_devices: int = 5,
+        path_loss: Optional[PathLossModel] = None,
+        clamp_to_floor: bool = True,
+    ) -> None:
+        super().__init__(building, devices)
+        if min_devices < 3:
+            raise ValueError("trilateration needs at least three circles")
+        if max_devices < min_devices:
+            raise ValueError("max_devices must be >= min_devices")
+        self.min_devices = min_devices
+        self.max_devices = max_devices
+        self.clamp_to_floor = clamp_to_floor
+        if rssi_conversion is not None:
+            self.rssi_conversion = rssi_conversion
+        elif path_loss is not None:
+            self.rssi_conversion = lambda device, rssi: path_loss.distance_from_rssi(rssi)
+        else:
+            self.rssi_conversion = default_rssi_conversion
+
+    def estimate_window(self, window: ObservationWindow) -> Optional[PositioningRecord]:
+        means = window.mean_rssi_by_device()
+        if len(means) < self.min_devices:
+            return None
+        floor_id = self.dominant_floor(window)
+        # Strongest measurements first: nearby devices have the least noisy
+        # RSSI-to-distance conversion, so restricting the solve to the top
+        # few anchors dramatically improves the estimate.
+        ranked = sorted(means.items(), key=lambda pair: pair[1], reverse=True)
+        anchors: List[Point] = []
+        radii: List[float] = []
+        for device_id, rssi in ranked:
+            device = self.device(device_id)
+            if device.floor_id != floor_id:
+                continue
+            anchors.append(device.position)
+            radii.append(max(self.rssi_conversion(device, rssi), 0.05))
+            if len(anchors) >= self.max_devices:
+                break
+        if len(anchors) < self.min_devices:
+            return None
+        estimate = self._least_squares(anchors, radii)
+        if estimate is None:
+            return None
+        estimate = self._refine(anchors, radii, estimate)
+        if self.clamp_to_floor:
+            estimate = self._clamp_to_floor(floor_id, estimate)
+        location = self.locate_point(floor_id, estimate)
+        return PositioningRecord(
+            object_id=window.object_id,
+            location=location,
+            t=window.t_center,
+            method=PositioningMethod.TRILATERATION,
+        )
+
+    def _clamp_to_floor(self, floor_id: int, estimate: Point) -> Point:
+        """Clamp an estimate into the floor extent (a real system knows it)."""
+        box = self.building.floor(floor_id).bounding_box
+        return Point(
+            min(max(estimate.x, box.min_x), box.max_x),
+            min(max(estimate.y, box.min_y), box.max_y),
+        )
+
+    @staticmethod
+    def _refine(anchors: List[Point], radii: List[float], initial: Point,
+                iterations: int = 20) -> Point:
+        """Gauss–Newton refinement of the circle-intersection residuals.
+
+        Residuals ``|x - anchor_i| - radius_i`` are weighted by ``1/radius_i``
+        so that nearby (less noisy) anchors dominate the fit.
+        """
+        x = np.array([initial.x, initial.y], dtype=float)
+        positions = np.array([[a.x, a.y] for a in anchors], dtype=float)
+        radii_array = np.array(radii, dtype=float)
+        weights = 1.0 / np.maximum(radii_array, 0.5)
+        for _ in range(iterations):
+            deltas = x - positions
+            distances = np.maximum(np.linalg.norm(deltas, axis=1), 1e-6)
+            residuals = (distances - radii_array) * weights
+            jacobian = (deltas / distances[:, None]) * weights[:, None]
+            try:
+                step, *_ = np.linalg.lstsq(jacobian, residuals, rcond=None)
+            except np.linalg.LinAlgError:
+                break
+            x = x - step
+            if float(np.linalg.norm(step)) < 1e-4:
+                break
+        if not np.all(np.isfinite(x)):
+            return initial
+        return Point(float(x[0]), float(x[1]))
+
+    @staticmethod
+    def _least_squares(anchors: List[Point], radii: List[float]) -> Optional[Point]:
+        """Linearised circle-intersection solve.
+
+        Subtracting the last circle equation from every other yields a linear
+        system ``A [x, y]^T = b`` that is solved in the least-squares sense.
+        """
+        n = len(anchors)
+        reference = anchors[-1]
+        reference_radius = radii[-1]
+        rows = []
+        rhs = []
+        for index in range(n - 1):
+            anchor = anchors[index]
+            rows.append([2.0 * (anchor.x - reference.x), 2.0 * (anchor.y - reference.y)])
+            rhs.append(
+                anchor.x ** 2 - reference.x ** 2
+                + anchor.y ** 2 - reference.y ** 2
+                + reference_radius ** 2 - radii[index] ** 2
+            )
+        matrix = np.asarray(rows, dtype=float)
+        vector = np.asarray(rhs, dtype=float)
+        if np.linalg.matrix_rank(matrix) < 2:
+            return None
+        solution, *_ = np.linalg.lstsq(matrix, vector, rcond=None)
+        x, y = float(solution[0]), float(solution[1])
+        if not (np.isfinite(x) and np.isfinite(y)):
+            return None
+        return Point(x, y)
+
+
+__all__ = ["RSSIConversion", "default_rssi_conversion", "TrilaterationMethod"]

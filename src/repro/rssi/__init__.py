@@ -1,0 +1,17 @@
+"""RSSI generation: path loss model, noise models, measurement controller."""
+
+from repro.rssi.pathloss import MIN_TRANSMISSION_DISTANCE, PathLossModel, default_model_for
+from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+from repro.rssi.controller import RSSIMeasurementController
+
+__all__ = [
+    "MIN_TRANSMISSION_DISTANCE",
+    "PathLossModel",
+    "default_model_for",
+    "FluctuationNoiseModel",
+    "ObstacleNoiseModel",
+    "RSSIGenerationConfig",
+    "RSSIGenerator",
+    "RSSIMeasurementController",
+]

@@ -1,0 +1,83 @@
+"""RSSI Measurement Controller.
+
+"The RSSI Measurement Controller allows a user to set RSSI data generation
+parameters including the path loss model, the noise model, etc." (Section 2).
+It wraps :class:`~repro.rssi.measurement.RSSIGenerator` with a configuration
+object and keeps the generated raw RSSI data for the Positioning Layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.building.model import Building
+from repro.core.types import RSSIRecord
+from repro.devices.base import PositioningDevice
+from repro.mobility.trajectory import TrajectorySet
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+from repro.rssi.pathloss import PathLossModel
+
+
+class RSSIMeasurementController:
+    """Configures and drives raw RSSI data generation."""
+
+    def __init__(
+        self,
+        building: Building,
+        devices: Sequence[PositioningDevice],
+        config: Optional[RSSIGenerationConfig] = None,
+    ) -> None:
+        self.building = building
+        self.devices = list(devices)
+        self.config = config or RSSIGenerationConfig()
+        self.generator = RSSIGenerator(building, self.devices, self.config)
+        self.records: List[RSSIRecord] = []
+
+    # ------------------------------------------------------------------ #
+    # Configuration helpers
+    # ------------------------------------------------------------------ #
+    def set_path_loss(self, exponent: float, calibration_rssi: float) -> None:
+        """Override the path loss parameters for every device."""
+        self.config.path_loss = PathLossModel(
+            exponent=exponent, calibration_rssi=calibration_rssi
+        )
+        self.generator = RSSIGenerator(self.building, self.devices, self.config)
+
+    def set_noise(
+        self,
+        wall_attenuation_db: Optional[float] = None,
+        fluctuation_sigma_db: Optional[float] = None,
+    ) -> None:
+        """Adjust the obstacle / fluctuation noise models."""
+        if wall_attenuation_db is not None:
+            self.config.obstacle_noise = ObstacleNoiseModel(
+                wall_attenuation_db=wall_attenuation_db,
+                obstacle_attenuation_db=self.config.obstacle_noise.obstacle_attenuation_db,
+                max_attenuation_db=self.config.obstacle_noise.max_attenuation_db,
+                non_line_of_sight_extra_db=self.config.obstacle_noise.non_line_of_sight_extra_db,
+            )
+        if fluctuation_sigma_db is not None:
+            self.config.fluctuation_noise = FluctuationNoiseModel(sigma_db=fluctuation_sigma_db)
+        self.generator = RSSIGenerator(self.building, self.devices, self.config)
+
+    def set_sampling_period(self, period: float) -> None:
+        """Change the RSSI sampling period (seconds)."""
+        self.config.sampling_period = period
+        self.generator = RSSIGenerator(self.building, self.devices, self.config)
+
+    # ------------------------------------------------------------------ #
+    # Generation
+    # ------------------------------------------------------------------ #
+    def generate(self, trajectories: TrajectorySet) -> List[RSSIRecord]:
+        """Generate (and keep) raw RSSI data for *trajectories*."""
+        self.records = self.generator.generate(trajectories)
+        return self.records
+
+    @property
+    def record_count(self) -> int:
+        """Number of raw RSSI records generated so far."""
+        return len(self.records)
+
+
+__all__ = ["RSSIMeasurementController"]

@@ -1,0 +1,193 @@
+"""Raw RSSI measurement generation.
+
+The RSSI Measurement Controller of the Positioning Layer samples the raw
+trajectory data at its own sampling frequency and, for every (object, device)
+pair in range, produces a raw RSSI record ``(o_id, d_id, rssi, t)`` according
+to the path loss model plus the obstacle and fluctuation noise models
+(Section 3.2).
+
+The same machinery also "collects fingerprints": generating repeated
+measurements for a stationary reference location is exactly what the
+fingerprinting radio-map construction of Section 3.3 (2) requires.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.building.model import Building
+from repro.core.errors import ConfigurationError
+from repro.core.types import RSSIRecord, Timestamp
+from repro.devices.base import PositioningDevice
+from repro.geometry.point import Point
+from repro.mobility.trajectory import TrajectorySet
+from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+from repro.rssi.pathloss import PathLossModel, default_model_for
+
+
+@dataclass
+class RSSIGenerationConfig:
+    """Parameters of the raw RSSI data generation.
+
+    Attributes:
+        sampling_period: seconds between consecutive RSSI sampling rounds
+            (independent of the trajectory sampling frequency).
+        path_loss: overrides the per-device path loss parameters when given;
+            otherwise each device uses its own radio defaults.
+        obstacle_noise: the ``Nob`` model.
+        fluctuation_noise: the ``Nf`` model.
+        range_factor: measurements are produced while the object lies within
+            ``detection_range * range_factor`` of the device (signals fade
+            rather than cut off exactly at the nominal range).
+        detection_probability: probability that a device in range actually
+            reports a measurement in a given round (packet loss).
+        seed: seed for reproducible noise.
+    """
+
+    sampling_period: float = 2.0
+    path_loss: Optional[PathLossModel] = None
+    obstacle_noise: ObstacleNoiseModel = field(default_factory=ObstacleNoiseModel)
+    fluctuation_noise: FluctuationNoiseModel = field(default_factory=FluctuationNoiseModel)
+    range_factor: float = 1.0
+    detection_probability: float = 0.95
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sampling_period <= 0:
+            raise ConfigurationError("sampling_period must be positive")
+        if self.range_factor <= 0:
+            raise ConfigurationError("range_factor must be positive")
+        if not 0.0 < self.detection_probability <= 1.0:
+            raise ConfigurationError("detection_probability must be in (0, 1]")
+
+
+class RSSIGenerator:
+    """Generates raw RSSI measurements from trajectories and devices."""
+
+    def __init__(
+        self,
+        building: Building,
+        devices: Sequence[PositioningDevice],
+        config: Optional[RSSIGenerationConfig] = None,
+    ) -> None:
+        self.building = building
+        self.devices = list(devices)
+        self.config = config or RSSIGenerationConfig()
+        self.rng = random.Random(self.config.seed)
+        self._walls_cache: Dict[int, list] = {}
+        self._obstacles_cache: Dict[int, list] = {}
+        self._models: Dict[str, PathLossModel] = {
+            device.device_id: (self.config.path_loss or default_model_for(device))
+            for device in self.devices
+        }
+
+    # ------------------------------------------------------------------ #
+    # Core measurement primitives
+    # ------------------------------------------------------------------ #
+    def measure(
+        self,
+        device: PositioningDevice,
+        floor_id: int,
+        point: Point,
+    ) -> Optional[float]:
+        """One RSSI measurement of an object at (*floor_id*, *point*), or ``None``.
+
+        ``None`` is returned when the object is on a different floor, outside
+        the device's (extended) range, or the packet is lost.
+        """
+        if floor_id != device.floor_id:
+            return None
+        distance = device.distance_to(point)
+        if distance > device.detection_range * self.config.range_factor:
+            return None
+        if self.rng.random() > self.config.detection_probability:
+            return None
+        model = self._models[device.device_id]
+        rssi = model.rssi_at(distance)
+        rssi += self.config.obstacle_noise.attenuation(
+            device.position,
+            point,
+            self._walls(floor_id),
+            self._obstacles(floor_id),
+        )
+        rssi += self.config.fluctuation_noise.sample(self.rng)
+        return rssi
+
+    def measure_all(
+        self, floor_id: int, point: Point, object_id: str, t: Timestamp
+    ) -> List[RSSIRecord]:
+        """RSSI records from every device that observes the given position."""
+        records: List[RSSIRecord] = []
+        for device in self.devices:
+            rssi = self.measure(device, floor_id, point)
+            if rssi is not None:
+                records.append(
+                    RSSIRecord(object_id=object_id, device_id=device.device_id, rssi=rssi, t=t)
+                )
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Trajectory-driven generation
+    # ------------------------------------------------------------------ #
+    def generate(self, trajectories: TrajectorySet) -> List[RSSIRecord]:
+        """Raw RSSI data for every object, sampled at the RSSI sampling period."""
+        records: List[RSSIRecord] = []
+        period = self.config.sampling_period
+        for trajectory in trajectories:
+            if trajectory.is_empty:
+                continue
+            t = trajectory.start_time
+            while t <= trajectory.end_time + 1e-9:
+                location = trajectory.location_at(min(t, trajectory.end_time))
+                if location is not None and location.has_point:
+                    x, y = location.point()
+                    records.extend(
+                        self.measure_all(
+                            location.floor_id, Point(x, y), trajectory.object_id, round(t, 6)
+                        )
+                    )
+                t += period
+        records.sort(key=lambda record: (record.t, record.object_id, record.device_id))
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Fingerprint collection (site survey simulation)
+    # ------------------------------------------------------------------ #
+    def collect_fingerprint(
+        self,
+        floor_id: int,
+        point: Point,
+        samples: int = 10,
+    ) -> Dict[str, List[float]]:
+        """Repeated measurements at a stationary reference location.
+
+        Returns a mapping ``device_id -> list of RSSI samples`` (devices that
+        never observe the location are omitted).
+        """
+        if samples <= 0:
+            raise ConfigurationError("samples must be positive")
+        observations: Dict[str, List[float]] = {}
+        for _ in range(samples):
+            for device in self.devices:
+                rssi = self.measure(device, floor_id, point)
+                if rssi is not None:
+                    observations.setdefault(device.device_id, []).append(rssi)
+        return observations
+
+    # ------------------------------------------------------------------ #
+    # Caches
+    # ------------------------------------------------------------------ #
+    def _walls(self, floor_id: int) -> list:
+        if floor_id not in self._walls_cache:
+            self._walls_cache[floor_id] = self.building.floor(floor_id).wall_segments()
+        return self._walls_cache[floor_id]
+
+    def _obstacles(self, floor_id: int) -> list:
+        if floor_id not in self._obstacles_cache:
+            self._obstacles_cache[floor_id] = self.building.floor(floor_id).obstacle_polygons()
+        return self._obstacles_cache[floor_id]
+
+
+__all__ = ["RSSIGenerationConfig", "RSSIGenerator"]

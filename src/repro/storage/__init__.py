@@ -1,0 +1,53 @@
+"""Storage: in-memory tables, typed repositories, Data Stream APIs, export."""
+
+from repro.storage.tables import Row, Table, TableSchema
+from repro.storage.repositories import (
+    DataWarehouse,
+    DeviceRepository,
+    PositioningRepository,
+    ProbabilisticPositioningRepository,
+    ProximityRepository,
+    RSSIRepository,
+    TrajectoryRepository,
+)
+from repro.storage.stream import DataStreamAPI
+from repro.storage.export import (
+    export_devices_csv,
+    export_positioning_csv,
+    export_probabilistic_jsonl,
+    export_proximity_csv,
+    export_rssi_csv,
+    export_trajectories_csv,
+    import_devices_csv,
+    import_positioning_csv,
+    import_probabilistic_jsonl,
+    import_proximity_csv,
+    import_rssi_csv,
+    import_trajectories_csv,
+)
+
+__all__ = [
+    "Row",
+    "Table",
+    "TableSchema",
+    "DataWarehouse",
+    "DeviceRepository",
+    "PositioningRepository",
+    "ProbabilisticPositioningRepository",
+    "ProximityRepository",
+    "RSSIRepository",
+    "TrajectoryRepository",
+    "DataStreamAPI",
+    "export_devices_csv",
+    "export_positioning_csv",
+    "export_probabilistic_jsonl",
+    "export_proximity_csv",
+    "export_rssi_csv",
+    "export_trajectories_csv",
+    "import_devices_csv",
+    "import_positioning_csv",
+    "import_probabilistic_jsonl",
+    "import_proximity_csv",
+    "import_rssi_csv",
+    "import_trajectories_csv",
+]

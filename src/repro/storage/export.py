@@ -1,0 +1,220 @@
+"""Import/export of the generated data as CSV and JSON-lines files.
+
+The GUI prototype stores data in PostgreSQL; the library equivalent is flat
+files that downstream analytics (pandas, DuckDB, spreadsheets) can load
+directly.  Every record type round-trips: ``export_* → import_*`` reproduces
+the original records.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+from repro.core.types import (
+    DeviceRecord,
+    DeviceType,
+    IndoorLocation,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+    RSSIRecord,
+    TrajectoryRecord,
+)
+
+PathLike = Union[str, Path]
+
+_TRAJECTORY_FIELDS = ["object_id", "t", "building_id", "floor_id", "partition_id", "x", "y"]
+_RSSI_FIELDS = ["object_id", "device_id", "rssi", "t"]
+_POSITIONING_FIELDS = ["object_id", "t", "method", "building_id", "floor_id", "partition_id", "x", "y"]
+_PROXIMITY_FIELDS = ["object_id", "device_id", "t_start", "t_end"]
+_DEVICE_FIELDS = [
+    "device_id", "device_type", "detection_range", "detection_interval",
+    "building_id", "floor_id", "partition_id", "x", "y",
+]
+
+
+def _write_csv(path: PathLike, fieldnames: List[str], rows: Iterable[dict]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: row.get(key) for key in fieldnames})
+    return path
+
+
+def _read_csv(path: PathLike) -> List[dict]:
+    with Path(path).open("r", newline="", encoding="utf-8") as handle:
+        return list(csv.DictReader(handle))
+
+
+def _float_or_none(value) -> float:
+    if value in (None, ""):
+        return None
+    return float(value)
+
+
+# --------------------------------------------------------------------------- #
+# Trajectory data
+# --------------------------------------------------------------------------- #
+def export_trajectories_csv(records: Sequence[TrajectoryRecord], path: PathLike) -> Path:
+    """Write raw trajectory records ``(o_id, loc, t)`` to a CSV file."""
+    return _write_csv(path, _TRAJECTORY_FIELDS, (record.as_record() for record in records))
+
+
+def import_trajectories_csv(path: PathLike) -> List[TrajectoryRecord]:
+    """Read raw trajectory records written by :func:`export_trajectories_csv`."""
+    records = []
+    for row in _read_csv(path):
+        records.append(
+            TrajectoryRecord(
+                object_id=row["object_id"],
+                location=IndoorLocation.from_record(row),
+                t=float(row["t"]),
+            )
+        )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# RSSI data
+# --------------------------------------------------------------------------- #
+def export_rssi_csv(records: Sequence[RSSIRecord], path: PathLike) -> Path:
+    """Write raw RSSI records ``(o_id, d_id, rssi, t)`` to a CSV file."""
+    return _write_csv(path, _RSSI_FIELDS, (record.as_record() for record in records))
+
+
+def import_rssi_csv(path: PathLike) -> List[RSSIRecord]:
+    """Read raw RSSI records written by :func:`export_rssi_csv`."""
+    return [
+        RSSIRecord(
+            object_id=row["object_id"],
+            device_id=row["device_id"],
+            rssi=float(row["rssi"]),
+            t=float(row["t"]),
+        )
+        for row in _read_csv(path)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic positioning data
+# --------------------------------------------------------------------------- #
+def export_positioning_csv(records: Sequence[PositioningRecord], path: PathLike) -> Path:
+    """Write deterministic positioning records to a CSV file."""
+    return _write_csv(path, _POSITIONING_FIELDS, (record.as_record() for record in records))
+
+
+def import_positioning_csv(path: PathLike) -> List[PositioningRecord]:
+    """Read deterministic positioning records written by :func:`export_positioning_csv`."""
+    return [
+        PositioningRecord(
+            object_id=row["object_id"],
+            location=IndoorLocation.from_record(row),
+            t=float(row["t"]),
+            method=PositioningMethod(row["method"]),
+        )
+        for row in _read_csv(path)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Probabilistic positioning data (JSON lines: nested candidates)
+# --------------------------------------------------------------------------- #
+def export_probabilistic_jsonl(
+    records: Sequence[ProbabilisticPositioningRecord], path: PathLike
+) -> Path:
+    """Write probabilistic records ``(o_id, {(loc_i, prob_i)}, t)`` as JSON lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.as_record()) + "\n")
+    return path
+
+
+def import_probabilistic_jsonl(path: PathLike) -> List[ProbabilisticPositioningRecord]:
+    """Read probabilistic records written by :func:`export_probabilistic_jsonl`."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            candidates = tuple(
+                (IndoorLocation.from_record(candidate["location"]), float(candidate["prob"]))
+                for candidate in payload["candidates"]
+            )
+            records.append(
+                ProbabilisticPositioningRecord(
+                    object_id=payload["object_id"],
+                    candidates=candidates,
+                    t=float(payload["t"]),
+                )
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
+# Proximity data
+# --------------------------------------------------------------------------- #
+def export_proximity_csv(records: Sequence[ProximityRecord], path: PathLike) -> Path:
+    """Write proximity records ``(o_id, d_id, ts, te)`` to a CSV file."""
+    return _write_csv(path, _PROXIMITY_FIELDS, (record.as_record() for record in records))
+
+
+def import_proximity_csv(path: PathLike) -> List[ProximityRecord]:
+    """Read proximity records written by :func:`export_proximity_csv`."""
+    return [
+        ProximityRecord(
+            object_id=row["object_id"],
+            device_id=row["device_id"],
+            t_start=float(row["t_start"]),
+            t_end=float(row["t_end"]),
+        )
+        for row in _read_csv(path)
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Positioning-device data
+# --------------------------------------------------------------------------- #
+def export_devices_csv(records: Sequence[DeviceRecord], path: PathLike) -> Path:
+    """Write positioning-device records to a CSV file."""
+    return _write_csv(path, _DEVICE_FIELDS, (record.as_record() for record in records))
+
+
+def import_devices_csv(path: PathLike) -> List[DeviceRecord]:
+    """Read positioning-device records written by :func:`export_devices_csv`."""
+    return [
+        DeviceRecord(
+            device_id=row["device_id"],
+            device_type=DeviceType(row["device_type"]),
+            location=IndoorLocation.from_record(row),
+            detection_range=float(row["detection_range"]),
+            detection_interval=float(row["detection_interval"]),
+        )
+        for row in _read_csv(path)
+    ]
+
+
+__all__ = [
+    "export_trajectories_csv",
+    "import_trajectories_csv",
+    "export_rssi_csv",
+    "import_rssi_csv",
+    "export_positioning_csv",
+    "import_positioning_csv",
+    "export_probabilistic_jsonl",
+    "import_probabilistic_jsonl",
+    "export_proximity_csv",
+    "import_proximity_csv",
+    "export_devices_csv",
+    "import_devices_csv",
+]

@@ -1,0 +1,364 @@
+"""Typed repositories over the in-memory tables.
+
+Section 4.2 lists the storage formats:
+
+* raw trajectory data ``(o_id, loc, t)``;
+* raw RSSI measurements ``(o_id, d_id, rssi)``;
+* deterministic positioning data ``(o_id, loc, t)``;
+* probabilistic positioning data ``(o_id, {(loc_i, prob_i)}, t)``;
+* proximity data ``(o_id, d_id, ts, te)``;
+* positioning-device data (part of the infrastructure output).
+
+Each repository wraps one table with the appropriate schema, converts between
+the typed record dataclasses of :mod:`repro.core.types` and plain rows, and
+offers the queries the Data Stream APIs and benchmarks need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.types import (
+    DeviceRecord,
+    DeviceType,
+    IndoorLocation,
+    ObjectId,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+    RSSIRecord,
+    Timestamp,
+    TrajectoryRecord,
+)
+from repro.mobility.trajectory import Trajectory, TrajectorySet
+from repro.storage.tables import Table, TableSchema
+
+_LOCATION_COLUMNS = ("building_id", "floor_id", "partition_id", "x", "y")
+
+
+def _location_from_row(row: Dict) -> IndoorLocation:
+    return IndoorLocation(
+        building_id=row["building_id"],
+        floor_id=row["floor_id"],
+        partition_id=row["partition_id"],
+        x=row["x"],
+        y=row["y"],
+    )
+
+
+class TrajectoryRepository:
+    """Raw trajectory data ``(o_id, loc, t)``."""
+
+    def __init__(self) -> None:
+        self.table = Table(
+            TableSchema(
+                name="raw_trajectory",
+                columns=("object_id", "t") + _LOCATION_COLUMNS,
+                hash_indexes=("object_id", "partition_id", "floor_id"),
+                ordered_index="t",
+            )
+        )
+
+    def add(self, record: TrajectoryRecord) -> None:
+        self.table.insert(record.as_record())
+
+    def add_many(self, records: Sequence[TrajectoryRecord]) -> int:
+        return self.table.insert_many(record.as_record() for record in records)
+
+    def add_trajectory_set(self, trajectories: TrajectorySet) -> int:
+        """Store every sample of a :class:`TrajectorySet`."""
+        return self.add_many(trajectories.all_records())
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def object_ids(self) -> List[ObjectId]:
+        return self.table.distinct("object_id")
+
+    def records_of(self, object_id: ObjectId) -> List[TrajectoryRecord]:
+        rows = sorted(self.table.lookup("object_id", object_id), key=lambda r: r["t"])
+        return [self._to_record(row) for row in rows]
+
+    def trajectory_of(self, object_id: ObjectId) -> Trajectory:
+        trajectory = Trajectory(object_id)
+        for record in self.records_of(object_id):
+            trajectory.append(record)
+        return trajectory
+
+    def to_trajectory_set(self) -> TrajectorySet:
+        trajectories = TrajectorySet()
+        for row in sorted(self.table.all_rows(), key=lambda r: r["t"]):
+            trajectories.add_record(self._to_record(row))
+        return trajectories
+
+    def in_time_range(self, t_start: Timestamp, t_end: Timestamp) -> List[TrajectoryRecord]:
+        return [self._to_record(row) for row in self.table.range(t_start, t_end)]
+
+    def in_partition(self, partition_id: str) -> List[TrajectoryRecord]:
+        rows = self.table.lookup("partition_id", partition_id)
+        return [self._to_record(row) for row in rows]
+
+    @staticmethod
+    def _to_record(row: Dict) -> TrajectoryRecord:
+        return TrajectoryRecord(
+            object_id=row["object_id"], location=_location_from_row(row), t=row["t"]
+        )
+
+
+class RSSIRepository:
+    """Raw RSSI measurement data ``(o_id, d_id, rssi, t)``."""
+
+    def __init__(self) -> None:
+        self.table = Table(
+            TableSchema(
+                name="raw_rssi",
+                columns=("object_id", "device_id", "rssi", "t"),
+                hash_indexes=("object_id", "device_id"),
+                ordered_index="t",
+            )
+        )
+
+    def add(self, record: RSSIRecord) -> None:
+        self.table.insert(record.as_record())
+
+    def add_many(self, records: Sequence[RSSIRecord]) -> int:
+        return self.table.insert_many(record.as_record() for record in records)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def records_of_object(self, object_id: ObjectId) -> List[RSSIRecord]:
+        rows = sorted(self.table.lookup("object_id", object_id), key=lambda r: r["t"])
+        return [self._to_record(row) for row in rows]
+
+    def records_of_device(self, device_id: str) -> List[RSSIRecord]:
+        rows = sorted(self.table.lookup("device_id", device_id), key=lambda r: r["t"])
+        return [self._to_record(row) for row in rows]
+
+    def in_time_range(self, t_start: Timestamp, t_end: Timestamp) -> List[RSSIRecord]:
+        return [self._to_record(row) for row in self.table.range(t_start, t_end)]
+
+    def all_records(self) -> List[RSSIRecord]:
+        return [self._to_record(row) for row in self.table.all_rows()]
+
+    @staticmethod
+    def _to_record(row: Dict) -> RSSIRecord:
+        return RSSIRecord(
+            object_id=row["object_id"],
+            device_id=row["device_id"],
+            rssi=row["rssi"],
+            t=row["t"],
+        )
+
+
+class PositioningRepository:
+    """Deterministic positioning data ``(o_id, loc, t)``."""
+
+    def __init__(self) -> None:
+        self.table = Table(
+            TableSchema(
+                name="positioning",
+                columns=("object_id", "t", "method") + _LOCATION_COLUMNS,
+                hash_indexes=("object_id", "method", "partition_id"),
+                ordered_index="t",
+            )
+        )
+
+    def add(self, record: PositioningRecord) -> None:
+        self.table.insert(record.as_record())
+
+    def add_many(self, records: Sequence[PositioningRecord]) -> int:
+        return self.table.insert_many(record.as_record() for record in records)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def records_of(self, object_id: ObjectId) -> List[PositioningRecord]:
+        rows = sorted(self.table.lookup("object_id", object_id), key=lambda r: r["t"])
+        return [self._to_record(row) for row in rows]
+
+    def by_method(self, method: PositioningMethod) -> List[PositioningRecord]:
+        rows = self.table.lookup("method", method.value)
+        return [self._to_record(row) for row in rows]
+
+    def in_time_range(self, t_start: Timestamp, t_end: Timestamp) -> List[PositioningRecord]:
+        return [self._to_record(row) for row in self.table.range(t_start, t_end)]
+
+    def all_records(self) -> List[PositioningRecord]:
+        return [self._to_record(row) for row in self.table.all_rows()]
+
+    @staticmethod
+    def _to_record(row: Dict) -> PositioningRecord:
+        return PositioningRecord(
+            object_id=row["object_id"],
+            location=_location_from_row(row),
+            t=row["t"],
+            method=PositioningMethod(row["method"]),
+        )
+
+
+class ProbabilisticPositioningRepository:
+    """Probabilistic positioning data ``(o_id, {(loc_i, prob_i)}, t)``."""
+
+    def __init__(self) -> None:
+        self._records: List[ProbabilisticPositioningRecord] = []
+
+    def add(self, record: ProbabilisticPositioningRecord) -> None:
+        self._records.append(record)
+
+    def add_many(self, records: Sequence[ProbabilisticPositioningRecord]) -> int:
+        self._records.extend(records)
+        return len(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records_of(self, object_id: ObjectId) -> List[ProbabilisticPositioningRecord]:
+        return sorted(
+            (record for record in self._records if record.object_id == object_id),
+            key=lambda record: record.t,
+        )
+
+    def all_records(self) -> List[ProbabilisticPositioningRecord]:
+        return list(self._records)
+
+    def best_estimates(self) -> List[PositioningRecord]:
+        """Collapse every probabilistic record to its most probable candidate."""
+        return [
+            PositioningRecord(
+                object_id=record.object_id,
+                location=record.best,
+                t=record.t,
+                method=PositioningMethod.FINGERPRINTING,
+            )
+            for record in self._records
+        ]
+
+
+class ProximityRepository:
+    """Proximity data ``(o_id, d_id, ts, te)``."""
+
+    def __init__(self) -> None:
+        self.table = Table(
+            TableSchema(
+                name="proximity",
+                columns=("object_id", "device_id", "t_start", "t_end"),
+                hash_indexes=("object_id", "device_id"),
+                ordered_index="t_start",
+            )
+        )
+
+    def add(self, record: ProximityRecord) -> None:
+        self.table.insert(record.as_record())
+
+    def add_many(self, records: Sequence[ProximityRecord]) -> int:
+        return self.table.insert_many(record.as_record() for record in records)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def records_of(self, object_id: ObjectId) -> List[ProximityRecord]:
+        rows = sorted(self.table.lookup("object_id", object_id), key=lambda r: r["t_start"])
+        return [self._to_record(row) for row in rows]
+
+    def records_of_device(self, device_id: str) -> List[ProximityRecord]:
+        rows = sorted(self.table.lookup("device_id", device_id), key=lambda r: r["t_start"])
+        return [self._to_record(row) for row in rows]
+
+    def active_at(self, t: Timestamp) -> List[ProximityRecord]:
+        """Detection periods covering time *t*."""
+        return [
+            self._to_record(row)
+            for row in self.table.select(lambda r: r["t_start"] <= t <= r["t_end"])
+        ]
+
+    def all_records(self) -> List[ProximityRecord]:
+        return [self._to_record(row) for row in self.table.all_rows()]
+
+    @staticmethod
+    def _to_record(row: Dict) -> ProximityRecord:
+        return ProximityRecord(
+            object_id=row["object_id"],
+            device_id=row["device_id"],
+            t_start=row["t_start"],
+            t_end=row["t_end"],
+        )
+
+
+class DeviceRepository:
+    """Positioning-device data generated by the Infrastructure Layer."""
+
+    def __init__(self) -> None:
+        self.table = Table(
+            TableSchema(
+                name="positioning_device",
+                columns=("device_id", "device_type", "detection_range", "detection_interval")
+                + _LOCATION_COLUMNS,
+                hash_indexes=("device_id", "device_type", "floor_id"),
+            )
+        )
+
+    def add(self, record: DeviceRecord) -> None:
+        self.table.insert(record.as_record())
+
+    def add_many(self, records: Sequence[DeviceRecord]) -> int:
+        return self.table.insert_many(record.as_record() for record in records)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def by_type(self, device_type: DeviceType) -> List[DeviceRecord]:
+        rows = self.table.lookup("device_type", device_type.value)
+        return [self._to_record(row) for row in rows]
+
+    def on_floor(self, floor_id: int) -> List[DeviceRecord]:
+        rows = self.table.lookup("floor_id", floor_id)
+        return [self._to_record(row) for row in rows]
+
+    def all_records(self) -> List[DeviceRecord]:
+        return [self._to_record(row) for row in self.table.all_rows()]
+
+    @staticmethod
+    def _to_record(row: Dict) -> DeviceRecord:
+        return DeviceRecord(
+            device_id=row["device_id"],
+            device_type=DeviceType(row["device_type"]),
+            location=_location_from_row(row),
+            detection_range=row["detection_range"],
+            detection_interval=row["detection_interval"],
+        )
+
+
+class DataWarehouse:
+    """All repositories of one generation run, bundled together."""
+
+    def __init__(self) -> None:
+        self.trajectories = TrajectoryRepository()
+        self.rssi = RSSIRepository()
+        self.positioning = PositioningRepository()
+        self.probabilistic = ProbabilisticPositioningRepository()
+        self.proximity = ProximityRepository()
+        self.devices = DeviceRepository()
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts per repository."""
+        return {
+            "trajectory_records": len(self.trajectories),
+            "rssi_records": len(self.rssi),
+            "positioning_records": len(self.positioning),
+            "probabilistic_records": len(self.probabilistic),
+            "proximity_records": len(self.proximity),
+            "device_records": len(self.devices),
+        }
+
+
+__all__ = [
+    "TrajectoryRepository",
+    "RSSIRepository",
+    "PositioningRepository",
+    "ProbabilisticPositioningRepository",
+    "ProximityRepository",
+    "DeviceRepository",
+    "DataWarehouse",
+]

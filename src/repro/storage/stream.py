@@ -1,0 +1,153 @@
+"""Data Stream APIs.
+
+"The Data Stream APIs module encapsulates some commonly used functions and
+query processing algorithms that can be directly called by the Producer"
+(Section 2).  The queries offered here are the ones indoor mobility analytics
+typically needs over the generated data:
+
+* time-range scans over trajectory / RSSI / positioning records;
+* spatial range queries (which objects were inside a floor rectangle during a
+  time window);
+* snapshot queries (where was everybody at time *t*);
+* k-nearest-neighbour queries over object positions at a time instant;
+* sliding-window iteration for stream-style consumers;
+* per-partition visit counting (the "frequently visited POIs" style of query
+  cited in the paper's motivation).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import StorageError
+from repro.core.types import IndoorLocation, ObjectId, Timestamp, TrajectoryRecord
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox
+from repro.storage.repositories import DataWarehouse
+
+
+class DataStreamAPI:
+    """Query processing over a :class:`~repro.storage.repositories.DataWarehouse`."""
+
+    def __init__(self, warehouse: DataWarehouse) -> None:
+        self.warehouse = warehouse
+
+    # ------------------------------------------------------------------ #
+    # Temporal queries
+    # ------------------------------------------------------------------ #
+    def trajectory_window(
+        self, t_start: Timestamp, t_end: Timestamp
+    ) -> List[TrajectoryRecord]:
+        """Trajectory records with ``t_start <= t <= t_end``."""
+        if t_end < t_start:
+            raise StorageError("time window end must not precede its start")
+        return self.warehouse.trajectories.in_time_range(t_start, t_end)
+
+    def snapshot(self, t: Timestamp, tolerance: float = 1.0) -> Dict[ObjectId, IndoorLocation]:
+        """Last known location of every object within *tolerance* seconds of *t*."""
+        records = self.warehouse.trajectories.in_time_range(t - tolerance, t + tolerance)
+        best: Dict[ObjectId, TrajectoryRecord] = {}
+        for record in records:
+            current = best.get(record.object_id)
+            if current is None or abs(record.t - t) < abs(current.t - t):
+                best[record.object_id] = record
+        return {object_id: record.location for object_id, record in best.items()}
+
+    def sliding_windows(
+        self, window: float, step: Optional[float] = None
+    ) -> Iterator[Tuple[Timestamp, Timestamp, List[TrajectoryRecord]]]:
+        """Iterate ``(t_start, t_end, records)`` sliding windows over the data."""
+        if window <= 0:
+            raise StorageError("window length must be positive")
+        step = step or window
+        table = self.warehouse.trajectories.table
+        if len(table) == 0:
+            return
+        times = [row["t"] for row in table.all_rows()]
+        t_min, t_max = min(times), max(times)
+        t = t_min
+        while t <= t_max:
+            yield t, t + window, self.trajectory_window(t, t + window)
+            t += step
+
+    # ------------------------------------------------------------------ #
+    # Spatial queries
+    # ------------------------------------------------------------------ #
+    def objects_in_region(
+        self,
+        floor_id: int,
+        box: BoundingBox,
+        t_start: Timestamp,
+        t_end: Timestamp,
+    ) -> List[ObjectId]:
+        """Objects that had at least one sample inside *box* during the window."""
+        found = set()
+        for record in self.trajectory_window(t_start, t_end):
+            location = record.location
+            if location.floor_id != floor_id or not location.has_point:
+                continue
+            x, y = location.point()
+            if box.contains_point(Point(x, y)):
+                found.add(record.object_id)
+        return sorted(found)
+
+    def objects_in_partition(
+        self, partition_id: str, t_start: Timestamp, t_end: Timestamp
+    ) -> List[ObjectId]:
+        """Objects observed in *partition_id* during the window."""
+        found = {
+            record.object_id
+            for record in self.warehouse.trajectories.in_partition(partition_id)
+            if t_start <= record.t <= t_end
+        }
+        return sorted(found)
+
+    def knn_at(self, floor_id: int, point: Point, t: Timestamp, k: int = 5,
+               tolerance: float = 1.0) -> List[Tuple[ObjectId, float]]:
+        """The *k* objects closest to *point* on *floor_id* around time *t*."""
+        if k <= 0:
+            return []
+        snapshot = self.snapshot(t, tolerance)
+        scored = []
+        for object_id, location in snapshot.items():
+            if location.floor_id != floor_id or not location.has_point:
+                continue
+            x, y = location.point()
+            scored.append((object_id, point.distance_to(Point(x, y))))
+        scored.sort(key=lambda pair: (pair[1], pair[0]))
+        return scored[:k]
+
+    # ------------------------------------------------------------------ #
+    # Aggregations
+    # ------------------------------------------------------------------ #
+    def partition_visit_counts(self) -> Dict[str, int]:
+        """Number of distinct objects observed per partition (symbolic POI counts)."""
+        visits: Dict[str, set] = defaultdict(set)
+        for row in self.warehouse.trajectories.table.all_rows():
+            partition_id = row["partition_id"]
+            if partition_id:
+                visits[partition_id].add(row["object_id"])
+        return {partition_id: len(objects) for partition_id, objects in visits.items()}
+
+    def device_detection_counts(self) -> Dict[str, int]:
+        """Number of proximity detection periods per device."""
+        return self.warehouse.proximity.table.count_by("device_id")
+
+    def rssi_statistics_by_device(self) -> Dict[str, Dict[str, float]]:
+        """Mean/min/max RSSI per device over the raw RSSI data."""
+        grouped: Dict[str, List[float]] = defaultdict(list)
+        for row in self.warehouse.rssi.table.all_rows():
+            grouped[row["device_id"]].append(row["rssi"])
+        statistics = {}
+        for device_id, values in grouped.items():
+            statistics[device_id] = {
+                "count": float(len(values)),
+                "mean": sum(values) / len(values),
+                "min": min(values),
+                "max": max(values),
+            }
+        return statistics
+
+
+__all__ = ["DataStreamAPI"]

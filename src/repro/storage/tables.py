@@ -1,0 +1,149 @@
+"""A small in-memory relational table with secondary indexes.
+
+The paper stores generated data in PostgreSQL with "efficient indices"
+(Section 4.2).  This module provides an offline substitute: a typed table
+whose rows are dictionaries, with optional hash indexes on equality-queried
+columns and a sorted index on the timestamp column for range scans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import StorageError
+
+Row = Dict[str, Any]
+
+
+@dataclass
+class TableSchema:
+    """Column names plus the indexing configuration of a table."""
+
+    name: str
+    columns: Tuple[str, ...]
+    hash_indexes: Tuple[str, ...] = ()
+    ordered_index: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise StorageError(f"table {self.name}: needs at least one column")
+        unknown = [c for c in self.hash_indexes if c not in self.columns]
+        if unknown:
+            raise StorageError(f"table {self.name}: hash index on unknown columns {unknown}")
+        if self.ordered_index is not None and self.ordered_index not in self.columns:
+            raise StorageError(
+                f"table {self.name}: ordered index on unknown column {self.ordered_index}"
+            )
+
+
+class Table:
+    """An append-oriented, indexed, in-memory relation."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: List[Row] = []
+        self._hash: Dict[str, Dict[Any, List[int]]] = {
+            column: {} for column in schema.hash_indexes
+        }
+        # Sorted list of (key, row_index) pairs for the ordered index.
+        self._ordered: List[Tuple[Any, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def insert(self, row: Row) -> int:
+        """Insert one row; returns its row id."""
+        missing = [c for c in self.schema.columns if c not in row]
+        if missing:
+            raise StorageError(
+                f"table {self.schema.name}: row is missing columns {missing}"
+            )
+        row_id = len(self._rows)
+        stored = {column: row[column] for column in self.schema.columns}
+        self._rows.append(stored)
+        for column in self.schema.hash_indexes:
+            self._hash[column].setdefault(stored[column], []).append(row_id)
+        if self.schema.ordered_index is not None:
+            key = stored[self.schema.ordered_index]
+            bisect.insort(self._ordered, (key, row_id))
+        return row_id
+
+    def insert_many(self, rows: Iterable[Row]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        """Remove every row (indexes included)."""
+        self._rows.clear()
+        for index in self._hash.values():
+            index.clear()
+        self._ordered.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def all_rows(self) -> List[Row]:
+        """Every row, in insertion order."""
+        return list(self._rows)
+
+    def row(self, row_id: int) -> Row:
+        """The row with the given id."""
+        try:
+            return self._rows[row_id]
+        except IndexError:
+            raise StorageError(f"table {self.schema.name}: no row {row_id}")
+
+    def lookup(self, column: str, value: Any) -> List[Row]:
+        """Equality lookup, using the hash index when one exists."""
+        if column in self._hash:
+            return [self._rows[i] for i in self._hash[column].get(value, [])]
+        return [row for row in self._rows if row.get(column) == value]
+
+    def range(self, low: Any, high: Any) -> List[Row]:
+        """Rows whose ordered-index key lies in ``[low, high]``."""
+        if self.schema.ordered_index is None:
+            raise StorageError(
+                f"table {self.schema.name}: has no ordered index for range queries"
+            )
+        start = bisect.bisect_left(self._ordered, (low, -1))
+        end = bisect.bisect_right(self._ordered, (high, len(self._rows)))
+        return [self._rows[row_id] for _, row_id in self._ordered[start:end]]
+
+    def select(self, predicate: Callable[[Row], bool]) -> List[Row]:
+        """Full scan with an arbitrary predicate."""
+        return [row for row in self._rows if predicate(row)]
+
+    def distinct(self, column: str) -> List[Any]:
+        """Distinct values of *column* (sorted when possible)."""
+        if column in self._hash:
+            values = list(self._hash[column].keys())
+        else:
+            values = list({row.get(column) for row in self._rows})
+        try:
+            return sorted(values)
+        except TypeError:
+            return values
+
+    def count_by(self, column: str) -> Dict[Any, int]:
+        """Number of rows per distinct value of *column*."""
+        if column in self._hash:
+            return {value: len(ids) for value, ids in self._hash[column].items()}
+        counts: Dict[Any, int] = {}
+        for row in self._rows:
+            counts[row.get(column)] = counts.get(row.get(column), 0) + 1
+        return counts
+
+
+__all__ = ["Row", "TableSchema", "Table"]

@@ -1,0 +1,5 @@
+"""Text-based visualisation of floor plans and object snapshots."""
+
+from repro.viz.ascii_map import AsciiFloorRenderer, render_building, render_floor
+
+__all__ = ["AsciiFloorRenderer", "render_building", "render_floor"]

@@ -1,0 +1,131 @@
+"""ASCII rendering of floor plans, devices and object snapshots.
+
+The GUI prototype (Figure 4) renders parsed DBI entities into a map view and
+visualises object movements in real time.  The library equivalent is a plain
+text rendering that the examples print to the terminal: partitions are drawn
+as their boundary walls, doors as ``+``, devices as ``D`` and moving objects
+as ``o`` (``*`` where several objects overlap in one character cell).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.building.model import Building, Floor
+from repro.core.types import IndoorLocation
+from repro.devices.base import PositioningDevice
+from repro.geometry.point import Point
+
+
+class AsciiFloorRenderer:
+    """Renders one floor of a building as a character grid."""
+
+    def __init__(self, building: Building, floor_id: int, width: int = 100, height: int = 32) -> None:
+        self.building = building
+        self.floor: Floor = building.floor(floor_id)
+        self.width = max(20, width)
+        self.height = max(10, height)
+        box = self.floor.bounding_box
+        self._min_x, self._min_y = box.min_x, box.min_y
+        self._scale_x = (self.width - 1) / max(box.width, 1e-6)
+        self._scale_y = (self.height - 1) / max(box.height, 1e-6)
+
+    # ------------------------------------------------------------------ #
+    # Coordinate mapping
+    # ------------------------------------------------------------------ #
+    def to_cell(self, point: Point) -> tuple:
+        """Map a floor coordinate to a (row, column) grid cell."""
+        column = int(round((point.x - self._min_x) * self._scale_x))
+        # Rows grow downwards in terminal output, so invert the y axis.
+        row = self.height - 1 - int(round((point.y - self._min_y) * self._scale_y))
+        column = min(max(column, 0), self.width - 1)
+        row = min(max(row, 0), self.height - 1)
+        return row, column
+
+    # ------------------------------------------------------------------ #
+    # Rendering
+    # ------------------------------------------------------------------ #
+    def render(
+        self,
+        devices: Sequence[PositioningDevice] = (),
+        objects: Optional[Dict[str, IndoorLocation]] = None,
+        show_labels: bool = True,
+    ) -> str:
+        """Render the floor with optional devices and an object snapshot."""
+        grid: List[List[str]] = [[" "] * self.width for _ in range(self.height)]
+        self._draw_walls(grid)
+        self._draw_doors(grid)
+        if show_labels:
+            self._draw_labels(grid)
+        for device in devices:
+            if device.floor_id != self.floor.floor_id:
+                continue
+            row, column = self.to_cell(device.position)
+            grid[row][column] = "D"
+        if objects:
+            for location in objects.values():
+                if location.floor_id != self.floor.floor_id or not location.has_point:
+                    continue
+                x, y = location.point()
+                row, column = self.to_cell(Point(x, y))
+                grid[row][column] = "*" if grid[row][column] == "o" else "o"
+        header = (
+            f"{self.building.name} — floor {self.floor.floor_id} "
+            f"({len(self.floor.partitions)} partitions, {len(self.floor.doors)} doors)"
+        )
+        lines = [header, "=" * min(len(header), self.width)]
+        lines.extend("".join(row) for row in grid)
+        return "\n".join(lines)
+
+    def _draw_walls(self, grid: List[List[str]]) -> None:
+        for wall in self.floor.walls():
+            segment = wall.segment
+            steps = max(int(segment.length * max(self._scale_x, self._scale_y)) * 2, 2)
+            for index in range(steps + 1):
+                point = segment.point_at(index / steps)
+                row, column = self.to_cell(point)
+                grid[row][column] = "#"
+
+    def _draw_doors(self, grid: List[List[str]]) -> None:
+        for door in self.floor.doors.values():
+            row, column = self.to_cell(door.position)
+            grid[row][column] = "+"
+
+    def _draw_labels(self, grid: List[List[str]]) -> None:
+        for partition in self.floor.partitions.values():
+            label = partition.partition_id.split("_")[-1][:6]
+            row, column = self.to_cell(partition.centroid)
+            for offset, character in enumerate(label):
+                target = column + offset - len(label) // 2
+                if 0 <= target < self.width and grid[row][target] == " ":
+                    grid[row][target] = character
+
+
+def render_floor(
+    building: Building,
+    floor_id: int,
+    devices: Sequence[PositioningDevice] = (),
+    objects: Optional[Dict[str, IndoorLocation]] = None,
+    width: int = 100,
+    height: int = 32,
+) -> str:
+    """One-call convenience wrapper around :class:`AsciiFloorRenderer`."""
+    renderer = AsciiFloorRenderer(building, floor_id, width=width, height=height)
+    return renderer.render(devices=devices, objects=objects)
+
+
+def render_building(
+    building: Building,
+    devices: Sequence[PositioningDevice] = (),
+    objects: Optional[Dict[str, IndoorLocation]] = None,
+    width: int = 100,
+    height: int = 24,
+) -> str:
+    """Render every floor of the building, bottom-up."""
+    sections = []
+    for floor_id in building.floor_ids:
+        sections.append(render_floor(building, floor_id, devices, objects, width, height))
+    return "\n\n".join(sections)
+
+
+__all__ = ["AsciiFloorRenderer", "render_floor", "render_building"]

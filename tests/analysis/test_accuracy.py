@@ -1,0 +1,146 @@
+"""Unit tests for positioning accuracy evaluation against ground truth."""
+
+import math
+
+import pytest
+
+from repro.core.types import (
+    IndoorLocation,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+    TrajectoryRecord,
+)
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    evaluate_positioning,
+    evaluate_probabilistic,
+    evaluate_proximity,
+    ground_truth_coverage,
+)
+from repro.devices.rfid import RFIDReader
+from repro.mobility.trajectory import TrajectorySet
+
+
+def _loc(x, y, floor=0, partition="p"):
+    return IndoorLocation("b", floor, partition_id=partition, x=x, y=y)
+
+
+@pytest.fixture()
+def ground_truth() -> TrajectorySet:
+    """Object 'a' walks along y=0 at 1 m/s for 20 seconds."""
+    trajectories = TrajectorySet()
+    for t in range(21):
+        trajectories.add_record(TrajectoryRecord("a", _loc(float(t), 0.0), float(t)))
+    return trajectories
+
+
+class TestDeterministicEvaluation:
+    def test_perfect_estimates_have_zero_error(self, ground_truth):
+        estimates = [PositioningRecord("a", _loc(float(t), 0.0), float(t)) for t in range(21)]
+        report = evaluate_positioning(estimates, ground_truth)
+        assert report.matched == 21
+        assert report.mean_error == pytest.approx(0.0, abs=1e-9)
+        assert report.rmse == pytest.approx(0.0, abs=1e-9)
+        assert report.partition_hit_rate == 1.0
+        assert report.floor_accuracy == 1.0
+
+    def test_constant_offset_is_measured(self, ground_truth):
+        estimates = [PositioningRecord("a", _loc(float(t), 3.0), float(t)) for t in range(21)]
+        report = evaluate_positioning(estimates, ground_truth)
+        assert report.mean_error == pytest.approx(3.0)
+        assert report.median_error == pytest.approx(3.0)
+        assert report.p90_error == pytest.approx(3.0)
+
+    def test_estimates_interpolate_between_samples(self, ground_truth):
+        estimates = [PositioningRecord("a", _loc(2.5, 0.0), 2.5)]
+        report = evaluate_positioning(estimates, ground_truth)
+        assert report.mean_error == pytest.approx(0.0, abs=1e-9)
+
+    def test_floor_mismatch_counted_not_measured(self, ground_truth):
+        estimates = [PositioningRecord("a", _loc(5.0, 0.0, floor=1), 5.0)]
+        report = evaluate_positioning(estimates, ground_truth)
+        assert report.floor_mismatches == 1
+        assert report.errors_m == []
+        assert report.floor_accuracy == 0.0
+
+    def test_partition_mismatch_lowers_hit_rate(self, ground_truth):
+        estimates = [
+            PositioningRecord("a", _loc(5.0, 0.0, partition="other"), 5.0),
+            PositioningRecord("a", _loc(6.0, 0.0), 6.0),
+        ]
+        report = evaluate_positioning(estimates, ground_truth)
+        assert report.partition_hit_rate == pytest.approx(0.5)
+
+    def test_unknown_object_or_time_not_matched(self, ground_truth):
+        estimates = [
+            PositioningRecord("ghost", _loc(0.0, 0.0), 5.0),
+            PositioningRecord("a", _loc(0.0, 0.0), 500.0),
+        ]
+        report = evaluate_positioning(estimates, ground_truth)
+        assert report.estimates == 2
+        assert report.matched == 0
+        assert math.isnan(report.mean_error)
+
+    def test_empty_report_is_nan(self):
+        report = AccuracyReport()
+        assert math.isnan(report.mean_error)
+        assert math.isnan(report.floor_accuracy)
+        assert math.isnan(report.partition_hit_rate)
+
+    def test_as_dict_contains_all_metrics(self, ground_truth):
+        estimates = [PositioningRecord("a", _loc(1.0, 1.0), 1.0)]
+        payload = evaluate_positioning(estimates, ground_truth).as_dict()
+        assert set(payload) == {
+            "estimates", "matched", "mean_error_m", "median_error_m",
+            "rmse_m", "p90_error_m", "floor_accuracy", "partition_hit_rate",
+        }
+
+
+class TestProbabilisticEvaluation:
+    def test_best_candidate_used(self, ground_truth):
+        record = ProbabilisticPositioningRecord(
+            "a",
+            ((_loc(50.0, 50.0), 0.1), (_loc(5.0, 0.0), 0.9)),
+            5.0,
+        )
+        report = evaluate_probabilistic([record], ground_truth)
+        assert report.mean_error == pytest.approx(0.0, abs=1e-9)
+
+
+class TestProximityEvaluation:
+    def test_collocated_detection_scores_high(self, ground_truth):
+        reader = RFIDReader("r1", _loc(5.0, 0.0), detection_range=3.0)
+        periods = [ProximityRecord("a", "r1", 3.0, 7.0)]
+        report = evaluate_proximity(periods, ground_truth, [reader])
+        assert report.periods == 1
+        assert report.in_range_fraction == 1.0
+        assert report.mean_distance_m < 3.0
+
+    def test_far_detection_scores_low(self, ground_truth):
+        reader = RFIDReader("r1", _loc(100.0, 0.0), detection_range=3.0)
+        periods = [ProximityRecord("a", "r1", 3.0, 7.0)]
+        report = evaluate_proximity(periods, ground_truth, [reader])
+        assert report.in_range_fraction == 0.0
+        assert report.mean_distance_m > 50.0
+
+    def test_unknown_device_ignored(self, ground_truth):
+        periods = [ProximityRecord("a", "ghost", 3.0, 7.0)]
+        report = evaluate_proximity(periods, ground_truth, [])
+        assert report.checked_samples == 0
+        assert math.isnan(report.in_range_fraction)
+
+
+class TestCoverage:
+    def test_full_coverage(self, ground_truth):
+        coverage = ground_truth_coverage([float(t) for t in range(21)], ground_truth)
+        assert coverage == pytest.approx(1.0)
+
+    def test_sparse_coverage_is_lower(self, ground_truth):
+        sparse = ground_truth_coverage([0.0, 10.0, 20.0], ground_truth)
+        dense = ground_truth_coverage([float(t) for t in range(0, 21, 2)], ground_truth)
+        assert sparse < dense <= 1.0
+
+    def test_no_estimates_no_coverage(self, ground_truth):
+        assert ground_truth_coverage([], ground_truth) == 0.0

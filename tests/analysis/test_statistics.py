@@ -1,0 +1,105 @@
+"""Unit tests for dataset statistics (trajectories, crowding, deployments)."""
+
+import random
+
+import pytest
+
+from repro.analysis.statistics import (
+    crowding_at,
+    deployment_statistics,
+    rssi_statistics,
+    trajectory_statistics,
+)
+from repro.core.types import DeviceType, IndoorLocation, RSSIRecord, TrajectoryRecord
+from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+from repro.devices.deployment import CheckPointDeployment, CoverageDeployment
+from repro.mobility.trajectory import TrajectorySet
+
+
+class TestTrajectoryStatistics:
+    def test_empty_set(self):
+        stats = trajectory_statistics(TrajectorySet())
+        assert stats.object_count == 0
+        assert stats.total_samples == 0
+
+    def test_simulation_statistics(self, office_simulation):
+        stats = trajectory_statistics(office_simulation.trajectories)
+        assert stats.object_count == 8
+        assert stats.total_samples == office_simulation.trajectories.total_records
+        assert stats.mean_duration_s > 0
+        assert stats.mean_speed_mps < 2.0
+        assert stats.partitions_visited >= 2
+        payload = stats.as_dict()
+        assert payload["object_count"] == 8.0
+
+
+class TestCrowding:
+    def _set_with_counts(self, counts):
+        trajectories = TrajectorySet()
+        index = 0
+        for partition, number in counts.items():
+            for _ in range(number):
+                index += 1
+                trajectories.add_record(
+                    TrajectoryRecord(
+                        f"o{index}",
+                        IndoorLocation("b", 0, partition_id=partition, x=0.0, y=0.0),
+                        0.0,
+                    )
+                )
+        return trajectories
+
+    def test_single_crowd_is_maximally_concentrated(self):
+        report = crowding_at(self._set_with_counts({"shop": 10}), 0.0)
+        assert report.max_share == 1.0
+        assert report.populated_partitions == 1
+
+    def test_even_spread_has_low_concentration(self):
+        even = crowding_at(self._set_with_counts({f"p{i}": 2 for i in range(10)}), 0.0)
+        skewed = crowding_at(self._set_with_counts({"hot": 16, "a": 2, "b": 2}), 0.0)
+        assert even.max_share < skewed.max_share
+        assert even.gini < skewed.gini
+        assert skewed.top3_share == 1.0
+
+    def test_empty_snapshot(self):
+        report = crowding_at(TrajectorySet(), 0.0)
+        assert report.populated_partitions == 0
+        assert report.max_share == 0.0
+
+
+class TestDeploymentStatistics:
+    def test_coverage_vs_checkpoint_characteristics(self, office):
+        """Figure 3: coverage spreads devices along walls; check-point clusters at doors."""
+        controller = PositioningDeviceController(office, seed=5)
+        coverage_devices = controller.deploy(
+            DeviceDeploymentRequest(DeviceType.WIFI, 6, CoverageDeployment(), floor_ids=[0])
+        )
+        checkpoint_devices = controller.deploy(
+            DeviceDeploymentRequest(DeviceType.WIFI, 6, CheckPointDeployment(), floor_ids=[1])
+        )
+        coverage_report = deployment_statistics(office, coverage_devices, 0)
+        checkpoint_report = deployment_statistics(office, checkpoint_devices, 1)
+        assert coverage_report.device_count == checkpoint_report.device_count == 6
+        # Coverage model: devices hug the walls.
+        assert coverage_report.mean_distance_to_wall < 1.5
+        # Check-point model: devices sit at doors.
+        assert checkpoint_report.mean_distance_to_nearest_door < coverage_report.mean_distance_to_nearest_door
+        assert coverage_report.covered_area_fraction > 0.5
+
+    def test_empty_floor_deployment(self, office):
+        report = deployment_statistics(office, [], 0)
+        assert report.device_count == 0
+
+
+class TestRSSIStatistics:
+    def test_empty(self):
+        stats = rssi_statistics([])
+        assert stats["count"] == 0.0
+
+    def test_values(self):
+        records = [RSSIRecord("a", "ap", value, 0.0) for value in (-50.0, -60.0, -70.0)]
+        stats = rssi_statistics(records)
+        assert stats["count"] == 3.0
+        assert stats["mean"] == pytest.approx(-60.0)
+        assert stats["min"] == -70.0
+        assert stats["max"] == -50.0

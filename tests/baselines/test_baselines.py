@@ -1,0 +1,138 @@
+"""Unit tests for the baseline generators (MWGen, IndoorSTG, RFID tool)."""
+
+import pytest
+
+from repro.baselines.indoorstg import IndoorSTGConfig, IndoorSTGGenerator
+from repro.baselines.mwgen import ManualFloorPlan, MWGenConfig, MWGenGenerator
+from repro.baselines.rfid_tool import RFIDToolConfig, RFIDToolGenerator
+from repro.core.errors import ConfigurationError
+
+
+class TestMWGen:
+    @pytest.fixture(scope="class")
+    def plan(self, office):
+        return ManualFloorPlan.extract_from(office, floor_id=0)
+
+    def test_manual_extraction_loses_nothing_but_boxes(self, plan, office):
+        assert len(plan.rooms) == len(office.floors[0].partitions)
+        assert len(plan.connections) > 0
+
+    def test_multi_floor_is_duplicated_floor_plan(self, plan):
+        """Section 1: MWGen simulates a multi-floor building by duplicating the floor plan."""
+        generator = MWGenGenerator(plan, MWGenConfig(object_count=2, num_floors=3, seed=1))
+        building = generator.building
+        assert len(building.floors) == 3
+        counts = {f: len(building.floors[f].partitions) for f in building.floor_ids}
+        assert len(set(counts.values())) == 1  # identical on every floor
+
+    def test_generates_trajectories_but_no_positioning_data(self, plan):
+        generator = MWGenGenerator(plan, MWGenConfig(object_count=5, seed=2))
+        output = generator.generate()
+        assert output.trajectory_count == 5
+        assert output.total_records > 5
+        assert not output.produces_positioning_data
+        assert not output.produces_rssi_data
+
+    def test_trajectories_are_coarse_waypoint_level(self, plan):
+        """MWGen output lacks the fine-grained ground truth Vita preserves."""
+        generator = MWGenGenerator(plan, MWGenConfig(object_count=3, trips_per_object=2, seed=3))
+        output = generator.generate()
+        for records in output.trajectories.values():
+            # Waypoint-level: a handful of records per trip, far fewer than a
+            # 1 Hz ground-truth trajectory of the same duration would contain.
+            assert len(records) < 60
+
+    def test_routing_metric_configurable(self, plan):
+        for routing in ("length", "time"):
+            generator = MWGenGenerator(plan, MWGenConfig(object_count=2, routing=routing, seed=4))
+            assert generator.generate().total_records > 0
+        with pytest.raises(ConfigurationError):
+            MWGenConfig(routing="scenic")
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MWGenGenerator(ManualFloorPlan())
+
+
+class TestIndoorSTG:
+    def test_artificial_environment_only(self):
+        generator = IndoorSTGGenerator(IndoorSTGConfig(seed=1))
+        output = generator.generate()
+        assert not output.supports_real_buildings
+        assert output.supported_positioning_methods == ("proximity",)
+
+    def test_semantic_trajectories_generated(self):
+        config = IndoorSTGConfig(object_count=10, duration=300.0, seed=2)
+        output = IndoorSTGGenerator(config).generate()
+        assert len(output.semantic_trajectories) == 10
+        for visits in output.semantic_trajectories.values():
+            assert visits
+            for visit in visits:
+                assert visit.t_leave >= visit.t_enter
+                assert visit.duration <= config.max_visit + 1e-6
+
+    def test_proximity_records_match_visits(self):
+        output = IndoorSTGGenerator(IndoorSTGConfig(object_count=5, seed=3)).generate()
+        assert len(output.proximity_records) == output.total_visits
+        assert not output.produces_rssi_data
+
+    def test_rooms_and_devices_created(self):
+        config = IndoorSTGConfig(floors=3, rooms_per_floor=6, seed=4)
+        generator = IndoorSTGGenerator(config)
+        assert len(generator.rooms) == 18
+        assert len(generator.devices) == 18
+        kinds = {room.kind for room in generator.rooms}
+        assert {"room", "corridor", "staircase"} <= kinds
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            IndoorSTGConfig(floors=0)
+        with pytest.raises(ConfigurationError):
+            IndoorSTGConfig(min_visit=50, max_visit=10)
+
+
+class TestRFIDTool:
+    def test_readings_only_no_trajectories(self):
+        output = RFIDToolGenerator(RFIDToolConfig(seed=1)).generate()
+        assert output.reading_count > 0
+        assert not output.produces_trajectory_data
+        assert not output.produces_positioning_data
+        assert not output.supports_real_buildings
+
+    def test_tags_pass_readers_in_belt_order(self):
+        config = RFIDToolConfig(
+            belt_count=1, readers_per_belt=3, tag_count=5,
+            read_miss_probability=0.0, seed=2,
+        )
+        output = RFIDToolGenerator(config).generate()
+        by_tag = {}
+        for reading in output.readings:
+            by_tag.setdefault(reading.tag_id, []).append(reading)
+        for readings in by_tag.values():
+            assert len(readings) == 3
+            times = [r.t for r in sorted(readings, key=lambda r: r.reader_id)]
+            assert times == sorted(times)
+
+    def test_velocity_controls_arrival_times(self):
+        slow = RFIDToolGenerator(
+            RFIDToolConfig(belt_velocity=0.25, tag_count=1, read_miss_probability=0.0, seed=3)
+        ).generate()
+        fast = RFIDToolGenerator(
+            RFIDToolConfig(belt_velocity=1.0, tag_count=1, read_miss_probability=0.0, seed=3)
+        ).generate()
+        assert max(r.t for r in slow.readings) > max(r.t for r in fast.readings)
+
+    def test_read_misses_drop_readings(self):
+        lossless = RFIDToolGenerator(
+            RFIDToolConfig(tag_count=50, read_miss_probability=0.0, seed=4)
+        ).generate()
+        lossy = RFIDToolGenerator(
+            RFIDToolConfig(tag_count=50, read_miss_probability=0.3, seed=4)
+        ).generate()
+        assert lossy.reading_count < lossless.reading_count
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RFIDToolConfig(belt_count=0)
+        with pytest.raises(ConfigurationError):
+            RFIDToolConfig(read_miss_probability=1.5)

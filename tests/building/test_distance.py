@@ -1,0 +1,135 @@
+"""Unit tests for indoor routing (minimum walking distance / time)."""
+
+import pytest
+
+from repro.building.distance import RoutePlanner
+from repro.building.model import Building, Door, Partition, PartitionKind
+from repro.core.errors import RoutingError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+@pytest.fixture(scope="module")
+def office_planner(office):
+    return RoutePlanner(office)
+
+
+class TestSamePartitionRouting:
+    def test_straight_line_route(self, office_planner):
+        route = office_planner.shortest_route(0, Point(1, 1), 0, Point(5, 4))
+        assert route.length == pytest.approx(Point(1, 1).distance_to(Point(5, 4)))
+        assert len(route.waypoints) == 2
+        assert route.doors == []
+
+    def test_travel_time_uses_speed_factor(self, office_planner, office):
+        route = office_planner.shortest_route(0, Point(1, 1), 0, Point(5, 1))
+        partition = office.floor(0).partition_at(Point(1, 1))
+        expected = route.length / (office_planner.walking_speed * partition.speed_factor)
+        assert route.travel_time == pytest.approx(expected)
+
+
+class TestCrossPartitionRouting:
+    def test_route_passes_through_connecting_door(self, office_planner):
+        # From room S0 to room S1 on the ground floor: must pass through the hallway.
+        route = office_planner.shortest_route(0, Point(4, 3), 0, Point(12, 3))
+        assert len(route.doors) >= 2
+        assert route.length > Point(4, 3).distance_to(Point(12, 3))
+
+    def test_route_is_longer_than_euclidean(self, office_planner):
+        source, target = Point(4, 3), Point(36, 3)
+        route = office_planner.shortest_route(0, source, 0, target)
+        assert route.length >= source.distance_to(target)
+
+    def test_waypoints_start_and_end_at_query_points(self, office_planner):
+        source, target = Point(4, 3), Point(20, 16)
+        route = office_planner.shortest_route(0, source, 0, target)
+        assert route.waypoints[0].point == source
+        assert route.waypoints[-1].point == target
+
+    def test_route_legs_are_same_floor_segments(self, office_planner):
+        route = office_planner.shortest_route(0, Point(4, 3), 1, Point(12, 3))
+        for leg in route.legs():
+            assert leg.length >= 0
+
+    def test_shortest_distance_helper(self, office_planner):
+        distance = office_planner.shortest_distance(0, Point(4, 3), 0, Point(12, 3))
+        route = office_planner.shortest_route(0, Point(4, 3), 0, Point(12, 3))
+        assert distance == pytest.approx(route.length)
+
+
+class TestMultiFloorRouting:
+    def test_cross_floor_route_uses_staircase(self, office_planner):
+        route = office_planner.shortest_route(0, Point(4, 3), 1, Point(4, 3))
+        assert route.staircases == ["stair_0_1"]
+        assert route.floors_visited == [0, 1]
+
+    def test_cross_floor_route_length_includes_stair_length(self, office_planner, office):
+        route = office_planner.shortest_route(0, Point(4, 3), 1, Point(4, 3))
+        assert route.length > office.staircases["stair_0_1"].length
+
+
+class TestRoutingMetrics:
+    def test_time_metric_prefers_fast_partitions(self):
+        """With the time metric, a longer hallway detour can beat a slow shortcut."""
+        building = Building("metric")
+        floor = building.new_floor(0)
+        # A slow canteen directly between source and target, and a fast hallway below.
+        floor.add_partition(Partition("left", 0, Polygon.rectangle(0, 5, 10, 15)))
+        floor.add_partition(
+            Partition("mid_slow", 0, Polygon.rectangle(10, 5, 20, 15), kind=PartitionKind.ELEVATOR)
+        )
+        floor.add_partition(Partition("right", 0, Polygon.rectangle(20, 5, 30, 15)))
+        floor.add_partition(
+            Partition("hall", 0, Polygon.rectangle(0, 0, 30, 5), kind=PartitionKind.HALLWAY)
+        )
+        floor.add_door(Door("d1", 0, Point(10, 10), ("left", "mid_slow")))
+        floor.add_door(Door("d2", 0, Point(20, 10), ("mid_slow", "right")))
+        floor.add_door(Door("d3", 0, Point(5, 5), ("left", "hall")))
+        floor.add_door(Door("d4", 0, Point(25, 5), ("hall", "right")))
+        planner = RoutePlanner(building)
+        source, target = Point(2, 10), Point(28, 10)
+        by_length = planner.shortest_route(0, source, 0, target, metric="length")
+        by_time = planner.shortest_route(0, source, 0, target, metric="time")
+        assert "d1" in by_length.doors            # straight through the slow partition
+        assert "d3" in by_time.doors              # detour via the fast hallway
+        assert by_time.length >= by_length.length
+        assert by_time.travel_time <= by_length.travel_time
+
+    def test_unknown_metric_rejected(self, office_planner):
+        with pytest.raises(RoutingError):
+            office_planner.shortest_route(0, Point(4, 3), 0, Point(12, 3), metric="hops")
+
+
+class TestDirectionalityAndErrors:
+    def test_one_way_door_blocks_reverse_route(self):
+        building = Building("oneway")
+        floor = building.new_floor(0)
+        floor.add_partition(Partition("a", 0, Polygon.rectangle(0, 0, 10, 8)))
+        floor.add_partition(Partition("b", 0, Polygon.rectangle(10, 0, 20, 8)))
+        floor.add_door(
+            Door("d", 0, Point(10, 4), ("a", "b"), one_way_from="a", one_way_to="b")
+        )
+        planner = RoutePlanner(building)
+        forward = planner.shortest_route(0, Point(5, 4), 0, Point(15, 4))
+        assert forward.doors == ["d"]
+        with pytest.raises(RoutingError):
+            planner.shortest_route(0, Point(15, 4), 0, Point(5, 4))
+
+    def test_point_outside_building_rejected(self, office_planner):
+        with pytest.raises(RoutingError):
+            office_planner.shortest_route(0, Point(-50, -50), 0, Point(4, 3))
+        with pytest.raises(RoutingError):
+            office_planner.shortest_route(0, Point(4, 3), 0, Point(500, 500))
+
+    def test_disconnected_partition_raises(self):
+        building = Building("island")
+        floor = building.new_floor(0)
+        floor.add_partition(Partition("a", 0, Polygon.rectangle(0, 0, 10, 8)))
+        floor.add_partition(Partition("island", 0, Polygon.rectangle(50, 50, 60, 58)))
+        planner = RoutePlanner(building)
+        with pytest.raises(RoutingError):
+            planner.shortest_route(0, Point(5, 4), 0, Point(55, 54))
+
+    def test_invalid_walking_speed_rejected(self, office):
+        with pytest.raises(RoutingError):
+            RoutePlanner(office, walking_speed=0.0)

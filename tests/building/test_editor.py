@@ -1,0 +1,136 @@
+"""Unit tests for the Indoor Environment Controller."""
+
+import pytest
+
+from repro.building.editor import IndoorEnvironmentController
+from repro.building.model import Building, Door, Partition
+from repro.building.synthetic import office_building
+from repro.building.topology import AccessibilityGraph
+from repro.building.distance import RoutePlanner
+from repro.core.errors import TopologyError
+from repro.geometry.decompose import DecompositionConfig
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+class TestDoorDirectionality:
+    def test_set_one_way_and_back(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        door = controller.set_door_one_way("f0_door_s1", "f0_room_s1", "f0_hall")
+        assert not door.is_bidirectional
+        assert door.allows("f0_room_s1", "f0_hall")
+        assert not door.allows("f0_hall", "f0_room_s1")
+        controller.set_door_bidirectional("f0_door_s1")
+        assert door.is_bidirectional
+
+    def test_one_way_door_affects_topology(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        controller.set_door_one_way("f0_door_s1", "f0_hall", "f0_room_s1")
+        graph = AccessibilityGraph(fresh_office)
+        assert not graph.is_reachable((0, "f0_room_s1"), (0, "f0_hall"))
+        assert graph.is_reachable((0, "f0_hall"), (0, "f0_room_s1"))
+
+    def test_unknown_door_raises(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        with pytest.raises(TopologyError):
+            controller.set_door_one_way("no_such_door", "a", "b")
+
+
+class TestObstacles:
+    def test_deploy_and_remove_obstacle(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        obstacle = controller.deploy_obstacle(0, Polygon.rectangle(2, 2, 3, 3), attenuation_db=6.0)
+        assert obstacle.obstacle_id in fresh_office.floors[0].obstacles
+        controller.remove_obstacle(0, obstacle.obstacle_id)
+        assert obstacle.obstacle_id not in fresh_office.floors[0].obstacles
+
+    def test_obstacle_ids_are_unique(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        first = controller.deploy_obstacle(0, Polygon.rectangle(2, 2, 3, 3))
+        second = controller.deploy_obstacle(0, Polygon.rectangle(4, 4, 5, 5))
+        assert first.obstacle_id != second.obstacle_id
+
+    def test_remove_missing_obstacle_raises(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        with pytest.raises(TopologyError):
+            controller.remove_obstacle(0, "ghost")
+
+
+class TestParseErrorFixing:
+    def test_orphan_doors_removed(self):
+        building = Building("broken")
+        floor = building.new_floor(0)
+        floor.add_partition(Partition("a", 0, Polygon.rectangle(0, 0, 10, 8)))
+        floor.add_partition(Partition("b", 0, Polygon.rectangle(10, 0, 20, 8)))
+        floor.add_door(Door("ok", 0, Point(10, 4), ("a", "b")))
+        floor.add_door(Door("broken_door", 0, Point(20, 4), ("b", "a")))
+        # Simulate a parse error: remove partition 'a' behind the floor's back.
+        del floor.partitions["a"]
+        log = IndoorEnvironmentController(building).fix_parse_errors()
+        assert len(log) == 2
+        assert not floor.doors
+
+    def test_clean_building_untouched(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        assert controller.fix_parse_errors() == []
+        assert fresh_office.door_count == office_building().door_count
+
+
+class TestDecomposition:
+    def test_hallways_are_decomposed(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        report = controller.decompose_irregular_partitions(
+            DecompositionConfig(max_area=60.0, max_aspect_ratio=3.0)
+        )
+        assert report.partitions_split >= 2  # one hallway per floor
+        assert "f0_hall" in report.decomposed_partitions
+        assert "f0_hall" not in fresh_office.floors[0].partitions
+        assert any(p.startswith("f0_hall#") for p in fresh_office.floors[0].partitions)
+
+    def test_area_preserved_by_decomposition(self, fresh_office):
+        area_before = fresh_office.total_area
+        IndoorEnvironmentController(fresh_office).decompose_irregular_partitions()
+        assert fresh_office.total_area == pytest.approx(area_before, rel=1e-4)
+
+    def test_connectivity_preserved_by_decomposition(self, fresh_office):
+        controller = IndoorEnvironmentController(fresh_office)
+        controller.decompose_irregular_partitions(
+            DecompositionConfig(max_area=50.0, max_aspect_ratio=2.5)
+        )
+        assert AccessibilityGraph(fresh_office).is_fully_connected()
+
+    def test_routing_still_works_after_decomposition(self, fresh_office):
+        IndoorEnvironmentController(fresh_office).decompose_irregular_partitions()
+        planner = RoutePlanner(fresh_office)
+        route = planner.shortest_route(0, Point(4, 3), 1, Point(35, 3))
+        assert route.length > 0
+        assert route.floors_visited == [0, 1]
+
+    def test_doors_reattached_to_children(self, fresh_office):
+        IndoorEnvironmentController(fresh_office).decompose_irregular_partitions(
+            DecompositionConfig(max_area=60.0, max_aspect_ratio=3.0)
+        )
+        door = fresh_office.floors[0].doors["f0_door_s1"]
+        assert any(p.startswith("f0_hall#") for p in door.partitions)
+
+    def test_virtual_doors_created_between_siblings(self, fresh_office):
+        report = IndoorEnvironmentController(fresh_office).decompose_irregular_partitions(
+            DecompositionConfig(max_area=60.0, max_aspect_ratio=3.0)
+        )
+        assert report.created_virtual_doors
+        assert all(d.startswith("vdoor_") for d in report.created_virtual_doors)
+
+    def test_kind_filter_restricts_decomposition(self, fresh_office):
+        from repro.building.model import PartitionKind
+
+        report = IndoorEnvironmentController(fresh_office).decompose_irregular_partitions(
+            DecompositionConfig(max_area=20.0, max_aspect_ratio=1.5),
+            kinds=(PartitionKind.HALLWAY,),
+        )
+        assert all("hall" in partition_id for partition_id in report.decomposed_partitions)
+
+    def test_balanced_building_is_left_alone(self, fresh_office):
+        report = IndoorEnvironmentController(fresh_office).decompose_irregular_partitions(
+            DecompositionConfig(max_area=10_000.0, max_aspect_ratio=100.0)
+        )
+        assert report.partitions_split == 0

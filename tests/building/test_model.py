@@ -1,0 +1,227 @@
+"""Unit tests for the building model (partitions, doors, staircases, walls)."""
+
+import pytest
+
+from repro.building.model import (
+    Building,
+    Door,
+    Floor,
+    Obstacle,
+    OUTDOOR,
+    Partition,
+    PartitionKind,
+    Staircase,
+)
+from repro.core.errors import TopologyError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def _simple_floor() -> Floor:
+    """Two adjacent 10x8 rooms joined by a door at (10, 4)."""
+    floor = Floor(0)
+    floor.add_partition(
+        Partition("a", 0, Polygon.rectangle(0, 0, 10, 8), kind=PartitionKind.ROOM)
+    )
+    floor.add_partition(
+        Partition("b", 0, Polygon.rectangle(10, 0, 20, 8), kind=PartitionKind.ROOM)
+    )
+    floor.add_door(Door("d_ab", 0, Point(10, 4), ("a", "b"), width=1.2))
+    return floor
+
+
+class TestDoor:
+    def test_rejects_same_partition_on_both_sides(self):
+        with pytest.raises(TopologyError):
+            Door("d", 0, Point(0, 0), ("a", "a"))
+
+    def test_other_side(self):
+        door = Door("d", 0, Point(0, 0), ("a", "b"))
+        assert door.other_side("a") == "b"
+        assert door.other_side("b") == "a"
+        with pytest.raises(TopologyError):
+            door.other_side("c")
+
+    def test_bidirectional_allows_both_ways(self):
+        door = Door("d", 0, Point(0, 0), ("a", "b"))
+        assert door.allows("a", "b") and door.allows("b", "a")
+
+    def test_one_way_restricts_direction(self):
+        door = Door("d", 0, Point(0, 0), ("a", "b"))
+        door.set_one_way("a", "b")
+        assert door.allows("a", "b")
+        assert not door.allows("b", "a")
+        door.set_bidirectional()
+        assert door.allows("b", "a")
+
+    def test_one_way_requires_own_partitions(self):
+        door = Door("d", 0, Point(0, 0), ("a", "b"))
+        with pytest.raises(TopologyError):
+            door.set_one_way("a", "c")
+
+    def test_partial_one_way_constructor_rejected(self):
+        with pytest.raises(TopologyError):
+            Door("d", 0, Point(0, 0), ("a", "b"), one_way_from="a")
+
+    def test_entrance_detection(self):
+        door = Door("d", 0, Point(0, 0), ("a", OUTDOOR))
+        assert door.is_entrance
+        assert door.connects("a") and door.connects(OUTDOOR)
+
+
+class TestStaircase:
+    def test_rejects_inverted_floors(self):
+        with pytest.raises(TopologyError):
+            Staircase("s", 1, 1, "a", Point(0, 0), "b", Point(0, 0))
+
+    def test_endpoint_lookup(self):
+        staircase = Staircase("s", 0, 1, "a", Point(1, 1), "b", Point(2, 2))
+        assert staircase.endpoint_on(0) == ("a", Point(1, 1))
+        assert staircase.endpoint_on(1) == ("b", Point(2, 2))
+        with pytest.raises(TopologyError):
+            staircase.endpoint_on(5)
+
+    def test_connects_floor(self):
+        staircase = Staircase("s", 0, 2, "a", Point(0, 0), "b", Point(0, 0))
+        assert staircase.connects_floor(0) and staircase.connects_floor(2)
+        assert not staircase.connects_floor(1)
+
+
+class TestFloor:
+    def test_duplicate_partition_rejected(self):
+        floor = _simple_floor()
+        with pytest.raises(TopologyError):
+            floor.add_partition(Partition("a", 0, Polygon.rectangle(30, 0, 40, 8)))
+
+    def test_door_requires_existing_partitions(self):
+        floor = _simple_floor()
+        with pytest.raises(TopologyError):
+            floor.add_door(Door("bad", 0, Point(5, 5), ("a", "missing")))
+
+    def test_door_to_outdoor_allowed(self):
+        floor = _simple_floor()
+        floor.add_door(Door("entry", 0, Point(0, 4), ("a", OUTDOOR)))
+        assert len(floor.entrances()) == 1
+
+    def test_partition_at(self):
+        floor = _simple_floor()
+        assert floor.partition_at(Point(5, 4)).partition_id == "a"
+        assert floor.partition_at(Point(15, 4)).partition_id == "b"
+        assert floor.partition_at(Point(50, 50)) is None
+
+    def test_partition_floor_mismatch_rejected(self):
+        floor = Floor(1)
+        with pytest.raises(TopologyError):
+            floor.add_partition(Partition("x", 0, Polygon.rectangle(0, 0, 1, 1)))
+
+    def test_neighbors_of(self):
+        floor = _simple_floor()
+        assert floor.neighbors_of("a") == ["b"]
+        assert floor.neighbors_of("b") == ["a"]
+
+    def test_neighbors_respect_directionality(self):
+        floor = _simple_floor()
+        floor.doors["d_ab"].set_one_way("a", "b")
+        assert floor.neighbors_of("a") == ["b"]
+        assert floor.neighbors_of("b") == []
+
+    def test_remove_partition_drops_attached_doors(self):
+        floor = _simple_floor()
+        floor.remove_partition("b")
+        assert "d_ab" not in floor.doors
+        assert "b" not in floor.partitions
+
+    def test_total_area_and_bounding_box(self):
+        floor = _simple_floor()
+        assert floor.total_area == pytest.approx(160.0)
+        box = floor.bounding_box
+        assert (box.min_x, box.max_x) == (0, 20)
+
+    def test_obstacles(self):
+        floor = _simple_floor()
+        floor.add_obstacle(Obstacle("o1", 0, Polygon.rectangle(2, 2, 3, 3)))
+        assert len(floor.obstacle_polygons()) == 1
+        with pytest.raises(TopologyError):
+            floor.add_obstacle(Obstacle("o1", 0, Polygon.rectangle(4, 4, 5, 5)))
+
+
+class TestWallDerivation:
+    def test_shared_edges_emitted_once(self):
+        floor = _simple_floor()
+        walls = floor.walls()
+        # The shared edge x=10 appears as wall pieces, not twice in full length.
+        shared_pieces = [
+            w for w in walls
+            if abs(w.segment.start.x - 10) < 1e-6 and abs(w.segment.end.x - 10) < 1e-6
+        ]
+        total_shared_length = sum(w.length for w in shared_pieces)
+        assert total_shared_length < 8.0  # a gap was cut for the door
+
+    def test_door_gap_cut_from_wall(self):
+        floor = _simple_floor()
+        walls = floor.wall_segments()
+        door_position = Point(10, 4)
+        # No wall piece should pass through the door position.
+        assert all(w.distance_to_point(door_position) > 0.3 for w in walls)
+
+    def test_wall_cache_invalidated_on_change(self):
+        floor = _simple_floor()
+        before = len(floor.walls())
+        floor.add_partition(Partition("c", 0, Polygon.rectangle(0, 8, 10, 16)))
+        after = len(floor.walls())
+        assert after > before
+
+
+class TestBuilding:
+    def test_duplicate_floor_rejected(self):
+        building = Building("b")
+        building.new_floor(0)
+        with pytest.raises(TopologyError):
+            building.add_floor(Floor(0))
+
+    def test_staircase_validates_endpoints(self):
+        building = Building("b")
+        floor0 = building.new_floor(0)
+        floor1 = building.new_floor(1)
+        floor0.add_partition(Partition("a", 0, Polygon.rectangle(0, 0, 5, 5)))
+        with pytest.raises(TopologyError):
+            building.add_staircase(
+                Staircase("s", 0, 1, "a", Point(1, 1), "missing", Point(1, 1))
+            )
+
+    def test_locate_annotates_partition(self, office):
+        location = office.locate(0, Point(4.0, 3.0))
+        assert location.partition_id is not None
+        assert location.floor_id == 0
+
+    def test_random_location_is_inside_some_partition(self, office):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(20):
+            location = office.random_location(rng)
+            assert location.partition_id is not None
+
+    def test_counts(self, office):
+        assert office.partition_count == len(office.all_partitions())
+        assert office.door_count == len(office.all_doors())
+        assert office.total_area > 0
+
+    def test_validate_reports_overlapping_partitions(self):
+        building = Building("b")
+        floor = building.new_floor(0)
+        floor.add_partition(Partition("a", 0, Polygon.rectangle(0, 0, 10, 10)))
+        floor.add_partition(Partition("b", 0, Polygon.rectangle(5, 5, 15, 15)))
+        problems = building.validate()
+        assert any("overlap" in problem for problem in problems)
+
+    def test_validate_clean_building(self, office):
+        assert office.validate() == []
+
+    def test_missing_floor_raises(self, office):
+        with pytest.raises(TopologyError):
+            office.floor(99)
+
+    def test_missing_partition_raises(self, office):
+        with pytest.raises(TopologyError):
+            office.partition(0, "nope")

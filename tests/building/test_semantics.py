@@ -1,0 +1,115 @@
+"""Unit tests for the semantic extraction rules (Section 4.1)."""
+
+import pytest
+
+from repro.building.model import Building, Door, Partition, PartitionKind
+from repro.building.semantics import RuleContext, SemanticExtractor, SemanticRule, default_rules
+from repro.building.synthetic import clinic_building, mall_building, office_building
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+def _context(name="Room", area=20.0, aspect=1.0, degree=1, floor_area=100.0) -> RuleContext:
+    width = (area * aspect) ** 0.5
+    height = area / width
+    partition = Partition(
+        partition_id="p",
+        floor_id=0,
+        polygon=Polygon.rectangle(0, 0, width, height),
+        name=name,
+    )
+    return RuleContext(partition=partition, door_degree=degree, floor_area=floor_area)
+
+
+class TestRuleMatching:
+    def test_canteen_recognised_by_name(self):
+        extractor = SemanticExtractor()
+        tag, kind = extractor.classify_partition(_context(name="Staff canteen"))
+        assert tag == "canteen" and kind is PartitionKind.CANTEEN
+
+    def test_dining_room_recognised_as_canteen(self):
+        extractor = SemanticExtractor()
+        tag, _ = extractor.classify_partition(_context(name="Dining Room West"))
+        assert tag == "canteen"
+
+    def test_shop_recognised_by_name(self):
+        tag, kind = SemanticExtractor().classify_partition(_context(name="Shoe store 3"))
+        assert tag == "shop" and kind is PartitionKind.SHOP
+
+    def test_public_area_by_connectivity_and_floorage(self):
+        """Section 4.1: a public area is recognised by door connectivity and floorage."""
+        tag, kind = SemanticExtractor().classify_partition(
+            _context(name="Space 12", area=80.0, degree=4)
+        )
+        assert tag == "public_area" and kind is PartitionKind.PUBLIC_AREA
+
+    def test_small_poorly_connected_space_is_plain_room(self):
+        tag, kind = SemanticExtractor().classify_partition(
+            _context(name="Space 12", area=15.0, degree=1)
+        )
+        assert tag == "room" and kind is None
+
+    def test_hallway_by_shape_and_connectivity(self):
+        tag, kind = SemanticExtractor().classify_partition(
+            _context(name="Space 9", area=60.0, aspect=9.0, degree=5)
+        )
+        assert tag == "hallway" and kind is PartitionKind.HALLWAY
+
+    def test_name_rules_take_priority_over_shape_rules(self):
+        tag, _ = SemanticExtractor().classify_partition(
+            _context(name="Canteen hall", area=80.0, aspect=9.0, degree=5)
+        )
+        assert tag == "canteen"
+
+    def test_custom_rule_can_outrank_defaults(self):
+        extractor = SemanticExtractor()
+        extractor.add_rule(
+            SemanticRule(
+                name="server-room",
+                predicate=lambda c: "server" in c.name,
+                tag="server_room",
+                priority=200,
+            )
+        )
+        tag, _ = extractor.classify_partition(_context(name="Server canteen"))
+        assert tag == "server_room"
+
+
+class TestBuildingAnnotation:
+    def test_office_annotation(self):
+        building = office_building()
+        assignments = SemanticExtractor().annotate_building(building)
+        assert assignments["0:f0_room_s0"] == "canteen"
+        assert building.partition(0, "f0_room_s0").semantic_tag == "canteen"
+        assert assignments["0:f0_hall"] == "hallway"
+        assert assignments["0:f0_stair"] == "stairwell"
+
+    def test_mall_annotation_tags_shops_and_food_court(self):
+        building = mall_building()
+        SemanticExtractor().annotate_building(building)
+        tags = {p.semantic_tag for p in building.all_partitions()}
+        assert "shop" in tags and "canteen" in tags
+
+    def test_clinic_annotation_tags_waiting_room_as_lobby(self):
+        building = clinic_building()
+        assignments = SemanticExtractor().annotate_building(building)
+        assert assignments["0:f0_room_s0"] == "lobby"
+
+    def test_partitions_with_tag(self):
+        building = mall_building()
+        extractor = SemanticExtractor()
+        extractor.annotate_building(building)
+        shops = extractor.partitions_with_tag(building, "shop")
+        assert len(shops) > 0
+        assert all(p.semantic_tag == "shop" for p in shops)
+
+    def test_kind_not_overwritten_when_disabled(self):
+        building = office_building()
+        original_kinds = {p.partition_id: p.kind for p in building.all_partitions()}
+        SemanticExtractor().annotate_building(building, overwrite_kind=False)
+        for partition in building.all_partitions():
+            assert partition.kind == original_kinds[partition.partition_id]
+
+    def test_default_rules_have_fallback(self):
+        rules = default_rules()
+        assert rules[-1].tag == "room" or any(rule.priority == 0 for rule in rules)

@@ -1,0 +1,111 @@
+"""Unit tests for the synthetic building generators."""
+
+import pytest
+
+from repro.building.model import OUTDOOR, PartitionKind
+from repro.building.synthetic import (
+    ClinicSpec,
+    MallSpec,
+    OfficeSpec,
+    building_by_name,
+    clinic_building,
+    mall_building,
+    office_building,
+)
+from repro.building.topology import AccessibilityGraph
+from repro.core.errors import ConfigurationError
+
+
+class TestOffice:
+    def test_default_structure(self, office):
+        assert len(office.floors) == 2
+        # Per floor: hallway + rooms_per_side south rooms + rooms_per_side north rooms.
+        assert len(office.floors[0].partitions) == 1 + 2 * 5
+        assert len(office.staircases) == 1
+
+    def test_has_ground_floor_entrance(self, office):
+        entrances = office.floors[0].entrances()
+        assert len(entrances) == 1
+        assert OUTDOOR in entrances[0].partitions
+
+    def test_has_canteen_and_stairwell(self, office):
+        kinds = {p.kind for p in office.floors[0].partitions.values()}
+        assert PartitionKind.CANTEEN in kinds
+        assert PartitionKind.STAIRWELL in kinds
+
+    def test_scales_with_spec(self):
+        big = office_building(OfficeSpec(floors=4, rooms_per_side=8))
+        assert len(big.floors) == 4
+        assert len(big.staircases) == 3
+        assert len(big.floors[0].partitions) == 1 + 16
+
+    def test_validates_cleanly(self, office):
+        assert office.validate() == []
+
+    def test_rejects_bad_spec(self):
+        with pytest.raises(ConfigurationError):
+            OfficeSpec(floors=0)
+        with pytest.raises(ConfigurationError):
+            OfficeSpec(rooms_per_side=1)
+
+
+class TestMall:
+    def test_default_structure(self, mall):
+        assert len(mall.floors) == 2
+        kinds = {p.kind for p in mall.floors[0].partitions.values()}
+        assert PartitionKind.PUBLIC_AREA in kinds
+        assert PartitionKind.SHOP in kinds
+        assert PartitionKind.CANTEEN in kinds
+
+    def test_two_ground_floor_entrances(self, mall):
+        assert len(mall.floors[0].entrances()) == 2
+
+    def test_atrium_is_largest_partition(self, mall):
+        largest = max(mall.floors[0].partitions.values(), key=lambda p: p.area)
+        assert largest.kind is PartitionKind.PUBLIC_AREA
+
+    def test_connected(self, mall):
+        assert AccessibilityGraph(mall).is_fully_connected()
+
+    def test_validates_cleanly(self, mall):
+        assert mall.validate() == []
+
+
+class TestClinic:
+    def test_single_floor_by_default(self, clinic):
+        assert len(clinic.floors) == 1
+        assert len(clinic.staircases) == 0
+
+    def test_multi_floor_clinic_has_staircases(self):
+        two_storey = clinic_building(ClinicSpec(floors=2))
+        assert len(two_storey.staircases) == 1
+        assert AccessibilityGraph(two_storey).is_fully_connected()
+
+    def test_has_waiting_room(self, clinic):
+        names = [p.name for p in clinic.floors[0].partitions.values()]
+        assert any("Waiting" in name for name in names)
+
+    def test_connected(self, clinic):
+        assert AccessibilityGraph(clinic).is_fully_connected()
+
+
+class TestFactory:
+    def test_building_by_name(self):
+        assert building_by_name("office").building_id == "office"
+        assert building_by_name("mall", floors=3).floor_ids == [0, 1, 2]
+        assert building_by_name("clinic", floors=1).building_id == "clinic"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            building_by_name("stadium")
+
+    def test_every_archetype_is_connected(self):
+        for name in ("office", "mall", "clinic"):
+            building = building_by_name(name, floors=2)
+            assert AccessibilityGraph(building).is_fully_connected(), name
+
+    def test_deterministic_construction(self):
+        first = office_building()
+        second = office_building()
+        assert first.partition_count == second.partition_count
+        assert sorted(first.floors[0].partitions) == sorted(second.floors[0].partitions)

@@ -1,0 +1,117 @@
+"""Unit tests for the accessibility graph."""
+
+import pytest
+
+from repro.building.model import Building, Door, Partition, PartitionKind
+from repro.building.topology import AccessibilityGraph
+from repro.core.errors import TopologyError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+@pytest.fixture()
+def chain_building() -> Building:
+    """Three rooms in a row: a - b - c, with b->c one-way."""
+    building = Building("chain")
+    floor = building.new_floor(0)
+    for index, name in enumerate(["a", "b", "c"]):
+        floor.add_partition(
+            Partition(name, 0, Polygon.rectangle(index * 10, 0, (index + 1) * 10, 8))
+        )
+    floor.add_door(Door("d_ab", 0, Point(10, 4), ("a", "b")))
+    floor.add_door(Door("d_bc", 0, Point(20, 4), ("b", "c"), one_way_from="b", one_way_to="c"))
+    return building
+
+
+class TestGraphStructure:
+    def test_node_and_edge_counts(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        assert graph.node_count == 3
+        # a<->b (2 directed edges) plus b->c (1 directed edge).
+        assert graph.edge_count == 3
+
+    def test_office_graph_counts(self, office):
+        graph = AccessibilityGraph(office)
+        assert graph.node_count == office.partition_count
+        # Every bidirectional door yields two directed edges; staircases add two more.
+        interior_doors = [d for d in office.all_doors() if not d.is_entrance]
+        assert graph.edge_count == 2 * len(interior_doors) + 2 * len(office.staircases)
+
+    def test_neighbors_respect_directionality(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        assert graph.neighbors(0, "b") == [(0, "c")] or set(graph.neighbors(0, "b")) == {(0, "a"), (0, "c")}
+        # c cannot go back through the one-way door.
+        assert (0, "b") not in graph.neighbors(0, "c")
+
+    def test_neighbors_of_unknown_partition_raises(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        with pytest.raises(TopologyError):
+            graph.neighbors(0, "zzz")
+
+
+class TestReachability:
+    def test_reachable_respects_one_way(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        assert graph.is_reachable((0, "a"), (0, "c"))
+        assert not graph.is_reachable((0, "c"), (0, "a"))
+
+    def test_reachable_set(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        assert graph.reachable_set((0, "a")) == {(0, "a"), (0, "b"), (0, "c")}
+        assert graph.reachable_set((0, "c")) == {(0, "c")}
+
+    def test_unknown_nodes_are_unreachable(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        assert not graph.is_reachable((0, "a"), (5, "x"))
+        assert graph.reachable_set((9, "q")) == set()
+
+    def test_partition_hop_path(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        assert graph.partition_hop_path((0, "a"), (0, "c")) == [(0, "a"), (0, "b"), (0, "c")]
+        assert graph.partition_hop_path((0, "c"), (0, "a")) is None
+
+    def test_multi_floor_reachability(self, office):
+        graph = AccessibilityGraph(office)
+        ground_room = (0, "f0_room_s1")
+        upper_room = (1, "f1_room_s1")
+        assert graph.is_reachable(ground_room, upper_room)
+        assert graph.is_reachable(upper_room, ground_room)
+
+    def test_office_is_fully_connected(self, office):
+        assert AccessibilityGraph(office).is_fully_connected()
+
+    def test_mall_and_clinic_are_fully_connected(self, mall, clinic):
+        assert AccessibilityGraph(mall).is_fully_connected()
+        assert AccessibilityGraph(clinic).is_fully_connected()
+
+
+class TestConnectivityDiagnostics:
+    def test_isolated_partition_detected(self):
+        building = Building("iso")
+        floor = building.new_floor(0)
+        floor.add_partition(Partition("a", 0, Polygon.rectangle(0, 0, 5, 5)))
+        floor.add_partition(Partition("island", 0, Polygon.rectangle(20, 20, 25, 25)))
+        graph = AccessibilityGraph(building)
+        assert (0, "island") in graph.isolated_partitions()
+        assert not graph.is_fully_connected()
+        assert len(graph.connected_components()) == 2
+
+    def test_door_between(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        assert graph.door_between((0, "a"), (0, "b")) == "d_ab"
+        assert graph.door_between((0, "c"), (0, "b")) is None
+
+    def test_staircase_edge_lookup(self, office):
+        graph = AccessibilityGraph(office)
+        assert graph.door_between((0, "f0_stair"), (1, "f1_stair")) == "stair_0_1"
+
+    def test_degree_counts_connectors_once(self, chain_building):
+        graph = AccessibilityGraph(chain_building)
+        assert graph.degree_of(0, "b") == 2  # two doors touch b
+        assert graph.degree_of(0, "a") == 1
+        assert graph.degree_of(3, "missing") == 0
+
+    def test_partitions_by_degree_ranks_hallway_first(self, office):
+        graph = AccessibilityGraph(office)
+        most_connected = graph.partitions_by_degree()[0]
+        assert "hall" in most_connected[1]

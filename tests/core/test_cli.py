@@ -1,0 +1,83 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ifc.extractor import DBIProcessor
+
+
+@pytest.fixture()
+def config_path(tmp_path):
+    payload = {
+        "environment": {"building": "clinic", "floors": 1},
+        "devices": [{"type": "wifi", "count_per_floor": 4, "deployment": "coverage"}],
+        "objects": {"count": 4, "duration": 40, "time_step": 0.5, "seed": 3},
+        "rssi": {"sampling_period": 2.0},
+        "positioning": {"method": "trilateration", "sampling_period": 5.0},
+        "seed": 3,
+    }
+    path = tmp_path / "run.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestGenerateCommand:
+    def test_generate_writes_datasets_and_summary(self, config_path, tmp_path, capsys):
+        output = tmp_path / "out"
+        exit_code = main(["generate", "--config", str(config_path), "--output", str(output)])
+        assert exit_code == 0
+        assert (output / "summary.json").exists()
+        assert (output / "raw_trajectories.csv").exists()
+        assert (output / "raw_rssi.csv").exists()
+        assert (output / "positioning.csv").exists()
+        summary = json.loads((output / "summary.json").read_text())
+        assert summary["records"]["trajectory_records"] > 0
+        printed = capsys.readouterr().out
+        assert "trajectory_records" in printed
+
+    def test_generate_with_invalid_config_fails_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"objects": {"unknown_key": 1}}))
+        exit_code = main(["generate", "--config", str(bad), "--output", str(tmp_path / "o")])
+        assert exit_code == 2
+
+
+class TestDescribeCommand:
+    def test_describe_synthetic_building(self, capsys):
+        exit_code = main(["describe", "--building", "mall", "--floors", "2", "--no-map"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "partitions=" in output and "connected=True" in output
+
+    def test_describe_with_map(self, capsys):
+        exit_code = main(["describe", "--building", "office", "--floors", "1"])
+        assert exit_code == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_describe_ifc_file(self, tmp_path, capsys):
+        ifc_path = tmp_path / "clinic.ifc"
+        assert main(["export-ifc", "--building", "clinic", "--floors", "1",
+                     "--output", str(ifc_path)]) == 0
+        assert main(["describe", "--ifc", str(ifc_path), "--no-map"]) == 0
+        output = capsys.readouterr().out
+        assert "Processed DBI file" in output
+
+
+class TestExportIfcCommand:
+    def test_export_round_trips(self, tmp_path):
+        path = tmp_path / "office.ifc"
+        assert main(["export-ifc", "--building", "office", "--output", str(path)]) == 0
+        building, report = DBIProcessor().process_file(str(path))
+        assert report.errors == []
+        assert building.partition_count > 0
+
+    def test_export_with_injected_errors(self, tmp_path):
+        path = tmp_path / "broken.ifc"
+        assert main([
+            "export-ifc", "--building", "office", "--output", str(path),
+            "--inject-orphan-doors", "1", "--inject-degenerate-spaces", "1",
+        ]) == 0
+        _, report = DBIProcessor().process_file(str(path))
+        assert len(report.errors) >= 2

@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.config (Configuration Loader)."""
+
+import json
+
+import pytest
+
+from repro.core.config import (
+    DeviceConfig,
+    EnvironmentConfig,
+    ObjectConfig,
+    PositioningLayerConfig,
+    RSSIConfig,
+    VitaConfig,
+    config_from_dict,
+    config_from_json,
+)
+from repro.core.errors import ConfigurationError
+from repro.core.types import DeviceType, PositioningMethod
+
+
+class TestSectionValidation:
+    def test_environment_rejects_zero_floors(self):
+        with pytest.raises(ConfigurationError):
+            EnvironmentConfig(floors=0)
+
+    def test_device_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(count_per_floor=0)
+
+    def test_device_rejects_unknown_deployment(self):
+        with pytest.raises(ConfigurationError):
+            DeviceConfig(deployment="random")
+
+    def test_device_overrides(self):
+        config = DeviceConfig(detection_range=5.0)
+        assert config.overrides() == {"detection_range": 5.0}
+        assert DeviceConfig().overrides() == {}
+
+    def test_objects_rejects_bad_routing(self):
+        with pytest.raises(ConfigurationError):
+            ObjectConfig(routing="fastest")
+
+    def test_objects_rejects_negative_arrivals(self):
+        with pytest.raises(ConfigurationError):
+            ObjectConfig(arrival_rate_per_minute=-1)
+
+    def test_rssi_rejects_zero_period(self):
+        with pytest.raises(ConfigurationError):
+            RSSIConfig(sampling_period=0)
+
+    def test_positioning_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            PositioningLayerConfig(algorithm="svm")
+
+    def test_vita_config_requires_devices(self):
+        with pytest.raises(ConfigurationError):
+            VitaConfig(devices=[])
+
+    def test_top_level_seed_propagates(self):
+        config = VitaConfig(seed=42)
+        assert config.objects.seed == 42
+        assert config.rssi.seed == 43
+
+
+class TestConfigFromDict:
+    def test_defaults_from_empty_sections(self):
+        config = config_from_dict({"devices": [{}]})
+        assert config.environment.building == "office"
+        assert config.devices[0].device_type is DeviceType.WIFI
+        assert config.positioning.method is PositioningMethod.TRILATERATION
+
+    def test_full_configuration(self):
+        config = config_from_dict(
+            {
+                "environment": {"building": "mall", "floors": 3, "decompose": True},
+                "devices": [
+                    {"type": "wifi", "count_per_floor": 4, "deployment": "coverage"},
+                    {"type": "rfid", "count_per_floor": 6, "deployment": "check-point",
+                     "detection_range": 2.0},
+                ],
+                "objects": {"count": 25, "duration": 120, "distribution": "crowd-outliers"},
+                "rssi": {"sampling_period": 1.5, "fluctuation_sigma_db": 3.0},
+                "positioning": {"method": "fingerprinting", "algorithm": "bayes"},
+                "seed": 9,
+            }
+        )
+        assert config.environment.building == "mall"
+        assert config.environment.floors == 3
+        assert len(config.devices) == 2
+        assert config.devices[1].device_type is DeviceType.RFID
+        assert config.devices[1].overrides() == {"detection_range": 2.0}
+        assert config.objects.count == 25
+        assert config.rssi.fluctuation_sigma_db == 3.0
+        assert config.positioning.method is PositioningMethod.FINGERPRINTING
+        assert config.positioning.algorithm == "bayes"
+        assert config.seed == 9
+
+    def test_single_device_dict_is_accepted(self):
+        config = config_from_dict({"devices": {"type": "bluetooth"}})
+        assert config.devices[0].device_type is DeviceType.BLUETOOTH
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"device": [{}]})
+
+    def test_unknown_section_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"objects": {"num_objects": 10}})
+
+    def test_unknown_device_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"devices": [{"type": "uwb"}]})
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"positioning": {"method": "dead-reckoning"}})
+
+    def test_device_type_aliases(self):
+        config = config_from_dict({"devices": [{"type": "ble"}, {"type": "wi-fi"}]})
+        assert config.devices[0].device_type is DeviceType.BLUETOOTH
+        assert config.devices[1].device_type is DeviceType.WIFI
+
+
+class TestConfigFromJson:
+    def test_round_trip_through_file(self, tmp_path):
+        payload = {
+            "environment": {"building": "clinic", "floors": 1},
+            "devices": [{"type": "rfid", "count_per_floor": 3, "deployment": "check-point"}],
+            "objects": {"count": 5, "duration": 60},
+            "positioning": {"method": "proximity"},
+        }
+        path = tmp_path / "config.json"
+        path.write_text(json.dumps(payload))
+        config = config_from_json(path)
+        assert config.environment.building == "clinic"
+        assert config.positioning.method is PositioningMethod.PROXIMITY
+
+    def test_invalid_json_reports_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            config_from_json(path)
+
+    def test_non_object_top_level_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ConfigurationError):
+            config_from_json(path)

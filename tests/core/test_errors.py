@@ -1,0 +1,41 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_vita_error(self):
+        for name in dir(errors):
+            attribute = getattr(errors, name)
+            if isinstance(attribute, type) and issubclass(attribute, Exception):
+                if attribute is not errors.VitaError:
+                    assert issubclass(attribute, errors.VitaError), name
+
+    def test_ifc_errors_are_dbi_errors(self):
+        assert issubclass(errors.IFCParseError, errors.DBIError)
+        assert issubclass(errors.IFCExtractionError, errors.DBIError)
+        assert issubclass(errors.TopologyError, errors.DBIError)
+
+    def test_routing_error_is_movement_error(self):
+        assert issubclass(errors.RoutingError, errors.MovementError)
+
+    def test_radio_map_error_is_positioning_error(self):
+        assert issubclass(errors.RadioMapError, errors.PositioningError)
+
+
+class TestIFCParseError:
+    def test_line_number_included_in_message(self):
+        error = errors.IFCParseError("bad token", line=17)
+        assert "line 17" in str(error)
+        assert error.line == 17
+
+    def test_without_line_number(self):
+        error = errors.IFCParseError("bad token")
+        assert error.line is None
+        assert "bad token" in str(error)
+
+    def test_catchable_as_vita_error(self):
+        with pytest.raises(errors.VitaError):
+            raise errors.IFCParseError("oops", line=1)

@@ -1,0 +1,38 @@
+"""The example configuration files shipped in examples/configs must stay valid."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import config_from_json
+from repro.core.types import DeviceType, PositioningMethod
+
+CONFIG_DIR = Path(__file__).resolve().parents[2] / "examples" / "configs"
+
+
+def _config_paths():
+    return sorted(CONFIG_DIR.glob("*.json"))
+
+
+class TestExampleConfigs:
+    def test_config_directory_is_not_empty(self):
+        assert _config_paths(), f"no example configs found in {CONFIG_DIR}"
+
+    @pytest.mark.parametrize("path", _config_paths(), ids=lambda p: p.name)
+    def test_config_loads_and_validates(self, path):
+        config = config_from_json(path)
+        assert config.devices
+        assert config.objects.count > 0
+        assert config.objects.duration > 0
+
+    def test_office_fingerprinting_config_contents(self):
+        config = config_from_json(CONFIG_DIR / "office_fingerprinting.json")
+        assert config.environment.building == "office"
+        assert config.positioning.method is PositioningMethod.FINGERPRINTING
+        assert config.objects.crowd_interaction == "density-slowdown"
+
+    def test_mall_proximity_config_contents(self):
+        config = config_from_json(CONFIG_DIR / "mall_rfid_proximity.json")
+        assert config.devices[0].device_type is DeviceType.RFID
+        assert config.positioning.method is PositioningMethod.PROXIMITY
+        assert config.devices[0].overrides()["detection_interval"] == 2.0

@@ -1,0 +1,134 @@
+"""Unit tests for repro.core.types (record formats of Section 4.2)."""
+
+import pytest
+
+from repro.core.types import (
+    DeviceRecord,
+    DeviceType,
+    IndoorLocation,
+    METHOD_COMPATIBILITY,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+    RSSIRecord,
+    TrajectoryRecord,
+    method_applies_to,
+)
+
+
+class TestIndoorLocation:
+    def test_requires_partition_or_point(self):
+        with pytest.raises(ValueError):
+            IndoorLocation(building_id="b", floor_id=0)
+
+    def test_symbolic_location(self):
+        location = IndoorLocation(building_id="b", floor_id=1, partition_id="room1")
+        assert location.is_symbolic
+        assert not location.has_point
+        with pytest.raises(ValueError):
+            location.point()
+
+    def test_coordinate_location(self):
+        location = IndoorLocation(building_id="b", floor_id=0, x=3.0, y=4.0)
+        assert location.has_point
+        assert location.point() == (3.0, 4.0)
+
+    def test_distance_same_floor(self):
+        a = IndoorLocation("b", 0, x=0.0, y=0.0)
+        b = IndoorLocation("b", 0, x=3.0, y=4.0)
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_distance_with_floor_penalty(self):
+        a = IndoorLocation("b", 0, x=0.0, y=0.0)
+        b = IndoorLocation("b", 2, x=0.0, y=0.0)
+        assert a.distance_to(b, floor_penalty=10.0) == pytest.approx(20.0)
+
+    def test_distance_requires_points(self):
+        a = IndoorLocation("b", 0, partition_id="p")
+        b = IndoorLocation("b", 0, x=1.0, y=1.0)
+        with pytest.raises(ValueError):
+            a.distance_to(b)
+
+    def test_with_partition(self):
+        location = IndoorLocation("b", 0, x=1.0, y=2.0)
+        annotated = location.with_partition("hall")
+        assert annotated.partition_id == "hall"
+        assert annotated.point() == (1.0, 2.0)
+
+    def test_record_round_trip(self):
+        location = IndoorLocation("b", 1, partition_id="room", x=2.5, y=3.5)
+        assert IndoorLocation.from_record(location.as_record()) == location
+
+    def test_record_round_trip_symbolic(self):
+        location = IndoorLocation("b", 0, partition_id="room")
+        restored = IndoorLocation.from_record(location.as_record())
+        assert restored.partition_id == "room"
+        assert not restored.has_point
+
+
+class TestRecords:
+    def test_trajectory_record_as_record(self):
+        record = TrajectoryRecord(
+            "obj1", IndoorLocation("b", 0, partition_id="p", x=1.0, y=2.0), 3.5
+        )
+        row = record.as_record()
+        assert row["object_id"] == "obj1"
+        assert row["t"] == 3.5
+        assert row["partition_id"] == "p"
+
+    def test_rssi_record_as_record(self):
+        row = RSSIRecord("obj1", "ap_1", -62.5, 10.0).as_record()
+        assert row == {"object_id": "obj1", "device_id": "ap_1", "rssi": -62.5, "t": 10.0}
+
+    def test_positioning_record_default_method(self):
+        record = PositioningRecord("o", IndoorLocation("b", 0, x=0.0, y=0.0), 1.0)
+        assert record.method is PositioningMethod.TRILATERATION
+        assert record.as_record()["method"] == "trilateration"
+
+    def test_probabilistic_record_best(self):
+        loc_a = IndoorLocation("b", 0, partition_id="a", x=0.0, y=0.0)
+        loc_b = IndoorLocation("b", 0, partition_id="b", x=5.0, y=5.0)
+        record = ProbabilisticPositioningRecord("o", ((loc_a, 0.3), (loc_b, 0.7)), 2.0)
+        assert record.best == loc_b
+        assert record.best_probability == pytest.approx(0.7)
+
+    def test_probabilistic_record_requires_candidates(self):
+        with pytest.raises(ValueError):
+            ProbabilisticPositioningRecord("o", tuple(), 0.0)
+
+    def test_proximity_record_duration(self):
+        record = ProximityRecord("o", "d", 10.0, 25.0)
+        assert record.duration == pytest.approx(15.0)
+
+    def test_proximity_record_rejects_inverted_times(self):
+        with pytest.raises(ValueError):
+            ProximityRecord("o", "d", 10.0, 5.0)
+
+    def test_device_record_as_record(self):
+        record = DeviceRecord(
+            "ap_1", DeviceType.WIFI, IndoorLocation("b", 0, x=1.0, y=1.0), 25.0, 1.0
+        )
+        row = record.as_record()
+        assert row["device_type"] == "wifi"
+        assert row["detection_range"] == 25.0
+
+
+class TestMethodCompatibility:
+    def test_wifi_supports_all_methods(self):
+        for method in PositioningMethod:
+            assert method_applies_to(method, DeviceType.WIFI)
+
+    def test_fingerprinting_not_for_rfid_or_bluetooth(self):
+        """Section 5: fingerprinting currently does not apply to RFID and Bluetooth."""
+        assert not method_applies_to(PositioningMethod.FINGERPRINTING, DeviceType.RFID)
+        assert not method_applies_to(PositioningMethod.FINGERPRINTING, DeviceType.BLUETOOTH)
+
+    def test_demo_combinations_are_supported(self):
+        """Section 5 demo combinations: RFID+proximity, BLE+trilateration, Wi-Fi+fingerprinting."""
+        assert method_applies_to(PositioningMethod.PROXIMITY, DeviceType.RFID)
+        assert method_applies_to(PositioningMethod.TRILATERATION, DeviceType.BLUETOOTH)
+        assert method_applies_to(PositioningMethod.FINGERPRINTING, DeviceType.WIFI)
+
+    def test_compatibility_table_covers_every_device_type(self):
+        assert set(METHOD_COMPATIBILITY) == set(DeviceType)

@@ -1,0 +1,93 @@
+"""Unit tests for the Positioning Device Controller."""
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.core.types import DeviceType
+from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+from repro.devices.deployment import CheckPointDeployment, CoverageDeployment
+
+
+class TestDeployment:
+    def test_deploy_on_all_floors_by_default(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office, seed=1)
+        devices = controller.deploy(
+            DeviceDeploymentRequest(DeviceType.WIFI, 4, CoverageDeployment())
+        )
+        assert len(devices) == 8  # 4 per floor on 2 floors
+        assert {d.floor_id for d in devices} == {0, 1}
+
+    def test_deploy_on_selected_floors(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office, seed=1)
+        devices = controller.deploy(
+            DeviceDeploymentRequest(DeviceType.RFID, 3, CheckPointDeployment(), floor_ids=[1])
+        )
+        assert len(devices) == 3
+        assert all(d.floor_id == 1 for d in devices)
+
+    def test_device_ids_are_unique_and_prefixed(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office, seed=1)
+        controller.deploy(DeviceDeploymentRequest(DeviceType.WIFI, 3, CoverageDeployment()))
+        controller.deploy(DeviceDeploymentRequest(DeviceType.BLUETOOTH, 3, CoverageDeployment()))
+        ids = list(controller.devices)
+        assert len(ids) == len(set(ids)) == 12
+        assert any(i.startswith("ap_") for i in ids)
+        assert any(i.startswith("ble_") for i in ids)
+
+    def test_type_specific_overrides_applied(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office, seed=1)
+        devices = controller.deploy(
+            DeviceDeploymentRequest(
+                DeviceType.RFID, 2, CheckPointDeployment(), overrides={"detection_range": 5.5}
+            )
+        )
+        assert all(d.detection_range == 5.5 for d in devices)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DeploymentError):
+            DeviceDeploymentRequest(DeviceType.WIFI, 0, CoverageDeployment())
+
+    def test_devices_know_their_partition(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office, seed=1)
+        devices = controller.deploy(
+            DeviceDeploymentRequest(DeviceType.WIFI, 4, CoverageDeployment())
+        )
+        assert all(d.location.partition_id is not None for d in devices)
+
+
+class TestManagement:
+    def test_add_device_at_explicit_coordinate(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office)
+        device = controller.add_device_at(DeviceType.BLUETOOTH, 0, 5.0, 5.0, detection_range=9.0)
+        assert device.position.as_tuple() == (5.0, 5.0)
+        assert device.detection_range == 9.0
+        assert device.device_id in controller.devices
+
+    def test_remove_device(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office)
+        device = controller.add_device_at(DeviceType.WIFI, 0, 5.0, 5.0)
+        controller.remove_device(device.device_id)
+        assert len(controller) == 0
+        with pytest.raises(DeploymentError):
+            controller.remove_device(device.device_id)
+
+    def test_clear(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office, seed=1)
+        controller.deploy(DeviceDeploymentRequest(DeviceType.WIFI, 2, CoverageDeployment()))
+        controller.clear()
+        assert len(controller) == 0
+
+    def test_queries_by_type_and_floor(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office, seed=1)
+        controller.deploy(DeviceDeploymentRequest(DeviceType.WIFI, 2, CoverageDeployment()))
+        controller.deploy(DeviceDeploymentRequest(DeviceType.RFID, 3, CheckPointDeployment()))
+        assert len(controller.devices_of_type(DeviceType.WIFI)) == 4
+        assert len(controller.devices_of_type(DeviceType.RFID)) == 6
+        assert len(controller.devices_on_floor(0)) == 5
+
+    def test_device_records_export(self, fresh_office):
+        controller = PositioningDeviceController(fresh_office, seed=1)
+        controller.deploy(DeviceDeploymentRequest(DeviceType.WIFI, 2, CoverageDeployment()))
+        records = controller.device_records()
+        assert len(records) == 4
+        assert all(r.device_type is DeviceType.WIFI for r in records)

@@ -1,0 +1,114 @@
+"""Unit tests for the device deployment models (Section 3.2)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.errors import DeploymentError
+from repro.devices.deployment import (
+    CheckPointDeployment,
+    CoverageDeployment,
+    ManualDeployment,
+    MountingSite,
+    deployment_model_by_name,
+)
+from repro.geometry.point import Point
+
+
+class TestCoverageModel:
+    def test_requested_count_is_returned(self, office):
+        sites = CoverageDeployment().propose(office, 0, 6)
+        assert len(sites) == 6
+
+    def test_sites_are_inside_partitions(self, office):
+        for site in CoverageDeployment().propose(office, 0, 8):
+            partition = office.floor(0).partition_at(site.point)
+            assert partition is not None
+
+    def test_sites_are_close_to_walls(self, office):
+        """Coverage model: devices should be close to the wall (power supply)."""
+        walls = office.floor(0).wall_segments()
+        for site in CoverageDeployment(wall_offset=0.6).propose(office, 0, 6):
+            distance = min(w.distance_to_point(site.point) for w in walls)
+            assert distance <= 2.0
+
+    def test_sites_are_mutually_separated(self, office):
+        """Coverage model: devices separate from each other for maximum coverage."""
+        sites = CoverageDeployment().propose(office, 0, 6)
+        pairwise = [
+            sites[i].point.distance_to(sites[j].point)
+            for i in range(len(sites))
+            for j in range(i + 1, len(sites))
+        ]
+        assert min(pairwise) > 5.0
+
+    def test_zero_count_returns_empty(self, office):
+        assert CoverageDeployment().propose(office, 0, 0) == []
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DeploymentError):
+            CoverageDeployment(wall_offset=-1)
+        with pytest.raises(DeploymentError):
+            CoverageDeployment(sample_spacing=0)
+
+
+class TestCheckPointModel:
+    def test_sites_are_near_doors(self, office):
+        """Check-point model: devices at entrances to rooms."""
+        doors = list(office.floor(0).doors.values())
+        sites = CheckPointDeployment().propose(office, 0, 6)
+        for site in sites:
+            nearest_door = min(d.position.distance_to(site.point) for d in doors)
+            assert nearest_door <= 1.5
+
+    def test_checkpoint_closer_to_doors_than_coverage(self, office):
+        doors = list(office.floor(0).doors.values())
+
+        def mean_door_distance(sites):
+            return statistics.fmean(
+                min(d.position.distance_to(s.point) for d in doors) for s in sites
+            )
+
+        checkpoint_sites = CheckPointDeployment().propose(office, 0, 6)
+        coverage_sites = CoverageDeployment().propose(office, 0, 6)
+        assert mean_door_distance(checkpoint_sites) < mean_door_distance(coverage_sites)
+
+    def test_hotspots_used_when_more_devices_than_doors(self, mall):
+        door_count = len(mall.floor(0).doors)
+        sites = CheckPointDeployment(hotspot_min_area=30.0).propose(mall, 0, door_count + 2)
+        assert len(sites) == door_count + 2
+        assert any(site.reason == "hotspot in large room" for site in sites)
+
+    def test_requested_count_subset_is_spread(self, mall):
+        sites = CheckPointDeployment().propose(mall, 0, 4)
+        assert len(sites) == 4
+
+
+class TestManualDeployment:
+    def test_explicit_sites_returned(self, office):
+        manual = ManualDeployment(
+            [MountingSite(floor_id=0, point=Point(5, 5)), MountingSite(floor_id=0, point=Point(15, 5))]
+        )
+        sites = manual.propose(office, 0, 2)
+        assert [s.point for s in sites] == [Point(5, 5), Point(15, 5)]
+
+    def test_too_few_manual_sites_raises(self, office):
+        manual = ManualDeployment([MountingSite(floor_id=0, point=Point(5, 5))])
+        with pytest.raises(DeploymentError):
+            manual.propose(office, 0, 3)
+
+    def test_empty_manual_rejected(self):
+        with pytest.raises(DeploymentError):
+            ManualDeployment([])
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(deployment_model_by_name("coverage"), CoverageDeployment)
+        assert isinstance(deployment_model_by_name("check-point"), CheckPointDeployment)
+        assert isinstance(deployment_model_by_name("checkpoint"), CheckPointDeployment)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DeploymentError):
+            deployment_model_by_name("satellite")

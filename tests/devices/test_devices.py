@@ -1,0 +1,81 @@
+"""Unit tests for the positioning-device classes."""
+
+import pytest
+
+from repro.core.types import DeviceType, IndoorLocation
+from repro.devices.base import PositioningDevice
+from repro.devices.bluetooth import BluetoothBeacon
+from repro.devices.rfid import RFIDReader
+from repro.devices.wifi import WiFiAccessPoint
+from repro.geometry.point import Point
+
+
+def _location(floor=0, x=5.0, y=5.0):
+    return IndoorLocation(building_id="b", floor_id=floor, x=x, y=y)
+
+
+class TestBaseValidation:
+    def test_requires_coordinate_location(self):
+        symbolic = IndoorLocation(building_id="b", floor_id=0, partition_id="p")
+        with pytest.raises(ValueError):
+            PositioningDevice("d", DeviceType.WIFI, symbolic, 10.0, 1.0)
+
+    def test_rejects_non_positive_range(self):
+        with pytest.raises(ValueError):
+            PositioningDevice("d", DeviceType.WIFI, _location(), 0.0, 1.0)
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ValueError):
+            PositioningDevice("d", DeviceType.WIFI, _location(), 10.0, 0.0)
+
+
+class TestRangeChecks:
+    def test_in_range_same_floor(self):
+        device = WiFiAccessPoint("ap", _location(), detection_range=10.0)
+        assert device.in_range(0, Point(10, 5))
+        assert not device.in_range(0, Point(16, 5))
+
+    def test_other_floor_never_in_range(self):
+        device = WiFiAccessPoint("ap", _location(floor=1))
+        assert not device.in_range(0, Point(5, 5))
+
+    def test_distance_to(self):
+        device = WiFiAccessPoint("ap", _location(x=0.0, y=0.0))
+        assert device.distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_position_property(self):
+        device = RFIDReader("r", _location(x=2.0, y=7.0))
+        assert device.position == Point(2.0, 7.0)
+        assert device.floor_id == 0
+
+
+class TestTechnologyDefaults:
+    def test_wifi_defaults(self):
+        device = WiFiAccessPoint("ap", _location())
+        assert device.device_type is DeviceType.WIFI
+        assert device.detection_range == pytest.approx(25.0)
+
+    def test_bluetooth_defaults_shorter_range_than_wifi(self):
+        wifi = WiFiAccessPoint("ap", _location())
+        ble = BluetoothBeacon("b", _location())
+        assert ble.device_type is DeviceType.BLUETOOTH
+        assert ble.detection_range < wifi.detection_range
+
+    def test_rfid_defaults_shortest_range(self):
+        rfid = RFIDReader("r", _location())
+        ble = BluetoothBeacon("b", _location())
+        assert rfid.device_type is DeviceType.RFID
+        assert rfid.detection_range < ble.detection_range
+
+    def test_overridable_type_dependent_properties(self):
+        """Section 2: e.g. the detection range of RFID readers is configurable."""
+        rfid = RFIDReader("r", _location(), detection_range=8.0, detection_interval=0.1)
+        assert rfid.detection_range == 8.0
+        assert rfid.detection_interval == 0.1
+
+    def test_as_record(self):
+        device = BluetoothBeacon("ble_1", _location())
+        record = device.as_record()
+        assert record.device_id == "ble_1"
+        assert record.device_type is DeviceType.BLUETOOTH
+        assert record.location.has_point

@@ -1,0 +1,84 @@
+"""Unit tests for repro.geometry.decompose (balanced partition decomposition)."""
+
+import pytest
+
+from repro.geometry.decompose import DecompositionConfig, decompose, is_balanced, total_area
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+class TestConfigValidation:
+    def test_rejects_non_positive_area(self):
+        with pytest.raises(ValueError):
+            DecompositionConfig(max_area=0)
+
+    def test_rejects_aspect_ratio_below_one(self):
+        with pytest.raises(ValueError):
+            DecompositionConfig(max_aspect_ratio=0.5)
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            DecompositionConfig(max_depth=-1)
+
+
+class TestIsBalanced:
+    def test_small_square_is_balanced(self):
+        square = Polygon.rectangle(0, 0, 5, 5)
+        assert is_balanced(square, DecompositionConfig(max_area=100, max_aspect_ratio=3))
+
+    def test_large_polygon_is_not_balanced(self):
+        big = Polygon.rectangle(0, 0, 50, 50)
+        assert not is_balanced(big, DecompositionConfig(max_area=100))
+
+    def test_elongated_polygon_is_not_balanced(self):
+        hallway = Polygon.rectangle(0, 0, 40, 4)
+        assert not is_balanced(hallway, DecompositionConfig(max_area=1000, max_aspect_ratio=3))
+
+
+class TestDecompose:
+    def test_balanced_polygon_is_returned_unchanged(self):
+        square = Polygon.rectangle(0, 0, 5, 5)
+        pieces = decompose(square, DecompositionConfig(max_area=100))
+        assert pieces == [square]
+
+    def test_hallway_is_split_into_multiple_pieces(self):
+        hallway = Polygon.rectangle(0, 0, 40, 4)
+        pieces = decompose(hallway, DecompositionConfig(max_area=60, max_aspect_ratio=3))
+        assert len(pieces) >= 3
+
+    def test_decomposition_preserves_total_area(self):
+        hallway = Polygon.rectangle(0, 0, 48, 4)
+        pieces = decompose(hallway, DecompositionConfig(max_area=50, max_aspect_ratio=2.5))
+        assert total_area(pieces) == pytest.approx(hallway.area, rel=1e-6)
+
+    def test_all_pieces_satisfy_thresholds(self):
+        config = DecompositionConfig(max_area=60, max_aspect_ratio=3)
+        hallway = Polygon.rectangle(0, 0, 40, 4)
+        for piece in decompose(hallway, config):
+            assert is_balanced(piece, config)
+
+    def test_l_shape_decomposition_preserves_area(self):
+        l_shape = Polygon(
+            [Point(0, 0), Point(30, 0), Point(30, 10), Point(10, 10), Point(10, 30), Point(0, 30)]
+        )
+        config = DecompositionConfig(max_area=80, max_aspect_ratio=3)
+        pieces = decompose(l_shape, config)
+        assert len(pieces) > 1
+        assert total_area(pieces) == pytest.approx(l_shape.area, rel=1e-4)
+
+    def test_pieces_are_contained_in_original_bounding_box(self):
+        hallway = Polygon.rectangle(0, 0, 40, 4)
+        original = hallway.bounding_box.expanded(1e-3)
+        for piece in decompose(hallway, DecompositionConfig(max_area=40)):
+            box = piece.bounding_box
+            assert original.contains_point(Point(box.min_x, box.min_y))
+            assert original.contains_point(Point(box.max_x, box.max_y))
+
+    def test_max_depth_bounds_the_number_of_pieces(self):
+        huge = Polygon.rectangle(0, 0, 100, 100)
+        pieces = decompose(huge, DecompositionConfig(max_area=1.0, max_depth=3))
+        assert len(pieces) <= 2 ** 3
+
+    def test_default_config_used_when_omitted(self):
+        hallway = Polygon.rectangle(0, 0, 80, 4)
+        assert len(decompose(hallway)) > 1

@@ -1,0 +1,90 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, centroid_of, polyline_length
+
+
+class TestPointArithmetic:
+    def test_addition(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_subtraction(self):
+        assert Point(5, 7) - Point(2, 3) == Point(3, 4)
+
+    def test_scalar_multiplication(self):
+        assert Point(1.5, -2.0) * 2 == Point(3.0, -4.0)
+        assert 2 * Point(1.5, -2.0) == Point(3.0, -4.0)
+
+    def test_division(self):
+        assert Point(4, 6) / 2 == Point(2, 3)
+
+    def test_iteration_unpacks_coordinates(self):
+        x, y = Point(3.5, 4.5)
+        assert (x, y) == (3.5, 4.5)
+
+    def test_dot_product(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_cross_product_sign(self):
+        assert Point(1, 0).cross(Point(0, 1)) == 1
+        assert Point(0, 1).cross(Point(1, 0)) == -1
+
+
+class TestPointMetrics:
+    def test_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_normalized_has_unit_length(self):
+        assert Point(3, 4).normalized().norm() == pytest.approx(1.0)
+
+    def test_normalized_zero_vector_unchanged(self):
+        assert Point(0, 0).normalized() == Point(0, 0)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_lerp_endpoints_and_middle(self):
+        a, b = Point(0, 0), Point(10, 20)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Point(5, 10)
+
+    def test_rotation_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-9)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_rotation_around_custom_origin(self):
+        rotated = Point(2, 1).rotated(math.pi, around=Point(1, 1))
+        assert rotated.x == pytest.approx(0.0, abs=1e-9)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_is_close(self):
+        assert Point(1, 1).is_close(Point(1 + 1e-12, 1))
+        assert not Point(1, 1).is_close(Point(1.1, 1))
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+
+class TestHelpers:
+    def test_centroid_of_points(self):
+        centroid = centroid_of([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert centroid == Point(1, 1)
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid_of([])
+
+    def test_polyline_length(self):
+        length = polyline_length([Point(0, 0), Point(3, 0), Point(3, 4)])
+        assert length == pytest.approx(7.0)
+
+    def test_polyline_length_single_point_is_zero(self):
+        assert polyline_length([Point(1, 1)]) == 0.0

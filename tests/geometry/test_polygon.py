@@ -1,0 +1,199 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import random
+
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox, Polygon
+
+
+@pytest.fixture()
+def unit_square() -> Polygon:
+    return Polygon.rectangle(0, 0, 1, 1)
+
+
+@pytest.fixture()
+def l_shape() -> Polygon:
+    # An L-shaped room: 10x10 square with a 5x5 notch removed at the top-right.
+    return Polygon(
+        [
+            Point(0, 0),
+            Point(10, 0),
+            Point(10, 5),
+            Point(5, 5),
+            Point(5, 10),
+            Point(0, 10),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_rejects_fewer_than_three_vertices(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_rejects_zero_area(self):
+        with pytest.raises(GeometryError):
+            Polygon([Point(0, 0), Point(1, 1), Point(2, 2)])
+
+    def test_accepts_tuples_as_vertices(self):
+        polygon = Polygon([(0, 0), (4, 0), (4, 3)])
+        assert polygon.area == pytest.approx(6.0)
+
+    def test_rectangle_constructor_validates_corners(self):
+        with pytest.raises(GeometryError):
+            Polygon.rectangle(5, 0, 5, 10)
+
+    def test_regular_polygon(self):
+        hexagon = Polygon.regular(Point(0, 0), radius=2.0, sides=6)
+        assert len(hexagon.vertices) == 6
+        assert hexagon.contains_point(Point(0, 0))
+
+    def test_regular_polygon_rejects_bad_arguments(self):
+        with pytest.raises(GeometryError):
+            Polygon.regular(Point(0, 0), radius=1.0, sides=2)
+        with pytest.raises(GeometryError):
+            Polygon.regular(Point(0, 0), radius=-1.0, sides=5)
+
+
+class TestMeasures:
+    def test_area_is_orientation_independent(self, unit_square):
+        reversed_square = Polygon(list(reversed(unit_square.vertices)))
+        assert unit_square.area == pytest.approx(reversed_square.area)
+
+    def test_l_shape_area(self, l_shape):
+        assert l_shape.area == pytest.approx(75.0)
+
+    def test_perimeter(self, unit_square):
+        assert unit_square.perimeter == pytest.approx(4.0)
+
+    def test_centroid_of_square(self):
+        square = Polygon.rectangle(2, 2, 6, 6)
+        assert square.centroid.is_close(Point(4, 4), tolerance=1e-9)
+
+    def test_aspect_ratio(self):
+        assert Polygon.rectangle(0, 0, 10, 2).aspect_ratio == pytest.approx(5.0)
+        assert Polygon.rectangle(0, 0, 3, 3).aspect_ratio == pytest.approx(1.0)
+
+    def test_bounding_box(self, l_shape):
+        box = l_shape.bounding_box
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (0, 0, 10, 10)
+
+
+class TestContainment:
+    def test_interior_point(self, l_shape):
+        assert l_shape.contains_point(Point(2, 2))
+
+    def test_point_in_notch_is_outside(self, l_shape):
+        assert not l_shape.contains_point(Point(8, 8))
+
+    def test_boundary_point_included_by_default(self, unit_square):
+        assert unit_square.contains_point(Point(0.5, 0.0))
+
+    def test_boundary_point_excluded_when_requested(self, unit_square):
+        assert not unit_square.contains_point(Point(0.5, 0.0), include_boundary=False)
+
+    def test_far_away_point(self, unit_square):
+        assert not unit_square.contains_point(Point(50, 50))
+
+    def test_on_boundary(self, unit_square):
+        assert unit_square.on_boundary(Point(1.0, 0.5))
+        assert not unit_square.on_boundary(Point(0.5, 0.5))
+
+
+class TestSamplingAndTransforms:
+    def test_random_points_are_inside(self, l_shape):
+        rng = random.Random(5)
+        for _ in range(50):
+            assert l_shape.contains_point(l_shape.random_point(rng))
+
+    def test_closest_interior_point_returns_input_when_inside(self, unit_square):
+        assert unit_square.closest_interior_point(Point(0.3, 0.3)) == Point(0.3, 0.3)
+
+    def test_closest_interior_point_projects_outside_points(self, unit_square):
+        projected = unit_square.closest_interior_point(Point(2.0, 0.5))
+        assert projected.is_close(Point(1.0, 0.5), tolerance=1e-9)
+
+    def test_translated(self, unit_square):
+        moved = unit_square.translated(3, 4)
+        assert moved.centroid.is_close(Point(3.5, 4.5), tolerance=1e-9)
+        assert moved.area == pytest.approx(unit_square.area)
+
+    def test_scaled_doubles_area_with_sqrt2_factor(self, unit_square):
+        scaled = unit_square.scaled(2.0)
+        assert scaled.area == pytest.approx(4.0)
+        # Scaling preserves the centroid.
+        assert scaled.centroid.is_close(unit_square.centroid, tolerance=1e-9)
+
+
+class TestOverlap:
+    def test_disjoint_polygons_do_not_overlap(self):
+        a = Polygon.rectangle(0, 0, 1, 1)
+        b = Polygon.rectangle(5, 5, 6, 6)
+        assert not a.overlaps(b)
+
+    def test_contained_polygon_overlaps(self):
+        outer = Polygon.rectangle(0, 0, 10, 10)
+        inner = Polygon.rectangle(3, 3, 4, 4)
+        assert outer.overlaps(inner)
+        assert inner.overlaps(outer)
+
+    def test_edge_sharing_polygons_overlap(self):
+        a = Polygon.rectangle(0, 0, 5, 5)
+        b = Polygon.rectangle(5, 0, 10, 5)
+        assert a.overlaps(b)
+
+    def test_intersects_segment(self, unit_square):
+        from repro.geometry.segment import Segment
+
+        assert unit_square.intersects_segment(Segment(Point(-1, 0.5), Point(2, 0.5)))
+        assert not unit_square.intersects_segment(Segment(Point(-1, 5), Point(2, 5)))
+
+
+class TestClipping:
+    def test_clip_fully_inside_box_is_identity(self, unit_square):
+        clipped = unit_square.clip_to_box(BoundingBox(-1, -1, 2, 2))
+        assert clipped is not None
+        assert clipped.area == pytest.approx(unit_square.area)
+
+    def test_clip_half(self):
+        square = Polygon.rectangle(0, 0, 10, 10)
+        clipped = square.clip_to_box(BoundingBox(0, 0, 5, 10))
+        assert clipped is not None
+        assert clipped.area == pytest.approx(50.0)
+
+    def test_clip_outside_returns_none(self, unit_square):
+        assert unit_square.clip_to_box(BoundingBox(5, 5, 6, 6)) is None
+
+    def test_clip_l_shape_preserves_total_area(self, l_shape):
+        left = l_shape.clip_to_box(BoundingBox(0, 0, 5, 10))
+        right = l_shape.clip_to_box(BoundingBox(5, 0, 10, 10))
+        assert left is not None and right is not None
+        assert left.area + right.area == pytest.approx(l_shape.area, rel=1e-6)
+
+
+class TestBoundingBox:
+    def test_union(self):
+        a = BoundingBox(0, 0, 1, 1)
+        b = BoundingBox(2, 2, 3, 3)
+        union = a.union(b)
+        assert (union.min_x, union.min_y, union.max_x, union.max_y) == (0, 0, 3, 3)
+
+    def test_intersects(self):
+        assert BoundingBox(0, 0, 2, 2).intersects(BoundingBox(1, 1, 3, 3))
+        assert not BoundingBox(0, 0, 1, 1).intersects(BoundingBox(2, 2, 3, 3))
+
+    def test_expanded(self):
+        box = BoundingBox(0, 0, 1, 1).expanded(1)
+        assert (box.min_x, box.min_y, box.max_x, box.max_y) == (-1, -1, 2, 2)
+
+    def test_contains_point(self):
+        assert BoundingBox(0, 0, 2, 2).contains_point(Point(1, 1))
+        assert not BoundingBox(0, 0, 2, 2).contains_point(Point(3, 1))
+
+    def test_center_and_dimensions(self):
+        box = BoundingBox(0, 0, 4, 2)
+        assert box.center == Point(2, 1)
+        assert box.width == 4 and box.height == 2 and box.area == 8

@@ -1,0 +1,95 @@
+"""Unit tests for repro.geometry.segment."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+class TestSegmentBasics:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length == pytest.approx(5.0)
+
+    def test_midpoint(self):
+        assert Segment(Point(0, 0), Point(4, 6)).midpoint == Point(2, 3)
+
+    def test_direction_is_unit(self):
+        assert Segment(Point(0, 0), Point(0, 9)).direction() == Point(0, 1)
+
+    def test_point_at_fraction(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.point_at(0.3) == Point(3, 0)
+
+    def test_angle(self):
+        assert Segment(Point(0, 0), Point(1, 1)).angle() == pytest.approx(math.pi / 4)
+
+    def test_reversed(self):
+        segment = Segment(Point(1, 2), Point(3, 4))
+        assert segment.reversed() == Segment(Point(3, 4), Point(1, 2))
+
+
+class TestDistanceAndProjection:
+    def test_closest_point_in_interior(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.closest_point_to(Point(4, 3)) == Point(4, 0)
+
+    def test_closest_point_clamped_to_endpoint(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.closest_point_to(Point(-5, 2)) == Point(0, 0)
+        assert segment.closest_point_to(Point(15, 2)) == Point(10, 0)
+
+    def test_distance_to_point(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.distance_to_point(Point(5, 3)) == pytest.approx(3.0)
+
+    def test_contains_point_on_segment(self):
+        segment = Segment(Point(0, 0), Point(10, 10))
+        assert segment.contains_point(Point(5, 5))
+        assert not segment.contains_point(Point(5, 6))
+
+    def test_degenerate_segment_distance(self):
+        degenerate = Segment(Point(1, 1), Point(1, 1))
+        assert degenerate.distance_to_point(Point(4, 5)) == pytest.approx(5.0)
+
+
+class TestIntersection:
+    def test_crossing_segments_intersect(self):
+        a = Segment(Point(0, 0), Point(10, 10))
+        b = Segment(Point(0, 10), Point(10, 0))
+        assert a.intersects(b)
+        assert a.intersection(b) == Point(5, 5)
+
+    def test_parallel_segments_do_not_intersect(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(0, 1), Point(10, 1))
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_touching_at_endpoint_intersects_but_does_not_cross(self):
+        a = Segment(Point(0, 0), Point(5, 0))
+        b = Segment(Point(5, 0), Point(5, 5))
+        assert a.intersects(b)
+        assert not a.crosses(b)
+
+    def test_crosses_requires_interior_intersection(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, -5), Point(5, 5))
+        assert a.crosses(b)
+
+    def test_collinear_overlap_detected(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(5, 0), Point(15, 0))
+        assert a.intersects(b)
+        assert not a.crosses(b)
+
+    def test_collinear_disjoint_not_intersecting(self):
+        a = Segment(Point(0, 0), Point(4, 0))
+        b = Segment(Point(5, 0), Point(9, 0))
+        assert not a.intersects(b)
+
+    def test_near_miss_does_not_cross(self):
+        a = Segment(Point(0, 0), Point(10, 0))
+        b = Segment(Point(11, -1), Point(11, 1))
+        assert not a.crosses(b)

@@ -1,0 +1,109 @@
+"""Unit tests for repro.geometry.spatial_index (grid and R-tree)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox, Polygon
+from repro.geometry.spatial_index import GridIndex, RTreeIndex, build_index
+
+
+def _make_rectangles(count: int, seed: int = 3):
+    """Random small rectangles scattered over a 100x100 area."""
+    rng = random.Random(seed)
+    rectangles = []
+    for _ in range(count):
+        x = rng.uniform(0, 95)
+        y = rng.uniform(0, 95)
+        rectangles.append(Polygon.rectangle(x, y, x + rng.uniform(1, 5), y + rng.uniform(1, 5)))
+    return rectangles
+
+
+def _brute_force_box_query(items, box):
+    return {id(p) for p in items if p.bounding_box.intersects(box)}
+
+
+@pytest.fixture(scope="module")
+def rectangles():
+    return _make_rectangles(120)
+
+
+@pytest.fixture(scope="module", params=["grid", "rtree"])
+def index(request, rectangles):
+    return build_index(rectangles, lambda p: p.bounding_box, kind=request.param)
+
+
+class TestQueries:
+    def test_len(self, index, rectangles):
+        assert len(index) == len(rectangles)
+
+    def test_box_query_matches_brute_force(self, index, rectangles):
+        for box in (
+            BoundingBox(0, 0, 20, 20),
+            BoundingBox(40, 40, 60, 60),
+            BoundingBox(90, 90, 100, 100),
+            BoundingBox(0, 0, 100, 100),
+        ):
+            expected = _brute_force_box_query(rectangles, box)
+            found = {id(p) for p in index.query_box(box)}
+            assert found == expected
+
+    def test_point_query_returns_containers_only(self, index, rectangles):
+        point = Point(50, 50)
+        expected = {id(p) for p in rectangles if p.bounding_box.contains_point(point)}
+        found = {id(p) for p in index.query_point(point)}
+        assert found == expected
+
+    def test_nearest_returns_k_items(self, index):
+        assert len(index.nearest(Point(50, 50), k=5)) == 5
+
+    def test_nearest_first_result_is_truly_nearest(self, index, rectangles):
+        point = Point(10, 90)
+        result = index.nearest(point, k=1)[0]
+
+        def box_distance(polygon):
+            box = polygon.bounding_box
+            dx = max(box.min_x - point.x, 0.0, point.x - box.max_x)
+            dy = max(box.min_y - point.y, 0.0, point.y - box.max_y)
+            return (dx ** 2 + dy ** 2) ** 0.5
+
+        best = min(box_distance(p) for p in rectangles)
+        assert box_distance(result) == pytest.approx(best)
+
+    def test_nearest_zero_k_returns_empty(self, index):
+        assert index.nearest(Point(0, 0), k=0) == []
+
+
+class TestEdgeCases:
+    def test_empty_grid_index(self):
+        empty = GridIndex([], lambda p: p.bounding_box)
+        assert len(empty) == 0
+        assert empty.query_box(BoundingBox(0, 0, 10, 10)) == []
+        assert empty.query_point(Point(1, 1)) == []
+
+    def test_empty_rtree_index(self):
+        empty = RTreeIndex([], lambda p: p.bounding_box)
+        assert empty.query_box(BoundingBox(0, 0, 10, 10)) == []
+        assert empty.nearest(Point(0, 0)) == []
+
+    def test_single_item(self):
+        only = Polygon.rectangle(0, 0, 1, 1)
+        for kind in ("grid", "rtree"):
+            index = build_index([only], lambda p: p.bounding_box, kind=kind)
+            assert index.query_point(Point(0.5, 0.5)) == [only]
+            assert index.nearest(Point(100, 100), k=3) == [only]
+
+    def test_rtree_rejects_tiny_capacity(self):
+        with pytest.raises(GeometryError):
+            RTreeIndex([], lambda p: p.bounding_box, node_capacity=1)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(GeometryError):
+            build_index([], lambda p: p.bounding_box, kind="quad")
+
+    def test_duplicate_boxes_are_all_returned(self):
+        same = [Polygon.rectangle(0, 0, 1, 1) for _ in range(4)]
+        index = build_index(same, lambda p: p.bounding_box, kind="rtree")
+        assert len(index.query_point(Point(0.5, 0.5))) == 4

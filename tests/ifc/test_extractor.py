@@ -1,0 +1,110 @@
+"""Unit tests for the DBI processor (IFC model → building)."""
+
+import pytest
+
+from repro.core.errors import IFCExtractionError
+from repro.ifc.extractor import DBIProcessor, DBIProcessorOptions
+from repro.ifc.parser import parse_ifc_text
+
+TWO_ROOM_FLOOR = """ISO-10303-21;
+HEADER;
+FILE_SCHEMA(('IFC2X3'));
+ENDSEC;
+DATA;
+#1=IFCBUILDING('G1','demo','Demo');
+#2=IFCBUILDINGSTOREY('G2','Floor 0',0.0,#1);
+#10=IFCCARTESIANPOINT((0.,0.));
+#11=IFCCARTESIANPOINT((10.,0.));
+#12=IFCCARTESIANPOINT((10.,8.));
+#13=IFCCARTESIANPOINT((0.,8.));
+#14=IFCPOLYLINE((#10,#11,#12,#13));
+#20=IFCSPACE('G3','room_a','Canteen A',#2,#14,'room');
+#21=IFCCARTESIANPOINT((10.,0.));
+#22=IFCCARTESIANPOINT((20.,0.));
+#23=IFCCARTESIANPOINT((20.,8.));
+#24=IFCCARTESIANPOINT((10.,8.));
+#25=IFCPOLYLINE((#21,#22,#23,#24));
+#26=IFCSPACE('G4','room_b','Office B',#2,#25,'office');
+#30=IFCCARTESIANPOINT((10.,4.));
+#31=IFCDOOR('G5','door_ab',#2,#30,1.2);
+#40=IFCCARTESIANPOINT((0.,4.));
+#41=IFCDOOR('G6','door_entry',#2,#40,1.5);
+ENDSEC;
+END-ISO-10303-21;
+"""
+
+
+class TestDoorConnectivityRecovery:
+    """Section 4.1: connected partitions are recovered by geometry, not read from IFC."""
+
+    def test_interior_door_connects_its_two_rooms(self):
+        building, report = DBIProcessor().process_text(TWO_ROOM_FLOOR)
+        door = building.floors[0].doors["door_ab"]
+        assert set(door.partitions) == {"room_a", "room_b"}
+        assert report.door_connectivity["door_ab"] == door.partitions
+
+    def test_boundary_door_becomes_entrance(self):
+        building, _ = DBIProcessor().process_text(TWO_ROOM_FLOOR)
+        door = building.floors[0].doors["door_entry"]
+        assert door.is_entrance
+
+    def test_orphan_door_is_reported_as_error(self):
+        broken = TWO_ROOM_FLOOR.replace("#40=IFCCARTESIANPOINT((0.,4.));",
+                                        "#40=IFCCARTESIANPOINT((500.,400.));")
+        building, report = DBIProcessor().process_text(broken)
+        assert any("door_entry" in error for error in report.errors)
+        assert "door_entry" not in building.floors[0].doors
+
+    def test_strict_mode_raises_on_errors(self):
+        broken = TWO_ROOM_FLOOR.replace("#40=IFCCARTESIANPOINT((0.,4.));",
+                                        "#40=IFCCARTESIANPOINT((500.,400.));")
+        with pytest.raises(IFCExtractionError):
+            DBIProcessor(DBIProcessorOptions(strict=True)).process_text(broken)
+
+
+class TestPartitionExtraction:
+    def test_partitions_follow_space_footprints(self):
+        building, _ = DBIProcessor().process_text(TWO_ROOM_FLOOR)
+        assert building.partition_count == 2
+        room_a = building.partition(0, "room_a")
+        assert room_a.area == pytest.approx(80.0)
+
+    def test_degenerate_space_reported(self):
+        broken = TWO_ROOM_FLOOR.replace("#14=IFCPOLYLINE((#10,#11,#12,#13));",
+                                        "#14=IFCPOLYLINE((#10,#11,#10,#11));")
+        building, report = DBIProcessor().process_text(broken)
+        assert any("room_a" in error for error in report.errors)
+        assert "room_a" not in building.floors[0].partitions
+
+    def test_semantic_extraction_applied_by_default(self):
+        building, _ = DBIProcessor().process_text(TWO_ROOM_FLOOR)
+        assert building.partition(0, "room_a").semantic_tag == "canteen"
+
+    def test_semantic_extraction_can_be_disabled(self):
+        options = DBIProcessorOptions(extract_semantics=False)
+        building, _ = DBIProcessor(options).process_text(TWO_ROOM_FLOOR)
+        assert building.partition(0, "room_a").semantic_tag is None
+
+    def test_missing_storey_raises(self):
+        broken = TWO_ROOM_FLOOR.replace("#2=IFCBUILDINGSTOREY('G2','Floor 0',0.0,#1);\n", "")
+        with pytest.raises(Exception):
+            DBIProcessor().process_text(broken)
+
+    def test_entity_counts_in_report(self):
+        _, report = DBIProcessor().process_text(TWO_ROOM_FLOOR)
+        assert report.entity_counts["spaces"] == 2
+        assert report.entity_counts["doors"] == 2
+
+
+class TestDecompositionOption:
+    def test_decomposition_summary_present_when_enabled(self):
+        from repro.geometry.decompose import DecompositionConfig
+
+        options = DBIProcessorOptions(
+            decompose_partitions=True,
+            decomposition=DecompositionConfig(max_area=30.0, max_aspect_ratio=2.0),
+        )
+        building, report = DBIProcessor(options).process_text(TWO_ROOM_FLOOR)
+        assert report.decomposition_summary is not None
+        assert report.decomposition_summary["partitions_split"] >= 1
+        assert building.partition_count > 2

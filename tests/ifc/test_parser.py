@@ -1,0 +1,113 @@
+"""Unit tests for the typed IFC parser."""
+
+import pytest
+
+from repro.core.errors import IFCParseError
+from repro.ifc.parser import parse_ifc_text
+
+VALID = """ISO-10303-21;
+HEADER;
+FILE_SCHEMA(('IFC2X3'));
+ENDSEC;
+DATA;
+#1=IFCBUILDING('G1','demo','Demo building');
+#2=IFCBUILDINGSTOREY('G2','Floor 0',0.0,#1);
+#3=IFCBUILDINGSTOREY('G3','Floor 1',3.0,#1);
+#10=IFCCARTESIANPOINT((0.,0.));
+#11=IFCCARTESIANPOINT((10.,0.));
+#12=IFCCARTESIANPOINT((10.,8.));
+#13=IFCCARTESIANPOINT((0.,8.));
+#14=IFCPOLYLINE((#10,#11,#12,#13));
+#20=IFCSPACE('G4','room_a','Room A',#2,#14,'room');
+#30=IFCCARTESIANPOINT((5.,0.));
+#31=IFCDOOR('G5','door_a',#2,#30,1.2);
+#40=IFCCARTESIANPOINT((2.,2.,0.));
+#41=IFCCARTESIANPOINT((3.,2.,0.));
+#42=IFCCARTESIANPOINT((2.,2.,3.));
+#43=IFCCARTESIANPOINT((3.,2.,3.));
+#44=IFCSTAIRFLIGHT('G6','stair_a',(#40,#41,#42,#43));
+ENDSEC;
+END-ISO-10303-21;
+"""
+
+
+class TestValidModel:
+    def test_building_parsed(self):
+        model = parse_ifc_text(VALID)
+        assert model.building is not None
+        assert model.building.name == "demo"
+
+    def test_storeys_sorted_by_elevation(self):
+        model = parse_ifc_text(VALID)
+        storeys = model.storeys_by_elevation()
+        assert [s.elevation for s in storeys] == [0.0, 3.0]
+        assert storeys[0].building_ref == 1
+
+    def test_space_boundary_resolved(self):
+        model = parse_ifc_text(VALID)
+        space = model.spaces[0]
+        assert space.name == "room_a"
+        assert space.storey_ref == 2
+        assert space.boundary.xy() == [(0, 0), (10, 0), (10, 8), (0, 8)]
+
+    def test_door_position_resolved(self):
+        model = parse_ifc_text(VALID)
+        door = model.doors[0]
+        assert door.name == "door_a"
+        assert (door.position.x, door.position.y) == (5.0, 0.0)
+        assert door.width == pytest.approx(1.2)
+
+    def test_stair_points_resolved(self):
+        model = parse_ifc_text(VALID)
+        stair = model.stairs[0]
+        assert len(stair.points) == 4
+        assert stair.z_values() == [0.0, 3.0]
+        assert len(stair.points_at_z(3.0)) == 2
+
+    def test_entity_counts(self):
+        model = parse_ifc_text(VALID)
+        assert model.entity_counts == {"storeys": 2, "spaces": 1, "doors": 1, "stairs": 1}
+
+    def test_spaces_and_doors_on_storey(self):
+        model = parse_ifc_text(VALID)
+        assert len(model.spaces_on(2)) == 1
+        assert len(model.spaces_on(3)) == 0
+        assert len(model.doors_on(2)) == 1
+
+
+class TestInvalidModels:
+    def test_dangling_reference(self):
+        broken = VALID.replace("#20=IFCSPACE('G4','room_a','Room A',#2,#14,'room');",
+                               "#20=IFCSPACE('G4','room_a','Room A',#2,#99,'room');")
+        with pytest.raises(IFCParseError):
+            parse_ifc_text(broken)
+
+    def test_wrong_reference_type(self):
+        broken = VALID.replace("#31=IFCDOOR('G5','door_a',#2,#30,1.2);",
+                               "#31=IFCDOOR('G5','door_a',#14,#30,1.2);")
+        with pytest.raises(IFCParseError):
+            parse_ifc_text(broken)
+
+    def test_polyline_with_too_few_points(self):
+        broken = VALID.replace("#14=IFCPOLYLINE((#10,#11,#12,#13));",
+                               "#14=IFCPOLYLINE((#10,#11));")
+        with pytest.raises(IFCParseError):
+            parse_ifc_text(broken)
+
+    def test_non_numeric_elevation(self):
+        broken = VALID.replace("#2=IFCBUILDINGSTOREY('G2','Floor 0',0.0,#1);",
+                               "#2=IFCBUILDINGSTOREY('G2','Floor 0','zero',#1);")
+        with pytest.raises(IFCParseError):
+            parse_ifc_text(broken)
+
+    def test_door_with_non_positive_width(self):
+        broken = VALID.replace("#31=IFCDOOR('G5','door_a',#2,#30,1.2);",
+                               "#31=IFCDOOR('G5','door_a',#2,#30,0);")
+        with pytest.raises(IFCParseError):
+            parse_ifc_text(broken)
+
+    def test_stair_without_points(self):
+        broken = VALID.replace("#44=IFCSTAIRFLIGHT('G6','stair_a',(#40,#41,#42,#43));",
+                               "#44=IFCSTAIRFLIGHT('G6','stair_a',());")
+        with pytest.raises(IFCParseError):
+            parse_ifc_text(broken)

@@ -1,0 +1,149 @@
+"""Unit tests for the STEP (IFC-SPF) tokenizer."""
+
+import pytest
+
+from repro.core.errors import IFCParseError
+from repro.ifc.tokenizer import EntityRef, EnumValue, WILDCARD, tokenize
+
+MINIMAL = """ISO-10303-21;
+HEADER;
+FILE_DESCRIPTION(('demo'),'2;1');
+FILE_SCHEMA(('IFC2X3'));
+ENDSEC;
+DATA;
+#1=IFCBUILDING('GUID1','office','Synthetic office');
+#2=IFCCARTESIANPOINT((0.,0.));
+#3=IFCCARTESIANPOINT((10.,0.,3.5));
+#4=IFCPOLYLINE((#2,#3));
+#5=IFCBUILDINGSTOREY('GUID2','Floor 0',0.0,#1);
+ENDSEC;
+END-ISO-10303-21;
+"""
+
+
+class TestBasicParsing:
+    def test_instances_are_indexed_by_id(self):
+        step = tokenize(MINIMAL)
+        assert len(step) == 5
+        assert step.instances[1].type_name == "IFCBUILDING"
+
+    def test_header_sections_parsed(self):
+        step = tokenize(MINIMAL)
+        assert "FILE_SCHEMA" in step.header
+        assert step.header["FILE_SCHEMA"] == [["IFC2X3"]]
+
+    def test_semicolon_inside_string_does_not_split(self):
+        step = tokenize(MINIMAL)
+        assert step.header["FILE_DESCRIPTION"] == [["demo"], "2;1"]
+
+    def test_string_arguments(self):
+        step = tokenize(MINIMAL)
+        assert step.instances[1].arguments[:2] == ["GUID1", "office"]
+
+    def test_numeric_list_arguments(self):
+        step = tokenize(MINIMAL)
+        assert step.instances[2].arguments == [[0.0, 0.0]]
+        assert step.instances[3].arguments == [[10.0, 0.0, 3.5]]
+
+    def test_reference_arguments(self):
+        step = tokenize(MINIMAL)
+        refs = step.instances[4].arguments[0]
+        assert refs == [EntityRef(2), EntityRef(3)]
+
+    def test_mixed_arguments(self):
+        step = tokenize(MINIMAL)
+        storey = step.instances[5]
+        assert storey.arguments[2] == 0.0
+        assert storey.arguments[3] == EntityRef(1)
+
+    def test_by_type_is_sorted_and_case_insensitive(self):
+        step = tokenize(MINIMAL)
+        points = step.by_type("IfcCartesianPoint")
+        assert [p.entity_id for p in points] == [2, 3]
+
+    def test_resolve_reference(self):
+        step = tokenize(MINIMAL)
+        target = step.resolve(EntityRef(2))
+        assert target is not None and target.type_name == "IFCCARTESIANPOINT"
+        assert step.resolve("not a ref") is None
+
+
+class TestSpecialTokens:
+    def test_dollar_is_none_and_star_is_wildcard(self):
+        text = MINIMAL.replace(
+            "#1=IFCBUILDING('GUID1','office','Synthetic office');",
+            "#1=IFCBUILDING('GUID1',$,*);",
+        )
+        step = tokenize(text)
+        assert step.instances[1].arguments[1] is None
+        assert step.instances[1].arguments[2] is WILDCARD
+
+    def test_enum_values(self):
+        text = MINIMAL.replace(
+            "#5=IFCBUILDINGSTOREY('GUID2','Floor 0',0.0,#1);",
+            "#5=IFCBUILDINGSTOREY('GUID2','Floor 0',0.0,#1,.ELEMENT.);",
+        )
+        step = tokenize(text)
+        assert step.instances[5].arguments[4] == EnumValue("ELEMENT")
+
+    def test_escaped_quote_in_string(self):
+        text = MINIMAL.replace("'office'", "'John''s office'")
+        step = tokenize(text)
+        assert step.instances[1].arguments[1] == "John's office"
+
+    def test_comments_are_ignored(self):
+        text = MINIMAL.replace("DATA;", "DATA;\n/* a comment; with a semicolon */")
+        assert len(tokenize(text)) == 5
+
+    def test_multiline_instance(self):
+        text = MINIMAL.replace(
+            "#4=IFCPOLYLINE((#2,#3));",
+            "#4=IFCPOLYLINE((\n  #2,\n  #3\n));",
+        )
+        step = tokenize(text)
+        assert step.instances[4].arguments[0] == [EntityRef(2), EntityRef(3)]
+
+    def test_negative_and_exponent_numbers(self):
+        text = MINIMAL.replace("((0.,0.))", "((-1.5e1,2E-2))")
+        step = tokenize(text)
+        assert step.instances[2].arguments[0] == [-15.0, 0.02]
+
+    def test_instance_arg_accessor_defaults(self):
+        step = tokenize(MINIMAL)
+        building = step.instances[1]
+        assert building.arg(0) == "GUID1"
+        assert building.arg(10, "fallback") == "fallback"
+
+
+class TestErrorHandling:
+    def test_missing_iso_marker(self):
+        with pytest.raises(IFCParseError):
+            tokenize("DATA;\n#1=IFCBUILDING('a','b','c');\nENDSEC;")
+
+    def test_duplicate_instance_id(self):
+        text = MINIMAL.replace(
+            "#5=IFCBUILDINGSTOREY('GUID2','Floor 0',0.0,#1);",
+            "#1=IFCBUILDINGSTOREY('GUID2','Floor 0',0.0,#1);",
+        )
+        with pytest.raises(IFCParseError):
+            tokenize(text)
+
+    def test_malformed_instance(self):
+        text = MINIMAL.replace(
+            "#2=IFCCARTESIANPOINT((0.,0.));", "#2 IFCCARTESIANPOINT((0.,0.));"
+        )
+        with pytest.raises(IFCParseError):
+            tokenize(text)
+
+    def test_unterminated_string(self):
+        text = MINIMAL.replace("'office'", "'office")
+        with pytest.raises(IFCParseError):
+            tokenize(text)
+
+    def test_error_carries_line_number(self):
+        text = MINIMAL.replace(
+            "#2=IFCCARTESIANPOINT((0.,0.));", "#2=IFCCARTESIANPOINT((0.,,0.));"
+        )
+        with pytest.raises(IFCParseError) as excinfo:
+            tokenize(text)
+        assert excinfo.value.line is not None

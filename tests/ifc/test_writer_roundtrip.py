@@ -1,0 +1,112 @@
+"""Round-trip tests: building → IFC text → building.
+
+These exercise the whole DBI path of Section 4.1 on the three synthetic
+archetype buildings, including the staircase-connectivity recovery and the
+error-injection facility used to test "identify and fix parse errors".
+"""
+
+import pytest
+
+from repro.building.synthetic import clinic_building, mall_building, office_building
+from repro.building.topology import AccessibilityGraph
+from repro.ifc.extractor import DBIProcessor
+from repro.ifc.parser import parse_ifc_text
+from repro.ifc.writer import ErrorInjection, building_to_ifc, write_ifc
+
+
+@pytest.fixture(scope="module", params=["office", "mall", "clinic"])
+def original(request):
+    if request.param == "office":
+        return office_building()
+    if request.param == "mall":
+        return mall_building()
+    return clinic_building()
+
+
+@pytest.fixture(scope="module")
+def round_tripped(original):
+    text = building_to_ifc(original)
+    building, report = DBIProcessor().process_text(text)
+    return original, building, report
+
+
+class TestRoundTrip:
+    def test_floor_count_preserved(self, round_tripped):
+        original, rebuilt, _ = round_tripped
+        assert len(rebuilt.floors) == len(original.floors)
+
+    def test_partition_count_preserved(self, round_tripped):
+        original, rebuilt, _ = round_tripped
+        assert rebuilt.partition_count == original.partition_count
+
+    def test_partition_areas_preserved(self, round_tripped):
+        original, rebuilt, _ = round_tripped
+        for floor_id in original.floor_ids:
+            for partition_id, partition in original.floors[floor_id].partitions.items():
+                rebuilt_partition = rebuilt.partition(floor_id, partition_id)
+                assert rebuilt_partition.area == pytest.approx(partition.area, rel=1e-4)
+
+    def test_door_count_preserved(self, round_tripped):
+        original, rebuilt, _ = round_tripped
+        assert rebuilt.door_count == original.door_count
+
+    def test_door_connectivity_recovered(self, round_tripped):
+        """The writer drops door-partition links; the extractor must recover them."""
+        original, rebuilt, _ = round_tripped
+        for floor_id in original.floor_ids:
+            for door_id, door in original.floors[floor_id].doors.items():
+                rebuilt_door = rebuilt.floors[floor_id].doors[door_id]
+                assert set(rebuilt_door.partitions) == set(door.partitions)
+
+    def test_staircase_connectivity_recovered(self, round_tripped):
+        """Section 4.1's two-step staircase resolution yields the original links."""
+        original, rebuilt, _ = round_tripped
+        assert set(rebuilt.staircases) == set(original.staircases)
+        for staircase_id, staircase in original.staircases.items():
+            rebuilt_staircase = rebuilt.staircases[staircase_id]
+            assert rebuilt_staircase.lower_floor == staircase.lower_floor
+            assert rebuilt_staircase.upper_floor == staircase.upper_floor
+            assert rebuilt_staircase.lower_partition == staircase.lower_partition
+            assert rebuilt_staircase.upper_partition == staircase.upper_partition
+
+    def test_no_errors_reported_for_clean_files(self, round_tripped):
+        _, _, report = round_tripped
+        assert report.errors == []
+
+    def test_rebuilt_building_is_connected(self, round_tripped):
+        _, rebuilt, _ = round_tripped
+        assert AccessibilityGraph(rebuilt).is_fully_connected()
+
+
+class TestFileIO:
+    def test_write_and_process_file(self, tmp_path):
+        building = office_building()
+        path = write_ifc(building, str(tmp_path / "office.ifc"))
+        rebuilt, report = DBIProcessor().process_file(path)
+        assert rebuilt.partition_count == building.partition_count
+        assert report.errors == []
+
+    def test_written_text_is_parseable_ifc(self):
+        text = building_to_ifc(clinic_building())
+        model = parse_ifc_text(text)
+        assert model.building is not None
+        assert len(model.spaces) > 0
+
+
+class TestErrorInjection:
+    def test_orphan_door_injection_produces_errors(self):
+        building = office_building()
+        text = building_to_ifc(building, ErrorInjection(orphan_doors=2))
+        _, report = DBIProcessor().process_text(text)
+        assert len(report.errors) >= 2
+
+    def test_degenerate_space_injection_produces_errors(self):
+        building = office_building()
+        text = building_to_ifc(building, ErrorInjection(degenerate_spaces=1))
+        rebuilt, report = DBIProcessor().process_text(text)
+        assert len(report.errors) >= 1
+        assert rebuilt.partition_count == building.partition_count - 1
+
+    def test_clean_injection_is_no_op(self):
+        building = office_building()
+        assert building_to_ifc(building, ErrorInjection()) == building_to_ifc(building)

@@ -1,0 +1,76 @@
+"""Integration test reproducing the demonstration scenarios of Section 5.
+
+The demo shows the six-step path on DBI files from clinics, malls and office
+buildings, and exercises the device/method combinations RFID + proximity,
+Bluetooth + trilateration and Wi-Fi + fingerprinting.
+"""
+
+import pytest
+
+from repro.core.toolkit import Vita
+from repro.core.types import (
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+)
+from repro.ifc.writer import write_ifc
+from repro.building.synthetic import building_by_name
+
+
+@pytest.fixture(scope="module", params=["office", "mall", "clinic"])
+def dbi_file(request, tmp_path_factory):
+    """A DBI (IFC) file for each of the three demo building archetypes."""
+    building = building_by_name(request.param, floors=2 if request.param != "clinic" else 1)
+    path = tmp_path_factory.mktemp("dbi") / f"{request.param}.ifc"
+    return str(write_ifc(building, str(path)))
+
+
+class TestDemoCombinations:
+    def test_rfid_proximity(self, dbi_file):
+        """Demo combination 1: RFID + proximity."""
+        vita = Vita(seed=21)
+        vita.import_dbi(dbi_file)
+        vita.deploy_devices("rfid", count_per_floor=5, deployment="check-point")
+        vita.generate_objects(count=5, duration=90, time_step=0.5)
+        vita.generate_rssi(sampling_period=1.0)
+        output = vita.generate_positioning("proximity")
+        assert output
+        assert all(isinstance(record, ProximityRecord) for record in output)
+
+    def test_bluetooth_trilateration(self, dbi_file):
+        """Demo combination 2: Bluetooth + trilateration."""
+        vita = Vita(seed=22)
+        vita.import_dbi(dbi_file)
+        vita.deploy_devices(
+            "bluetooth", count_per_floor=8, deployment="coverage", detection_range=20.0
+        )
+        vita.generate_objects(count=5, duration=90, time_step=0.5)
+        vita.generate_rssi(sampling_period=1.0)
+        output = vita.generate_positioning("trilateration", sampling_period=5.0)
+        assert output
+        assert all(isinstance(record, PositioningRecord) for record in output)
+
+    def test_wifi_fingerprinting(self, dbi_file):
+        """Demo combination 3: Wi-Fi + fingerprinting."""
+        vita = Vita(seed=23)
+        vita.import_dbi(dbi_file)
+        vita.deploy_devices("wifi", count_per_floor=6, deployment="coverage")
+        vita.generate_objects(count=5, duration=90, time_step=0.5)
+        vita.generate_rssi(sampling_period=1.0)
+        output = vita.generate_positioning(
+            "fingerprinting", algorithm="bayes",
+            radio_map_spacing=6.0, radio_map_samples=4,
+        )
+        assert output
+        assert all(isinstance(record, ProbabilisticPositioningRecord) for record in output)
+
+    def test_snapshot_during_generation(self, dbi_file):
+        """The demo pauses generation to extract a snapshot of the moving objects."""
+        vita = Vita(seed=24)
+        vita.import_dbi(dbi_file)
+        vita.deploy_devices("wifi", count_per_floor=4)
+        result = vita.generate_objects(
+            count=6, duration=60, time_step=0.5, snapshot_times=[30.0]
+        )
+        assert 30.0 in result.snapshots
+        assert len(result.snapshots[30.0]) == 6

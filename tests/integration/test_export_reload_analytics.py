@@ -1,0 +1,78 @@
+"""Integration: export a generation run, reload it, and run analytics on it.
+
+This is the downstream-user workflow: generate data with Vita, persist it to
+flat files, load it back later (possibly in another process) and evaluate an
+algorithm against the preserved ground truth.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import evaluate_positioning
+from repro.analysis.statistics import trajectory_statistics
+from repro.core.toolkit import Vita
+from repro.storage.export import (
+    import_positioning_csv,
+    import_rssi_csv,
+    import_trajectories_csv,
+)
+from repro.storage.repositories import DataWarehouse
+from repro.storage.stream import DataStreamAPI
+
+
+@pytest.fixture(scope="module")
+def exported_run(tmp_path_factory):
+    vita = Vita(seed=314)
+    vita.use_synthetic_building("office", floors=2)
+    vita.deploy_devices("wifi", count_per_floor=6)
+    vita.generate_objects(count=8, duration=120.0, time_step=0.5)
+    vita.generate_rssi(sampling_period=2.0)
+    vita.generate_positioning("trilateration", sampling_period=5.0)
+    directory = tmp_path_factory.mktemp("export")
+    written = vita.export(directory)
+    return vita, written
+
+
+class TestReload:
+    def test_reloaded_counts_match(self, exported_run):
+        vita, written = exported_run
+        trajectories = import_trajectories_csv(written["trajectories"])
+        rssi = import_rssi_csv(written["rssi"])
+        positioning = import_positioning_csv(written["positioning"])
+        assert len(trajectories) == vita.summary()["trajectory_records"]
+        assert len(rssi) == vita.summary()["rssi_records"]
+        assert len(positioning) == vita.summary()["positioning_records"]
+
+    def test_reloaded_data_supports_accuracy_evaluation(self, exported_run):
+        vita, written = exported_run
+        warehouse = DataWarehouse()
+        warehouse.trajectories.add_many(import_trajectories_csv(written["trajectories"]))
+        ground_truth = warehouse.trajectories.to_trajectory_set()
+        estimates = import_positioning_csv(written["positioning"])
+        report = evaluate_positioning(estimates, ground_truth)
+        assert report.matched > 0
+        assert report.mean_error < 20.0
+        # The reloaded evaluation matches the in-memory one.
+        live_report = evaluate_positioning(
+            vita.positioning_output, vita.simulation.trajectories
+        )
+        assert report.mean_error == pytest.approx(live_report.mean_error, rel=1e-9)
+
+    def test_reloaded_data_supports_stream_queries(self, exported_run):
+        _, written = exported_run
+        warehouse = DataWarehouse()
+        warehouse.trajectories.add_many(import_trajectories_csv(written["trajectories"]))
+        warehouse.rssi.add_many(import_rssi_csv(written["rssi"]))
+        api = DataStreamAPI(warehouse)
+        assert api.snapshot(60.0)
+        assert api.partition_visit_counts()
+        assert api.rssi_statistics_by_device()
+
+    def test_reloaded_statistics_match_live(self, exported_run):
+        vita, written = exported_run
+        warehouse = DataWarehouse()
+        warehouse.trajectories.add_many(import_trajectories_csv(written["trajectories"]))
+        reloaded = trajectory_statistics(warehouse.trajectories.to_trajectory_set())
+        live = trajectory_statistics(vita.simulation.trajectories)
+        assert reloaded.object_count == live.object_count
+        assert reloaded.total_samples == live.total_samples
+        assert reloaded.mean_length_m == pytest.approx(live.mean_length_m, rel=1e-9)

@@ -1,0 +1,105 @@
+"""Integration tests for the Vita facade (six-step demonstration path)."""
+
+import pytest
+
+from repro.core.errors import VitaError
+from repro.core.toolkit import Vita
+from repro.core.types import PositioningMethod
+from repro.geometry.polygon import Polygon
+
+
+class TestStepOrderEnforcement:
+    def test_steps_require_building_first(self):
+        vita = Vita()
+        with pytest.raises(VitaError):
+            vita.deploy_devices()
+        with pytest.raises(VitaError):
+            vita.generate_objects()
+
+    def test_rssi_requires_objects_and_devices(self):
+        vita = Vita(seed=1)
+        vita.use_synthetic_building("office")
+        with pytest.raises(VitaError):
+            vita.generate_rssi()
+        vita.deploy_devices("wifi", count_per_floor=4)
+        with pytest.raises(VitaError):
+            vita.generate_rssi()
+
+    def test_positioning_requires_rssi(self):
+        vita = Vita(seed=1)
+        vita.use_synthetic_building("office")
+        vita.deploy_devices("wifi", count_per_floor=4)
+        vita.generate_objects(count=3, duration=30, time_step=0.5)
+        with pytest.raises(VitaError):
+            vita.generate_positioning()
+
+
+class TestSixStepPath:
+    @pytest.fixture(scope="class")
+    def vita(self):
+        vita = Vita(seed=5)
+        vita.use_synthetic_building("clinic", floors=1)                 # step 1
+        vita.environment.deploy_obstacle(0, Polygon.rectangle(10, 2, 12, 4))  # step 2
+        vita.deploy_devices("wifi", count_per_floor=6, deployment="coverage")   # step 3
+        vita.generate_objects(count=6, duration=90, time_step=0.5)      # step 4
+        vita.generate_rssi(sampling_period=2.0)                         # step 5
+        vita.generate_positioning("trilateration", sampling_period=5.0)  # step 6
+        return vita
+
+    def test_every_step_produced_data(self, vita):
+        summary = vita.summary()
+        assert summary["device_records"] == 6
+        assert summary["trajectory_records"] > 0
+        assert summary["rssi_records"] > 0
+        assert summary["positioning_records"] > 0
+
+    def test_stream_api_snapshot(self, vita):
+        snapshot = vita.stream_api.snapshot(45.0)
+        assert len(snapshot) > 0
+
+    def test_export_writes_files(self, vita, tmp_path):
+        written = vita.export(tmp_path)
+        assert {"devices", "trajectories", "rssi", "positioning"} <= set(written)
+        for path in written.values():
+            assert len(open(path, encoding="utf-8").readlines()) > 1
+
+    def test_obstacle_present(self, vita):
+        assert len(vita.building.floors[0].obstacles) == 1
+
+
+class TestMethodSwitching:
+    def test_rerun_step6_with_different_methods(self):
+        vita = Vita(seed=9)
+        vita.use_synthetic_building("office")
+        vita.deploy_devices("wifi", count_per_floor=6)
+        vita.generate_objects(count=5, duration=60, time_step=0.5)
+        vita.generate_rssi(sampling_period=2.0)
+        trilateration = vita.generate_positioning("trilateration")
+        fingerprinting = vita.generate_positioning(
+            "fingerprinting", algorithm="knn", radio_map_spacing=6.0, radio_map_samples=4
+        )
+        proximity = vita.generate_positioning("proximity")
+        assert trilateration and fingerprinting and proximity
+        assert vita.radio_map is not None
+
+    def test_string_and_enum_methods_equivalent(self):
+        vita = Vita(seed=11)
+        vita.use_synthetic_building("office")
+        vita.deploy_devices("wifi", count_per_floor=5)
+        vita.generate_objects(count=3, duration=30, time_step=0.5)
+        vita.generate_rssi()
+        by_string = vita.generate_positioning("trilateration")
+        by_enum = vita.generate_positioning(PositioningMethod.TRILATERATION)
+        assert len(by_string) == len(by_enum)
+
+
+class TestDBIImportPath:
+    def test_import_written_ifc_file(self, tmp_path, office):
+        from repro.ifc.writer import write_ifc
+
+        path = write_ifc(office, str(tmp_path / "office.ifc"))
+        vita = Vita(seed=2)
+        building = vita.import_dbi(path)
+        assert building.partition_count == office.partition_count
+        assert vita.extraction_report is not None
+        assert vita.extraction_report.errors == []

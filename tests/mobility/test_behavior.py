@@ -1,0 +1,95 @@
+"""Unit tests for the moving behaviours (walk-stay, continuous, variable speed)."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mobility.behavior import (
+    ContinuousWalkBehavior,
+    VariableSpeedBehavior,
+    WalkStayBehavior,
+    behavior_by_name,
+)
+
+
+class TestWalkStay:
+    def test_stay_duration_within_bounds(self):
+        behavior = WalkStayBehavior(min_stay=10.0, max_stay=20.0)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 10.0 <= behavior.stay_duration_at_destination(rng) <= 20.0
+
+    def test_pause_duration_within_bounds(self):
+        behavior = WalkStayBehavior(on_path_stop_min=1.0, on_path_stop_max=3.0)
+        rng = random.Random(2)
+        for _ in range(100):
+            assert 1.0 <= behavior.pause_duration(rng) <= 3.0
+
+    def test_pause_probability_exposed(self):
+        assert WalkStayBehavior(on_path_stop_rate=0.05).pause_probability_per_second() == 0.05
+
+    def test_speed_multiplier_in_range(self):
+        behavior = WalkStayBehavior()
+        rng = random.Random(3)
+        for _ in range(100):
+            assert 0.8 <= behavior.speed_multiplier(rng) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WalkStayBehavior(min_stay=-1)
+        with pytest.raises(ConfigurationError):
+            WalkStayBehavior(min_stay=10, max_stay=5)
+        with pytest.raises(ConfigurationError):
+            WalkStayBehavior(on_path_stop_rate=2.0)
+
+
+class TestContinuous:
+    def test_never_stays(self):
+        behavior = ContinuousWalkBehavior()
+        rng = random.Random(1)
+        assert behavior.stay_duration_at_destination(rng) == 0.0
+        assert behavior.pause_probability_per_second() == 0.0
+
+    def test_constant_speed_fraction(self):
+        behavior = ContinuousWalkBehavior(speed_fraction=0.7)
+        assert behavior.speed_multiplier(random.Random(1)) == 0.7
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousWalkBehavior(speed_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            ContinuousWalkBehavior(speed_fraction=1.5)
+
+
+class TestVariableSpeed:
+    def test_speed_within_configured_band(self):
+        behavior = VariableSpeedBehavior(min_fraction=0.3, max_fraction=0.6)
+        rng = random.Random(4)
+        for _ in range(100):
+            assert 0.3 <= behavior.speed_multiplier(rng) <= 0.6
+
+    def test_fixed_destination_stay(self):
+        behavior = VariableSpeedBehavior(stay_at_destination=7.5)
+        assert behavior.stay_duration_at_destination(random.Random(1)) == 7.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            VariableSpeedBehavior(min_fraction=0.9, max_fraction=0.5)
+        with pytest.raises(ConfigurationError):
+            VariableSpeedBehavior(stay_at_destination=-1)
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(behavior_by_name("walk-stay"), WalkStayBehavior)
+        assert isinstance(behavior_by_name("continuous"), ContinuousWalkBehavior)
+        assert isinstance(behavior_by_name("variable-speed"), VariableSpeedBehavior)
+
+    def test_kwargs_forwarded(self):
+        behavior = behavior_by_name("walk-stay", min_stay=1.0, max_stay=2.0)
+        assert behavior.min_stay == 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            behavior_by_name("teleport")

@@ -1,0 +1,110 @@
+"""Unit tests for the crowd interaction extension (Section 4 extension point)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.mobility.behavior import ContinuousWalkBehavior
+from repro.mobility.crowd import (
+    DensitySlowdownModel,
+    NoInteraction,
+    crowd_model_by_name,
+)
+from repro.mobility.engine import EngineConfig, SimulationEngine
+from repro.mobility.objects import Lifespan, MovingObject
+
+
+class TestDensitySlowdownModel:
+    def test_no_neighbors_means_full_speed(self):
+        model = DensitySlowdownModel()
+        assert model.speed_factor(0, Point(0, 0), []) == 1.0
+
+    def test_each_close_neighbor_slows_the_object(self):
+        model = DensitySlowdownModel(personal_radius=2.0, slowdown_per_neighbor=0.2)
+        one = model.speed_factor(0, Point(0, 0), [(0, Point(1, 0))])
+        two = model.speed_factor(0, Point(0, 0), [(0, Point(1, 0)), (0, Point(0, 1))])
+        assert one == pytest.approx(0.8)
+        assert two == pytest.approx(0.6)
+
+    def test_far_and_other_floor_neighbors_ignored(self):
+        model = DensitySlowdownModel(personal_radius=2.0)
+        factor = model.speed_factor(
+            0, Point(0, 0), [(0, Point(10, 0)), (1, Point(0.5, 0))]
+        )
+        assert factor == 1.0
+
+    def test_min_factor_floor(self):
+        model = DensitySlowdownModel(personal_radius=5.0, slowdown_per_neighbor=0.5, min_factor=0.3)
+        crowd = [(0, Point(0.1 * i, 0)) for i in range(1, 10)]
+        assert model.speed_factor(0, Point(0, 0), crowd) == pytest.approx(0.3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            DensitySlowdownModel(personal_radius=0)
+        with pytest.raises(ConfigurationError):
+            DensitySlowdownModel(slowdown_per_neighbor=1.5)
+        with pytest.raises(ConfigurationError):
+            DensitySlowdownModel(min_factor=0.0)
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(crowd_model_by_name("none"), NoInteraction)
+        assert isinstance(crowd_model_by_name("density-slowdown"), DensitySlowdownModel)
+        assert isinstance(crowd_model_by_name("congestion"), DensitySlowdownModel)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            crowd_model_by_name("social-force")
+
+
+class TestEngineIntegration:
+    def _run(self, office, crowd_model, count=12, seed=5):
+        engine = SimulationEngine(
+            office,
+            config=EngineConfig(duration=90.0, time_step=0.5, sampling_period=1.0, seed=seed),
+            behavior=ContinuousWalkBehavior(speed_fraction=1.0),
+            crowd_model=crowd_model,
+        )
+        objects = []
+        for index in range(count):
+            moving_object = MovingObject(
+                object_id=f"o{index}", max_speed=1.4, lifespan=Lifespan(0.0, 90.0)
+            )
+            # Everybody starts packed together in the same room.
+            moving_object.place_at(0, Point(3.0 + 0.3 * index, 3.0))
+            objects.append(moving_object)
+        result = engine.run(objects)
+        return sum(t.length for t in result.trajectories) / len(result.trajectories)
+
+    def test_congestion_reduces_distance_covered(self, office):
+        free_distance = self._run(office, NoInteraction())
+        congested_distance = self._run(
+            office, DensitySlowdownModel(personal_radius=2.0, slowdown_per_neighbor=0.2)
+        )
+        assert congested_distance < free_distance
+
+    def test_congestion_never_stops_objects_entirely(self, office):
+        congested_distance = self._run(
+            office, DensitySlowdownModel(personal_radius=3.0, slowdown_per_neighbor=0.5, min_factor=0.2)
+        )
+        assert congested_distance > 5.0
+
+    def test_toolkit_accepts_crowd_interaction(self, office):
+        from repro.core.toolkit import Vita
+
+        vita = Vita(seed=8)
+        vita.use_building(office)
+        result = vita.generate_objects(
+            count=6, duration=30, time_step=0.5, crowd_interaction="density-slowdown"
+        )
+        assert result.total_samples > 0
+
+    def test_pipeline_config_accepts_crowd_interaction(self):
+        from repro.core.config import config_from_dict
+
+        config = config_from_dict(
+            {"objects": {"count": 3, "duration": 20, "crowd_interaction": "density-slowdown"},
+             "devices": [{"count_per_floor": 3}]}
+        )
+        assert config.objects.crowd_interaction == "density-slowdown"

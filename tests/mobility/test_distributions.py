@@ -1,0 +1,155 @@
+"""Unit tests for initial distributions and arrival processes (Section 3.1)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.building.semantics import SemanticExtractor
+from repro.building.synthetic import mall_building
+from repro.core.errors import ConfigurationError
+from repro.mobility.distributions import (
+    CrowdOutliersDistribution,
+    NoArrivals,
+    PoissonArrivals,
+    UniformDistribution,
+    distribution_by_name,
+)
+
+
+class TestUniform:
+    def test_count_and_validity(self, office):
+        rng = random.Random(1)
+        placements = UniformDistribution().place(office, 40, rng)
+        assert len(placements) == 40
+        for floor_id, point in placements:
+            assert office.floor(floor_id).partition_at(point) is not None
+
+    def test_spreads_over_floors(self, office):
+        rng = random.Random(2)
+        placements = UniformDistribution().place(office, 120, rng)
+        floors = Counter(floor_id for floor_id, _ in placements)
+        assert set(floors) == {0, 1}
+
+    def test_zero_count(self, office):
+        assert UniformDistribution().place(office, 0, random.Random(1)) == []
+
+
+class TestCrowdOutliers:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            CrowdOutliersDistribution(crowd_count=0)
+        with pytest.raises(ConfigurationError):
+            CrowdOutliersDistribution(crowd_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            CrowdOutliersDistribution(crowd_radius=-1)
+
+    def test_crowds_formed_in_hot_partitions(self, office):
+        rng = random.Random(3)
+        distribution = CrowdOutliersDistribution(crowd_count=2, crowd_fraction=0.8)
+        placements = distribution.place(office, 50, rng)
+        assert len(placements) == 50
+        assert len(distribution.last_crowds) == 2
+        assert sum(crowd.members for crowd in distribution.last_crowds) == 40
+
+    def test_crowd_members_are_near_their_center(self, office):
+        rng = random.Random(4)
+        distribution = CrowdOutliersDistribution(crowd_count=1, crowd_fraction=1.0, crowd_radius=2.0)
+        placements = distribution.place(office, 30, rng)
+        crowd = distribution.last_crowds[0]
+        distances = [
+            point.distance_to(crowd.center)
+            for floor_id, point in placements
+            if floor_id == crowd.floor_id
+        ]
+        assert len(distances) == 30
+        assert max(distances) < 10.0
+
+    def test_crowds_more_concentrated_than_uniform(self, mall):
+        """Figure 3(b): crowd-outliers forms visible crowds, uniform does not."""
+        rng = random.Random(5)
+        building = mall_building()
+        SemanticExtractor().annotate_building(building)
+        crowd_placements = CrowdOutliersDistribution(
+            crowd_count=3, crowd_fraction=0.8, hot_partition_tags=("shop", "canteen")
+        ).place(building, 100, rng)
+        uniform_placements = UniformDistribution().place(building, 100, random.Random(5))
+
+        def top_partition_share(placements):
+            counts = Counter(
+                building.floor(floor_id).partition_at(point).partition_id
+                for floor_id, point in placements
+            )
+            return max(counts.values()) / 100.0
+
+        assert top_partition_share(crowd_placements) > top_partition_share(uniform_placements)
+
+    def test_hot_tags_honoured(self, mall):
+        building = mall_building()
+        SemanticExtractor().annotate_building(building)
+        distribution = CrowdOutliersDistribution(
+            crowd_count=2, hot_partition_tags=("canteen",)
+        )
+        distribution.place(building, 20, random.Random(6))
+        hot_partitions = {crowd.partition_id for crowd in distribution.last_crowds}
+        assert all("foodcourt" in partition_id for partition_id in hot_partitions)
+
+    def test_placements_are_walkable(self, office):
+        rng = random.Random(7)
+        placements = CrowdOutliersDistribution().place(office, 60, rng)
+        for floor_id, point in placements:
+            assert office.floor(floor_id).partition_at(point) is not None
+
+
+class TestArrivalProcesses:
+    def test_no_arrivals(self, office):
+        assert NoArrivals().arrivals(office, 600.0, random.Random(1)) == []
+
+    def test_poisson_rate_roughly_matches(self, office):
+        rng = random.Random(8)
+        arrivals = PoissonArrivals(rate_per_minute=6.0).arrivals(office, 600.0, rng)
+        # Expectation is 60 arrivals over 10 minutes; allow generous slack.
+        assert 30 <= len(arrivals) <= 100
+
+    def test_arrival_times_within_duration_and_sorted_locations_valid(self, office):
+        rng = random.Random(9)
+        arrivals = PoissonArrivals(rate_per_minute=10.0).arrivals(office, 120.0, rng)
+        for t, (floor_id, point) in arrivals:
+            assert 0.0 <= t < 120.0
+            assert office.floor(floor_id).partition_at(point) is not None
+
+    def test_arrivals_emerge_at_entrances_by_default(self, office):
+        rng = random.Random(10)
+        arrivals = PoissonArrivals(rate_per_minute=30.0).arrivals(office, 60.0, rng)
+        entrance = office.floors[0].entrances()[0]
+        for _, (floor_id, point) in arrivals:
+            assert floor_id == 0
+            assert point.distance_to(entrance.position) < 3.0
+
+    def test_explicit_emerging_locations(self, office):
+        from repro.geometry.point import Point
+
+        rng = random.Random(11)
+        emerging = [(1, Point(35.0, 3.0))]
+        arrivals = PoissonArrivals(rate_per_minute=20.0, emerging=emerging).arrivals(
+            office, 60.0, rng
+        )
+        assert arrivals
+        assert all(placement == (1, Point(35.0, 3.0)) for _, placement in arrivals)
+
+    def test_zero_rate_produces_nothing(self, office):
+        assert PoissonArrivals(rate_per_minute=0.0).arrivals(office, 600.0, random.Random(1)) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivals(rate_per_minute=-1.0)
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(distribution_by_name("uniform"), UniformDistribution)
+        assert isinstance(distribution_by_name("crowd-outliers"), CrowdOutliersDistribution)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            distribution_by_name("gaussian")

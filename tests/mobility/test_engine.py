@@ -1,0 +1,163 @@
+"""Unit tests for the simulation engine (Moving Object Layer core)."""
+
+import pytest
+
+from repro.building.distance import RoutePlanner
+from repro.core.errors import MovementError
+from repro.geometry.point import Point
+from repro.mobility.behavior import ContinuousWalkBehavior, WalkStayBehavior
+from repro.mobility.engine import EngineConfig, SimulationEngine
+from repro.mobility.intentions import DestinationIntention
+from repro.mobility.objects import Lifespan, MovingObject
+
+
+def _object(object_id="o1", birth=0.0, death=300.0, speed=1.4, floor=0, x=4.0, y=3.0):
+    moving_object = MovingObject(
+        object_id=object_id,
+        max_speed=speed,
+        lifespan=Lifespan(birth, death),
+    )
+    moving_object.place_at(floor, Point(x, y))
+    return moving_object
+
+
+class TestEngineConfig:
+    def test_rejects_bad_durations(self):
+        with pytest.raises(MovementError):
+            EngineConfig(duration=0)
+        with pytest.raises(MovementError):
+            EngineConfig(time_step=0)
+
+    def test_sampling_period_clamped_to_time_step(self):
+        config = EngineConfig(time_step=1.0, sampling_period=0.1)
+        assert config.sampling_period == 1.0
+
+
+class TestSimulationRun:
+    def test_sampling_frequency_controls_record_count(self, office):
+        objects = [_object()]
+        for period, expected in ((1.0, 101), (5.0, 21)):
+            engine = SimulationEngine(
+                office,
+                config=EngineConfig(duration=100.0, time_step=0.5, sampling_period=period, seed=1),
+            )
+            result = engine.run([_object()])
+            assert len(result.trajectories["o1"]) == expected
+
+    def test_all_samples_inside_building(self, office):
+        engine = SimulationEngine(
+            office, config=EngineConfig(duration=120.0, time_step=0.5, seed=2)
+        )
+        result = engine.run([_object(), _object("o2", x=20.0, y=9.0)])
+        for record in result.trajectories.all_records():
+            assert record.location.partition_id is not None
+
+    def test_object_speed_never_exceeds_max(self, office):
+        max_speed = 1.2
+        engine = SimulationEngine(
+            office,
+            config=EngineConfig(duration=120.0, time_step=0.5, sampling_period=0.5, seed=3),
+            behavior=ContinuousWalkBehavior(speed_fraction=1.0),
+        )
+        result = engine.run([_object(speed=max_speed)])
+        records = result.trajectories["o1"].records
+        for previous, current in zip(records, records[1:]):
+            if previous.location.floor_id != current.location.floor_id:
+                continue
+            distance = previous.location.distance_to(current.location)
+            elapsed = current.t - previous.t
+            assert distance <= max_speed * elapsed + 1e-6
+
+    def test_objects_move(self, office):
+        engine = SimulationEngine(
+            office,
+            config=EngineConfig(duration=120.0, time_step=0.5, seed=4),
+            behavior=ContinuousWalkBehavior(),
+        )
+        result = engine.run([_object()])
+        assert result.trajectories["o1"].length > 5.0
+
+    def test_lifespan_limits_recorded_samples(self, office):
+        engine = SimulationEngine(
+            office, config=EngineConfig(duration=200.0, time_step=0.5, seed=5)
+        )
+        result = engine.run([_object(death=50.0)])
+        assert result.trajectories["o1"].end_time <= 50.0
+
+    def test_late_birth_objects_start_late(self, office):
+        engine = SimulationEngine(
+            office, config=EngineConfig(duration=100.0, time_step=0.5, seed=6)
+        )
+        result = engine.run([_object(birth=40.0, death=100.0)])
+        assert result.trajectories["o1"].start_time >= 40.0
+
+    def test_arrivals_are_injected(self, office):
+        engine = SimulationEngine(
+            office, config=EngineConfig(duration=100.0, time_step=0.5, seed=7)
+        )
+        newcomer = _object("late", birth=30.0, death=100.0)
+        result = engine.run([_object()], arrivals=[(30.0, newcomer)])
+        assert "late" in result.trajectories
+        assert result.trajectories["late"].start_time >= 30.0
+        assert result.object_count == 2
+
+    def test_snapshots_collected(self, office):
+        engine = SimulationEngine(
+            office, config=EngineConfig(duration=60.0, time_step=0.5, seed=8)
+        )
+        result = engine.run([_object(), _object("o2", x=12.0, y=3.0)], snapshot_times=[30.0])
+        assert 30.0 in result.snapshots
+        assert set(result.snapshots[30.0]) == {"o1", "o2"}
+
+    def test_walk_stay_behaviour_produces_stationary_periods(self, office):
+        engine = SimulationEngine(
+            office,
+            config=EngineConfig(duration=200.0, time_step=0.5, sampling_period=1.0, seed=9),
+            behavior=WalkStayBehavior(min_stay=30.0, max_stay=60.0),
+        )
+        result = engine.run([_object()])
+        records = result.trajectories["o1"].records
+        stationary = sum(
+            1
+            for previous, current in zip(records, records[1:])
+            if previous.location.floor_id == current.location.floor_id
+            and previous.location.distance_to(current.location) < 1e-6
+        )
+        assert stationary > 10
+
+    def test_observers_called_every_tick(self, office):
+        ticks = []
+        engine = SimulationEngine(
+            office, config=EngineConfig(duration=10.0, time_step=1.0, seed=10)
+        )
+        engine.observers.append(lambda t, objects: ticks.append(t))
+        engine.run([_object()])
+        assert len(ticks) == 11
+
+    def test_multi_floor_movement_possible(self, office):
+        engine = SimulationEngine(
+            office,
+            config=EngineConfig(duration=400.0, time_step=0.5, seed=11),
+            behavior=ContinuousWalkBehavior(),
+            intention=DestinationIntention(),
+        )
+        objects = [_object(f"o{i}", x=4.0 + i, y=3.0) for i in range(5)]
+        result = engine.run(objects)
+        floors_seen = set()
+        for trajectory in result.trajectories:
+            floors_seen.update(trajectory.floors_visited())
+        assert floors_seen == {0, 1}
+
+    def test_reproducible_with_same_seed(self, office):
+        def run(seed):
+            engine = SimulationEngine(
+                office, config=EngineConfig(duration=60.0, time_step=0.5, seed=seed)
+            )
+            result = engine.run([_object()])
+            return [
+                (record.t, round(record.location.x, 6), round(record.location.y, 6))
+                for record in result.trajectories["o1"].records
+            ]
+
+        assert run(42) == run(42)
+        assert run(42) != run(43)

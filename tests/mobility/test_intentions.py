@@ -1,0 +1,97 @@
+"""Unit tests for moving intentions (destination and random-way models)."""
+
+import random
+
+import pytest
+
+from repro.building.semantics import SemanticExtractor
+from repro.building.synthetic import mall_building
+from repro.core.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.mobility.intentions import (
+    DestinationIntention,
+    RandomWayIntention,
+    intention_by_name,
+)
+
+
+class TestDestinationIntention:
+    def test_goal_is_inside_a_partition(self, office):
+        rng = random.Random(1)
+        intention = DestinationIntention()
+        for _ in range(20):
+            floor_id, point = intention.next_goal(office, 0, Point(4, 3), rng)
+            assert office.floor(floor_id).partition_at(point) is not None
+
+    def test_goal_avoids_current_partition_by_default(self, office):
+        rng = random.Random(2)
+        intention = DestinationIntention()
+        current = office.floor(0).partition_at(Point(4, 3)).partition_id
+        for _ in range(20):
+            floor_id, point = intention.next_goal(office, 0, Point(4, 3), rng)
+            target = office.floor(floor_id).partition_at(point).partition_id
+            assert (floor_id, target) != (0, current)
+
+    def test_same_partition_allowed_when_configured(self, office):
+        rng = random.Random(3)
+        intention = DestinationIntention(allow_same_partition=True)
+        results = {
+            office.floor(f).partition_at(p).partition_id
+            for f, p in (intention.next_goal(office, 0, Point(4, 3), rng) for _ in range(100))
+        }
+        # With enough samples, the (large) current partition eventually shows up.
+        assert len(results) > 3
+
+    def test_target_tags_bias_goals(self):
+        building = mall_building()
+        SemanticExtractor().annotate_building(building)
+        rng = random.Random(4)
+        intention = DestinationIntention(target_tags=("canteen",), tag_bias=1.0)
+        for _ in range(10):
+            floor_id, point = intention.next_goal(building, 0, Point(30, 20), rng)
+            partition = building.floor(floor_id).partition_at(point)
+            assert partition.semantic_tag == "canteen"
+
+    def test_invalid_tag_bias_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DestinationIntention(tag_bias=1.5)
+
+
+class TestRandomWayIntention:
+    def test_goal_is_adjacent_partition(self, office):
+        rng = random.Random(5)
+        intention = RandomWayIntention()
+        current_partition = office.floor(0).partition_at(Point(4, 3)).partition_id
+        neighbors = set(office.floors[0].neighbors_of(current_partition))
+        for _ in range(20):
+            floor_id, point = intention.next_goal(office, 0, Point(4, 3), rng)
+            target = office.floor(floor_id).partition_at(point).partition_id
+            assert target in neighbors
+
+    def test_hallway_goal_can_cross_floor(self, office):
+        """From the stairwell the random walk can reach the other floor."""
+        rng = random.Random(6)
+        intention = RandomWayIntention()
+        stairwell_point = office.partition(0, "f0_stair").centroid
+        floors = {
+            intention.next_goal(office, 0, stairwell_point, rng)[0] for _ in range(50)
+        }
+        assert floors == {0, 1}
+
+    def test_graph_is_reused_per_building(self, office):
+        intention = RandomWayIntention()
+        intention.next_goal(office, 0, Point(4, 3), random.Random(1))
+        graph_first = intention._graph
+        intention.next_goal(office, 0, Point(4, 3), random.Random(2))
+        assert intention._graph is graph_first
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(intention_by_name("destination"), DestinationIntention)
+        assert isinstance(intention_by_name("random-way"), RandomWayIntention)
+        assert isinstance(intention_by_name("random"), RandomWayIntention)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            intention_by_name("teleport")

@@ -1,0 +1,107 @@
+"""Unit tests for the Moving Object Controller."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
+from repro.mobility.distributions import CrowdOutliersDistribution, PoissonArrivals
+
+
+class TestConfigValidation:
+    def test_rejects_bad_speed_range(self):
+        with pytest.raises(ConfigurationError):
+            ObjectGenerationConfig(min_speed=2.0, max_speed=1.0)
+
+    def test_rejects_bad_lifespan_range(self):
+        with pytest.raises(ConfigurationError):
+            ObjectGenerationConfig(min_lifespan=100.0, max_lifespan=50.0)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            ObjectGenerationConfig(count=-1)
+
+    def test_rejects_unknown_routing(self):
+        with pytest.raises(ConfigurationError):
+            ObjectGenerationConfig(routing_metric="fast")
+
+
+class TestObjectCreation:
+    def test_create_objects_matches_count(self, office):
+        controller = MovingObjectController(
+            office, ObjectGenerationConfig(count=12, duration=60.0, seed=1)
+        )
+        objects = controller.create_objects()
+        assert len(objects) == 12
+        assert len({o.object_id for o in objects}) == 12
+
+    def test_object_parameters_within_configured_ranges(self, office):
+        """Section 2: number, maximum speed, moving pattern, and lifespan are configurable."""
+        config = ObjectGenerationConfig(
+            count=20, min_speed=1.0, max_speed=1.5,
+            min_lifespan=100.0, max_lifespan=200.0, duration=60.0, seed=2,
+        )
+        controller = MovingObjectController(office, config)
+        for moving_object in controller.create_objects():
+            assert 1.0 <= moving_object.max_speed <= 1.5
+            assert 100.0 <= moving_object.lifespan.duration <= 200.0
+            assert moving_object.lifespan.birth == 0.0
+
+    def test_initial_positions_follow_distribution(self, office):
+        distribution = CrowdOutliersDistribution(crowd_count=2)
+        controller = MovingObjectController(
+            office,
+            ObjectGenerationConfig(count=30, duration=60.0, seed=3),
+            distribution=distribution,
+        )
+        controller.create_objects()
+        assert len(distribution.last_crowds) == 2
+
+    def test_arrivals_created_from_process(self, office):
+        controller = MovingObjectController(
+            office,
+            ObjectGenerationConfig(count=5, duration=300.0, seed=4),
+            arrival_process=PoissonArrivals(rate_per_minute=4.0),
+        )
+        arrivals = controller.create_arrivals()
+        assert arrivals
+        for start_time, moving_object in arrivals:
+            assert 0.0 <= start_time < 300.0
+            assert moving_object.lifespan.birth == pytest.approx(start_time)
+
+
+class TestGeneration:
+    def test_generate_produces_trajectories_for_every_object(self, office):
+        controller = MovingObjectController(
+            office,
+            ObjectGenerationConfig(count=6, duration=60.0, time_step=0.5, seed=5),
+        )
+        result = controller.generate()
+        assert len(result.trajectories) == 6
+        assert result.total_samples > 6 * 50
+
+    def test_generate_with_arrivals_adds_objects(self, office):
+        controller = MovingObjectController(
+            office,
+            ObjectGenerationConfig(count=3, duration=120.0, time_step=0.5, seed=6),
+            arrival_process=PoissonArrivals(rate_per_minute=10.0),
+        )
+        result = controller.generate()
+        assert result.object_count > 3
+
+    def test_routing_metric_propagated_to_objects(self, office):
+        controller = MovingObjectController(
+            office,
+            ObjectGenerationConfig(count=4, duration=60.0, routing_metric="time", seed=7),
+        )
+        assert all(o.routing_metric == "time" for o in controller.create_objects())
+
+    def test_reproducibility(self, office):
+        def run():
+            controller = MovingObjectController(
+                office,
+                ObjectGenerationConfig(count=4, duration=60.0, time_step=0.5, seed=99),
+            )
+            result = controller.generate()
+            return result.trajectories.total_records
+
+        assert run() == run()

@@ -1,0 +1,90 @@
+"""Unit tests for moving objects and lifespans."""
+
+import pytest
+
+from repro.core.errors import MovementError
+from repro.mobility.objects import Lifespan, MovementState, MovingObject
+from repro.geometry.point import Point
+
+
+class TestLifespan:
+    def test_rejects_death_before_birth(self):
+        with pytest.raises(MovementError):
+            Lifespan(birth=10.0, death=5.0)
+
+    def test_alive_at(self):
+        lifespan = Lifespan(birth=10.0, death=20.0)
+        assert not lifespan.alive_at(5.0)
+        assert lifespan.alive_at(10.0)
+        assert lifespan.alive_at(15.0)
+        assert lifespan.alive_at(20.0)
+        assert not lifespan.alive_at(25.0)
+
+    def test_duration(self):
+        assert Lifespan(5.0, 65.0).duration == pytest.approx(60.0)
+
+
+class TestMovingObject:
+    def _object(self, **kwargs):
+        defaults = dict(
+            object_id="o1",
+            max_speed=1.5,
+            lifespan=Lifespan(0.0, 100.0),
+        )
+        defaults.update(kwargs)
+        return MovingObject(**defaults)
+
+    def test_rejects_non_positive_speed(self):
+        with pytest.raises(MovementError):
+            self._object(max_speed=0.0)
+
+    def test_rejects_unknown_routing_metric(self):
+        with pytest.raises(MovementError):
+            self._object(routing_metric="fastest")
+
+    def test_place_at(self):
+        moving_object = self._object()
+        moving_object.place_at(1, Point(3, 4))
+        assert moving_object.floor_id == 1
+        assert moving_object.position == Point(3, 4)
+
+    def test_alive_at_respects_lifespan_and_state(self):
+        moving_object = self._object()
+        assert moving_object.alive_at(50.0)
+        assert not moving_object.alive_at(150.0)
+        moving_object.finish()
+        assert not moving_object.alive_at(50.0)
+
+    def test_begin_stay(self):
+        moving_object = self._object()
+        moving_object.begin_stay(until=42.0)
+        assert moving_object.state is MovementState.STAYING
+        assert moving_object.stay_until == 42.0
+
+    def test_begin_route_requires_waypoints(self):
+        from repro.building.distance import Route
+
+        moving_object = self._object()
+        with pytest.raises(MovementError):
+            moving_object.begin_route(Route(waypoints=[], length=0.0, travel_time=0.0))
+
+    def test_has_route_progression(self, office):
+        from repro.building.distance import RoutePlanner
+
+        planner = RoutePlanner(office)
+        route = planner.shortest_route(0, Point(4, 3), 0, Point(12, 3))
+        moving_object = self._object()
+        moving_object.place_at(0, Point(4, 3))
+        moving_object.begin_route(route)
+        assert moving_object.has_route
+        assert moving_object.state is MovementState.WALKING
+        moving_object.route_leg_index = len(route.waypoints) - 1
+        assert not moving_object.has_route
+
+    def test_effective_speed(self):
+        moving_object = self._object(max_speed=2.0)
+        moving_object.speed_multiplier = 0.5
+        assert moving_object.effective_speed == pytest.approx(1.0)
+
+    def test_current_waypoints_empty_when_idle(self):
+        assert self._object().current_waypoints() == []

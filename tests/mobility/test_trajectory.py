@@ -1,0 +1,140 @@
+"""Unit tests for trajectories and trajectory sets."""
+
+import pytest
+
+from repro.core.errors import MovementError
+from repro.core.types import IndoorLocation, TrajectoryRecord
+from repro.mobility.trajectory import Trajectory, TrajectorySet
+
+
+def _record(object_id="o1", t=0.0, x=0.0, y=0.0, floor=0, partition="p"):
+    return TrajectoryRecord(
+        object_id=object_id,
+        location=IndoorLocation("b", floor, partition_id=partition, x=x, y=y),
+        t=t,
+    )
+
+
+@pytest.fixture()
+def straight_walk() -> Trajectory:
+    """An object walking 10 m along the x axis in 10 s, sampled every second."""
+    trajectory = Trajectory("o1")
+    for second in range(11):
+        trajectory.append(_record(t=float(second), x=float(second)))
+    return trajectory
+
+
+class TestTrajectoryBasics:
+    def test_append_enforces_object_id(self):
+        trajectory = Trajectory("o1")
+        with pytest.raises(MovementError):
+            trajectory.append(_record(object_id="o2"))
+
+    def test_append_enforces_time_order(self):
+        trajectory = Trajectory("o1")
+        trajectory.append(_record(t=5.0))
+        with pytest.raises(MovementError):
+            trajectory.append(_record(t=4.0))
+
+    def test_duration_and_length(self, straight_walk):
+        assert straight_walk.duration == pytest.approx(10.0)
+        assert straight_walk.length == pytest.approx(10.0)
+        assert straight_walk.average_speed() == pytest.approx(1.0)
+
+    def test_empty_trajectory_properties(self):
+        trajectory = Trajectory("o1")
+        assert trajectory.is_empty
+        assert trajectory.duration == 0.0
+        assert trajectory.length == 0.0
+        with pytest.raises(MovementError):
+            _ = trajectory.start_time
+
+    def test_floors_and_partitions_visited(self):
+        trajectory = Trajectory("o1")
+        trajectory.append(_record(t=0, floor=0, partition="a"))
+        trajectory.append(_record(t=1, floor=0, partition="a"))
+        trajectory.append(_record(t=2, floor=0, partition="b"))
+        trajectory.append(_record(t=3, floor=1, partition="c"))
+        assert trajectory.floors_visited() == [0, 1]
+        assert trajectory.partitions_visited() == ["a", "b", "c"]
+
+    def test_cross_floor_legs_do_not_count_toward_length(self):
+        trajectory = Trajectory("o1")
+        trajectory.append(_record(t=0, floor=0, x=0))
+        trajectory.append(_record(t=1, floor=1, x=100))
+        assert trajectory.length == 0.0
+
+
+class TestInterpolation:
+    def test_location_at_sample_times(self, straight_walk):
+        location = straight_walk.location_at(3.0)
+        assert location.point() == (3.0, 0.0)
+
+    def test_location_at_interpolates(self, straight_walk):
+        location = straight_walk.location_at(3.5)
+        assert location.point()[0] == pytest.approx(3.5)
+
+    def test_location_outside_lifespan_is_none(self, straight_walk):
+        assert straight_walk.location_at(-1.0) is None
+        assert straight_walk.location_at(99.0) is None
+
+    def test_location_at_floor_change_keeps_earlier_floor(self):
+        trajectory = Trajectory("o1")
+        trajectory.append(_record(t=0, floor=0, x=0))
+        trajectory.append(_record(t=10, floor=1, x=5))
+        location = trajectory.location_at(5.0)
+        assert location.floor_id == 0
+
+    def test_resample_coarser(self, straight_walk):
+        coarse = straight_walk.resample(2.0)
+        assert len(coarse) == 6
+        assert coarse.records[1].t == pytest.approx(2.0)
+
+    def test_resample_preserves_endpoints(self, straight_walk):
+        coarse = straight_walk.resample(3.0)
+        assert coarse.records[0].t == straight_walk.start_time
+        assert coarse.records[-1].t == pytest.approx(straight_walk.end_time)
+
+    def test_resample_rejects_non_positive_period(self, straight_walk):
+        with pytest.raises(MovementError):
+            straight_walk.resample(0.0)
+
+    def test_slice(self, straight_walk):
+        window = straight_walk.slice(2.0, 5.0)
+        assert len(window) == 4
+        assert window.records[0].t == 2.0
+
+
+class TestTrajectorySet:
+    def test_records_routed_by_object(self):
+        trajectories = TrajectorySet()
+        trajectories.add_record(_record(object_id="a", t=0))
+        trajectories.add_record(_record(object_id="b", t=0))
+        trajectories.add_record(_record(object_id="a", t=1))
+        assert len(trajectories) == 2
+        assert len(trajectories["a"]) == 2
+        assert trajectories.total_records == 3
+        assert trajectories.object_ids == ["a", "b"]
+
+    def test_get_missing_returns_none(self):
+        assert TrajectorySet().get("ghost") is None
+
+    def test_all_records_sorted_by_time(self):
+        trajectories = TrajectorySet()
+        trajectories.add_record(_record(object_id="a", t=5))
+        trajectories.add_record(_record(object_id="b", t=1))
+        times = [record.t for record in trajectories.all_records()]
+        assert times == sorted(times)
+
+    def test_snapshot(self):
+        trajectories = TrajectorySet()
+        for t in range(5):
+            trajectories.add_record(_record(object_id="a", t=float(t), x=float(t)))
+        trajectories.add_record(_record(object_id="late", t=10.0))
+        snapshot = trajectories.snapshot(2.0)
+        assert "a" in snapshot and "late" not in snapshot
+
+    def test_resample_set(self, office_simulation):
+        coarse = office_simulation.trajectories.resample(5.0)
+        assert len(coarse) == len(office_simulation.trajectories)
+        assert coarse.total_records < office_simulation.trajectories.total_records

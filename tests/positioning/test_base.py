@@ -1,0 +1,107 @@
+"""Unit tests for observation windows and the positioning method base."""
+
+import pytest
+
+from repro.core.errors import PositioningError
+from repro.core.types import RSSIRecord
+from repro.positioning.base import ObservationWindow, PositioningMethodBase, build_windows
+
+
+def _record(object_id="o1", device_id="ap_001", rssi=-60.0, t=0.0):
+    return RSSIRecord(object_id=object_id, device_id=device_id, rssi=rssi, t=t)
+
+
+class TestBuildWindows:
+    def test_empty_input(self):
+        assert build_windows([], period=5.0) == []
+
+    def test_rejects_non_positive_period(self):
+        with pytest.raises(PositioningError):
+            build_windows([_record()], period=0.0)
+
+    def test_records_grouped_by_object_and_period(self):
+        records = [
+            _record("a", t=0.0), _record("a", t=1.0), _record("a", t=6.0),
+            _record("b", t=0.5),
+        ]
+        windows = build_windows(records, period=5.0)
+        assert len(windows) == 3
+        by_key = {(w.object_id, w.t_start): len(w.records) for w in windows}
+        assert by_key[("a", 0.0)] == 2
+        assert by_key[("a", 5.0)] == 1
+        assert by_key[("b", 0.0)] == 1
+
+    def test_windows_sorted_by_time(self):
+        records = [_record(t=12.0), _record(t=2.0), _record(t=7.0)]
+        windows = build_windows(records, period=5.0, origin=0.0)
+        assert [w.t_start for w in windows] == [0.0, 5.0, 10.0]
+
+    def test_window_origin_defaults_to_first_record(self):
+        records = [_record(t=12.0), _record(t=2.0), _record(t=7.0)]
+        windows = build_windows(records, period=5.0)
+        assert [w.t_start for w in windows] == [2.0, 7.0, 12.0]
+
+    def test_origin_override(self):
+        records = [_record(t=10.0), _record(t=11.0)]
+        windows = build_windows(records, period=5.0, origin=0.0)
+        assert windows[0].t_start == 10.0
+
+    def test_window_center(self):
+        window = ObservationWindow("o", 10.0, 15.0)
+        assert window.t_center == pytest.approx(12.5)
+
+
+class TestObservationWindow:
+    def test_mean_rssi_by_device(self):
+        window = ObservationWindow("o", 0.0, 5.0, records=[
+            _record(device_id="a", rssi=-60.0), _record(device_id="a", rssi=-70.0),
+            _record(device_id="b", rssi=-50.0),
+        ])
+        means = window.mean_rssi_by_device()
+        assert means["a"] == pytest.approx(-65.0)
+        assert means["b"] == pytest.approx(-50.0)
+
+    def test_device_ids_sorted(self):
+        window = ObservationWindow("o", 0.0, 5.0, records=[
+            _record(device_id="z"), _record(device_id="a"),
+        ])
+        assert window.device_ids == ["a", "z"]
+
+    def test_strongest_device(self):
+        window = ObservationWindow("o", 0.0, 5.0, records=[
+            _record(device_id="far", rssi=-80.0), _record(device_id="near", rssi=-45.0),
+        ])
+        assert window.strongest_device() == ("near", -45.0)
+
+    def test_strongest_device_empty(self):
+        assert ObservationWindow("o", 0.0, 5.0).strongest_device() is None
+
+
+class TestMethodBase:
+    def test_unknown_device_raises(self, office, office_wifi):
+        method = PositioningMethodBase(office, office_wifi)
+        with pytest.raises(PositioningError):
+            method.device("ghost")
+
+    def test_dominant_floor(self, office, office_wifi):
+        method = PositioningMethodBase(office, office_wifi)
+        floor0_device = next(d for d in office_wifi if d.floor_id == 0)
+        floor1_device = next(d for d in office_wifi if d.floor_id == 1)
+        window = ObservationWindow("o", 0.0, 5.0, records=[
+            _record(device_id=floor0_device.device_id),
+            _record(device_id=floor0_device.device_id, t=1.0),
+            _record(device_id=floor1_device.device_id),
+        ])
+        assert method.dominant_floor(window) == 0
+
+    def test_dominant_floor_empty_window_raises(self, office, office_wifi):
+        method = PositioningMethodBase(office, office_wifi)
+        with pytest.raises(PositioningError):
+            method.dominant_floor(ObservationWindow("o", 0.0, 5.0))
+
+    def test_locate_point_annotates_partition(self, office, office_wifi):
+        from repro.geometry.point import Point
+
+        method = PositioningMethodBase(office, office_wifi)
+        location = method.locate_point(0, Point(4.0, 3.0))
+        assert location.partition_id is not None

@@ -1,0 +1,134 @@
+"""Unit tests for the Positioning Method Controller (PMC)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError, PositioningError
+from repro.core.types import (
+    DeviceType,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+)
+from repro.positioning.controller import PositioningConfig, PositioningMethodController
+from repro.positioning.fingerprinting import RadioMap
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+
+
+@pytest.fixture(scope="module")
+def office_radio_map(office, office_wifi):
+    generator = RSSIGenerator(
+        office, office_wifi, RSSIGenerationConfig(detection_probability=1.0, seed=41)
+    )
+    return RadioMap.survey_grid(office, generator, spacing=5.0, samples_per_location=5)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_sampling_period(self):
+        with pytest.raises(ConfigurationError):
+            PositioningConfig(sampling_period=0)
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            PositioningConfig(fingerprinting_algorithm="forest")
+
+
+class TestCompatibility:
+    def test_fingerprinting_with_rfid_rejected(self, office, fresh_office):
+        """Section 5: fingerprinting currently does not apply to RFID devices."""
+        from repro.devices.controller import PositioningDeviceController
+
+        controller = PositioningDeviceController(office, seed=1)
+        rfid = controller.add_device_at(DeviceType.RFID, 0, 20.0, 9.0)
+        with pytest.raises(PositioningError):
+            PositioningMethodController(
+                office, [rfid], PositioningConfig(method=PositioningMethod.FINGERPRINTING)
+            )
+
+    def test_trilateration_with_bluetooth_allowed(self, office):
+        from repro.devices.controller import PositioningDeviceController
+
+        controller = PositioningDeviceController(office, seed=2)
+        beacons = [
+            controller.add_device_at(DeviceType.BLUETOOTH, 0, x, 9.0) for x in (5.0, 20.0, 35.0)
+        ]
+        pmc = PositioningMethodController(
+            office, beacons, PositioningConfig(method=PositioningMethod.TRILATERATION)
+        )
+        assert pmc.build_method().name == "trilateration"
+
+
+class TestMethodConstruction:
+    def test_trilateration_default(self, office, office_wifi):
+        pmc = PositioningMethodController(office, office_wifi)
+        assert pmc.build_method().name == "trilateration"
+
+    def test_fingerprinting_requires_radio_map(self, office, office_wifi):
+        pmc = PositioningMethodController(
+            office, office_wifi, PositioningConfig(method=PositioningMethod.FINGERPRINTING)
+        )
+        with pytest.raises(PositioningError):
+            pmc.build_method()
+
+    def test_fingerprinting_algorithm_selection(self, office, office_wifi, office_radio_map):
+        knn = PositioningMethodController(
+            office, office_wifi,
+            PositioningConfig(method=PositioningMethod.FINGERPRINTING, fingerprinting_algorithm="knn"),
+            radio_map=office_radio_map,
+        )
+        bayes = PositioningMethodController(
+            office, office_wifi,
+            PositioningConfig(method=PositioningMethod.FINGERPRINTING, fingerprinting_algorithm="bayes"),
+            radio_map=office_radio_map,
+        )
+        assert knn.build_method().name == "fingerprinting-knn"
+        assert bayes.build_method().name == "fingerprinting-bayes"
+
+    def test_proximity_construction(self, office, office_wifi):
+        pmc = PositioningMethodController(
+            office, office_wifi, PositioningConfig(method=PositioningMethod.PROXIMITY)
+        )
+        assert pmc.build_method().name == "proximity"
+
+
+class TestGeneration:
+    def test_trilateration_output_type(self, office, office_wifi, office_rssi):
+        pmc = PositioningMethodController(
+            office, office_wifi, PositioningConfig(sampling_period=5.0)
+        )
+        output = pmc.generate(office_rssi)
+        assert output
+        assert all(isinstance(record, PositioningRecord) for record in output)
+
+    def test_fingerprinting_bayes_output_type(self, office, office_wifi, office_rssi, office_radio_map):
+        pmc = PositioningMethodController(
+            office, office_wifi,
+            PositioningConfig(
+                method=PositioningMethod.FINGERPRINTING,
+                fingerprinting_algorithm="bayes",
+                sampling_period=5.0,
+            ),
+            radio_map=office_radio_map,
+        )
+        output = pmc.generate(office_rssi)
+        assert output
+        assert all(isinstance(record, ProbabilisticPositioningRecord) for record in output)
+
+    def test_proximity_output_type(self, office, office_wifi, office_rssi):
+        pmc = PositioningMethodController(
+            office, office_wifi, PositioningConfig(method=PositioningMethod.PROXIMITY)
+        )
+        output = pmc.generate(office_rssi)
+        assert output
+        assert all(isinstance(record, ProximityRecord) for record in output)
+
+    def test_positioning_sampling_frequency_differs_from_rssi(self, office, office_wifi, office_rssi):
+        """Section 2: PMC has its own sampling frequency, lower than the RSSI one."""
+        dense = PositioningMethodController(
+            office, office_wifi, PositioningConfig(sampling_period=4.0)
+        ).generate(office_rssi)
+        sparse = PositioningMethodController(
+            office, office_wifi, PositioningConfig(sampling_period=20.0)
+        ).generate(office_rssi)
+        assert len(dense) > len(sparse)
+        assert len(dense) < len(office_rssi)

@@ -1,0 +1,135 @@
+"""Unit tests for proximity positioning (Section 3.3 (3))."""
+
+import pytest
+
+from repro.core.types import IndoorLocation, RSSIRecord
+from repro.devices.rfid import RFIDReader
+from repro.positioning.proximity import ProximityMethod
+from repro.rssi.pathloss import default_model_for
+
+
+@pytest.fixture()
+def reader(office):
+    return RFIDReader(
+        "rfid_1", IndoorLocation("office", 0, x=20.0, y=9.0),
+        detection_range=3.0, detection_interval=1.0,
+    )
+
+
+def _strong(reader, object_id="o1", t=0.0):
+    """An RSSI value comfortably above the reader's detection threshold."""
+    return RSSIRecord(object_id, reader.device_id, reader.tx_power_dbm - 2.0, t)
+
+
+def _weak(reader, object_id="o1", t=0.0):
+    """An RSSI value below the detection threshold (object out of range)."""
+    threshold = default_model_for(reader).rssi_at(reader.detection_range)
+    return RSSIRecord(object_id, reader.device_id, threshold - 10.0, t)
+
+
+class TestThresholding:
+    def test_default_threshold_derived_from_detection_range(self, office, reader):
+        method = ProximityMethod(office, [reader])
+        expected = default_model_for(reader).rssi_at(reader.detection_range)
+        assert method.threshold_for(reader.device_id) == pytest.approx(expected)
+
+    def test_explicit_threshold_override(self, office, reader):
+        method = ProximityMethod(office, [reader], rssi_threshold=-55.0)
+        assert method.threshold_for(reader.device_id) == -55.0
+
+    def test_weak_measurements_produce_no_detection(self, office, reader):
+        method = ProximityMethod(office, [reader])
+        records = [_weak(reader, t=float(t)) for t in range(10)]
+        assert method.detect(records) == []
+
+    def test_miss_tolerance_must_be_positive(self, office, reader):
+        with pytest.raises(ValueError):
+            ProximityMethod(office, [reader], miss_tolerance=0)
+
+
+class TestDetectionPeriods:
+    def test_continuous_detection_is_one_period(self, office, reader):
+        method = ProximityMethod(office, [reader])
+        records = [_strong(reader, t=float(t)) for t in range(10)]
+        periods = method.detect(records)
+        assert len(periods) == 1
+        assert periods[0].t_start == 0.0
+        assert periods[0].t_end == 9.0
+        assert periods[0].duration == pytest.approx(9.0)
+
+    def test_gap_longer_than_detection_interval_splits_periods(self, office, reader):
+        """Section 3.3: missing one detection operation completes the period."""
+        method = ProximityMethod(office, [reader], miss_tolerance=1)
+        records = [
+            _strong(reader, t=0.0), _strong(reader, t=1.0),
+            # 5-second silence: the object left the detection range.
+            _strong(reader, t=6.0), _strong(reader, t=7.0),
+        ]
+        periods = method.detect(records)
+        assert len(periods) == 2
+        assert (periods[0].t_start, periods[0].t_end) == (0.0, 1.0)
+        assert (periods[1].t_start, periods[1].t_end) == (6.0, 7.0)
+
+    def test_miss_tolerance_bridges_short_gaps(self, office, reader):
+        method = ProximityMethod(office, [reader], miss_tolerance=5)
+        records = [_strong(reader, t=0.0), _strong(reader, t=1.0), _strong(reader, t=5.0)]
+        assert len(method.detect(records)) == 1
+
+    def test_periods_split_per_object_and_device(self, office, reader):
+        second_reader = RFIDReader(
+            "rfid_2", IndoorLocation("office", 0, x=28.0, y=9.0),
+            detection_range=3.0, detection_interval=1.0,
+        )
+        method = ProximityMethod(office, [reader, second_reader])
+        records = [
+            _strong(reader, "a", 0.0), _strong(reader, "a", 1.0),
+            _strong(reader, "b", 0.0),
+            _strong(second_reader, "a", 10.0),
+        ]
+        periods = method.detect(records)
+        keys = {(p.object_id, p.device_id) for p in periods}
+        assert keys == {("a", "rfid_1"), ("b", "rfid_1"), ("a", "rfid_2")}
+
+    def test_single_measurement_is_a_zero_length_period(self, office, reader):
+        method = ProximityMethod(office, [reader])
+        periods = method.detect([_strong(reader, t=4.0)])
+        assert len(periods) == 1
+        assert periods[0].duration == 0.0
+
+    def test_unknown_devices_ignored(self, office, reader):
+        method = ProximityMethod(office, [reader])
+        stray = RSSIRecord("o1", "unknown_device", -10.0, 0.0)
+        assert method.detect([stray]) == []
+
+    def test_periods_sorted_by_start_time(self, office, reader):
+        method = ProximityMethod(office, [reader])
+        records = [
+            _strong(reader, "b", 20.0),
+            _strong(reader, "a", 0.0),
+            _strong(reader, "c", 10.0),
+        ]
+        periods = method.detect(records)
+        starts = [p.t_start for p in periods]
+        assert starts == sorted(starts)
+
+
+class TestSymbolicSemantics:
+    def test_detected_object_really_is_near_the_device(self, office, office_simulation):
+        """Proximity collocation: during a detection period the object is near the device."""
+        from repro.analysis.accuracy import evaluate_proximity
+        from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
+        from repro.devices.deployment import CheckPointDeployment
+        from repro.core.types import DeviceType
+        from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+
+        controller = PositioningDeviceController(office, seed=3)
+        readers = controller.deploy(
+            DeviceDeploymentRequest(DeviceType.RFID, 5, CheckPointDeployment())
+        )
+        rssi = RSSIGenerator(
+            office, readers, RSSIGenerationConfig(sampling_period=1.0, seed=4)
+        ).generate(office_simulation.trajectories)
+        periods = ProximityMethod(office, readers).detect(rssi)
+        assert periods
+        report = evaluate_proximity(periods, office_simulation.trajectories, readers)
+        assert report.in_range_fraction > 0.7

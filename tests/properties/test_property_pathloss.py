@@ -1,0 +1,59 @@
+"""Property-based tests for the path loss and noise models."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.rssi.noise import ObstacleNoiseModel
+from repro.rssi.pathloss import MIN_TRANSMISSION_DISTANCE, PathLossModel
+
+exponents = st.floats(min_value=1.5, max_value=5.0, allow_nan=False)
+calibrations = st.floats(min_value=-70.0, max_value=-20.0, allow_nan=False)
+distances = st.floats(min_value=0.0, max_value=200.0, allow_nan=False)
+
+
+class TestPathLossProperties:
+    @given(exponents, calibrations, distances, distances)
+    def test_monotonically_non_increasing(self, exponent, calibration, d1, d2):
+        model = PathLossModel(exponent=exponent, calibration_rssi=calibration)
+        nearer, farther = sorted((d1, d2))
+        assert model.rssi_at(nearer) >= model.rssi_at(farther)
+
+    @given(exponents, calibrations, distances)
+    def test_inverse_round_trip(self, exponent, calibration, distance):
+        model = PathLossModel(exponent=exponent, calibration_rssi=calibration)
+        clamped = max(distance, MIN_TRANSMISSION_DISTANCE)
+        recovered = model.distance_from_rssi(model.rssi_at(distance))
+        assert math.isclose(recovered, clamped, rel_tol=1e-6)
+
+    @given(exponents, calibrations, distances)
+    def test_rssi_is_finite(self, exponent, calibration, distance):
+        model = PathLossModel(exponent=exponent, calibration_rssi=calibration)
+        assert math.isfinite(model.rssi_at(distance))
+
+    @given(exponents, calibrations)
+    def test_calibration_anchor_at_one_meter(self, exponent, calibration):
+        model = PathLossModel(exponent=exponent, calibration_rssi=calibration)
+        assert math.isclose(model.rssi_at(1.0), calibration, abs_tol=1e-9)
+
+
+class TestObstacleNoiseProperties:
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=10),
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=10.0),
+    )
+    def test_attenuation_never_positive_and_bounded(self, walls, obstacles, wall_db, obstacle_db):
+        model = ObstacleNoiseModel(
+            wall_attenuation_db=wall_db,
+            obstacle_attenuation_db=obstacle_db,
+            max_attenuation_db=25.0,
+        )
+        value = model.attenuation_from_counts(walls, obstacles)
+        assert -25.0 <= value <= 0.0
+
+    @given(st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=10))
+    def test_more_walls_never_increase_signal(self, fewer, extra):
+        model = ObstacleNoiseModel()
+        assert model.attenuation_from_counts(fewer + extra, 0) <= model.attenuation_from_counts(fewer, 0)

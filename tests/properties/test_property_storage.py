@@ -1,0 +1,100 @@
+"""Property-based tests for storage: index consistency and export round-trips."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.types import IndoorLocation, RSSIRecord, TrajectoryRecord
+from repro.storage.export import (
+    export_rssi_csv,
+    export_trajectories_csv,
+    import_rssi_csv,
+    import_trajectories_csv,
+)
+from repro.storage.tables import Table, TableSchema
+
+object_ids = st.sampled_from(["a", "b", "c", "d"])
+timestamps = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+
+
+@st.composite
+def rssi_records(draw):
+    return RSSIRecord(
+        object_id=draw(object_ids),
+        device_id=draw(st.sampled_from(["ap1", "ap2", "ble1"])),
+        rssi=draw(st.floats(min_value=-100.0, max_value=-20.0, allow_nan=False)),
+        t=draw(timestamps),
+    )
+
+
+@st.composite
+def trajectory_records(draw):
+    return TrajectoryRecord(
+        object_id=draw(object_ids),
+        location=IndoorLocation(
+            "b",
+            draw(st.integers(min_value=0, max_value=3)),
+            partition_id=draw(st.sampled_from(["hall", "room1", None])),
+            x=draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+            y=draw(st.floats(min_value=0.0, max_value=100.0, allow_nan=False)),
+        ),
+        t=draw(timestamps),
+    )
+
+
+class TestTableProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(rssi_records(), max_size=60))
+    def test_hash_index_matches_full_scan(self, records):
+        table = Table(
+            TableSchema(
+                name="rssi",
+                columns=("object_id", "device_id", "rssi", "t"),
+                hash_indexes=("object_id",),
+                ordered_index="t",
+            )
+        )
+        table.insert_many(record.as_record() for record in records)
+        for object_id in ("a", "b", "c", "d"):
+            indexed = table.lookup("object_id", object_id)
+            scanned = [row for row in table.all_rows() if row["object_id"] == object_id]
+            assert sorted(indexed, key=lambda r: (r["t"], r["rssi"])) == sorted(
+                scanned, key=lambda r: (r["t"], r["rssi"])
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(rssi_records(), max_size=60), timestamps, timestamps)
+    def test_range_query_matches_full_scan(self, records, bound_a, bound_b):
+        low, high = sorted((bound_a, bound_b))
+        table = Table(
+            TableSchema(
+                name="rssi",
+                columns=("object_id", "device_id", "rssi", "t"),
+                ordered_index="t",
+            )
+        )
+        table.insert_many(record.as_record() for record in records)
+        by_index = table.range(low, high)
+        by_scan = [row for row in table.all_rows() if low <= row["t"] <= high]
+        assert len(by_index) == len(by_scan)
+        assert sorted(r["t"] for r in by_index) == sorted(r["t"] for r in by_scan)
+
+
+class TestExportRoundTripProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(rssi_records(), max_size=40))
+    def test_rssi_round_trip(self, records):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as directory:
+            path = export_rssi_csv(records, Path(directory) / "rssi.csv")
+            assert import_rssi_csv(path) == records
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(trajectory_records(), max_size=40))
+    def test_trajectory_round_trip(self, records):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as directory:
+            path = export_trajectories_csv(records, Path(directory) / "traj.csv")
+            assert import_trajectories_csv(path) == records

@@ -1,0 +1,91 @@
+"""Property-based tests for topology and routing invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.building.distance import RoutePlanner
+from repro.building.synthetic import OfficeSpec, office_building
+from repro.building.topology import AccessibilityGraph
+from repro.core.errors import RoutingError
+from repro.geometry.point import Point
+
+specs = st.builds(
+    OfficeSpec,
+    floors=st.integers(min_value=1, max_value=3),
+    rooms_per_side=st.integers(min_value=2, max_value=6),
+)
+
+
+class TestSyntheticBuildingInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(specs)
+    def test_every_generated_office_is_connected_and_valid(self, spec):
+        building = office_building(spec)
+        assert building.validate() == []
+        graph = AccessibilityGraph(building)
+        assert graph.is_fully_connected()
+        assert graph.isolated_partitions() == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs)
+    def test_every_partition_reachable_from_the_entrance(self, spec):
+        building = office_building(spec)
+        graph = AccessibilityGraph(building)
+        entrance_partition = (0, "f0_hall")
+        reachable = graph.reachable_set(entrance_partition)
+        assert len(reachable) == building.partition_count
+
+
+class TestRoutingInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.sampled_from(["length", "time"]),
+    )
+    def test_routes_between_random_locations_are_consistent(self, seed, metric):
+        import random
+
+        building = office_building()
+        planner = RoutePlanner(building)
+        rng = random.Random(seed)
+        source = building.random_location(rng)
+        target = building.random_location(rng)
+        route = planner.shortest_route(
+            source.floor_id, Point(*source.point()),
+            target.floor_id, Point(*target.point()),
+            metric=metric,
+        )
+        # Invariant 1: the route starts and ends at the query points.
+        assert route.waypoints[0].point.is_close(Point(*source.point()), tolerance=1e-6)
+        assert route.waypoints[-1].point.is_close(Point(*target.point()), tolerance=1e-6)
+        # Invariant 2: length is at least the straight-line distance when the
+        # endpoints share a floor, and always non-negative.
+        if source.floor_id == target.floor_id:
+            direct = Point(*source.point()).distance_to(Point(*target.point()))
+            assert route.length >= direct - 1e-6
+        assert route.length >= 0.0 and route.travel_time >= 0.0
+        # Invariant 3: consecutive waypoints either share a floor or are the
+        # two ends of a staircase.
+        for previous, current in zip(route.waypoints, route.waypoints[1:]):
+            if previous.floor_id != current.floor_id:
+                assert route.staircases
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_minimum_time_never_slower_than_minimum_distance_route(self, seed):
+        import random
+
+        building = office_building()
+        planner = RoutePlanner(building)
+        rng = random.Random(seed)
+        source = building.random_location(rng)
+        target = building.random_location(rng)
+        by_length = planner.shortest_route(
+            source.floor_id, Point(*source.point()), target.floor_id, Point(*target.point()),
+            metric="length",
+        )
+        by_time = planner.shortest_route(
+            source.floor_id, Point(*source.point()), target.floor_id, Point(*target.point()),
+            metric="time",
+        )
+        assert by_time.travel_time <= by_length.travel_time + 1e-6
+        assert by_length.length <= by_time.length + 1e-6

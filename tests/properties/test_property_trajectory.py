@@ -1,0 +1,96 @@
+"""Property-based tests for trajectories and simulated movement invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.building.synthetic import office_building
+from repro.core.types import IndoorLocation, TrajectoryRecord
+from repro.mobility.behavior import ContinuousWalkBehavior
+from repro.mobility.engine import EngineConfig, SimulationEngine
+from repro.mobility.objects import Lifespan, MovingObject
+from repro.mobility.trajectory import Trajectory
+from repro.geometry.point import Point
+
+
+@st.composite
+def monotone_walks(draw):
+    """A synthetic trajectory with strictly increasing timestamps."""
+    count = draw(st.integers(min_value=2, max_value=30))
+    start = draw(st.floats(min_value=0.0, max_value=100.0))
+    gaps = draw(
+        st.lists(st.floats(min_value=0.1, max_value=5.0), min_size=count - 1, max_size=count - 1)
+    )
+    xs = draw(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=count, max_size=count))
+    trajectory = Trajectory("obj")
+    t = start
+    times = [t]
+    for gap in gaps:
+        t += gap
+        times.append(t)
+    for timestamp, x in zip(times, xs):
+        trajectory.append(
+            TrajectoryRecord("obj", IndoorLocation("b", 0, partition_id="p", x=x, y=0.0), timestamp)
+        )
+    return trajectory
+
+
+class TestTrajectoryProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(monotone_walks())
+    def test_interpolation_stays_within_x_range(self, trajectory):
+        xs = [record.location.x for record in trajectory.records]
+        lo, hi = min(xs), max(xs)
+        span = trajectory.end_time - trajectory.start_time
+        for fraction in (0.0, 0.3, 0.7, 1.0):
+            location = trajectory.location_at(trajectory.start_time + span * fraction)
+            assert location is not None
+            assert lo - 1e-6 <= location.x <= hi + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(monotone_walks(), st.floats(min_value=0.2, max_value=10.0))
+    def test_resampling_never_extends_lifespan(self, trajectory, period):
+        resampled = trajectory.resample(period)
+        assert resampled.start_time >= trajectory.start_time - 1e-9
+        assert resampled.end_time <= trajectory.end_time + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(monotone_walks(), st.floats(min_value=0.2, max_value=10.0))
+    def test_resampling_timestamps_monotone(self, trajectory, period):
+        resampled = trajectory.resample(period)
+        times = [record.t for record in resampled.records]
+        assert times == sorted(times)
+
+
+class TestSimulationInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.6, max_value=2.0),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    def test_simulated_objects_respect_speed_and_stay_indoors(self, count, max_speed, seed):
+        building = office_building()
+        engine = SimulationEngine(
+            building,
+            config=EngineConfig(duration=40.0, time_step=0.5, sampling_period=1.0, seed=seed),
+            behavior=ContinuousWalkBehavior(speed_fraction=1.0),
+        )
+        objects = []
+        for index in range(count):
+            moving_object = MovingObject(
+                object_id=f"o{index}",
+                max_speed=max_speed,
+                lifespan=Lifespan(0.0, 40.0),
+            )
+            moving_object.place_at(0, Point(4.0 + index * 2.0, 3.0))
+            objects.append(moving_object)
+        result = engine.run(objects)
+        for trajectory in result.trajectories:
+            records = trajectory.records
+            for previous, current in zip(records, records[1:]):
+                # Invariant 1: every sample lies inside a partition.
+                assert current.location.partition_id is not None
+                # Invariant 2: planar speed never exceeds the configured maximum.
+                if previous.location.floor_id == current.location.floor_id:
+                    distance = previous.location.distance_to(current.location)
+                    elapsed = current.t - previous.t
+                    assert distance <= max_speed * elapsed + 1e-6

@@ -1,0 +1,72 @@
+"""Unit tests for the RSSI noise models (obstacle noise Nob, fluctuation Nf)."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.segment import Segment
+from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+
+
+class TestObstacleNoise:
+    def test_clear_path_has_zero_attenuation(self):
+        model = ObstacleNoiseModel()
+        assert model.attenuation_from_counts(0, 0) == 0.0
+
+    def test_attenuation_is_negative_and_grows_with_walls(self):
+        model = ObstacleNoiseModel(wall_attenuation_db=3.0, non_line_of_sight_extra_db=2.0)
+        one_wall = model.attenuation_from_counts(1, 0)
+        two_walls = model.attenuation_from_counts(2, 0)
+        assert one_wall == pytest.approx(-5.0)
+        assert two_walls == pytest.approx(-8.0)
+        assert two_walls < one_wall < 0.0
+
+    def test_obstacles_add_their_own_attenuation(self):
+        model = ObstacleNoiseModel(
+            wall_attenuation_db=3.0, obstacle_attenuation_db=5.0, non_line_of_sight_extra_db=0.0
+        )
+        assert model.attenuation_from_counts(0, 2) == pytest.approx(-10.0)
+
+    def test_attenuation_is_capped(self):
+        model = ObstacleNoiseModel(wall_attenuation_db=10.0, max_attenuation_db=15.0)
+        assert model.attenuation_from_counts(10, 0) == pytest.approx(-15.0)
+
+    def test_geometric_attenuation_uses_sightline(self):
+        model = ObstacleNoiseModel(wall_attenuation_db=3.0, non_line_of_sight_extra_db=0.0)
+        walls = [Segment(Point(5, 0), Point(5, 10))]
+        blocked = model.attenuation(Point(0, 5), Point(10, 5), walls=walls)
+        clear = model.attenuation(Point(0, 15), Point(10, 15), walls=walls)
+        assert blocked == pytest.approx(-3.0)
+        assert clear == 0.0
+
+    def test_obstacle_polygons_counted(self):
+        model = ObstacleNoiseModel(obstacle_attenuation_db=4.0, non_line_of_sight_extra_db=0.0)
+        obstacles = [Polygon.rectangle(4, 4, 6, 6)]
+        assert model.attenuation(Point(0, 5), Point(10, 5), obstacles=obstacles) == pytest.approx(-4.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ObstacleNoiseModel(wall_attenuation_db=-1.0)
+        with pytest.raises(ConfigurationError):
+            ObstacleNoiseModel(max_attenuation_db=-5.0)
+
+
+class TestFluctuationNoise:
+    def test_zero_sigma_is_silent(self):
+        model = FluctuationNoiseModel(sigma_db=0.0)
+        assert model.sample(random.Random(1)) == 0.0
+
+    def test_samples_follow_configured_sigma(self):
+        model = FluctuationNoiseModel(sigma_db=2.0)
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(4000)]
+        assert statistics.fmean(samples) == pytest.approx(0.0, abs=0.15)
+        assert statistics.pstdev(samples) == pytest.approx(2.0, abs=0.15)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FluctuationNoiseModel(sigma_db=-1.0)

@@ -1,0 +1,73 @@
+"""Unit tests for the log-distance path loss model (Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.devices.wifi import WiFiAccessPoint
+from repro.core.types import IndoorLocation
+from repro.rssi.pathloss import MIN_TRANSMISSION_DISTANCE, PathLossModel, default_model_for
+
+
+class TestForwardModel:
+    def test_calibration_value_at_one_meter(self):
+        model = PathLossModel(exponent=2.5, calibration_rssi=-40.0)
+        assert model.rssi_at(1.0) == pytest.approx(-40.0)
+
+    def test_formula_matches_paper(self):
+        """rssi = -10 * n * log10(dt) + A (noise terms added elsewhere)."""
+        model = PathLossModel(exponent=3.0, calibration_rssi=-45.0)
+        for distance in (0.5, 1.0, 2.0, 7.5, 20.0):
+            expected = -10.0 * 3.0 * math.log10(max(distance, MIN_TRANSMISSION_DISTANCE)) - 45.0
+            assert model.rssi_at(distance) == pytest.approx(expected)
+
+    def test_monotonically_decreasing_with_distance(self):
+        model = PathLossModel()
+        values = [model.rssi_at(d) for d in (1, 2, 5, 10, 20, 50)]
+        assert values == sorted(values, reverse=True)
+
+    def test_higher_exponent_attenuates_faster(self):
+        gentle = PathLossModel(exponent=2.0)
+        harsh = PathLossModel(exponent=4.0)
+        assert harsh.rssi_at(10.0) < gentle.rssi_at(10.0)
+
+    def test_tiny_distances_clamped(self):
+        model = PathLossModel()
+        assert model.rssi_at(0.0) == model.rssi_at(MIN_TRANSMISSION_DISTANCE)
+        assert math.isfinite(model.rssi_at(0.0))
+
+    def test_rejects_non_positive_exponent(self):
+        with pytest.raises(ConfigurationError):
+            PathLossModel(exponent=0.0)
+
+
+class TestInverseModel:
+    def test_inverse_round_trip(self):
+        model = PathLossModel(exponent=2.8, calibration_rssi=-42.0)
+        for distance in (0.5, 1.0, 3.0, 12.0, 25.0):
+            assert model.distance_from_rssi(model.rssi_at(distance)) == pytest.approx(
+                max(distance, MIN_TRANSMISSION_DISTANCE), rel=1e-9
+            )
+
+    def test_stronger_signal_means_shorter_distance(self):
+        model = PathLossModel()
+        assert model.distance_from_rssi(-50.0) < model.distance_from_rssi(-70.0)
+
+    def test_with_parameters_copy(self):
+        model = PathLossModel(exponent=2.0, calibration_rssi=-40.0)
+        adjusted = model.with_parameters(exponent=3.0)
+        assert adjusted.exponent == 3.0
+        assert adjusted.calibration_rssi == -40.0
+        assert model.exponent == 2.0  # original untouched
+
+
+class TestDeviceDefaults:
+    def test_default_model_for_device(self):
+        device = WiFiAccessPoint(
+            "ap", IndoorLocation("b", 0, x=0.0, y=0.0),
+            tx_power_dbm=-38.0, path_loss_exponent=3.1,
+        )
+        model = default_model_for(device)
+        assert model.calibration_rssi == -38.0
+        assert model.exponent == 3.1

@@ -1,0 +1,114 @@
+"""Round-trip tests for the CSV/JSON exporters."""
+
+import pytest
+
+from repro.core.types import (
+    DeviceRecord,
+    DeviceType,
+    IndoorLocation,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+    RSSIRecord,
+    TrajectoryRecord,
+)
+from repro.storage.export import (
+    export_devices_csv,
+    export_positioning_csv,
+    export_probabilistic_jsonl,
+    export_proximity_csv,
+    export_rssi_csv,
+    export_trajectories_csv,
+    import_devices_csv,
+    import_positioning_csv,
+    import_probabilistic_jsonl,
+    import_proximity_csv,
+    import_rssi_csv,
+    import_trajectories_csv,
+)
+
+
+def _loc(x=1.5, y=2.5, floor=0, partition="p1"):
+    return IndoorLocation("b", floor, partition_id=partition, x=x, y=y)
+
+
+class TestTrajectoryRoundTrip:
+    def test_round_trip(self, tmp_path):
+        records = [
+            TrajectoryRecord("a", _loc(), 0.0),
+            TrajectoryRecord("a", _loc(x=3.25, floor=1), 1.5),
+            TrajectoryRecord("b", IndoorLocation("b", 0, partition_id="sym"), 2.0),
+        ]
+        path = export_trajectories_csv(records, tmp_path / "traj.csv")
+        restored = import_trajectories_csv(path)
+        assert restored == records
+
+    def test_empty_export(self, tmp_path):
+        path = export_trajectories_csv([], tmp_path / "empty.csv")
+        assert import_trajectories_csv(path) == []
+
+    def test_nested_directories_created(self, tmp_path):
+        path = export_trajectories_csv(
+            [TrajectoryRecord("a", _loc(), 0.0)], tmp_path / "deep" / "dir" / "t.csv"
+        )
+        assert path.exists()
+
+
+class TestRSSIRoundTrip:
+    def test_round_trip(self, tmp_path):
+        records = [
+            RSSIRecord("a", "ap1", -61.25, 0.0),
+            RSSIRecord("b", "ap2", -75.0, 3.5),
+        ]
+        path = export_rssi_csv(records, tmp_path / "rssi.csv")
+        assert import_rssi_csv(path) == records
+
+
+class TestPositioningRoundTrip:
+    def test_deterministic_round_trip(self, tmp_path):
+        records = [
+            PositioningRecord("a", _loc(), 5.0, PositioningMethod.TRILATERATION),
+            PositioningRecord("b", _loc(x=9.0), 10.0, PositioningMethod.FINGERPRINTING),
+        ]
+        path = export_positioning_csv(records, tmp_path / "pos.csv")
+        assert import_positioning_csv(path) == records
+
+    def test_probabilistic_round_trip(self, tmp_path):
+        records = [
+            ProbabilisticPositioningRecord(
+                "a",
+                ((_loc(partition="p1"), 0.25), (_loc(partition="p2", x=8.0), 0.75)),
+                4.0,
+            )
+        ]
+        path = export_probabilistic_jsonl(records, tmp_path / "prob.jsonl")
+        restored = import_probabilistic_jsonl(path)
+        assert len(restored) == 1
+        assert restored[0].object_id == "a"
+        assert restored[0].best.partition_id == "p2"
+        assert restored[0].candidates[0][1] == pytest.approx(0.25)
+
+
+class TestProximityAndDevices:
+    def test_proximity_round_trip(self, tmp_path):
+        records = [ProximityRecord("a", "rfid1", 0.0, 12.5)]
+        path = export_proximity_csv(records, tmp_path / "prox.csv")
+        assert import_proximity_csv(path) == records
+
+    def test_device_round_trip(self, tmp_path):
+        records = [
+            DeviceRecord("ap1", DeviceType.WIFI, _loc(), 25.0, 1.0),
+            DeviceRecord("r1", DeviceType.RFID, _loc(floor=1), 3.0, 0.5),
+        ]
+        path = export_devices_csv(records, tmp_path / "dev.csv")
+        assert import_devices_csv(path) == records
+
+
+class TestEndToEndExport:
+    def test_generated_data_survives_round_trip(self, tmp_path, office_rssi, office_simulation):
+        rssi_path = export_rssi_csv(office_rssi, tmp_path / "rssi.csv")
+        assert import_rssi_csv(rssi_path) == office_rssi
+        records = office_simulation.trajectories.all_records()
+        trajectory_path = export_trajectories_csv(records, tmp_path / "traj.csv")
+        assert import_trajectories_csv(trajectory_path) == records

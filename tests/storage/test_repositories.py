@@ -1,0 +1,157 @@
+"""Unit tests for the typed repositories and the data warehouse."""
+
+import pytest
+
+from repro.core.types import (
+    DeviceRecord,
+    DeviceType,
+    IndoorLocation,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+    RSSIRecord,
+    TrajectoryRecord,
+)
+from repro.storage.repositories import (
+    DataWarehouse,
+    DeviceRepository,
+    PositioningRepository,
+    ProbabilisticPositioningRepository,
+    ProximityRepository,
+    RSSIRepository,
+    TrajectoryRepository,
+)
+
+
+def _loc(x=1.0, y=2.0, floor=0, partition="p1"):
+    return IndoorLocation("b", floor, partition_id=partition, x=x, y=y)
+
+
+class TestTrajectoryRepository:
+    def test_add_and_query_by_object(self):
+        repo = TrajectoryRepository()
+        repo.add_many(
+            [
+                TrajectoryRecord("a", _loc(), 0.0),
+                TrajectoryRecord("a", _loc(x=2.0), 1.0),
+                TrajectoryRecord("b", _loc(partition="p2"), 0.5),
+            ]
+        )
+        assert len(repo) == 3
+        assert repo.object_ids() == ["a", "b"]
+        assert [r.t for r in repo.records_of("a")] == [0.0, 1.0]
+
+    def test_trajectory_reconstruction(self):
+        repo = TrajectoryRepository()
+        repo.add(TrajectoryRecord("a", _loc(), 1.0))
+        repo.add(TrajectoryRecord("a", _loc(x=5.0), 0.0))
+        trajectory = repo.trajectory_of("a")
+        assert len(trajectory) == 2
+        assert trajectory.records[0].t == 0.0  # rebuilt in time order
+
+    def test_time_range_and_partition_queries(self):
+        repo = TrajectoryRepository()
+        repo.add_many(
+            [
+                TrajectoryRecord("a", _loc(partition="hall"), t)
+                for t in (0.0, 5.0, 10.0, 15.0)
+            ]
+        )
+        assert len(repo.in_time_range(4.0, 11.0)) == 2
+        assert len(repo.in_partition("hall")) == 4
+        assert repo.in_partition("nowhere") == []
+
+    def test_round_trip_with_trajectory_set(self, office_simulation):
+        repo = TrajectoryRepository()
+        count = repo.add_trajectory_set(office_simulation.trajectories)
+        assert count == office_simulation.trajectories.total_records
+        rebuilt = repo.to_trajectory_set()
+        assert len(rebuilt) == len(office_simulation.trajectories)
+        assert rebuilt.total_records == count
+
+
+class TestRSSIRepository:
+    def test_queries(self):
+        repo = RSSIRepository()
+        repo.add_many(
+            [
+                RSSIRecord("a", "ap1", -60.0, 0.0),
+                RSSIRecord("a", "ap2", -70.0, 0.0),
+                RSSIRecord("b", "ap1", -55.0, 4.0),
+            ]
+        )
+        assert len(repo) == 3
+        assert len(repo.records_of_object("a")) == 2
+        assert len(repo.records_of_device("ap1")) == 2
+        assert len(repo.in_time_range(0.0, 1.0)) == 2
+        assert len(repo.all_records()) == 3
+
+
+class TestPositioningRepositories:
+    def test_deterministic_repository(self):
+        repo = PositioningRepository()
+        repo.add_many(
+            [
+                PositioningRecord("a", _loc(), 0.0, PositioningMethod.TRILATERATION),
+                PositioningRecord("a", _loc(x=3.0), 5.0, PositioningMethod.FINGERPRINTING),
+            ]
+        )
+        assert len(repo.records_of("a")) == 2
+        assert len(repo.by_method(PositioningMethod.FINGERPRINTING)) == 1
+        assert len(repo.in_time_range(0.0, 1.0)) == 1
+
+    def test_probabilistic_repository_and_best_estimates(self):
+        repo = ProbabilisticPositioningRepository()
+        record = ProbabilisticPositioningRecord(
+            "a", ((_loc(partition="p1"), 0.2), (_loc(partition="p2", x=9.0), 0.8)), 1.0
+        )
+        repo.add(record)
+        assert len(repo) == 1
+        assert repo.records_of("a") == [record]
+        best = repo.best_estimates()[0]
+        assert best.location.partition_id == "p2"
+        assert best.method is PositioningMethod.FINGERPRINTING
+
+    def test_proximity_repository(self):
+        repo = ProximityRepository()
+        repo.add_many(
+            [
+                ProximityRecord("a", "d1", 0.0, 10.0),
+                ProximityRecord("a", "d2", 20.0, 30.0),
+                ProximityRecord("b", "d1", 5.0, 8.0),
+            ]
+        )
+        assert len(repo.records_of("a")) == 2
+        assert len(repo.records_of_device("d1")) == 2
+        active = repo.active_at(6.0)
+        assert {(r.object_id, r.device_id) for r in active} == {("a", "d1"), ("b", "d1")}
+
+
+class TestDeviceRepository:
+    def test_queries(self):
+        repo = DeviceRepository()
+        repo.add_many(
+            [
+                DeviceRecord("ap1", DeviceType.WIFI, _loc(floor=0), 25.0, 1.0),
+                DeviceRecord("ap2", DeviceType.WIFI, _loc(floor=1), 25.0, 1.0),
+                DeviceRecord("r1", DeviceType.RFID, _loc(floor=0), 3.0, 0.5),
+            ]
+        )
+        assert len(repo) == 3
+        assert len(repo.by_type(DeviceType.WIFI)) == 2
+        assert len(repo.on_floor(0)) == 2
+        assert repo.all_records()[0].device_id == "ap1"
+
+
+class TestDataWarehouse:
+    def test_summary_counts(self):
+        warehouse = DataWarehouse()
+        warehouse.trajectories.add(TrajectoryRecord("a", _loc(), 0.0))
+        warehouse.rssi.add(RSSIRecord("a", "ap1", -60.0, 0.0))
+        warehouse.proximity.add(ProximityRecord("a", "d", 0.0, 1.0))
+        summary = warehouse.summary()
+        assert summary["trajectory_records"] == 1
+        assert summary["rssi_records"] == 1
+        assert summary["proximity_records"] == 1
+        assert summary["positioning_records"] == 0

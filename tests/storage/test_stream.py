@@ -1,0 +1,106 @@
+"""Unit tests for the Data Stream APIs."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.types import IndoorLocation, ProximityRecord, RSSIRecord, TrajectoryRecord
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox
+from repro.storage.repositories import DataWarehouse
+from repro.storage.stream import DataStreamAPI
+
+
+def _loc(x, y, floor=0, partition="hall"):
+    return IndoorLocation("b", floor, partition_id=partition, x=x, y=y)
+
+
+@pytest.fixture()
+def warehouse() -> DataWarehouse:
+    """Two objects: 'a' walks right along y=5, 'b' stays at (50, 5) on floor 1."""
+    warehouse = DataWarehouse()
+    for t in range(11):
+        warehouse.trajectories.add(
+            TrajectoryRecord("a", _loc(float(t * 2), 5.0, partition="hall"), float(t))
+        )
+        warehouse.trajectories.add(
+            TrajectoryRecord("b", _loc(50.0, 5.0, floor=1, partition="room9"), float(t))
+        )
+    warehouse.rssi.add(RSSIRecord("a", "ap1", -60.0, 1.0))
+    warehouse.rssi.add(RSSIRecord("a", "ap1", -64.0, 2.0))
+    warehouse.rssi.add(RSSIRecord("a", "ap2", -70.0, 2.0))
+    warehouse.proximity.add(ProximityRecord("a", "rfid1", 0.0, 3.0))
+    warehouse.proximity.add(ProximityRecord("b", "rfid1", 1.0, 2.0))
+    warehouse.proximity.add(ProximityRecord("a", "rfid2", 5.0, 6.0))
+    return warehouse
+
+
+@pytest.fixture()
+def api(warehouse) -> DataStreamAPI:
+    return DataStreamAPI(warehouse)
+
+
+class TestTemporalQueries:
+    def test_trajectory_window(self, api):
+        records = api.trajectory_window(2.0, 4.0)
+        assert len(records) == 6  # 3 samples for each of the two objects
+
+    def test_trajectory_window_validates_bounds(self, api):
+        with pytest.raises(StorageError):
+            api.trajectory_window(5.0, 1.0)
+
+    def test_snapshot_returns_latest_position_per_object(self, api):
+        snapshot = api.snapshot(5.4, tolerance=1.0)
+        assert set(snapshot) == {"a", "b"}
+        assert snapshot["a"].point()[0] == pytest.approx(10.0)
+
+    def test_snapshot_outside_data_is_empty(self, api):
+        assert api.snapshot(500.0, tolerance=1.0) == {}
+
+    def test_sliding_windows_cover_all_data(self, api):
+        windows = list(api.sliding_windows(window=5.0))
+        assert len(windows) >= 2
+        total = sum(len(records) for _, _, records in windows)
+        assert total >= 22
+
+    def test_sliding_windows_validate_length(self, api):
+        with pytest.raises(StorageError):
+            list(api.sliding_windows(window=0.0))
+
+
+class TestSpatialQueries:
+    def test_objects_in_region(self, api):
+        found = api.objects_in_region(0, BoundingBox(0, 0, 6, 10), 0.0, 10.0)
+        assert found == ["a"]
+
+    def test_objects_in_region_respects_floor(self, api):
+        found = api.objects_in_region(1, BoundingBox(0, 0, 100, 100), 0.0, 10.0)
+        assert found == ["b"]
+
+    def test_objects_in_partition(self, api):
+        assert api.objects_in_partition("hall", 0.0, 10.0) == ["a"]
+        assert api.objects_in_partition("room9", 0.0, 10.0) == ["b"]
+        assert api.objects_in_partition("hall", 100.0, 200.0) == []
+
+    def test_knn_at(self, api):
+        nearest = api.knn_at(0, Point(0.0, 5.0), t=5.0, k=3)
+        assert nearest[0][0] == "a"
+        assert len(nearest) == 1  # object b is on another floor
+
+    def test_knn_zero_k(self, api):
+        assert api.knn_at(0, Point(0.0, 5.0), t=5.0, k=0) == []
+
+
+class TestAggregations:
+    def test_partition_visit_counts(self, api):
+        counts = api.partition_visit_counts()
+        assert counts == {"hall": 1, "room9": 1}
+
+    def test_device_detection_counts(self, api):
+        counts = api.device_detection_counts()
+        assert counts == {"rfid1": 2, "rfid2": 1}
+
+    def test_rssi_statistics_by_device(self, api):
+        statistics = api.rssi_statistics_by_device()
+        assert statistics["ap1"]["count"] == 2.0
+        assert statistics["ap1"]["mean"] == pytest.approx(-62.0)
+        assert statistics["ap2"]["min"] == -70.0

@@ -1,0 +1,108 @@
+"""Unit tests for the in-memory indexed table."""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.storage.tables import Table, TableSchema
+
+
+@pytest.fixture()
+def table() -> Table:
+    schema = TableSchema(
+        name="events",
+        columns=("object_id", "kind", "t"),
+        hash_indexes=("object_id",),
+        ordered_index="t",
+    )
+    table = Table(schema)
+    table.insert_many(
+        [
+            {"object_id": "a", "kind": "enter", "t": 1.0},
+            {"object_id": "b", "kind": "enter", "t": 2.0},
+            {"object_id": "a", "kind": "leave", "t": 5.0},
+            {"object_id": "c", "kind": "enter", "t": 3.0},
+        ]
+    )
+    return table
+
+
+class TestSchemaValidation:
+    def test_requires_columns(self):
+        with pytest.raises(StorageError):
+            TableSchema(name="x", columns=())
+
+    def test_indexes_must_reference_known_columns(self):
+        with pytest.raises(StorageError):
+            TableSchema(name="x", columns=("a",), hash_indexes=("b",))
+        with pytest.raises(StorageError):
+            TableSchema(name="x", columns=("a",), ordered_index="t")
+
+
+class TestInsertAndLookup:
+    def test_insert_rejects_missing_columns(self, table):
+        with pytest.raises(StorageError):
+            table.insert({"object_id": "d"})
+
+    def test_insert_ignores_extra_columns(self, table):
+        table.insert({"object_id": "d", "kind": "enter", "t": 9.0, "extra": 1})
+        assert "extra" not in table.row(len(table) - 1)
+
+    def test_len_and_iteration(self, table):
+        assert len(table) == 4
+        assert len(list(table)) == 4
+
+    def test_hash_lookup(self, table):
+        rows = table.lookup("object_id", "a")
+        assert len(rows) == 2
+        assert {row["kind"] for row in rows} == {"enter", "leave"}
+
+    def test_lookup_without_index_falls_back_to_scan(self, table):
+        rows = table.lookup("kind", "enter")
+        assert len(rows) == 3
+
+    def test_lookup_missing_value(self, table):
+        assert table.lookup("object_id", "zzz") == []
+
+    def test_row_accessor_bounds(self, table):
+        assert table.row(0)["object_id"] == "a"
+        with pytest.raises(StorageError):
+            table.row(99)
+
+
+class TestRangeAndAggregation:
+    def test_range_query_inclusive(self, table):
+        rows = table.range(2.0, 5.0)
+        assert [row["t"] for row in rows] == [2.0, 3.0, 5.0]
+
+    def test_range_query_requires_ordered_index(self):
+        schema = TableSchema(name="plain", columns=("a",))
+        with pytest.raises(StorageError):
+            Table(schema).range(0, 1)
+
+    def test_range_empty_window(self, table):
+        assert table.range(100.0, 200.0) == []
+
+    def test_select_predicate(self, table):
+        rows = table.select(lambda row: row["t"] > 2.5)
+        assert len(rows) == 2
+
+    def test_distinct(self, table):
+        assert table.distinct("object_id") == ["a", "b", "c"]
+        assert table.distinct("kind") == ["enter", "leave"]
+
+    def test_count_by(self, table):
+        assert table.count_by("object_id") == {"a": 2, "b": 1, "c": 1}
+
+    def test_clear(self, table):
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup("object_id", "a") == []
+        assert table.range(0.0, 10.0) == []
+
+    def test_ordered_index_stays_consistent_after_interleaved_inserts(self, table):
+        table.insert({"object_id": "z", "kind": "enter", "t": 0.5})
+        table.insert({"object_id": "z", "kind": "leave", "t": 4.0})
+        rows = table.range(0.0, 10.0)
+        times = [row["t"] for row in rows]
+        assert times == sorted(times)
+        assert len(rows) == 6

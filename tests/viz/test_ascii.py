@@ -1,0 +1,48 @@
+"""Unit tests for the ASCII floor plan renderer."""
+
+import pytest
+
+from repro.viz.ascii_map import AsciiFloorRenderer, render_building, render_floor
+from repro.geometry.point import Point
+
+
+class TestRendering:
+    def test_render_contains_walls_and_doors(self, office):
+        output = render_floor(office, 0, width=80, height=20)
+        assert "#" in output
+        assert "+" in output
+        assert "floor 0" in output
+
+    def test_devices_marked(self, office, office_wifi):
+        output = render_floor(office, 0, devices=office_wifi, width=80, height=20)
+        assert "D" in output
+
+    def test_objects_marked(self, office, office_simulation):
+        snapshot = office_simulation.trajectories.snapshot(30.0)
+        output = render_floor(office, 0, objects=snapshot, width=80, height=20)
+        floor0_objects = [loc for loc in snapshot.values() if loc.floor_id == 0]
+        if floor0_objects:
+            assert "o" in output or "*" in output
+
+    def test_render_building_covers_all_floors(self, office):
+        output = render_building(office, width=60, height=15)
+        assert "floor 0" in output and "floor 1" in output
+
+    def test_dimensions_respected(self, office):
+        renderer = AsciiFloorRenderer(office, 0, width=70, height=22)
+        lines = renderer.render().splitlines()
+        grid_lines = lines[2:]
+        assert len(grid_lines) == 22
+        assert all(len(line) == 70 for line in grid_lines)
+
+    def test_to_cell_maps_extent_corners(self, office):
+        renderer = AsciiFloorRenderer(office, 0, width=50, height=20)
+        box = office.floor(0).bounding_box
+        top_left = renderer.to_cell(Point(box.min_x, box.max_y))
+        bottom_right = renderer.to_cell(Point(box.max_x, box.min_y))
+        assert top_left == (0, 0)
+        assert bottom_right == (19, 49)
+
+    def test_minimum_dimensions_enforced(self, office):
+        renderer = AsciiFloorRenderer(office, 0, width=5, height=3)
+        assert renderer.width >= 20 and renderer.height >= 10
