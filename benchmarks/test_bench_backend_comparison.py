@@ -1,0 +1,133 @@
+"""STORAGE: memory vs SQLite backend on bulk inserts and Data Stream queries.
+
+The paper persists generated data in PostgreSQL "with efficient indices";
+this reproduction offers a pluggable backend instead.  This bench compares
+the two engines on the write path (bulk-insert throughput with batched
+``executemany`` on SQLite) and on the five Data Stream query classes
+(time-range scan, snapshot, spatial range, kNN, sliding windows) plus the
+visit-count aggregation, all on the shared office workload.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox
+from repro.storage.backends import MemoryBackend, SQLiteBackend
+from repro.storage.repositories import DataWarehouse
+from repro.storage.stream import DataStreamAPI
+
+BACKEND_KINDS = ("memory", "sqlite")
+
+
+def _make_warehouse(kind, tmp_path_factory):
+    if kind == "memory":
+        return DataWarehouse(MemoryBackend())
+    path = tmp_path_factory.mktemp("bench_backend") / "bench.sqlite"
+    return DataWarehouse(SQLiteBackend(path=path))
+
+
+@pytest.fixture(scope="module", params=BACKEND_KINDS)
+def loaded(request, tmp_path_factory, office_workload):
+    """One fully loaded warehouse per backend, shared by the query benches."""
+    building, devices, simulation, rssi = office_workload
+    warehouse = _make_warehouse(request.param, tmp_path_factory)
+    warehouse.trajectories.add_trajectory_set(simulation.trajectories)
+    warehouse.rssi.add_many(rssi)
+    for device in devices:
+        warehouse.devices.add(device.as_record())
+    warehouse.flush()
+    yield request.param, warehouse, building
+    warehouse.close()
+
+
+@pytest.fixture(scope="module")
+def api(loaded):
+    _, warehouse, _ = loaded
+    return DataStreamAPI(warehouse)
+
+
+class TestBulkInsertThroughput:
+    @pytest.mark.parametrize("kind", BACKEND_KINDS)
+    def test_bulk_insert(self, benchmark, kind, tmp_path_factory, office_workload):
+        records = office_workload[2].trajectories.all_records()
+
+        def insert():
+            warehouse = _make_warehouse(kind, tmp_path_factory)
+            warehouse.trajectories.add_many(records)
+            warehouse.flush()
+            count = len(warehouse.trajectories)
+            warehouse.close()
+            return count
+
+        assert benchmark(insert) == len(records)
+
+
+class TestQueryClasses:
+    def test_time_range_scan(self, benchmark, api):
+        assert benchmark(lambda: api.trajectory_window(60.0, 120.0))
+
+    def test_snapshot(self, benchmark, api):
+        assert benchmark(lambda: api.snapshot(120.0))
+
+    def test_spatial_range(self, benchmark, api, loaded):
+        building = loaded[2]
+        box = building.floor(0).bounding_box
+        region = BoundingBox(box.min_x, box.min_y, box.min_x + 20.0, box.max_y)
+        result = benchmark(lambda: api.objects_in_region(0, region, 0.0, 240.0))
+        assert isinstance(result, list)
+
+    def test_knn(self, benchmark, api):
+        result = benchmark(lambda: api.knn_at(0, Point(20.0, 9.0), t=120.0, k=5))
+        assert isinstance(result, list)
+
+    def test_sliding_windows(self, benchmark, api):
+        windows = benchmark(lambda: list(api.sliding_windows(window=30.0, step=10.0)))
+        assert windows
+
+    def test_visit_counts(self, benchmark, api):
+        assert benchmark(lambda: api.partition_visit_counts())
+
+
+def test_backend_comparison_summary(office_workload, tmp_path_factory):
+    """One-shot wall-clock comparison table (shown with ``pytest -s``)."""
+    building, devices, simulation, rssi = office_workload
+    records = simulation.trajectories.all_records()
+    box = building.floor(0).bounding_box
+    region = BoundingBox(box.min_x, box.min_y, box.min_x + 20.0, box.max_y)
+    rows = []
+    for kind in BACKEND_KINDS:
+        warehouse = _make_warehouse(kind, tmp_path_factory)
+        t0 = time.perf_counter()
+        warehouse.trajectories.add_many(records)
+        warehouse.rssi.add_many(rssi)
+        warehouse.flush()
+        insert_ms = (time.perf_counter() - t0) * 1000.0
+        api = DataStreamAPI(warehouse)
+        timed = {}
+        for label, query in (
+            ("range", lambda: api.trajectory_window(60.0, 120.0)),
+            ("snapshot", lambda: api.snapshot(120.0)),
+            ("region", lambda: api.objects_in_region(0, region, 0.0, 240.0)),
+            ("knn", lambda: api.knn_at(0, Point(20.0, 9.0), t=120.0, k=5)),
+            ("windows", lambda: list(api.sliding_windows(window=30.0, step=10.0))),
+            ("visits", lambda: api.partition_visit_counts()),
+        ):
+            t0 = time.perf_counter()
+            query()
+            timed[label] = (time.perf_counter() - t0) * 1000.0
+        rows.append(
+            [kind, f"{len(records) / max(insert_ms / 1000.0, 1e-9):,.0f} rows/s"]
+            + [f"{timed[label]:.2f} ms" for label in
+               ("range", "snapshot", "region", "knn", "windows", "visits")]
+        )
+        warehouse.close()
+    print_table(
+        "Backend comparison (office workload)",
+        ["backend", "bulk insert", "range", "snapshot", "region", "knn", "windows", "visits"],
+        rows,
+    )
+    assert len(rows) == len(BACKEND_KINDS)

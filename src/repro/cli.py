@@ -5,7 +5,12 @@ equivalent is a small CLI:
 
 * ``vita-generate generate --config run.json --output out/`` — run the full
   three-layer pipeline described by a JSON configuration and export every
-  generated dataset as CSV/JSONL;
+  generated dataset as CSV/JSONL; add ``--backend sqlite`` to persist the
+  warehouse to a ``.sqlite`` file (``--db`` overrides its location) so later
+  processes can query it without regenerating;
+* ``vita-generate query --db out/vita.sqlite --snapshot 120`` — run Data
+  Stream API queries (snapshot, time range, kNN, region, visit counts)
+  against a previously generated SQLite warehouse;
 * ``vita-generate describe --building mall --floors 2`` — print a summary and
   an ASCII rendering of one of the synthetic buildings (or of an IFC file via
   ``--ifc``);
@@ -27,17 +32,13 @@ from repro.building.topology import AccessibilityGraph
 from repro.core.config import config_from_json
 from repro.core.errors import VitaError
 from repro.core.pipeline import VitaPipeline
-from repro.core.types import PositioningRecord, ProbabilisticPositioningRecord
 from repro.ifc.extractor import DBIProcessor
 from repro.ifc.writer import ErrorInjection, write_ifc
-from repro.storage.export import (
-    export_devices_csv,
-    export_positioning_csv,
-    export_probabilistic_jsonl,
-    export_proximity_csv,
-    export_rssi_csv,
-    export_trajectories_csv,
-)
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox
+from repro.storage.export import export_warehouse
+from repro.storage.repositories import DataWarehouse
+from repro.storage.stream import DataStreamAPI
 from repro.viz.ascii_map import render_building
 
 
@@ -53,6 +54,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     generate.add_argument("--config", required=True, help="path to the JSON configuration")
     generate.add_argument("--output", default="output/vita", help="directory for the exported datasets")
+    generate.add_argument("--backend", choices=("memory", "sqlite"), default=None,
+                          help="storage backend (overrides the config's storage.backend)")
+    generate.add_argument("--db", default=None,
+                          help="SQLite database path (default: <output>/vita.sqlite)")
+
+    query = subparsers.add_parser(
+        "query", help="run Data Stream API queries against a generated SQLite warehouse"
+    )
+    query.add_argument("--db", required=True, help="path to the .sqlite warehouse")
+    query.add_argument("--summary", action="store_true", help="print record counts")
+    query.add_argument("--snapshot", type=float, metavar="T",
+                       help="last known location of every object around time T")
+    query.add_argument("--tolerance", type=float, default=1.0,
+                       help="snapshot/kNN time tolerance in seconds")
+    query.add_argument("--window", nargs=2, type=float, metavar=("T0", "T1"),
+                       help="count trajectory records with T0 <= t <= T1")
+    query.add_argument("--knn", nargs=5, type=float, metavar=("FLOOR", "X", "Y", "T", "K"),
+                       help="the K objects closest to (X, Y) on FLOOR around time T")
+    query.add_argument("--region", nargs=7, type=float,
+                       metavar=("FLOOR", "XMIN", "YMIN", "XMAX", "YMAX", "T0", "T1"),
+                       help="objects inside the box on FLOOR during [T0, T1]")
+    query.add_argument("--visits", action="store_true",
+                       help="distinct objects per partition (POI visit counts)")
 
     describe = subparsers.add_parser(
         "describe", help="summarise and render a building (synthetic or IFC)"
@@ -82,43 +106,74 @@ def _build_parser() -> argparse.ArgumentParser:
 # --------------------------------------------------------------------------- #
 def _command_generate(args: argparse.Namespace) -> int:
     config = config_from_json(args.config)
-    result = VitaPipeline(config).run()
     output = Path(args.output)
+    # CLI flags override the config's storage section; --db implies sqlite.
+    if args.backend == "memory" and args.db is not None:
+        print("error: --db requires the sqlite backend", file=sys.stderr)
+        return 2
+    if args.backend is not None:
+        config.storage.backend = args.backend
+        if args.backend == "memory":
+            config.storage.path = None
+    elif args.db is not None:
+        config.storage.backend = "sqlite"
+    if config.storage.backend == "sqlite":
+        if args.db is not None:
+            config.storage.path = args.db
+        elif config.storage.path is None:
+            config.storage.path = str(output / "vita.sqlite")
+
+    result = VitaPipeline(config).run()
     output.mkdir(parents=True, exist_ok=True)
 
-    warehouse = result.warehouse
-    written = {}
-    if len(warehouse.devices):
-        written["devices"] = export_devices_csv(
-            warehouse.devices.all_records(), output / "devices.csv"
-        )
-    trajectory_records = warehouse.trajectories.to_trajectory_set().all_records()
-    if trajectory_records:
-        written["trajectories"] = export_trajectories_csv(
-            trajectory_records, output / "raw_trajectories.csv"
-        )
-    if len(warehouse.rssi):
-        written["rssi"] = export_rssi_csv(warehouse.rssi.all_records(), output / "raw_rssi.csv")
-    if len(warehouse.positioning):
-        written["positioning"] = export_positioning_csv(
-            warehouse.positioning.all_records(), output / "positioning.csv"
-        )
-    if len(warehouse.probabilistic):
-        written["probabilistic"] = export_probabilistic_jsonl(
-            warehouse.probabilistic.all_records(), output / "positioning_probabilistic.jsonl"
-        )
-    if len(warehouse.proximity):
-        written["proximity"] = export_proximity_csv(
-            warehouse.proximity.all_records(), output / "proximity.csv"
-        )
-    summary = {
-        "building": result.building.building_id,
-        "records": warehouse.summary(),
-        "timings_seconds": {name: round(value, 3) for name, value in result.timings.items()},
-        "outputs": {name: str(path) for name, path in written.items()},
-    }
+    with result.warehouse as warehouse:
+        written = export_warehouse(warehouse, output)
+        summary = {
+            "building": result.building.building_id,
+            "storage": warehouse.backend.describe(),
+            "records": warehouse.summary(),
+            "timings_seconds": {name: round(value, 3) for name, value in result.timings.items()},
+            "outputs": {name: str(path) for name, path in written.items()},
+        }
     (output / "summary.json").write_text(json.dumps(summary, indent=2), encoding="utf-8")
     print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    if not Path(args.db).exists():
+        print(f"error: no such database {args.db}", file=sys.stderr)
+        return 2
+    results = {}
+    with DataWarehouse.open("sqlite", path=args.db) as warehouse:
+        api = DataStreamAPI(warehouse)
+        if args.summary or not any((args.snapshot is not None, args.window, args.knn,
+                                    args.region, args.visits)):
+            results["summary"] = warehouse.summary()
+        if args.snapshot is not None:
+            results["snapshot"] = {
+                object_id: location.as_record()
+                for object_id, location in api.snapshot(args.snapshot, args.tolerance).items()
+            }
+        if args.window:
+            t0, t1 = args.window
+            results["window"] = {"t_start": t0, "t_end": t1,
+                                 "records": len(api.trajectory_window(t0, t1))}
+        if args.knn:
+            floor, x, y, t, k = args.knn
+            results["knn"] = [
+                {"object_id": object_id, "distance": round(distance, 3)}
+                for object_id, distance in api.knn_at(int(floor), Point(x, y), t,
+                                                      k=int(k), tolerance=args.tolerance)
+            ]
+        if args.region:
+            floor, min_x, min_y, max_x, max_y, t0, t1 = args.region
+            results["region"] = api.objects_in_region(
+                int(floor), BoundingBox(min_x, min_y, max_x, max_y), t0, t1
+            )
+        if args.visits:
+            results["visits"] = api.partition_visit_counts()
+    print(json.dumps(results, indent=2))
     return 0
 
 
@@ -164,6 +219,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "generate":
             return _command_generate(args)
+        if args.command == "query":
+            return _command_query(args)
         if args.command == "describe":
             return _command_describe(args)
         if args.command == "export-ifc":

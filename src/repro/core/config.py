@@ -155,6 +155,37 @@ class PositioningLayerConfig:
 
 
 @dataclass
+class StorageConfig:
+    """Where the generated data is stored and how it is indexed.
+
+    ``backend="memory"`` keeps the original volatile in-memory tables;
+    ``backend="sqlite"`` persists every dataset to ``path`` (or an in-memory
+    SQLite database when ``path`` is omitted) with WAL journalling, batched
+    bulk inserts and composite + spatial grid-bucket indices.
+    """
+
+    backend: str = "memory"           # "memory" | "sqlite"
+    path: Optional[str] = None        # SQLite database file (None = :memory:)
+    #: Metres per spatial grid bucket; None keeps the engine default (4 m) or,
+    #: when reopening an existing database, its stored bucket size.
+    grid_cell_size: Optional[float] = None
+    batch_size: int = 2000            # rows per bulk-insert batch
+
+    def __post_init__(self) -> None:
+        if self.backend.lower().strip() not in ("memory", "sqlite"):
+            raise ConfigurationError(
+                f"storage.backend must be 'memory' or 'sqlite', got {self.backend!r}"
+            )
+        self.backend = self.backend.lower().strip()
+        if self.backend == "memory" and self.path is not None:
+            raise ConfigurationError("storage.path only applies to the sqlite backend")
+        if self.grid_cell_size is not None and self.grid_cell_size <= 0:
+            raise ConfigurationError("storage.grid_cell_size must be positive")
+        if self.batch_size < 1:
+            raise ConfigurationError("storage.batch_size must be at least 1")
+
+
+@dataclass
 class VitaConfig:
     """The complete configuration of one generation run."""
 
@@ -163,6 +194,7 @@ class VitaConfig:
     objects: ObjectConfig = field(default_factory=ObjectConfig)
     rssi: RSSIConfig = field(default_factory=RSSIConfig)
     positioning: PositioningLayerConfig = field(default_factory=PositioningLayerConfig)
+    storage: StorageConfig = field(default_factory=StorageConfig)
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -222,7 +254,7 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     """Build a validated :class:`VitaConfig` from a plain dictionary."""
     _only_known_keys(
         "config", payload,
-        ("environment", "devices", "objects", "rssi", "positioning", "seed"),
+        ("environment", "devices", "objects", "rssi", "positioning", "storage", "seed"),
     )
     environment_payload = dict(payload.get("environment", {}))
     _only_known_keys(
@@ -268,12 +300,20 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
         positioning_payload["method"] = _METHOD_ALIASES[method_name]
     positioning = PositioningLayerConfig(**positioning_payload)
 
+    storage_payload = dict(payload.get("storage", {}))
+    _only_known_keys(
+        "storage", storage_payload,
+        ("backend", "path", "grid_cell_size", "batch_size"),
+    )
+    storage = StorageConfig(**storage_payload)
+
     return VitaConfig(
         environment=environment,
         devices=devices,
         objects=objects,
         rssi=rssi,
         positioning=positioning,
+        storage=storage,
         seed=payload.get("seed"),
     )
 
@@ -296,6 +336,7 @@ __all__ = [
     "ObjectConfig",
     "RSSIConfig",
     "PositioningLayerConfig",
+    "StorageConfig",
     "VitaConfig",
     "config_from_dict",
     "config_from_json",

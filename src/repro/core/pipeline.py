@@ -241,11 +241,18 @@ class VitaPipeline:
         positioning_output, radio_map = self.generate_positioning(building, devices, rssi_records)
         timings["positioning"] = time.perf_counter() - start
 
-        warehouse = DataWarehouse()
+        start = time.perf_counter()
+        warehouse = DataWarehouse.from_config(self.config.storage)
+        # A pipeline run owns its warehouse: reusing an existing database
+        # file replaces its contents, so the summary always describes this
+        # run rather than an accumulation of appended reruns.
+        warehouse.clear()
         warehouse.devices.add_many(device_controller.device_records())
         warehouse.trajectories.add_trajectory_set(simulation.trajectories)
         warehouse.rssi.add_many(rssi_records)
         self._store_positioning(warehouse, positioning_output)
+        warehouse.flush()
+        timings["storage"] = time.perf_counter() - start
 
         return GenerationResult(
             config=self.config,
@@ -259,13 +266,17 @@ class VitaPipeline:
 
     @staticmethod
     def _store_positioning(warehouse: DataWarehouse, output: list) -> None:
+        deterministic, probabilistic, proximity = [], [], []
         for record in output:
             if isinstance(record, PositioningRecord):
-                warehouse.positioning.add(record)
+                deterministic.append(record)
             elif isinstance(record, ProbabilisticPositioningRecord):
-                warehouse.probabilistic.add(record)
+                probabilistic.append(record)
             else:
-                warehouse.proximity.add(record)
+                proximity.append(record)
+        warehouse.positioning.add_many(deterministic)
+        warehouse.probabilistic.add_many(probabilistic)
+        warehouse.proximity.add_many(proximity)
 
 
 __all__ = ["GenerationResult", "VitaPipeline"]

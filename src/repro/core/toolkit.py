@@ -52,14 +52,8 @@ from repro.positioning.controller import PositioningConfig, PositioningMethodCon
 from repro.positioning.fingerprinting import RadioMap
 from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
 from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
-from repro.storage.export import (
-    export_devices_csv,
-    export_positioning_csv,
-    export_probabilistic_jsonl,
-    export_proximity_csv,
-    export_rssi_csv,
-    export_trajectories_csv,
-)
+from repro.storage.backends import StorageBackend, backend_by_name
+from repro.storage.export import export_warehouse
 from repro.storage.repositories import DataWarehouse
 from repro.storage.stream import DataStreamAPI
 
@@ -67,7 +61,18 @@ from repro.storage.stream import DataStreamAPI
 class Vita:
     """The toolkit facade following the six-step demonstration path."""
 
-    def __init__(self, seed: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        backend: Union[StorageBackend, str, None] = None,
+        db_path: Union[str, Path, None] = None,
+    ) -> None:
+        """*backend* selects the storage engine ("memory" by default); pass
+        ``backend="sqlite", db_path="run.sqlite"`` to persist every generated
+        dataset to disk.  Like a pipeline run, a ``Vita`` session owns its
+        database: an existing file at *db_path* is cleared.  To query an
+        existing database without regenerating, use
+        :meth:`repro.storage.DataWarehouse.open` instead."""
         self.seed = seed
         self.building: Optional[Building] = None
         self.extraction_report: Optional[ExtractionReport] = None
@@ -77,7 +82,13 @@ class Vita:
         self.rssi_records: List[RSSIRecord] = []
         self.radio_map: Optional[RadioMap] = None
         self.positioning_output: list = []
-        self.warehouse = DataWarehouse()
+        if backend is None and db_path is not None:
+            backend = "sqlite"
+        if isinstance(backend, str):
+            backend = backend_by_name(backend, path=db_path)
+        self.warehouse = DataWarehouse(backend)
+        if self.warehouse.backend.persistent:
+            self.warehouse.clear()
 
     # ------------------------------------------------------------------ #
     # Step 1 — import a DBI file (or use a synthetic building)
@@ -139,6 +150,7 @@ class Vita:
             )
         )
         self.warehouse.devices.add_many(device.as_record() for device in devices)
+        self.warehouse.flush()
         return devices
 
     @property
@@ -202,6 +214,7 @@ class Vita:
         )
         self.simulation = controller.generate(snapshot_times=snapshot_times)
         self.warehouse.trajectories.add_trajectory_set(self.simulation.trajectories)
+        self.warehouse.flush()
         return self.simulation
 
     # ------------------------------------------------------------------ #
@@ -230,6 +243,7 @@ class Vita:
         generator = RSSIGenerator(self.building, self.devices, config)
         self.rssi_records = generator.generate(self.simulation.trajectories)
         self.warehouse.rssi.add_many(self.rssi_records)
+        self.warehouse.flush()
         self._rssi_config = config
         return self.rssi_records
 
@@ -281,6 +295,7 @@ class Vita:
                 self.warehouse.probabilistic.add(record)
             else:
                 self.warehouse.proximity.add(record)
+        self.warehouse.flush()
         return self.positioning_output
 
     # ------------------------------------------------------------------ #
@@ -292,43 +307,13 @@ class Vita:
         return DataStreamAPI(self.warehouse)
 
     def export(self, directory: Union[str, Path]) -> Dict[str, str]:
-        """Export every generated dataset to CSV/JSON files in *directory*."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        written: Dict[str, str] = {}
-        if len(self.warehouse.devices):
-            written["devices"] = str(
-                export_devices_csv(self.warehouse.devices.all_records(), directory / "devices.csv")
-            )
-        if len(self.warehouse.trajectories):
-            records = self.warehouse.trajectories.to_trajectory_set().all_records()
-            written["trajectories"] = str(
-                export_trajectories_csv(records, directory / "raw_trajectories.csv")
-            )
-        if len(self.warehouse.rssi):
-            written["rssi"] = str(
-                export_rssi_csv(self.warehouse.rssi.all_records(), directory / "raw_rssi.csv")
-            )
-        if len(self.warehouse.positioning):
-            written["positioning"] = str(
-                export_positioning_csv(
-                    self.warehouse.positioning.all_records(), directory / "positioning.csv"
-                )
-            )
-        if len(self.warehouse.probabilistic):
-            written["probabilistic"] = str(
-                export_probabilistic_jsonl(
-                    self.warehouse.probabilistic.all_records(),
-                    directory / "positioning_probabilistic.jsonl",
-                )
-            )
-        if len(self.warehouse.proximity):
-            written["proximity"] = str(
-                export_proximity_csv(
-                    self.warehouse.proximity.all_records(), directory / "proximity.csv"
-                )
-            )
-        return written
+        """Export every generated dataset to CSV/JSON files in *directory*.
+
+        Reads back through the repositories, so it works identically on the
+        memory and SQLite backends.
+        """
+        written = export_warehouse(self.warehouse, directory)
+        return {name: str(path) for name, path in written.items()}
 
     def summary(self) -> Dict[str, int]:
         """Record counts of everything generated so far."""

@@ -360,13 +360,20 @@ class Polygon:
 
 
 def _signed_area(vertices: Sequence[Point]) -> float:
-    """Shoelace signed area (positive for counter-clockwise order)."""
+    """Shoelace signed area (positive for counter-clockwise order).
+
+    The sum runs on coordinates relative to the first vertex: the result is
+    mathematically identical but avoids the catastrophic cancellation the
+    absolute-coordinate shoelace suffers for small polygons far from the
+    origin (translation then preserves area to full precision).
+    """
+    origin = vertices[0]
     total = 0.0
     n = len(vertices)
     for i in range(n):
         p0 = vertices[i]
         p1 = vertices[(i + 1) % n]
-        total += p0.cross(p1)
+        total += (p0.x - origin.x) * (p1.y - origin.y) - (p1.x - origin.x) * (p0.y - origin.y)
     return total / 2.0
 
 

@@ -114,8 +114,17 @@ class Trajectory:
         Interpolation across a floor change keeps the earlier floor until the
         later sample's time.
         """
-        if self.is_empty or t < self.start_time or t > self.end_time:
+        if self.is_empty:
             return None
+        if t < self.start_time or t > self.end_time:
+            # Tolerate float round-off at the lifespan boundaries, e.g. a
+            # caller computing ``start + (end - start) * 1.0``.
+            if math.isclose(t, self.start_time, rel_tol=1e-9, abs_tol=1e-9):
+                t = self.start_time
+            elif math.isclose(t, self.end_time, rel_tol=1e-9, abs_tol=1e-9):
+                t = self.end_time
+            else:
+                return None
         times = [record.t for record in self.records]
         index = bisect.bisect_right(times, t) - 1
         index = max(0, min(index, len(self.records) - 1))

@@ -1,6 +1,13 @@
-"""Storage: in-memory tables, typed repositories, Data Stream APIs, export."""
+"""Storage: pluggable backends, typed repositories, Data Stream APIs, export."""
 
 from repro.storage.tables import Row, Table, TableSchema
+from repro.storage.backends import (
+    BACKENDS,
+    MemoryBackend,
+    SQLiteBackend,
+    StorageBackend,
+    backend_by_name,
+)
 from repro.storage.repositories import (
     DataWarehouse,
     DeviceRepository,
@@ -18,18 +25,25 @@ from repro.storage.export import (
     export_proximity_csv,
     export_rssi_csv,
     export_trajectories_csv,
+    export_warehouse,
     import_devices_csv,
     import_positioning_csv,
     import_probabilistic_jsonl,
     import_proximity_csv,
     import_rssi_csv,
     import_trajectories_csv,
+    import_warehouse,
 )
 
 __all__ = [
     "Row",
     "Table",
     "TableSchema",
+    "BACKENDS",
+    "StorageBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "backend_by_name",
     "DataWarehouse",
     "DeviceRepository",
     "PositioningRepository",
@@ -44,10 +58,12 @@ __all__ = [
     "export_proximity_csv",
     "export_rssi_csv",
     "export_trajectories_csv",
+    "export_warehouse",
     "import_devices_csv",
     "import_positioning_csv",
     "import_probabilistic_jsonl",
     "import_proximity_csv",
     "import_rssi_csv",
     "import_trajectories_csv",
+    "import_warehouse",
 ]

@@ -1,0 +1,80 @@
+"""Pluggable storage engines for the generated mobility data.
+
+The repositories and Data Stream APIs talk to a
+:class:`~repro.storage.backends.base.StorageBackend`; the concrete engine is
+chosen by name (``"memory"`` or ``"sqlite"``) via :func:`backend_by_name`, by
+configuration (``storage.backend`` in a run's JSON config) or by the CLI's
+``--backend`` flag.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.errors import StorageError
+from repro.storage.backends.base import (
+    DATASETS,
+    DatasetSpec,
+    LOCATION_COLUMNS,
+    Row,
+    StorageBackend,
+    dataset_spec,
+)
+from repro.storage.backends.memory import MemoryBackend
+from repro.storage.backends.sqlite import SQLiteBackend
+
+#: Registry of engine names understood by configuration and the CLI.
+BACKENDS = {
+    MemoryBackend.name: MemoryBackend,
+    SQLiteBackend.name: SQLiteBackend,
+}
+
+
+def backend_by_name(
+    name: str,
+    path: Union[str, Path, None] = None,
+    cell_size: Optional[float] = None,
+    batch_size: Optional[int] = None,
+) -> StorageBackend:
+    """Construct the storage engine called *name*.
+
+    ``path``/``cell_size``/``batch_size`` only apply to on-disk engines; they
+    are rejected for the memory engine so configuration errors surface early.
+    """
+    key = name.lower().strip()
+    if key not in BACKENDS:
+        raise StorageError(
+            f"unknown storage backend {name!r}; expected one of {sorted(BACKENDS)}"
+        )
+    if key == MemoryBackend.name:
+        rejected = [
+            option
+            for option, value in (("path", path), ("cell_size", cell_size), ("batch_size", batch_size))
+            if value is not None
+        ]
+        if rejected:
+            raise StorageError(
+                f"the memory backend does not take the option(s) {', '.join(rejected)}"
+            )
+        return MemoryBackend()
+    options = {}
+    if cell_size is not None:
+        options["cell_size"] = cell_size
+    if batch_size is not None:
+        options["batch_size"] = batch_size
+    return SQLiteBackend(path=path, **options)
+
+
+__all__ = [
+    "Row",
+    "DatasetSpec",
+    "DATASETS",
+    "LOCATION_COLUMNS",
+    "dataset_spec",
+    "StorageBackend",
+    "MemoryBackend",
+    "SQLiteBackend",
+    "BACKENDS",
+    "backend_by_name",
+]

@@ -1,0 +1,288 @@
+"""The pluggable storage-backend interface.
+
+The paper's prototype persists every generated dataset "in PostgreSQL with
+efficient indices" (Section 4.2) and serves query processing through the Data
+Stream APIs.  This module defines the contract a storage engine must satisfy
+so that the repositories and :class:`~repro.storage.stream.DataStreamAPI`
+can run unchanged on top of any engine:
+
+* :class:`MemoryBackend <repro.storage.backends.memory.MemoryBackend>` — the
+  original indexed in-memory tables (fast, volatile);
+* :class:`SQLiteBackend <repro.storage.backends.sqlite.SQLiteBackend>` — an
+  on-disk engine with WAL journalling, batched bulk inserts and composite +
+  spatial grid-bucket indices (persistent, larger-than-RAM).
+
+Every dataset is described by a :class:`DatasetSpec`; rows are plain
+dictionaries with one key per column, identical across backends, so records
+serialise the same way everywhere.  The base class ships portable Python
+implementations of the higher-level query operators (snapshot, spatial range,
+kNN, aggregations) expressed in terms of the storage primitives; engines
+override them with native (e.g. SQL) implementations where profitable.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.core.errors import StorageError
+
+Row = Dict[str, Any]
+
+#: Shared location column suffix used by every dataset that embeds a location.
+LOCATION_COLUMNS: Tuple[str, ...] = ("building_id", "floor_id", "partition_id", "x", "y")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Schema description of one logical dataset, independent of the engine."""
+
+    name: str
+    columns: Tuple[str, ...]
+    time_column: Optional[str] = None
+    hash_indexes: Tuple[str, ...] = ()
+    #: Whether the dataset embeds a coordinate location (enables the spatial
+    #: grid-bucket index on SQL engines).
+    spatial: bool = False
+
+
+#: The six storage formats of Section 4.2, keyed by dataset name.
+DATASETS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (
+        DatasetSpec(
+            name="trajectory",
+            columns=("object_id", "t") + LOCATION_COLUMNS,
+            time_column="t",
+            hash_indexes=("object_id", "partition_id", "floor_id"),
+            spatial=True,
+        ),
+        DatasetSpec(
+            name="rssi",
+            columns=("object_id", "device_id", "rssi", "t"),
+            time_column="t",
+            hash_indexes=("object_id", "device_id"),
+        ),
+        DatasetSpec(
+            name="positioning",
+            columns=("object_id", "t", "method") + LOCATION_COLUMNS,
+            time_column="t",
+            hash_indexes=("object_id", "method", "partition_id"),
+            spatial=True,
+        ),
+        # Probabilistic candidates are stored as one JSON document per row so
+        # the row shape stays flat and identical across engines.
+        DatasetSpec(
+            name="probabilistic",
+            columns=("object_id", "t", "candidates"),
+            time_column="t",
+            hash_indexes=("object_id",),
+        ),
+        DatasetSpec(
+            name="proximity",
+            columns=("object_id", "device_id", "t_start", "t_end"),
+            time_column="t_start",
+            hash_indexes=("object_id", "device_id"),
+        ),
+        DatasetSpec(
+            name="device",
+            columns=("device_id", "device_type", "detection_range", "detection_interval")
+            + LOCATION_COLUMNS,
+            hash_indexes=("device_id", "device_type", "floor_id"),
+        ),
+    )
+}
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """The :class:`DatasetSpec` called *name* (raises for unknown datasets)."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise StorageError(f"unknown dataset {name!r}; expected one of {sorted(DATASETS)}")
+
+
+class StorageBackend(abc.ABC):
+    """Contract between the repositories / Data Stream APIs and an engine.
+
+    Primitives (abstract) cover insertion, scans, equality and time-range
+    lookups; the higher-level query operators have portable default
+    implementations that engines may override natively.
+    """
+
+    #: Registry name of the engine ("memory", "sqlite", ...).
+    name: str = "abstract"
+    #: Whether data survives the process (an on-disk engine).
+    persistent: bool = False
+
+    # ------------------------------------------------------------------ #
+    # Storage primitives
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def insert_rows(self, dataset: str, rows: List[Row]) -> int:
+        """Bulk-append *rows*; returns the number inserted."""
+
+    @abc.abstractmethod
+    def count(self, dataset: str) -> int:
+        """Number of rows stored in *dataset*."""
+
+    @abc.abstractmethod
+    def all_rows(self, dataset: str) -> List[Row]:
+        """Every row of *dataset* in insertion order."""
+
+    @abc.abstractmethod
+    def rows_eq(
+        self, dataset: str, column: str, value: Any, order_by: Optional[str] = None
+    ) -> List[Row]:
+        """Rows with ``row[column] == value`` (index-backed when possible).
+
+        With *order_by*, the result is sorted by that column — engines use
+        their composite ``(column, order_by)`` index where one exists.
+        """
+
+    @abc.abstractmethod
+    def rows_in_time_range(self, dataset: str, low: float, high: float) -> List[Row]:
+        """Rows whose time column lies in ``[low, high]``, ordered by time."""
+
+    @abc.abstractmethod
+    def iter_time_ordered(self, dataset: str) -> Iterator[Row]:
+        """Every row of *dataset*, ordered by its time column (single pass)."""
+
+    @abc.abstractmethod
+    def distinct(self, dataset: str, column: str) -> List[Any]:
+        """Distinct values of *column* (sorted when the values are sortable)."""
+
+    @abc.abstractmethod
+    def count_by(self, dataset: str, column: str) -> Dict[Any, int]:
+        """Row count per distinct value of *column*."""
+
+    @abc.abstractmethod
+    def clear(self, dataset: str) -> None:
+        """Remove every row of *dataset*."""
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def flush(self) -> None:
+        """Make pending writes durable (no-op for volatile engines)."""
+
+    def close(self) -> None:
+        """Flush and release engine resources."""
+        self.flush()
+
+    def clear_all(self) -> None:
+        """Remove every row of every dataset."""
+        for name in DATASETS:
+            self.clear(name)
+
+    def describe(self) -> Dict[str, Any]:
+        """Engine metadata for summaries and the CLI."""
+        return {
+            "backend": self.name,
+            "persistent": self.persistent,
+            "datasets": {name: self.count(name) for name in DATASETS},
+        }
+
+    # ------------------------------------------------------------------ #
+    # Query operators (portable defaults; engines override natively)
+    # ------------------------------------------------------------------ #
+    def time_bounds(self, dataset: str) -> Optional[Tuple[float, float]]:
+        """``(min, max)`` of the dataset's time column, or ``None`` if empty."""
+        spec = dataset_spec(dataset)
+        if spec.time_column is None:
+            raise StorageError(f"dataset {dataset!r} has no time column")
+        low = high = None
+        for row in self.iter_time_ordered(dataset):
+            value = row[spec.time_column]
+            if low is None:
+                low = value
+            high = value
+        if low is None:
+            return None
+        return (low, high)
+
+    def snapshot_rows(self, t: float, tolerance: float) -> Dict[str, Row]:
+        """Per object, the trajectory row closest in time to *t* within *tolerance*."""
+        best: Dict[str, Row] = {}
+        for row in self.rows_in_time_range("trajectory", t - tolerance, t + tolerance):
+            current = best.get(row["object_id"])
+            if current is None or abs(row["t"] - t) < abs(current["t"] - t):
+                best[row["object_id"]] = row
+        return best
+
+    def region_object_ids(
+        self,
+        floor_id: int,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        t_start: float,
+        t_end: float,
+    ) -> List[str]:
+        """Objects with >= 1 trajectory sample inside the box during the window."""
+        found = set()
+        for row in self.rows_in_time_range("trajectory", t_start, t_end):
+            if row["floor_id"] != floor_id or row["x"] is None or row["y"] is None:
+                continue
+            if min_x <= row["x"] <= max_x and min_y <= row["y"] <= max_y:
+                found.add(row["object_id"])
+        return sorted(found)
+
+    def knn(
+        self, floor_id: int, x: float, y: float, t: float, k: int, tolerance: float
+    ) -> List[Tuple[str, float]]:
+        """The *k* objects closest to ``(x, y)`` on *floor_id* around time *t*."""
+        if k <= 0:
+            return []
+        scored = []
+        for object_id, row in self.snapshot_rows(t, tolerance).items():
+            if row["floor_id"] != floor_id or row["x"] is None or row["y"] is None:
+                continue
+            scored.append((object_id, math.hypot(row["x"] - x, row["y"] - y)))
+        scored.sort(key=lambda pair: (pair[1], pair[0]))
+        return scored[:k]
+
+    def partition_visit_counts(self) -> Dict[str, int]:
+        """Distinct objects observed per partition over the trajectory data."""
+        visits: Dict[str, set] = {}
+        for row in self.all_rows("trajectory"):
+            partition_id = row["partition_id"]
+            if partition_id:
+                visits.setdefault(partition_id, set()).add(row["object_id"])
+        return {partition_id: len(objects) for partition_id, objects in visits.items()}
+
+    def proximity_active_at(self, t: float) -> List[Row]:
+        """Proximity detection periods covering time *t*."""
+        return [
+            row
+            for row in self.all_rows("proximity")
+            if row["t_start"] <= t <= row["t_end"]
+        ]
+
+    def rssi_device_statistics(self) -> Dict[str, Dict[str, float]]:
+        """Count/mean/min/max RSSI per device over the raw RSSI data."""
+        grouped: Dict[str, List[float]] = {}
+        for row in self.all_rows("rssi"):
+            grouped.setdefault(row["device_id"], []).append(row["rssi"])
+        return {
+            device_id: {
+                "count": float(len(values)),
+                "mean": sum(values) / len(values),
+                "min": min(values),
+                "max": max(values),
+            }
+            for device_id, values in grouped.items()
+        }
+
+
+__all__ = [
+    "Row",
+    "LOCATION_COLUMNS",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_spec",
+    "StorageBackend",
+]

@@ -1,0 +1,97 @@
+"""The in-memory storage engine.
+
+This is the original storage layer of the reproduction, refactored behind the
+:class:`~repro.storage.backends.base.StorageBackend` interface: one indexed
+:class:`~repro.storage.tables.Table` per dataset, with hash indexes on the
+equality-queried columns and a sorted index on the time column.  Data lives
+for the duration of the process; the engine is the default because it needs
+no configuration and is fastest for small and medium runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.core.errors import StorageError
+from repro.storage.backends.base import DATASETS, Row, StorageBackend, dataset_spec
+from repro.storage.tables import Table, TableSchema
+
+
+class MemoryBackend(StorageBackend):
+    """Indexed in-memory tables (volatile, zero-configuration)."""
+
+    name = "memory"
+    persistent = False
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {
+            spec.name: Table(
+                TableSchema(
+                    name=spec.name,
+                    columns=spec.columns,
+                    hash_indexes=spec.hash_indexes,
+                    ordered_index=spec.time_column,
+                )
+            )
+            for spec in DATASETS.values()
+        }
+
+    def table_handle(self, dataset: str) -> Table:
+        """The underlying :class:`Table` (memory-engine escape hatch)."""
+        dataset_spec(dataset)
+        return self._tables[dataset]
+
+    # ------------------------------------------------------------------ #
+    # Storage primitives
+    # ------------------------------------------------------------------ #
+    def insert_rows(self, dataset: str, rows: List[Row]) -> int:
+        return self.table_handle(dataset).insert_many(rows)
+
+    def count(self, dataset: str) -> int:
+        return len(self.table_handle(dataset))
+
+    def all_rows(self, dataset: str) -> List[Row]:
+        return self.table_handle(dataset).all_rows()
+
+    def rows_eq(
+        self, dataset: str, column: str, value: Any, order_by: Optional[str] = None
+    ) -> List[Row]:
+        spec = dataset_spec(dataset)
+        if column not in spec.columns:
+            raise StorageError(f"dataset {dataset!r} has no column {column!r}")
+        if order_by is not None and order_by not in spec.columns:
+            raise StorageError(f"dataset {dataset!r} has no column {order_by!r}")
+        rows = self.table_handle(dataset).lookup(column, value)
+        if order_by is not None:
+            rows.sort(key=lambda row: row[order_by])
+        return rows
+
+    def rows_in_time_range(self, dataset: str, low: float, high: float) -> List[Row]:
+        if dataset_spec(dataset).time_column is None:
+            raise StorageError(f"dataset {dataset!r} has no time column")
+        return self.table_handle(dataset).range(low, high)
+
+    def iter_time_ordered(self, dataset: str) -> Iterator[Row]:
+        if dataset_spec(dataset).time_column is None:
+            raise StorageError(f"dataset {dataset!r} has no time column")
+        return self.table_handle(dataset).iter_ordered()
+
+    def distinct(self, dataset: str, column: str) -> List[Any]:
+        return self.table_handle(dataset).distinct(column)
+
+    def count_by(self, dataset: str, column: str) -> Dict[Any, int]:
+        return self.table_handle(dataset).count_by(column)
+
+    def clear(self, dataset: str) -> None:
+        self.table_handle(dataset).clear()
+
+    # ------------------------------------------------------------------ #
+    # Native query operators
+    # ------------------------------------------------------------------ #
+    def time_bounds(self, dataset: str):
+        if dataset_spec(dataset).time_column is None:
+            raise StorageError(f"dataset {dataset!r} has no time column")
+        return self.table_handle(dataset).ordered_bounds()
+
+
+__all__ = ["MemoryBackend"]

@@ -1,0 +1,481 @@
+"""The SQLite storage engine.
+
+The paper's prototype stores all generated mobility data in PostgreSQL "with
+efficient indices"; this engine is the offline equivalent — a single-file
+on-disk database that survives the process, holds datasets far larger than
+RAM, and answers the Data Stream API queries with index-backed SQL.
+
+Engine configuration (mirroring the exemplar schema in SNIPPETS.md):
+
+* ``journal_mode=WAL`` — write-ahead logging so readers never block the
+  writer (``MEMORY`` journalling for ``:memory:`` databases, where WAL is
+  unavailable);
+* ``synchronous=NORMAL`` — fsync at checkpoints only; safe under WAL and
+  much faster than ``FULL`` for bulk generation;
+* ``busy_timeout=30000`` ms and ``temp_store=MEMORY``.
+
+Writes are buffered and flushed with ``executemany`` in batches (read-your-
+writes is preserved: every read first drains the affected buffer).  Each
+dataset has a composite index on ``(object_id, <time>)`` for per-object
+scans, a time index for range scans, and — for the datasets that embed a
+coordinate — a spatial grid-bucket index on ``(floor_id, cell_x, cell_y)``
+where ``cell_* = floor(coordinate / cell_size)``, so spatial range queries
+prefilter on integer buckets before the exact geometric predicate runs.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.core.errors import StorageError
+from repro.storage.backends.base import DATASETS, Row, StorageBackend, dataset_spec
+
+#: Column type affinities; anything not listed is TEXT.
+_REAL_COLUMNS = {"t", "t_start", "t_end", "x", "y", "rssi", "detection_range", "detection_interval"}
+_INT_COLUMNS = {"floor_id", "cell_x", "cell_y"}
+
+#: Pragmas applied to every connection (WAL is swapped for MEMORY when the
+#: database itself is in-memory, where WAL journalling is not supported).
+_PRAGMAS = (
+    ("synchronous", "NORMAL"),
+    ("busy_timeout", "30000"),
+    ("temp_store", "MEMORY"),
+    ("cache_size", "-16000"),
+)
+
+
+def _column_type(column: str) -> str:
+    if column in _REAL_COLUMNS:
+        return "REAL"
+    if column in _INT_COLUMNS:
+        return "INTEGER"
+    return "TEXT"
+
+
+def _coerce(column: str, value: Any) -> Any:
+    """Normalise a cell to a type sqlite3 can bind (handles numpy scalars)."""
+    if value is None:
+        return None
+    if column in _REAL_COLUMNS:
+        return float(value)
+    if column in _INT_COLUMNS:
+        return int(value)
+    return value
+
+
+class SQLiteBackend(StorageBackend):
+    """On-disk (or ``:memory:``) SQLite engine with batched writes."""
+
+    name = "sqlite"
+    persistent = True
+
+    #: Grid bucket size used when neither the caller nor an existing
+    #: database specifies one.
+    DEFAULT_CELL_SIZE = 4.0
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        cell_size: Optional[float] = None,
+        batch_size: int = 2000,
+    ) -> None:
+        if cell_size is not None and cell_size <= 0:
+            raise StorageError("sqlite backend: cell_size must be positive")
+        if batch_size < 1:
+            raise StorageError("sqlite backend: batch_size must be at least 1")
+        self.path = ":memory:" if path is None else str(path)
+        self.batch_size = int(batch_size)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._connection = sqlite3.connect(self.path)
+            self._connection.row_factory = sqlite3.Row
+            self._pending: Dict[str, List[Tuple]] = {name: [] for name in DATASETS}
+            self._closed = False
+            self._configure()
+            self._create_schema()
+            self.cell_size = self._resolve_cell_size(cell_size)
+        except sqlite3.Error as error:
+            raise StorageError(f"sqlite backend: cannot open {self.path!r} ({error})")
+
+    # ------------------------------------------------------------------ #
+    # Connection / schema setup
+    # ------------------------------------------------------------------ #
+    def _configure(self) -> None:
+        journal = "WAL" if self.path != ":memory:" else "MEMORY"
+        self._connection.execute(f"PRAGMA journal_mode={journal}")
+        for pragma, value in _PRAGMAS:
+            self._connection.execute(f"PRAGMA {pragma}={value}")
+
+    def _physical_columns(self, dataset: str) -> Tuple[str, ...]:
+        spec = dataset_spec(dataset)
+        if spec.spatial:
+            return spec.columns + ("cell_x", "cell_y")
+        return spec.columns
+
+    def _create_schema(self) -> None:
+        cursor = self._connection.cursor()
+        cursor.execute("CREATE TABLE IF NOT EXISTS vita_meta (key TEXT PRIMARY KEY, value TEXT)")
+        for spec in DATASETS.values():
+            columns = ", ".join(
+                f"{column} {_column_type(column)}"
+                for column in self._physical_columns(spec.name)
+            )
+            cursor.execute(f"CREATE TABLE IF NOT EXISTS {spec.name} ({columns})")
+            for statement in self._index_statements(spec.name):
+                cursor.execute(statement)
+        self._connection.commit()
+
+    def _resolve_cell_size(self, requested: Optional[float]) -> float:
+        """Reconcile the requested grid cell size with the database's own.
+
+        The cell size the spatial buckets were computed with is persisted in
+        ``vita_meta``; reopening a database therefore keeps its buckets
+        consistent without the caller having to remember the original value.
+        An explicit different request re-buckets every spatial row.
+        """
+        stored = self._connection.execute(
+            "SELECT value FROM vita_meta WHERE key = 'cell_size'"
+        ).fetchone()
+        stored_size = float(stored[0]) if stored else None
+        size = requested if requested is not None else (stored_size or self.DEFAULT_CELL_SIZE)
+        size = float(size)
+        if stored_size is None or stored_size != size:
+            if stored_size is not None:
+                self._rebucket(size)
+            self._connection.execute(
+                "INSERT OR REPLACE INTO vita_meta (key, value) VALUES ('cell_size', ?)",
+                (repr(size),),
+            )
+            self._connection.commit()
+        return size
+
+    def _rebucket(self, cell_size: float) -> None:
+        """Recompute the grid buckets of every spatial row for *cell_size*."""
+        for spec in DATASETS.values():
+            if not spec.spatial:
+                continue
+            # Floor division (correct for negative coordinates too), in SQL.
+            self._connection.execute(
+                f"""
+                UPDATE {spec.name}
+                SET cell_x = CAST(x / :c AS INTEGER)
+                             - (x < 0 AND CAST(x / :c AS INTEGER) * :c != x),
+                    cell_y = CAST(y / :c AS INTEGER)
+                             - (y < 0 AND CAST(y / :c AS INTEGER) * :c != y)
+                WHERE x IS NOT NULL AND y IS NOT NULL
+                """,
+                {"c": cell_size},
+            )
+
+    def _index_statements(self, dataset: str) -> List[str]:
+        spec = dataset_spec(dataset)
+        indexes: List[Tuple[str, str]] = []
+        if spec.time_column is not None:
+            # Composite per-object time index plus a plain time index.
+            indexes.append(("object_time", f"object_id, {spec.time_column}"))
+            indexes.append(("time", spec.time_column))
+        if spec.spatial:
+            indexes.append(("grid", f"floor_id, cell_x, cell_y, {spec.time_column}"))
+        for column in spec.hash_indexes:
+            if column == "object_id" and spec.time_column is not None:
+                continue  # covered by the composite index
+            indexes.append((column, column))
+        if dataset == "proximity":
+            indexes.append(("interval_end", "t_end"))
+        return [
+            f"CREATE INDEX IF NOT EXISTS idx_{dataset}_{label} ON {dataset} ({columns})"
+            for label, columns in indexes
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Write path (buffered executemany batches)
+    # ------------------------------------------------------------------ #
+    def _row_tuple(self, dataset: str, row: Row) -> Tuple:
+        spec = dataset_spec(dataset)
+        values = [_coerce(column, row.get(column)) for column in spec.columns]
+        if spec.spatial:
+            x, y = row.get("x"), row.get("y")
+            if x is None or y is None:
+                values.extend([None, None])
+            else:
+                values.append(int(float(x) // self.cell_size))
+                values.append(int(float(y) // self.cell_size))
+        return tuple(values)
+
+    def insert_rows(self, dataset: str, rows: List[Row]) -> int:
+        pending = self._pending[dataset_spec(dataset).name]
+        count = 0
+        for row in rows:
+            pending.append(self._row_tuple(dataset, row))
+            count += 1
+            if len(pending) >= self.batch_size:
+                self._drain(dataset)
+        return count
+
+    def _drain(self, dataset: str) -> None:
+        pending = self._pending[dataset]
+        if not pending:
+            return
+        columns = self._physical_columns(dataset)
+        placeholders = ", ".join("?" for _ in columns)
+        self._connection.executemany(
+            f"INSERT INTO {dataset} ({', '.join(columns)}) VALUES ({placeholders})",
+            pending,
+        )
+        pending.clear()
+
+    def flush(self) -> None:
+        if self._closed:
+            return
+        for dataset in DATASETS:
+            self._drain(dataset)
+        self._connection.commit()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self.flush()
+        self._connection.close()
+        self._closed = True
+
+    # ------------------------------------------------------------------ #
+    # Read path
+    # ------------------------------------------------------------------ #
+    def _select(self, dataset: str, suffix: str = "", params: Tuple = ()) -> List[Row]:
+        spec = dataset_spec(dataset)
+        self._drain(dataset)
+        columns = ", ".join(spec.columns)
+        cursor = self._connection.execute(
+            f"SELECT {columns} FROM {dataset} {suffix}", params
+        )
+        return [dict(row) for row in cursor.fetchall()]
+
+    def count(self, dataset: str) -> int:
+        dataset_spec(dataset)
+        self._drain(dataset)
+        (total,) = self._connection.execute(f"SELECT COUNT(*) FROM {dataset}").fetchone()
+        return int(total)
+
+    def all_rows(self, dataset: str) -> List[Row]:
+        return self._select(dataset, "ORDER BY rowid")
+
+    def rows_eq(
+        self, dataset: str, column: str, value: Any, order_by: Optional[str] = None
+    ) -> List[Row]:
+        spec = dataset_spec(dataset)
+        if column not in spec.columns:
+            raise StorageError(f"dataset {dataset!r} has no column {column!r}")
+        if order_by is not None and order_by not in spec.columns:
+            raise StorageError(f"dataset {dataset!r} has no column {order_by!r}")
+        ordering = f"{order_by}, rowid" if order_by is not None else "rowid"
+        return self._select(
+            dataset, f"WHERE {column} = ? ORDER BY {ordering}", (_coerce(column, value),)
+        )
+
+    def rows_in_time_range(self, dataset: str, low: float, high: float) -> List[Row]:
+        time_column = self._time_column(dataset)
+        return self._select(
+            dataset,
+            f"WHERE {time_column} BETWEEN ? AND ? ORDER BY {time_column}, rowid",
+            (float(low), float(high)),
+        )
+
+    def iter_time_ordered(self, dataset: str) -> Iterator[Row]:
+        time_column = self._time_column(dataset)
+        spec = dataset_spec(dataset)
+        self._drain(dataset)
+        cursor = self._connection.execute(
+            f"SELECT {', '.join(spec.columns)} FROM {dataset} "
+            f"ORDER BY {time_column}, rowid"
+        )
+        return (dict(row) for row in cursor)
+
+    def distinct(self, dataset: str, column: str) -> List[Any]:
+        spec = dataset_spec(dataset)
+        if column not in spec.columns:
+            raise StorageError(f"dataset {dataset!r} has no column {column!r}")
+        self._drain(dataset)
+        cursor = self._connection.execute(
+            f"SELECT DISTINCT {column} FROM {dataset} ORDER BY {column}"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def count_by(self, dataset: str, column: str) -> Dict[Any, int]:
+        spec = dataset_spec(dataset)
+        if column not in spec.columns:
+            raise StorageError(f"dataset {dataset!r} has no column {column!r}")
+        self._drain(dataset)
+        cursor = self._connection.execute(
+            f"SELECT {column}, COUNT(*) FROM {dataset} GROUP BY {column}"
+        )
+        return {row[0]: int(row[1]) for row in cursor.fetchall()}
+
+    def clear(self, dataset: str) -> None:
+        dataset_spec(dataset)
+        self._pending[dataset].clear()
+        self._connection.execute(f"DELETE FROM {dataset}")
+        self._connection.commit()
+
+    def _time_column(self, dataset: str) -> str:
+        spec = dataset_spec(dataset)
+        if spec.time_column is None:
+            raise StorageError(f"dataset {dataset!r} has no time column")
+        return spec.time_column
+
+    # ------------------------------------------------------------------ #
+    # Native query operators (index-backed SQL)
+    # ------------------------------------------------------------------ #
+    def time_bounds(self, dataset: str) -> Optional[Tuple[float, float]]:
+        time_column = self._time_column(dataset)
+        self._drain(dataset)
+        low, high = self._connection.execute(
+            f"SELECT MIN({time_column}), MAX({time_column}) FROM {dataset}"
+        ).fetchone()
+        if low is None:
+            return None
+        return (low, high)
+
+    def snapshot_rows(self, t: float, tolerance: float) -> Dict[str, Row]:
+        spec = dataset_spec("trajectory")
+        self._drain("trajectory")
+        columns = ", ".join(spec.columns)
+        cursor = self._connection.execute(
+            f"""
+            WITH windowed AS (
+                SELECT {columns},
+                       ROW_NUMBER() OVER (
+                           PARTITION BY object_id ORDER BY ABS(t - ?), rowid
+                       ) AS rank
+                FROM trajectory WHERE t BETWEEN ? AND ?
+            )
+            SELECT {columns} FROM windowed WHERE rank = 1
+            """,
+            (float(t), float(t) - float(tolerance), float(t) + float(tolerance)),
+        )
+        return {row["object_id"]: dict(row) for row in cursor.fetchall()}
+
+    def region_object_ids(
+        self,
+        floor_id: int,
+        min_x: float,
+        min_y: float,
+        max_x: float,
+        max_y: float,
+        t_start: float,
+        t_end: float,
+    ) -> List[str]:
+        self._drain("trajectory")
+        cursor = self._connection.execute(
+            """
+            SELECT DISTINCT object_id FROM trajectory
+            WHERE floor_id = ?
+              AND cell_x BETWEEN ? AND ?
+              AND cell_y BETWEEN ? AND ?
+              AND x BETWEEN ? AND ?
+              AND y BETWEEN ? AND ?
+              AND t BETWEEN ? AND ?
+            ORDER BY object_id
+            """,
+            (
+                int(floor_id),
+                int(float(min_x) // self.cell_size),
+                int(float(max_x) // self.cell_size),
+                int(float(min_y) // self.cell_size),
+                int(float(max_y) // self.cell_size),
+                float(min_x),
+                float(max_x),
+                float(min_y),
+                float(max_y),
+                float(t_start),
+                float(t_end),
+            ),
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def knn(
+        self, floor_id: int, x: float, y: float, t: float, k: int, tolerance: float
+    ) -> List[Tuple[str, float]]:
+        if k <= 0:
+            return []
+        self._drain("trajectory")
+        cursor = self._connection.execute(
+            """
+            WITH windowed AS (
+                SELECT object_id, floor_id, x, y,
+                       ROW_NUMBER() OVER (
+                           PARTITION BY object_id ORDER BY ABS(t - ?), rowid
+                       ) AS rank
+                FROM trajectory WHERE t BETWEEN ? AND ?
+            )
+            SELECT object_id, (x - ?) * (x - ?) + (y - ?) * (y - ?) AS d2
+            FROM windowed
+            WHERE rank = 1 AND floor_id = ? AND x IS NOT NULL AND y IS NOT NULL
+            ORDER BY d2, object_id LIMIT ?
+            """,
+            (
+                float(t),
+                float(t) - float(tolerance),
+                float(t) + float(tolerance),
+                float(x),
+                float(x),
+                float(y),
+                float(y),
+                int(floor_id),
+                int(k),
+            ),
+        )
+        return [(row[0], float(row[1]) ** 0.5) for row in cursor.fetchall()]
+
+    def partition_visit_counts(self) -> Dict[str, int]:
+        self._drain("trajectory")
+        cursor = self._connection.execute(
+            """
+            SELECT partition_id, COUNT(DISTINCT object_id) FROM trajectory
+            WHERE partition_id IS NOT NULL AND partition_id != ''
+            GROUP BY partition_id
+            """
+        )
+        return {row[0]: int(row[1]) for row in cursor.fetchall()}
+
+    def proximity_active_at(self, t: float) -> List[Row]:
+        return self._select(
+            "proximity",
+            "WHERE t_start <= ? AND t_end >= ? ORDER BY rowid",
+            (float(t), float(t)),
+        )
+
+    def rssi_device_statistics(self) -> Dict[str, Dict[str, float]]:
+        self._drain("rssi")
+        cursor = self._connection.execute(
+            "SELECT device_id, COUNT(*), AVG(rssi), MIN(rssi), MAX(rssi) "
+            "FROM rssi GROUP BY device_id"
+        )
+        return {
+            row[0]: {
+                "count": float(row[1]),
+                "mean": float(row[2]),
+                "min": float(row[3]),
+                "max": float(row[4]),
+            }
+            for row in cursor.fetchall()
+        }
+
+    def describe(self) -> Dict[str, Any]:
+        info = super().describe()
+        info.update(
+            {
+                "path": self.path,
+                "cell_size": self.cell_size,
+                "batch_size": self.batch_size,
+                "journal_mode": self._connection.execute(
+                    "PRAGMA journal_mode"
+                ).fetchone()[0],
+            }
+        )
+        return info
+
+
+__all__ = ["SQLiteBackend"]

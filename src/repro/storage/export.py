@@ -204,7 +204,89 @@ def import_devices_csv(path: PathLike) -> List[DeviceRecord]:
     ]
 
 
+# --------------------------------------------------------------------------- #
+# Whole-warehouse export / import (any backend)
+# --------------------------------------------------------------------------- #
+_WAREHOUSE_FILES = {
+    "devices": "devices.csv",
+    "trajectories": "raw_trajectories.csv",
+    "rssi": "raw_rssi.csv",
+    "positioning": "positioning.csv",
+    "probabilistic": "positioning_probabilistic.jsonl",
+    "proximity": "proximity.csv",
+}
+
+
+def export_warehouse(warehouse, directory: PathLike) -> dict:
+    """Export every non-empty dataset of *warehouse* to *directory*.
+
+    Works on any storage backend — the records are read back through the
+    repositories.  Returns ``{dataset: written path}``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = {}
+    if len(warehouse.devices):
+        written["devices"] = export_devices_csv(
+            warehouse.devices.all_records(), directory / _WAREHOUSE_FILES["devices"]
+        )
+    if len(warehouse.trajectories):
+        records = warehouse.trajectories.to_trajectory_set().all_records()
+        written["trajectories"] = export_trajectories_csv(
+            records, directory / _WAREHOUSE_FILES["trajectories"]
+        )
+    if len(warehouse.rssi):
+        written["rssi"] = export_rssi_csv(
+            warehouse.rssi.all_records(), directory / _WAREHOUSE_FILES["rssi"]
+        )
+    if len(warehouse.positioning):
+        written["positioning"] = export_positioning_csv(
+            warehouse.positioning.all_records(), directory / _WAREHOUSE_FILES["positioning"]
+        )
+    if len(warehouse.probabilistic):
+        written["probabilistic"] = export_probabilistic_jsonl(
+            warehouse.probabilistic.all_records(),
+            directory / _WAREHOUSE_FILES["probabilistic"],
+        )
+    if len(warehouse.proximity):
+        written["proximity"] = export_proximity_csv(
+            warehouse.proximity.all_records(), directory / _WAREHOUSE_FILES["proximity"]
+        )
+    return written
+
+
+def import_warehouse(directory: PathLike, warehouse=None):
+    """Load every dataset file found in *directory* into a warehouse.
+
+    The inverse of :func:`export_warehouse`: missing files are skipped, so a
+    partial export loads cleanly.  When *warehouse* is ``None`` a fresh
+    in-memory warehouse is created; pass a SQLite-backed warehouse to ingest
+    flat files into a persistent database.
+    """
+    from repro.storage.repositories import DataWarehouse
+
+    directory = Path(directory)
+    if warehouse is None:
+        warehouse = DataWarehouse()
+    loaders = {
+        "devices": (import_devices_csv, warehouse.devices),
+        "trajectories": (import_trajectories_csv, warehouse.trajectories),
+        "rssi": (import_rssi_csv, warehouse.rssi),
+        "positioning": (import_positioning_csv, warehouse.positioning),
+        "probabilistic": (import_probabilistic_jsonl, warehouse.probabilistic),
+        "proximity": (import_proximity_csv, warehouse.proximity),
+    }
+    for dataset, (loader, repository) in loaders.items():
+        path = directory / _WAREHOUSE_FILES[dataset]
+        if path.exists():
+            repository.add_many(loader(path))
+    warehouse.flush()
+    return warehouse
+
+
 __all__ = [
+    "export_warehouse",
+    "import_warehouse",
     "export_trajectories_csv",
     "import_trajectories_csv",
     "export_rssi_csv",

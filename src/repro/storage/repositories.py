@@ -1,4 +1,4 @@
-"""Typed repositories over the in-memory tables.
+"""Typed repositories over a pluggable storage backend.
 
 Section 4.2 lists the storage formats:
 
@@ -9,15 +9,20 @@ Section 4.2 lists the storage formats:
 * proximity data ``(o_id, d_id, ts, te)``;
 * positioning-device data (part of the infrastructure output).
 
-Each repository wraps one table with the appropriate schema, converts between
-the typed record dataclasses of :mod:`repro.core.types` and plain rows, and
-offers the queries the Data Stream APIs and benchmarks need.
+Each repository maps one of those formats onto a dataset of a
+:class:`~repro.storage.backends.base.StorageBackend`, converting between the
+typed record dataclasses of :mod:`repro.core.types` and plain rows.  The
+same repository code runs on the in-memory engine and on SQLite; a
+:class:`DataWarehouse` bundles all repositories of one generation run over
+one shared backend.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.core.errors import StorageError
 from repro.core.types import (
     DeviceRecord,
     DeviceType,
@@ -32,9 +37,9 @@ from repro.core.types import (
     TrajectoryRecord,
 )
 from repro.mobility.trajectory import Trajectory, TrajectorySet
-from repro.storage.tables import Table, TableSchema
-
-_LOCATION_COLUMNS = ("building_id", "floor_id", "partition_id", "x", "y")
+from repro.storage.backends import StorageBackend, backend_by_name
+from repro.storage.backends.memory import MemoryBackend
+from repro.storage.tables import Table
 
 
 def _location_from_row(row: Dict) -> IndoorLocation:
@@ -47,38 +52,106 @@ def _location_from_row(row: Dict) -> IndoorLocation:
     )
 
 
-class TrajectoryRepository:
+def row_to_trajectory_record(row: Dict) -> TrajectoryRecord:
+    return TrajectoryRecord(
+        object_id=row["object_id"], location=_location_from_row(row), t=row["t"]
+    )
+
+
+def row_to_rssi_record(row: Dict) -> RSSIRecord:
+    return RSSIRecord(
+        object_id=row["object_id"],
+        device_id=row["device_id"],
+        rssi=row["rssi"],
+        t=row["t"],
+    )
+
+
+def row_to_positioning_record(row: Dict) -> PositioningRecord:
+    return PositioningRecord(
+        object_id=row["object_id"],
+        location=_location_from_row(row),
+        t=row["t"],
+        method=PositioningMethod(row["method"]),
+    )
+
+
+def row_to_probabilistic_record(row: Dict) -> ProbabilisticPositioningRecord:
+    candidates = tuple(
+        (IndoorLocation.from_record(candidate["location"]), float(candidate["prob"]))
+        for candidate in json.loads(row["candidates"])
+    )
+    return ProbabilisticPositioningRecord(
+        object_id=row["object_id"], candidates=candidates, t=row["t"]
+    )
+
+
+def row_to_proximity_record(row: Dict) -> ProximityRecord:
+    return ProximityRecord(
+        object_id=row["object_id"],
+        device_id=row["device_id"],
+        t_start=row["t_start"],
+        t_end=row["t_end"],
+    )
+
+
+def row_to_device_record(row: Dict) -> DeviceRecord:
+    return DeviceRecord(
+        device_id=row["device_id"],
+        device_type=DeviceType(row["device_type"]),
+        location=_location_from_row(row),
+        detection_range=row["detection_range"],
+        detection_interval=row["detection_interval"],
+    )
+
+
+class _Repository:
+    """Shared plumbing: one dataset of one backend."""
+
+    dataset: str = ""
+
+    def __init__(self, backend: Optional[StorageBackend] = None) -> None:
+        self.backend = backend if backend is not None else MemoryBackend()
+
+    def __len__(self) -> int:
+        return self.backend.count(self.dataset)
+
+    @property
+    def table(self) -> Table:
+        """The raw in-memory table (memory engine only; legacy escape hatch)."""
+        handle = getattr(self.backend, "table_handle", None)
+        if handle is None:
+            raise StorageError(
+                f"the {self.backend.name!r} backend does not expose raw tables; "
+                "use the repository/query methods instead"
+            )
+        return handle(self.dataset)
+
+    def _insert(self, rows: List[Dict]) -> int:
+        return self.backend.insert_rows(self.dataset, rows)
+
+
+class TrajectoryRepository(_Repository):
     """Raw trajectory data ``(o_id, loc, t)``."""
 
-    def __init__(self) -> None:
-        self.table = Table(
-            TableSchema(
-                name="raw_trajectory",
-                columns=("object_id", "t") + _LOCATION_COLUMNS,
-                hash_indexes=("object_id", "partition_id", "floor_id"),
-                ordered_index="t",
-            )
-        )
+    dataset = "trajectory"
 
     def add(self, record: TrajectoryRecord) -> None:
-        self.table.insert(record.as_record())
+        self._insert([record.as_record()])
 
-    def add_many(self, records: Sequence[TrajectoryRecord]) -> int:
-        return self.table.insert_many(record.as_record() for record in records)
+    def add_many(self, records: Iterable[TrajectoryRecord]) -> int:
+        return self._insert([record.as_record() for record in records])
 
     def add_trajectory_set(self, trajectories: TrajectorySet) -> int:
         """Store every sample of a :class:`TrajectorySet`."""
         return self.add_many(trajectories.all_records())
 
-    def __len__(self) -> int:
-        return len(self.table)
-
     def object_ids(self) -> List[ObjectId]:
-        return self.table.distinct("object_id")
+        return self.backend.distinct(self.dataset, "object_id")
 
     def records_of(self, object_id: ObjectId) -> List[TrajectoryRecord]:
-        rows = sorted(self.table.lookup("object_id", object_id), key=lambda r: r["t"])
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "object_id", object_id, order_by="t")
+        return [row_to_trajectory_record(row) for row in rows]
 
     def trajectory_of(self, object_id: ObjectId) -> Trajectory:
         trajectory = Trajectory(object_id)
@@ -88,140 +161,108 @@ class TrajectoryRepository:
 
     def to_trajectory_set(self) -> TrajectorySet:
         trajectories = TrajectorySet()
-        for row in sorted(self.table.all_rows(), key=lambda r: r["t"]):
-            trajectories.add_record(self._to_record(row))
+        for row in self.backend.iter_time_ordered(self.dataset):
+            trajectories.add_record(row_to_trajectory_record(row))
         return trajectories
 
     def in_time_range(self, t_start: Timestamp, t_end: Timestamp) -> List[TrajectoryRecord]:
-        return [self._to_record(row) for row in self.table.range(t_start, t_end)]
+        rows = self.backend.rows_in_time_range(self.dataset, t_start, t_end)
+        return [row_to_trajectory_record(row) for row in rows]
 
     def in_partition(self, partition_id: str) -> List[TrajectoryRecord]:
-        rows = self.table.lookup("partition_id", partition_id)
-        return [self._to_record(row) for row in rows]
-
-    @staticmethod
-    def _to_record(row: Dict) -> TrajectoryRecord:
-        return TrajectoryRecord(
-            object_id=row["object_id"], location=_location_from_row(row), t=row["t"]
-        )
+        rows = self.backend.rows_eq(self.dataset, "partition_id", partition_id)
+        return [row_to_trajectory_record(row) for row in rows]
 
 
-class RSSIRepository:
+class RSSIRepository(_Repository):
     """Raw RSSI measurement data ``(o_id, d_id, rssi, t)``."""
 
-    def __init__(self) -> None:
-        self.table = Table(
-            TableSchema(
-                name="raw_rssi",
-                columns=("object_id", "device_id", "rssi", "t"),
-                hash_indexes=("object_id", "device_id"),
-                ordered_index="t",
-            )
-        )
+    dataset = "rssi"
 
     def add(self, record: RSSIRecord) -> None:
-        self.table.insert(record.as_record())
+        self._insert([record.as_record()])
 
-    def add_many(self, records: Sequence[RSSIRecord]) -> int:
-        return self.table.insert_many(record.as_record() for record in records)
-
-    def __len__(self) -> int:
-        return len(self.table)
+    def add_many(self, records: Iterable[RSSIRecord]) -> int:
+        return self._insert([record.as_record() for record in records])
 
     def records_of_object(self, object_id: ObjectId) -> List[RSSIRecord]:
-        rows = sorted(self.table.lookup("object_id", object_id), key=lambda r: r["t"])
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "object_id", object_id, order_by="t")
+        return [row_to_rssi_record(row) for row in rows]
 
     def records_of_device(self, device_id: str) -> List[RSSIRecord]:
-        rows = sorted(self.table.lookup("device_id", device_id), key=lambda r: r["t"])
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "device_id", device_id, order_by="t")
+        return [row_to_rssi_record(row) for row in rows]
 
     def in_time_range(self, t_start: Timestamp, t_end: Timestamp) -> List[RSSIRecord]:
-        return [self._to_record(row) for row in self.table.range(t_start, t_end)]
+        rows = self.backend.rows_in_time_range(self.dataset, t_start, t_end)
+        return [row_to_rssi_record(row) for row in rows]
 
     def all_records(self) -> List[RSSIRecord]:
-        return [self._to_record(row) for row in self.table.all_rows()]
-
-    @staticmethod
-    def _to_record(row: Dict) -> RSSIRecord:
-        return RSSIRecord(
-            object_id=row["object_id"],
-            device_id=row["device_id"],
-            rssi=row["rssi"],
-            t=row["t"],
-        )
+        return [row_to_rssi_record(row) for row in self.backend.all_rows(self.dataset)]
 
 
-class PositioningRepository:
+class PositioningRepository(_Repository):
     """Deterministic positioning data ``(o_id, loc, t)``."""
 
-    def __init__(self) -> None:
-        self.table = Table(
-            TableSchema(
-                name="positioning",
-                columns=("object_id", "t", "method") + _LOCATION_COLUMNS,
-                hash_indexes=("object_id", "method", "partition_id"),
-                ordered_index="t",
-            )
-        )
+    dataset = "positioning"
 
     def add(self, record: PositioningRecord) -> None:
-        self.table.insert(record.as_record())
+        self._insert([record.as_record()])
 
-    def add_many(self, records: Sequence[PositioningRecord]) -> int:
-        return self.table.insert_many(record.as_record() for record in records)
-
-    def __len__(self) -> int:
-        return len(self.table)
+    def add_many(self, records: Iterable[PositioningRecord]) -> int:
+        return self._insert([record.as_record() for record in records])
 
     def records_of(self, object_id: ObjectId) -> List[PositioningRecord]:
-        rows = sorted(self.table.lookup("object_id", object_id), key=lambda r: r["t"])
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "object_id", object_id, order_by="t")
+        return [row_to_positioning_record(row) for row in rows]
 
     def by_method(self, method: PositioningMethod) -> List[PositioningRecord]:
-        rows = self.table.lookup("method", method.value)
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "method", method.value)
+        return [row_to_positioning_record(row) for row in rows]
 
     def in_time_range(self, t_start: Timestamp, t_end: Timestamp) -> List[PositioningRecord]:
-        return [self._to_record(row) for row in self.table.range(t_start, t_end)]
+        rows = self.backend.rows_in_time_range(self.dataset, t_start, t_end)
+        return [row_to_positioning_record(row) for row in rows]
 
     def all_records(self) -> List[PositioningRecord]:
-        return [self._to_record(row) for row in self.table.all_rows()]
+        return [
+            row_to_positioning_record(row) for row in self.backend.all_rows(self.dataset)
+        ]
+
+
+class ProbabilisticPositioningRepository(_Repository):
+    """Probabilistic positioning data ``(o_id, {(loc_i, prob_i)}, t)``.
+
+    The candidate set is stored as one JSON document per row so the dataset
+    keeps a flat, backend-independent shape.
+    """
+
+    dataset = "probabilistic"
 
     @staticmethod
-    def _to_record(row: Dict) -> PositioningRecord:
-        return PositioningRecord(
-            object_id=row["object_id"],
-            location=_location_from_row(row),
-            t=row["t"],
-            method=PositioningMethod(row["method"]),
-        )
-
-
-class ProbabilisticPositioningRepository:
-    """Probabilistic positioning data ``(o_id, {(loc_i, prob_i)}, t)``."""
-
-    def __init__(self) -> None:
-        self._records: List[ProbabilisticPositioningRecord] = []
+    def _to_row(record: ProbabilisticPositioningRecord) -> Dict:
+        payload = record.as_record()
+        return {
+            "object_id": payload["object_id"],
+            "t": payload["t"],
+            "candidates": json.dumps(payload["candidates"]),
+        }
 
     def add(self, record: ProbabilisticPositioningRecord) -> None:
-        self._records.append(record)
+        self._insert([self._to_row(record)])
 
     def add_many(self, records: Sequence[ProbabilisticPositioningRecord]) -> int:
-        self._records.extend(records)
-        return len(records)
-
-    def __len__(self) -> int:
-        return len(self._records)
+        return self._insert([self._to_row(record) for record in records])
 
     def records_of(self, object_id: ObjectId) -> List[ProbabilisticPositioningRecord]:
-        return sorted(
-            (record for record in self._records if record.object_id == object_id),
-            key=lambda record: record.t,
-        )
+        rows = self.backend.rows_eq(self.dataset, "object_id", object_id, order_by="t")
+        return [row_to_probabilistic_record(row) for row in rows]
 
     def all_records(self) -> List[ProbabilisticPositioningRecord]:
-        return list(self._records)
+        return [
+            row_to_probabilistic_record(row)
+            for row in self.backend.all_rows(self.dataset)
+        ]
 
     def best_estimates(self) -> List[PositioningRecord]:
         """Collapse every probabilistic record to its most probable candidate."""
@@ -232,114 +273,118 @@ class ProbabilisticPositioningRepository:
                 t=record.t,
                 method=PositioningMethod.FINGERPRINTING,
             )
-            for record in self._records
+            for record in self.all_records()
         ]
 
 
-class ProximityRepository:
+class ProximityRepository(_Repository):
     """Proximity data ``(o_id, d_id, ts, te)``."""
 
-    def __init__(self) -> None:
-        self.table = Table(
-            TableSchema(
-                name="proximity",
-                columns=("object_id", "device_id", "t_start", "t_end"),
-                hash_indexes=("object_id", "device_id"),
-                ordered_index="t_start",
-            )
-        )
+    dataset = "proximity"
 
     def add(self, record: ProximityRecord) -> None:
-        self.table.insert(record.as_record())
+        self._insert([record.as_record()])
 
-    def add_many(self, records: Sequence[ProximityRecord]) -> int:
-        return self.table.insert_many(record.as_record() for record in records)
-
-    def __len__(self) -> int:
-        return len(self.table)
+    def add_many(self, records: Iterable[ProximityRecord]) -> int:
+        return self._insert([record.as_record() for record in records])
 
     def records_of(self, object_id: ObjectId) -> List[ProximityRecord]:
-        rows = sorted(self.table.lookup("object_id", object_id), key=lambda r: r["t_start"])
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "object_id", object_id, order_by="t_start")
+        return [row_to_proximity_record(row) for row in rows]
 
     def records_of_device(self, device_id: str) -> List[ProximityRecord]:
-        rows = sorted(self.table.lookup("device_id", device_id), key=lambda r: r["t_start"])
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "device_id", device_id, order_by="t_start")
+        return [row_to_proximity_record(row) for row in rows]
 
     def active_at(self, t: Timestamp) -> List[ProximityRecord]:
         """Detection periods covering time *t*."""
-        return [
-            self._to_record(row)
-            for row in self.table.select(lambda r: r["t_start"] <= t <= r["t_end"])
-        ]
+        return [row_to_proximity_record(row) for row in self.backend.proximity_active_at(t)]
 
     def all_records(self) -> List[ProximityRecord]:
-        return [self._to_record(row) for row in self.table.all_rows()]
-
-    @staticmethod
-    def _to_record(row: Dict) -> ProximityRecord:
-        return ProximityRecord(
-            object_id=row["object_id"],
-            device_id=row["device_id"],
-            t_start=row["t_start"],
-            t_end=row["t_end"],
-        )
+        return [
+            row_to_proximity_record(row) for row in self.backend.all_rows(self.dataset)
+        ]
 
 
-class DeviceRepository:
+class DeviceRepository(_Repository):
     """Positioning-device data generated by the Infrastructure Layer."""
 
-    def __init__(self) -> None:
-        self.table = Table(
-            TableSchema(
-                name="positioning_device",
-                columns=("device_id", "device_type", "detection_range", "detection_interval")
-                + _LOCATION_COLUMNS,
-                hash_indexes=("device_id", "device_type", "floor_id"),
-            )
-        )
+    dataset = "device"
 
     def add(self, record: DeviceRecord) -> None:
-        self.table.insert(record.as_record())
+        self._insert([record.as_record()])
 
-    def add_many(self, records: Sequence[DeviceRecord]) -> int:
-        return self.table.insert_many(record.as_record() for record in records)
-
-    def __len__(self) -> int:
-        return len(self.table)
+    def add_many(self, records: Iterable[DeviceRecord]) -> int:
+        return self._insert([record.as_record() for record in records])
 
     def by_type(self, device_type: DeviceType) -> List[DeviceRecord]:
-        rows = self.table.lookup("device_type", device_type.value)
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "device_type", device_type.value)
+        return [row_to_device_record(row) for row in rows]
 
     def on_floor(self, floor_id: int) -> List[DeviceRecord]:
-        rows = self.table.lookup("floor_id", floor_id)
-        return [self._to_record(row) for row in rows]
+        rows = self.backend.rows_eq(self.dataset, "floor_id", floor_id)
+        return [row_to_device_record(row) for row in rows]
 
     def all_records(self) -> List[DeviceRecord]:
-        return [self._to_record(row) for row in self.table.all_rows()]
-
-    @staticmethod
-    def _to_record(row: Dict) -> DeviceRecord:
-        return DeviceRecord(
-            device_id=row["device_id"],
-            device_type=DeviceType(row["device_type"]),
-            location=_location_from_row(row),
-            detection_range=row["detection_range"],
-            detection_interval=row["detection_interval"],
-        )
+        return [row_to_device_record(row) for row in self.backend.all_rows(self.dataset)]
 
 
 class DataWarehouse:
-    """All repositories of one generation run, bundled together."""
+    """All repositories of one generation run over one shared backend."""
 
-    def __init__(self) -> None:
-        self.trajectories = TrajectoryRepository()
-        self.rssi = RSSIRepository()
-        self.positioning = PositioningRepository()
-        self.probabilistic = ProbabilisticPositioningRepository()
-        self.proximity = ProximityRepository()
-        self.devices = DeviceRepository()
+    def __init__(self, backend: Union[StorageBackend, str, None] = None, **options: Any) -> None:
+        if isinstance(backend, str):
+            backend = backend_by_name(backend, **options)
+        elif options:
+            raise StorageError("backend options require a backend name, not an instance")
+        self.backend: StorageBackend = backend if backend is not None else MemoryBackend()
+        self.trajectories = TrajectoryRepository(self.backend)
+        self.rssi = RSSIRepository(self.backend)
+        self.positioning = PositioningRepository(self.backend)
+        self.probabilistic = ProbabilisticPositioningRepository(self.backend)
+        self.proximity = ProximityRepository(self.backend)
+        self.devices = DeviceRepository(self.backend)
+
+    @classmethod
+    def open(
+        cls,
+        backend: str = "memory",
+        path: Optional[str] = None,
+        cell_size: Optional[float] = None,
+        batch_size: Optional[int] = None,
+    ) -> "DataWarehouse":
+        """Open a warehouse on the named engine (reopens existing SQLite files)."""
+        return cls(backend_by_name(backend, path=path, cell_size=cell_size, batch_size=batch_size))
+
+    @classmethod
+    def from_config(cls, storage_config: Any) -> "DataWarehouse":
+        """Build a warehouse from a :class:`repro.core.config.StorageConfig`."""
+        if storage_config is None or storage_config.backend == "memory":
+            return cls()
+        return cls.open(
+            backend=storage_config.backend,
+            path=storage_config.path,
+            cell_size=storage_config.grid_cell_size,
+            batch_size=storage_config.batch_size,
+        )
+
+    def flush(self) -> None:
+        """Make pending writes durable (no-op on the memory engine)."""
+        self.backend.flush()
+
+    def close(self) -> None:
+        """Flush and release the backend's resources."""
+        self.backend.close()
+
+    def clear(self) -> None:
+        """Remove every stored record from every repository."""
+        self.backend.clear_all()
+
+    def __enter__(self) -> "DataWarehouse":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def summary(self) -> Dict[str, int]:
         """Record counts per repository."""
@@ -354,6 +399,12 @@ class DataWarehouse:
 
 
 __all__ = [
+    "row_to_trajectory_record",
+    "row_to_rssi_record",
+    "row_to_positioning_record",
+    "row_to_probabilistic_record",
+    "row_to_proximity_record",
+    "row_to_device_record",
     "TrajectoryRepository",
     "RSSIRepository",
     "PositioningRepository",

@@ -13,18 +13,23 @@ typically needs over the generated data:
 * sliding-window iteration for stream-style consumers;
 * per-partition visit counting (the "frequently visited POIs" style of query
   cited in the paper's motivation).
+
+Every query dispatches to the warehouse's storage backend, which supplies a
+native implementation: indexed Python structures on the memory engine,
+index-backed SQL on SQLite.  The API is therefore identical — and returns
+identical results — regardless of where the data lives.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import StorageError
 from repro.core.types import IndoorLocation, ObjectId, Timestamp, TrajectoryRecord
 from repro.geometry.point import Point
 from repro.geometry.polygon import BoundingBox
-from repro.storage.repositories import DataWarehouse
+from repro.storage.repositories import DataWarehouse, row_to_trajectory_record
 
 
 class DataStreamAPI:
@@ -32,6 +37,7 @@ class DataStreamAPI:
 
     def __init__(self, warehouse: DataWarehouse) -> None:
         self.warehouse = warehouse
+        self.backend = warehouse.backend
 
     # ------------------------------------------------------------------ #
     # Temporal queries
@@ -46,29 +52,39 @@ class DataStreamAPI:
 
     def snapshot(self, t: Timestamp, tolerance: float = 1.0) -> Dict[ObjectId, IndoorLocation]:
         """Last known location of every object within *tolerance* seconds of *t*."""
-        records = self.warehouse.trajectories.in_time_range(t - tolerance, t + tolerance)
-        best: Dict[ObjectId, TrajectoryRecord] = {}
-        for record in records:
-            current = best.get(record.object_id)
-            if current is None or abs(record.t - t) < abs(current.t - t):
-                best[record.object_id] = record
-        return {object_id: record.location for object_id, record in best.items()}
+        return {
+            object_id: row_to_trajectory_record(row).location
+            for object_id, row in self.backend.snapshot_rows(t, tolerance).items()
+        }
 
     def sliding_windows(
         self, window: float, step: Optional[float] = None
     ) -> Iterator[Tuple[Timestamp, Timestamp, List[TrajectoryRecord]]]:
-        """Iterate ``(t_start, t_end, records)`` sliding windows over the data."""
+        """Iterate ``(t_start, t_end, records)`` sliding windows over the data.
+
+        One time-ordered pass over the backend feeds a buffer that holds only
+        the records of the current window, so the cost is a single scan (not
+        one scan per window) and memory stays bounded by the largest window —
+        datasets larger than RAM stream through.
+        """
         if window <= 0:
             raise StorageError("window length must be positive")
         step = step or window
-        table = self.warehouse.trajectories.table
-        if len(table) == 0:
+        bounds = self.backend.time_bounds("trajectory")
+        if bounds is None:
             return
-        times = [row["t"] for row in table.all_rows()]
-        t_min, t_max = min(times), max(times)
-        t = t_min
+        t, t_max = bounds
+        rows = self.backend.iter_time_ordered("trajectory")
+        buffer: Deque[TrajectoryRecord] = deque()
+        pending = next(rows, None)
         while t <= t_max:
-            yield t, t + window, self.trajectory_window(t, t + window)
+            t_end = t + window
+            while pending is not None and pending["t"] <= t_end:
+                buffer.append(row_to_trajectory_record(pending))
+                pending = next(rows, None)
+            while buffer and buffer[0].t < t:
+                buffer.popleft()
+            yield t, t_end, list(buffer)
             t += step
 
     # ------------------------------------------------------------------ #
@@ -82,15 +98,20 @@ class DataStreamAPI:
         t_end: Timestamp,
     ) -> List[ObjectId]:
         """Objects that had at least one sample inside *box* during the window."""
-        found = set()
-        for record in self.trajectory_window(t_start, t_end):
-            location = record.location
-            if location.floor_id != floor_id or not location.has_point:
-                continue
-            x, y = location.point()
-            if box.contains_point(Point(x, y)):
-                found.add(record.object_id)
-        return sorted(found)
+        if t_end < t_start:
+            raise StorageError("time window end must not precede its start")
+        # Same edge tolerance as BoundingBox.contains_point, so a sample that
+        # float round-off pushes marginally past the box edge still counts.
+        eps = 1e-9
+        return self.backend.region_object_ids(
+            floor_id,
+            box.min_x - eps,
+            box.min_y - eps,
+            box.max_x + eps,
+            box.max_y + eps,
+            t_start,
+            t_end,
+        )
 
     def objects_in_partition(
         self, partition_id: str, t_start: Timestamp, t_end: Timestamp
@@ -106,48 +127,22 @@ class DataStreamAPI:
     def knn_at(self, floor_id: int, point: Point, t: Timestamp, k: int = 5,
                tolerance: float = 1.0) -> List[Tuple[ObjectId, float]]:
         """The *k* objects closest to *point* on *floor_id* around time *t*."""
-        if k <= 0:
-            return []
-        snapshot = self.snapshot(t, tolerance)
-        scored = []
-        for object_id, location in snapshot.items():
-            if location.floor_id != floor_id or not location.has_point:
-                continue
-            x, y = location.point()
-            scored.append((object_id, point.distance_to(Point(x, y))))
-        scored.sort(key=lambda pair: (pair[1], pair[0]))
-        return scored[:k]
+        return self.backend.knn(floor_id, point.x, point.y, t, k, tolerance)
 
     # ------------------------------------------------------------------ #
     # Aggregations
     # ------------------------------------------------------------------ #
     def partition_visit_counts(self) -> Dict[str, int]:
         """Number of distinct objects observed per partition (symbolic POI counts)."""
-        visits: Dict[str, set] = defaultdict(set)
-        for row in self.warehouse.trajectories.table.all_rows():
-            partition_id = row["partition_id"]
-            if partition_id:
-                visits[partition_id].add(row["object_id"])
-        return {partition_id: len(objects) for partition_id, objects in visits.items()}
+        return self.backend.partition_visit_counts()
 
     def device_detection_counts(self) -> Dict[str, int]:
         """Number of proximity detection periods per device."""
-        return self.warehouse.proximity.table.count_by("device_id")
+        return self.backend.count_by("proximity", "device_id")
 
     def rssi_statistics_by_device(self) -> Dict[str, Dict[str, float]]:
         """Mean/min/max RSSI per device over the raw RSSI data."""
-        grouped: Dict[str, List[float]] = defaultdict(list)
-        for row in self.warehouse.rssi.table.all_rows():
-            grouped[row["device_id"]].append(row["rssi"])
-        statistics = {}
-        for device_id, values in grouped.items():
-            statistics[device_id] = {
-                "count": float(len(values)),
-                "mean": sum(values) / len(values),
-                "min": min(values),
-                "max": max(values),
-            }
-        return statistics
+        return self.backend.rssi_device_statistics()
 
 
 __all__ = ["DataStreamAPI"]

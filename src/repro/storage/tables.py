@@ -121,6 +121,24 @@ class Table:
         end = bisect.bisect_right(self._ordered, (high, len(self._rows)))
         return [self._rows[row_id] for _, row_id in self._ordered[start:end]]
 
+    def ordered_bounds(self) -> Optional[Tuple[Any, Any]]:
+        """``(min, max)`` of the ordered-index key, or ``None`` when empty."""
+        if self.schema.ordered_index is None:
+            raise StorageError(
+                f"table {self.schema.name}: has no ordered index for bounds queries"
+            )
+        if not self._ordered:
+            return None
+        return (self._ordered[0][0], self._ordered[-1][0])
+
+    def iter_ordered(self) -> Iterator[Row]:
+        """Every row, in ordered-index key order (single sorted pass)."""
+        if self.schema.ordered_index is None:
+            raise StorageError(
+                f"table {self.schema.name}: has no ordered index for ordered iteration"
+            )
+        return (self._rows[row_id] for _, row_id in self._ordered)
+
     def select(self, predicate: Callable[[Row], bool]) -> List[Row]:
         """Full scan with an arbitrary predicate."""
         return [row for row in self._rows if predicate(row)]

@@ -81,3 +81,46 @@ class TestExportIfcCommand:
         ]) == 0
         _, report = DBIProcessor().process_file(str(path))
         assert len(report.errors) >= 2
+
+
+class TestSQLiteBackendCommands:
+    def test_generate_with_sqlite_backend_then_query(self, config_path, tmp_path, capsys):
+        output = tmp_path / "out"
+        exit_code = main(
+            ["generate", "--config", str(config_path), "--output", str(output),
+             "--backend", "sqlite"]
+        )
+        assert exit_code == 0
+        db_path = output / "vita.sqlite"
+        assert db_path.exists()
+        summary = json.loads((output / "summary.json").read_text())
+        assert summary["storage"]["backend"] == "sqlite"
+        assert summary["storage"]["journal_mode"] == "wal"
+        capsys.readouterr()
+
+        # A fresh invocation (fresh process, conceptually) queries the file.
+        exit_code = main(
+            ["query", "--db", str(db_path), "--summary", "--snapshot", "20",
+             "--window", "0", "40", "--knn", "0", "5", "5", "20", "3", "--visits"]
+        )
+        assert exit_code == 0
+        results = json.loads(capsys.readouterr().out)
+        assert results["summary"]["trajectory_records"] > 0
+        assert results["window"]["records"] > 0
+        assert results["snapshot"]
+        assert isinstance(results["knn"], list)
+        assert results["visits"]
+
+    def test_generate_with_db_flag_overrides_location(self, config_path, tmp_path, capsys):
+        output = tmp_path / "out"
+        db_path = tmp_path / "elsewhere" / "run.sqlite"
+        exit_code = main(
+            ["generate", "--config", str(config_path), "--output", str(output),
+             "--backend", "sqlite", "--db", str(db_path)]
+        )
+        assert exit_code == 0
+        assert db_path.exists()
+
+    def test_query_missing_database_fails_cleanly(self, tmp_path, capsys):
+        exit_code = main(["query", "--db", str(tmp_path / "nope.sqlite")])
+        assert exit_code == 2

@@ -146,3 +146,44 @@ class TestConfigFromJson:
         path.write_text("[1, 2, 3]")
         with pytest.raises(ConfigurationError):
             config_from_json(path)
+
+
+class TestStorageConfig:
+    def test_defaults_to_memory(self):
+        config = config_from_dict({})
+        assert config.storage.backend == "memory"
+        assert config.storage.path is None
+
+    def test_sqlite_section_parsed(self):
+        config = config_from_dict(
+            {
+                "storage": {
+                    "backend": "sqlite",
+                    "path": "out/run.sqlite",
+                    "grid_cell_size": 2.0,
+                    "batch_size": 500,
+                }
+            }
+        )
+        assert config.storage.backend == "sqlite"
+        assert config.storage.path == "out/run.sqlite"
+        assert config.storage.grid_cell_size == 2.0
+        assert config.storage.batch_size == 500
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"storage": {"backend": "postgres"}})
+
+    def test_memory_backend_rejects_path(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"storage": {"backend": "memory", "path": "x.sqlite"}})
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"storage": {"grid_cell_size": 0}})
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"storage": {"batch_size": 0}})
+
+    def test_unknown_storage_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"storage": {"wal": True}})

@@ -36,7 +36,7 @@ class TestFullRun:
 
     def test_timings_recorded_per_layer(self, trilateration_result):
         assert set(trilateration_result.timings) == {
-            "infrastructure", "moving_objects", "rssi", "positioning",
+            "infrastructure", "moving_objects", "rssi", "positioning", "storage",
         }
         assert all(value >= 0 for value in trilateration_result.timings.values())
 

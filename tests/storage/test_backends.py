@@ -1,0 +1,358 @@
+"""The backend contract: every engine answers every query identically.
+
+The same Data Stream API / repository suite runs parametrized over the
+in-memory engine and SQLite (on-disk), plus SQLite-only tests for
+persistence across a simulated process restart, WAL journalling, write
+batching and index-backed query plans.
+"""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.types import (
+    DeviceRecord,
+    DeviceType,
+    IndoorLocation,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+    RSSIRecord,
+    TrajectoryRecord,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import BoundingBox
+from repro.storage.backends import BACKENDS, MemoryBackend, SQLiteBackend, backend_by_name
+from repro.storage.repositories import DataWarehouse
+from repro.storage.stream import DataStreamAPI
+
+BACKEND_PARAMS = ("memory", "sqlite-file", "sqlite-memory")
+
+
+def _loc(x, y, floor=0, partition="hall"):
+    return IndoorLocation("b", floor, partition_id=partition, x=x, y=y)
+
+
+def _make_backend(kind, tmp_path):
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "sqlite-file":
+        return SQLiteBackend(path=tmp_path / "warehouse.sqlite")
+    return SQLiteBackend()
+
+
+def _populate(warehouse):
+    """Two objects: 'a' walks right along y=5, 'b' stays at (50, 5) on floor 1."""
+    warehouse.trajectories.add_many(
+        [
+            record
+            for t in range(11)
+            for record in (
+                TrajectoryRecord("a", _loc(float(t * 2), 5.0), float(t)),
+                TrajectoryRecord("b", _loc(50.0, 5.0, floor=1, partition="room9"), float(t)),
+            )
+        ]
+    )
+    warehouse.rssi.add_many(
+        [
+            RSSIRecord("a", "ap1", -60.0, 1.0),
+            RSSIRecord("a", "ap1", -64.0, 2.0),
+            RSSIRecord("a", "ap2", -70.0, 2.0),
+        ]
+    )
+    warehouse.proximity.add_many(
+        [
+            ProximityRecord("a", "rfid1", 0.0, 3.0),
+            ProximityRecord("b", "rfid1", 1.0, 2.0),
+            ProximityRecord("a", "rfid2", 5.0, 6.0),
+        ]
+    )
+    warehouse.positioning.add_many(
+        [
+            PositioningRecord("a", _loc(1.0, 5.5), 0.0, PositioningMethod.TRILATERATION),
+            PositioningRecord("a", _loc(3.0, 5.5), 5.0, PositioningMethod.FINGERPRINTING),
+        ]
+    )
+    warehouse.probabilistic.add(
+        ProbabilisticPositioningRecord(
+            "a", ((_loc(1.0, 1.0), 0.3), (_loc(2.0, 2.0, partition="p2"), 0.7)), 1.0
+        )
+    )
+    warehouse.devices.add_many(
+        [
+            DeviceRecord("ap1", DeviceType.WIFI, _loc(0.0, 0.0), 25.0, 1.0),
+            DeviceRecord("rfid1", DeviceType.RFID, _loc(9.0, 9.0, floor=1), 3.0, 0.5),
+        ]
+    )
+    return warehouse
+
+
+@pytest.fixture(params=BACKEND_PARAMS)
+def warehouse(request, tmp_path):
+    warehouse = _populate(DataWarehouse(_make_backend(request.param, tmp_path)))
+    yield warehouse
+    warehouse.close()
+
+
+@pytest.fixture()
+def api(warehouse):
+    return DataStreamAPI(warehouse)
+
+
+class TestDataStreamQueriesOnEveryBackend:
+    def test_trajectory_window(self, api):
+        assert len(api.trajectory_window(2.0, 4.0)) == 6
+
+    def test_trajectory_window_validates_bounds(self, api):
+        with pytest.raises(StorageError):
+            api.trajectory_window(5.0, 1.0)
+
+    def test_snapshot(self, api):
+        snapshot = api.snapshot(5.4, tolerance=1.0)
+        assert set(snapshot) == {"a", "b"}
+        assert snapshot["a"].point()[0] == pytest.approx(10.0)
+        assert api.snapshot(500.0, tolerance=1.0) == {}
+
+    def test_sliding_windows(self, api):
+        windows = list(api.sliding_windows(window=5.0))
+        assert len(windows) >= 2
+        assert sum(len(records) for _, _, records in windows) >= 22
+        overlapping = list(api.sliding_windows(window=5.0, step=2.0))
+        assert len(overlapping) > len(windows)
+
+    def test_objects_in_region(self, api):
+        assert api.objects_in_region(0, BoundingBox(0, 0, 6, 10), 0.0, 10.0) == ["a"]
+        assert api.objects_in_region(1, BoundingBox(0, 0, 100, 100), 0.0, 10.0) == ["b"]
+        assert api.objects_in_region(0, BoundingBox(200, 200, 300, 300), 0.0, 10.0) == []
+
+    def test_objects_in_partition(self, api):
+        assert api.objects_in_partition("hall", 0.0, 10.0) == ["a"]
+        assert api.objects_in_partition("room9", 0.0, 10.0) == ["b"]
+        assert api.objects_in_partition("hall", 100.0, 200.0) == []
+
+    def test_knn(self, api):
+        nearest = api.knn_at(0, Point(0.0, 5.0), t=5.0, k=3)
+        assert nearest[0][0] == "a"
+        assert len(nearest) == 1  # object b is on another floor
+        assert api.knn_at(0, Point(0.0, 5.0), t=5.0, k=0) == []
+
+    def test_aggregations(self, api):
+        assert api.partition_visit_counts() == {"hall": 1, "room9": 1}
+        assert api.device_detection_counts() == {"rfid1": 2, "rfid2": 1}
+        statistics = api.rssi_statistics_by_device()
+        assert statistics["ap1"]["count"] == 2.0
+        assert statistics["ap1"]["mean"] == pytest.approx(-62.0)
+        assert statistics["ap2"]["min"] == -70.0
+
+
+class TestRepositoriesOnEveryBackend:
+    def test_summary(self, warehouse):
+        assert warehouse.summary() == {
+            "trajectory_records": 22,
+            "rssi_records": 3,
+            "positioning_records": 2,
+            "probabilistic_records": 1,
+            "proximity_records": 3,
+            "device_records": 2,
+        }
+
+    def test_trajectory_queries(self, warehouse):
+        assert warehouse.trajectories.object_ids() == ["a", "b"]
+        records = warehouse.trajectories.records_of("a")
+        assert [record.t for record in records] == [float(t) for t in range(11)]
+        assert len(warehouse.trajectories.in_time_range(4.0, 6.0)) == 6
+        assert len(warehouse.trajectories.in_partition("room9")) == 11
+        rebuilt = warehouse.trajectories.to_trajectory_set()
+        assert rebuilt.total_records == 22
+
+    def test_rssi_queries(self, warehouse):
+        assert len(warehouse.rssi.records_of_object("a")) == 3
+        assert len(warehouse.rssi.records_of_device("ap1")) == 2
+        assert len(warehouse.rssi.in_time_range(1.5, 2.5)) == 2
+
+    def test_positioning_queries(self, warehouse):
+        assert len(warehouse.positioning.records_of("a")) == 2
+        fingerprinting = warehouse.positioning.by_method(PositioningMethod.FINGERPRINTING)
+        assert [record.t for record in fingerprinting] == [5.0]
+
+    def test_probabilistic_round_trip(self, warehouse):
+        records = warehouse.probabilistic.all_records()
+        assert len(records) == 1
+        assert records[0].best.partition_id == "p2"
+        assert records[0].best_probability == pytest.approx(0.7)
+        best = warehouse.probabilistic.best_estimates()[0]
+        assert best.method is PositioningMethod.FINGERPRINTING
+
+    def test_proximity_queries(self, warehouse):
+        assert len(warehouse.proximity.records_of("a")) == 2
+        active = warehouse.proximity.active_at(1.5)
+        assert {(r.object_id, r.device_id) for r in active} == {("a", "rfid1"), ("b", "rfid1")}
+
+    def test_device_queries(self, warehouse):
+        assert len(warehouse.devices.by_type(DeviceType.WIFI)) == 1
+        assert len(warehouse.devices.on_floor(1)) == 1
+        assert warehouse.devices.all_records()[0].device_id == "ap1"
+
+    def test_clear(self, warehouse):
+        warehouse.clear()
+        assert sum(warehouse.summary().values()) == 0
+
+
+class TestBackendEquivalence:
+    def test_backends_agree_on_every_query(self, tmp_path):
+        memory = _populate(DataWarehouse(MemoryBackend()))
+        sqlite = _populate(DataWarehouse(SQLiteBackend(path=tmp_path / "eq.sqlite")))
+        api_a, api_b = DataStreamAPI(memory), DataStreamAPI(sqlite)
+        assert api_a.trajectory_window(0.0, 10.0) == api_b.trajectory_window(0.0, 10.0)
+        assert api_a.snapshot(5.0) == api_b.snapshot(5.0)
+        assert api_a.knn_at(0, Point(0.0, 5.0), 5.0, k=5) == api_b.knn_at(
+            0, Point(0.0, 5.0), 5.0, k=5
+        )
+        assert api_a.partition_visit_counts() == api_b.partition_visit_counts()
+        assert api_a.rssi_statistics_by_device() == api_b.rssi_statistics_by_device()
+        assert memory.trajectories.to_trajectory_set().all_records() == (
+            sqlite.trajectories.to_trajectory_set().all_records()
+        )
+        sqlite.close()
+
+
+class TestSQLitePersistence:
+    def test_survives_process_restart(self, tmp_path):
+        path = tmp_path / "persisted.sqlite"
+        _populate(DataWarehouse(SQLiteBackend(path=path))).close()
+
+        reopened = DataWarehouse.open("sqlite", path=str(path))
+        api = DataStreamAPI(reopened)
+        assert reopened.summary()["trajectory_records"] == 22
+        assert api.snapshot(5.0)["a"].point()[0] == pytest.approx(10.0)
+        assert len(api.trajectory_window(0.0, 4.0)) == 10
+        assert api.knn_at(0, Point(0.0, 5.0), 5.0, k=1) == [("a", pytest.approx(10.0))]
+        reopened.close()
+
+    def test_cell_size_persisted_across_reopen(self, tmp_path):
+        path = tmp_path / "cells.sqlite"
+        backend = SQLiteBackend(path=path, cell_size=2.0)
+        backend.insert_rows(
+            "trajectory", [TrajectoryRecord("o1", _loc(10.0, 10.0), 0.0).as_record()]
+        )
+        backend.close()
+        # Reopening without naming a cell size must keep the stored buckets
+        # consistent — the grid prefilter would otherwise drop matching rows.
+        reopened = SQLiteBackend(path=path)
+        assert reopened.cell_size == 2.0
+        assert reopened.region_object_ids(0, 8.0, 8.0, 12.0, 12.0, 0.0, 5.0) == ["o1"]
+        reopened.close()
+
+    def test_explicit_cell_size_change_rebuckets(self, tmp_path):
+        path = tmp_path / "rebucket.sqlite"
+        backend = SQLiteBackend(path=path, cell_size=2.0)
+        backend.insert_rows(
+            "trajectory", [TrajectoryRecord("o1", _loc(10.0, 10.0), 0.0).as_record()]
+        )
+        backend.close()
+        resized = SQLiteBackend(path=path, cell_size=5.0)
+        assert resized.cell_size == 5.0
+        assert resized.region_object_ids(0, 8.0, 8.0, 12.0, 12.0, 0.0, 5.0) == ["o1"]
+        resized.close()
+
+    def test_opening_non_database_file_raises_storage_error(self, tmp_path):
+        path = tmp_path / "notadb.bin"
+        path.write_text("garbage")
+        with pytest.raises(StorageError):
+            SQLiteBackend(path=path)
+
+    def test_toolkit_facade_durable_without_explicit_close(self, tmp_path):
+        from repro.core.toolkit import Vita
+
+        path = tmp_path / "facade.sqlite"
+        vita = Vita(seed=4, backend="sqlite", db_path=path)
+        vita.use_synthetic_building("office", floors=1)
+        vita.deploy_devices("wifi", count_per_floor=3)
+        vita.generate_objects(count=2, duration=20)
+        stored = vita.summary()["trajectory_records"]
+        assert stored > 0
+        del vita  # simulate the process exiting without close()/flush()
+
+        reopened = DataWarehouse.open("sqlite", path=str(path))
+        assert reopened.summary()["trajectory_records"] == stored
+        reopened.close()
+
+    def test_wal_journal_mode_on_file_databases(self, tmp_path):
+        backend = SQLiteBackend(path=tmp_path / "wal.sqlite")
+        assert backend.describe()["journal_mode"] == "wal"
+        backend.close()
+
+    def test_batched_writes_drain_on_read(self, tmp_path):
+        backend = SQLiteBackend(path=tmp_path / "batch.sqlite", batch_size=5)
+        rows = [
+            TrajectoryRecord("o", _loc(float(i), 0.0), float(i)).as_record()
+            for i in range(12)
+        ]
+        backend.insert_rows("trajectory", rows)
+        # 10 rows were drained by the batch size; 2 are still buffered but
+        # must be visible to reads (read-your-writes).
+        assert backend.count("trajectory") == 12
+        backend.close()
+
+    def test_spatial_query_uses_grid_index(self, tmp_path):
+        backend = SQLiteBackend(path=tmp_path / "plan.sqlite")
+        backend.insert_rows(
+            "trajectory", [TrajectoryRecord("o", _loc(1.0, 1.0), 0.0).as_record()]
+        )
+        backend.flush()
+        plan = backend._connection.execute(
+            "EXPLAIN QUERY PLAN SELECT object_id FROM trajectory "
+            "WHERE floor_id = 0 AND cell_x BETWEEN 0 AND 2 AND cell_y BETWEEN 0 AND 2"
+        ).fetchall()
+        assert any("idx_trajectory_grid" in row[-1] for row in plan)
+        backend.close()
+
+    def test_time_range_uses_index(self, tmp_path):
+        backend = SQLiteBackend(path=tmp_path / "plan2.sqlite")
+        backend.insert_rows(
+            "trajectory", [TrajectoryRecord("o", _loc(1.0, 1.0), 0.0).as_record()]
+        )
+        backend.flush()
+        plan = backend._connection.execute(
+            "EXPLAIN QUERY PLAN SELECT object_id FROM trajectory WHERE t BETWEEN 0 AND 1"
+        ).fetchall()
+        assert any("idx_trajectory" in row[-1] for row in plan)
+        backend.close()
+
+
+class TestBackendFactory:
+    def test_registry(self):
+        assert set(BACKENDS) == {"memory", "sqlite"}
+
+    def test_by_name(self, tmp_path):
+        assert isinstance(backend_by_name("memory"), MemoryBackend)
+        backend = backend_by_name("SQLite", path=tmp_path / "f.sqlite", batch_size=10)
+        assert isinstance(backend, SQLiteBackend)
+        assert backend.batch_size == 10
+        backend.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StorageError):
+            backend_by_name("postgres")
+
+    def test_memory_backend_rejects_sqlite_options(self):
+        with pytest.raises(StorageError):
+            backend_by_name("memory", path="somewhere.sqlite")
+        with pytest.raises(StorageError):
+            backend_by_name("memory", cell_size=2.0)
+        with pytest.raises(StorageError):
+            backend_by_name("memory", batch_size=10)
+
+    def test_sqlite_validates_options(self):
+        with pytest.raises(StorageError):
+            SQLiteBackend(cell_size=0.0)
+        with pytest.raises(StorageError):
+            SQLiteBackend(batch_size=0)
+
+    def test_raw_table_access_is_memory_only(self, tmp_path):
+        sqlite_warehouse = DataWarehouse(SQLiteBackend(path=tmp_path / "t.sqlite"))
+        with pytest.raises(StorageError):
+            sqlite_warehouse.trajectories.table
+        memory_warehouse = DataWarehouse()
+        assert memory_warehouse.trajectories.table is not None
+        sqlite_warehouse.close()

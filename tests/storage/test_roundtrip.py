@@ -1,0 +1,116 @@
+"""Export → import round-trips across storage backends.
+
+Proves that flat-file exports (CSV/JSONL) are a faithful interchange format:
+a warehouse exported from either backend and imported into either backend
+reproduces the exact same contents.
+"""
+
+import pytest
+
+from repro.core.types import (
+    DeviceRecord,
+    DeviceType,
+    IndoorLocation,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    ProximityRecord,
+    RSSIRecord,
+    TrajectoryRecord,
+)
+from repro.storage.backends import MemoryBackend, SQLiteBackend
+from repro.storage.export import export_warehouse, import_warehouse
+from repro.storage.repositories import DataWarehouse
+
+
+def _loc(x, y, floor=0, partition="hall"):
+    return IndoorLocation("b", floor, partition_id=partition, x=x, y=y)
+
+
+def _populate(warehouse):
+    warehouse.trajectories.add_many(
+        [TrajectoryRecord("a", _loc(float(t), 2.0), float(t)) for t in range(5)]
+        + [TrajectoryRecord("b", _loc(9.0, 9.0, floor=1, partition="p2"), 0.5)]
+    )
+    warehouse.rssi.add_many(
+        [RSSIRecord("a", "ap1", -61.5, 0.0), RSSIRecord("b", "ap2", -72.0, 1.0)]
+    )
+    warehouse.positioning.add(
+        PositioningRecord("a", _loc(0.5, 2.1), 0.0, PositioningMethod.TRILATERATION)
+    )
+    warehouse.probabilistic.add(
+        ProbabilisticPositioningRecord(
+            "a", ((_loc(1.0, 1.0), 0.25), (_loc(4.0, 4.0, partition="p3"), 0.75)), 2.0
+        )
+    )
+    warehouse.proximity.add(ProximityRecord("a", "rfid1", 0.0, 4.0))
+    warehouse.devices.add(DeviceRecord("ap1", DeviceType.WIFI, _loc(0.0, 0.0), 25.0, 1.0))
+    return warehouse
+
+
+def _contents(warehouse):
+    """Every dataset as sorted record lists, for order-insensitive equality."""
+    return {
+        "trajectories": sorted(
+            warehouse.trajectories.to_trajectory_set().all_records(),
+            key=lambda r: (r.object_id, r.t),
+        ),
+        "rssi": sorted(
+            warehouse.rssi.all_records(), key=lambda r: (r.object_id, r.device_id, r.t)
+        ),
+        "positioning": sorted(
+            warehouse.positioning.all_records(), key=lambda r: (r.object_id, r.t)
+        ),
+        "probabilistic": sorted(
+            warehouse.probabilistic.all_records(), key=lambda r: (r.object_id, r.t)
+        ),
+        "proximity": sorted(
+            warehouse.proximity.all_records(),
+            key=lambda r: (r.object_id, r.device_id, r.t_start),
+        ),
+        "devices": sorted(warehouse.devices.all_records(), key=lambda r: r.device_id),
+    }
+
+
+@pytest.mark.parametrize("source_kind", ["memory", "sqlite"])
+@pytest.mark.parametrize("target_kind", ["memory", "sqlite"])
+def test_export_import_round_trip(tmp_path, source_kind, target_kind):
+    source_backend = (
+        MemoryBackend()
+        if source_kind == "memory"
+        else SQLiteBackend(path=tmp_path / "source.sqlite")
+    )
+    source = _populate(DataWarehouse(source_backend))
+    written = export_warehouse(source, tmp_path / "export")
+    assert set(written) == {
+        "devices", "trajectories", "rssi", "positioning", "probabilistic", "proximity",
+    }
+
+    target_backend = (
+        MemoryBackend()
+        if target_kind == "memory"
+        else SQLiteBackend(path=tmp_path / "target.sqlite")
+    )
+    target = import_warehouse(tmp_path / "export", DataWarehouse(target_backend))
+
+    assert _contents(source) == _contents(target)
+    assert source.summary() == target.summary()
+    source.close()
+    target.close()
+
+
+def test_import_creates_memory_warehouse_by_default(tmp_path):
+    source = _populate(DataWarehouse())
+    export_warehouse(source, tmp_path / "export")
+    loaded = import_warehouse(tmp_path / "export")
+    assert isinstance(loaded.backend, MemoryBackend)
+    assert _contents(loaded) == _contents(source)
+
+
+def test_import_skips_missing_files(tmp_path):
+    source = DataWarehouse()
+    source.rssi.add(RSSIRecord("a", "ap1", -60.0, 0.0))
+    export_warehouse(source, tmp_path / "partial")
+    loaded = import_warehouse(tmp_path / "partial")
+    assert loaded.summary()["rssi_records"] == 1
+    assert loaded.summary()["trajectory_records"] == 0
