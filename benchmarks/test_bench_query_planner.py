@@ -1,0 +1,126 @@
+"""QUERY PLANNER: pushed-down versus Python-fallback execution.
+
+The composable builder compiles to a logical plan that each engine pushes
+down as far as it can; a callable (``python``) predicate forces the planner's
+streaming fallback.  This bench runs semantically identical queries both ways
+on both engines — the pushed form phrases the predicate declaratively
+(``where``/``during``), the fallback form hides the very same predicate in a
+Python lambda — quantifying exactly what the push-down machinery buys.
+"""
+
+import time
+
+import pytest
+
+from conftest import print_table
+
+from repro.storage.backends import MemoryBackend, SQLiteBackend
+from repro.storage.repositories import DataWarehouse
+
+BACKEND_KINDS = ("memory", "sqlite")
+
+
+def _make_warehouse(kind, tmp_path_factory):
+    if kind == "memory":
+        return DataWarehouse(MemoryBackend())
+    path = tmp_path_factory.mktemp("bench_planner") / "bench.sqlite"
+    return DataWarehouse(SQLiteBackend(path=path))
+
+
+@pytest.fixture(scope="module", params=BACKEND_KINDS)
+def loaded(request, tmp_path_factory, office_workload):
+    _, devices, simulation, rssi = office_workload
+    warehouse = _make_warehouse(request.param, tmp_path_factory)
+    warehouse.trajectories.add_trajectory_set(simulation.trajectories)
+    warehouse.rssi.add_many(rssi)
+    for device in devices:
+        warehouse.devices.add(device.as_record())
+    warehouse.flush()
+    yield request.param, warehouse
+    warehouse.close()
+
+
+#: (label, pushed-down query, equivalent Python-fallback query).
+QUERY_PAIRS = (
+    (
+        "time-window",
+        lambda q: q("trajectory").during(60.0, 120.0).count(),
+        lambda q: q("trajectory").filter(lambda row: 60.0 <= row["t"] <= 120.0).count(),
+    ),
+    (
+        "object-filter",
+        lambda q: q("trajectory").where(object_id="obj_0001").count(),
+        lambda q: q("trajectory").filter(lambda row: row["object_id"] == "obj_0001").count(),
+    ),
+    (
+        "count-by-device",
+        lambda q: q("rssi").count_by("device_id"),
+        lambda q: q("rssi").filter(lambda row: True).count_by("device_id"),
+    ),
+    (
+        "floor-window-limit",
+        lambda q: q("trajectory").during(0.0, 120.0).on_floor(0).limit(50).all(),
+        lambda q: (
+            q("trajectory")
+            .filter(lambda row: row["floor_id"] == 0 and 0.0 <= row["t"] <= 120.0)
+            .limit(50)
+            .all()
+        ),
+    ),
+)
+
+
+class TestPushdownVersusFallback:
+    @pytest.mark.parametrize("label", [pair[0] for pair in QUERY_PAIRS])
+    def test_pushed(self, benchmark, loaded, label):
+        _, warehouse = loaded
+        pushed = next(pair[1] for pair in QUERY_PAIRS if pair[0] == label)
+        assert benchmark(lambda: pushed(warehouse.query)) is not None
+
+    @pytest.mark.parametrize("label", [pair[0] for pair in QUERY_PAIRS])
+    def test_fallback(self, benchmark, loaded, label):
+        _, warehouse = loaded
+        fallback = next(pair[2] for pair in QUERY_PAIRS if pair[0] == label)
+        assert benchmark(lambda: fallback(warehouse.query)) is not None
+
+    @pytest.mark.parametrize("label", [pair[0] for pair in QUERY_PAIRS])
+    def test_both_forms_agree(self, loaded, label):
+        _, warehouse = loaded
+        _, pushed, fallback = next(pair for pair in QUERY_PAIRS if pair[0] == label)
+        assert pushed(warehouse.query) == fallback(warehouse.query)
+
+
+def test_planner_comparison_summary(office_workload, tmp_path_factory):
+    """One-shot pushed-vs-fallback table per engine (shown with ``pytest -s``)."""
+    _, devices, simulation, rssi = office_workload
+    rows = []
+    for kind in BACKEND_KINDS:
+        warehouse = _make_warehouse(kind, tmp_path_factory)
+        warehouse.trajectories.add_trajectory_set(simulation.trajectories)
+        warehouse.rssi.add_many(rssi)
+        warehouse.flush()
+        for label, pushed, fallback in QUERY_PAIRS:
+            timings = {}
+            for form, query in (("pushed", pushed), ("fallback", fallback)):
+                t0 = time.perf_counter()
+                for _ in range(5):
+                    query(warehouse.query)
+                timings[form] = (time.perf_counter() - t0) * 1000.0 / 5.0
+            explain = warehouse.query("trajectory").during(60.0, 120.0).explain()
+            rows.append(
+                (
+                    kind,
+                    label,
+                    f"{timings['pushed']:.2f}",
+                    f"{timings['fallback']:.2f}",
+                    f"{timings['fallback'] / max(timings['pushed'], 1e-9):.1f}x",
+                    explain["pushdown"],
+                )
+            )
+        warehouse.close()
+    print_table(
+        "query planner: pushed-down vs Python fallback (ms per query)",
+        ("backend", "query", "pushed", "fallback", "speedup", "time-window pushdown"),
+        rows,
+    )
+    assert rows

@@ -10,7 +10,10 @@ equivalent is a small CLI:
   processes can query it without regenerating;
 * ``vita-generate query --db out/vita.sqlite --snapshot 120`` — run Data
   Stream API queries (snapshot, time range, kNN, region, visit counts)
-  against a previously generated SQLite warehouse;
+  against a previously generated SQLite warehouse; the generic builder
+  interface composes arbitrary queries over any dataset, e.g.
+  ``vita-generate query --db out/vita.sqlite --dataset trajectory
+  --where 'floor_id=1' --during 0 120 --count-by partition_id --explain``;
 * ``vita-generate describe --building mall --floors 2`` — print a summary and
   an ASCII rendering of one of the synthetic buildings (or of an IFC file via
   ``--ifc``);
@@ -23,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -77,6 +81,35 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="objects inside the box on FLOOR during [T0, T1]")
     query.add_argument("--visits", action="store_true",
                        help="distinct objects per partition (POI visit counts)")
+    builder = query.add_argument_group(
+        "composable builder queries",
+        "compose one query over any dataset; combine freely with --explain",
+    )
+    builder.add_argument("--dataset",
+                         choices=("trajectory", "rssi", "positioning",
+                                  "probabilistic", "proximity", "device"),
+                         help="dataset to query with the builder interface")
+    builder.add_argument("--where", action="append", default=[], metavar="COND",
+                         help="predicate like 'object_id=o12', 'rssi>=-60' or "
+                              "'floor_id!=0' (repeatable, ANDed)")
+    builder.add_argument("--during", nargs=2, type=float, metavar=("T0", "T1"),
+                         help="restrict to rows with T0 <= t <= T1")
+    builder.add_argument("--select", metavar="COLS",
+                         help="comma-separated projection, e.g. object_id,t")
+    builder.add_argument("--order-by", metavar="COL",
+                         help="sort column; prefix with '-' for descending")
+    builder.add_argument("--limit", type=int, metavar="N",
+                         help="return at most N rows")
+    builder.add_argument("--count", action="store_true",
+                         help="return the matching row count")
+    builder.add_argument("--count-by", metavar="COL",
+                         help="rows per distinct value of COL")
+    builder.add_argument("--distinct", metavar="COL",
+                         help="sorted distinct values of COL")
+    builder.add_argument("--stats", metavar="COL",
+                         help="count/mean/min/max/sum of COL")
+    builder.add_argument("--explain", action="store_true",
+                         help="report what the engine pushes down for the query")
 
     describe = subparsers.add_parser(
         "describe", help="summarise and render a building (synthetic or IFC)"
@@ -140,15 +173,83 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: ``--where`` operators, longest spelling first so ``>=`` wins over ``>``.
+_WHERE_PATTERN = re.compile(r"^\s*(\w+)\s*(==|!=|>=|<=|=|>|<)\s*(.*?)\s*$")
+
+
+def _parse_where(condition: str):
+    """``'rssi>=-60'`` -> ``("rssi", ">=", -60.0)`` (values parsed as JSON)."""
+    match = _WHERE_PATTERN.match(condition)
+    if match is None:
+        raise VitaError(
+            f"cannot parse --where {condition!r}; expected COLUMN<OP>VALUE "
+            "with one of ==, !=, >=, <=, =, >, <"
+        )
+    column, op, raw = match.groups()
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare strings need no quoting on the command line
+    return column, op, value
+
+
+def _builder_query(args: argparse.Namespace, warehouse: DataWarehouse) -> dict:
+    """Run (and/or explain) the composable query the CLI flags describe."""
+    query = warehouse.query(args.dataset)
+    for condition in args.where:
+        query = query.where(*_parse_where(condition))
+    if args.during:
+        query = query.during(*args.during)
+    if args.select:
+        query = query.select(*[column.strip() for column in args.select.split(",")])
+    if args.order_by:
+        query = query.order_by(args.order_by)
+    if args.limit is not None:
+        query = query.limit(args.limit)
+
+    verbs = [name for name, active in (("count", args.count), ("count_by", args.count_by),
+                                       ("distinct", args.distinct), ("stats", args.stats))
+             if active]
+    if len(verbs) > 1:
+        raise VitaError("choose at most one of --count/--count-by/--distinct/--stats")
+    verb = verbs[0] if verbs else "all"
+    column = args.distinct or args.stats
+    by = args.count_by
+
+    result: dict = {"dataset": args.dataset}
+    if args.explain:
+        result["explain"] = query.explain(verb, column=column, by=by)
+    if verb == "count":
+        result["count"] = query.count()
+    elif verb == "count_by":
+        result["count_by"] = query.count_by(by)
+    elif verb == "distinct":
+        result["distinct"] = query.distinct(column)
+    elif verb == "stats":
+        result["stats"] = query.stats(column)
+    elif not args.explain:  # --explain alone skips the row fetch
+        result["rows"] = query.all()
+    return result
+
+
 def _command_query(args: argparse.Namespace) -> int:
     if not Path(args.db).exists():
         print(f"error: no such database {args.db}", file=sys.stderr)
         return 2
+    builder_flags = (args.dataset is not None, bool(args.where), args.during is not None,
+                     args.select is not None, args.order_by is not None,
+                     args.limit is not None, args.count, args.count_by is not None,
+                     args.distinct is not None, args.stats is not None, args.explain)
+    if any(builder_flags) and args.dataset is None:
+        print("error: builder query flags require --dataset", file=sys.stderr)
+        return 2
     results = {}
     with DataWarehouse.open("sqlite", path=args.db) as warehouse:
         api = DataStreamAPI(warehouse)
+        if args.dataset is not None:
+            results["query"] = _builder_query(args, warehouse)
         if args.summary or not any((args.snapshot is not None, args.window, args.knn,
-                                    args.region, args.visits)):
+                                    args.region, args.visits, args.dataset)):
             results["summary"] = warehouse.summary()
         if args.snapshot is not None:
             results["snapshot"] = {

@@ -54,6 +54,7 @@ from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
 from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
 from repro.storage.backends import StorageBackend, backend_by_name
 from repro.storage.export import export_warehouse
+from repro.storage.query import Query
 from repro.storage.repositories import DataWarehouse
 from repro.storage.stream import DataStreamAPI
 
@@ -82,6 +83,8 @@ class Vita:
         self.rssi_records: List[RSSIRecord] = []
         self.radio_map: Optional[RadioMap] = None
         self.positioning_output: list = []
+        self._rssi_config: Optional[RSSIGenerationConfig] = None
+        self._stream_api: Optional[DataStreamAPI] = None
         if backend is None and db_path is not None:
             backend = "sqlite"
         if isinstance(backend, str):
@@ -248,6 +251,27 @@ class Vita:
         return self.rssi_records
 
     # ------------------------------------------------------------------ #
+    # Session lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Flush and release the warehouse's storage backend.
+
+        A persistent (SQLite) session holds an open database connection;
+        closing makes the file durable and reusable by other processes.
+        Prefer the context-manager form::
+
+            with Vita(backend="sqlite", db_path="run.sqlite") as vita:
+                ...
+        """
+        self.warehouse.close()
+
+    def __enter__(self) -> "Vita":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Step 6 — choose a positioning method and generate positioning data
     # ------------------------------------------------------------------ #
     def generate_positioning(
@@ -267,7 +291,7 @@ class Vita:
             method = PositioningMethod(method.lower())
         radio_map = None
         if method is PositioningMethod.FINGERPRINTING:
-            survey_config = getattr(self, "_rssi_config", RSSIGenerationConfig(seed=self.seed))
+            survey_config = self._rssi_config or RSSIGenerationConfig(seed=self.seed)
             generator = RSSIGenerator(self.building, self.devices, survey_config)
             radio_map = RadioMap.survey_grid(
                 self.building,
@@ -303,8 +327,19 @@ class Vita:
     # ------------------------------------------------------------------ #
     @property
     def stream_api(self) -> DataStreamAPI:
-        """Data Stream APIs over everything generated so far."""
-        return DataStreamAPI(self.warehouse)
+        """Data Stream APIs over everything generated so far (cached)."""
+        if self._stream_api is None:
+            self._stream_api = DataStreamAPI(self.warehouse)
+        return self._stream_api
+
+    def query(self, dataset: str) -> Query:
+        """A composable builder query over one generated dataset.
+
+        The generic counterpart of the fixed :attr:`stream_api` methods::
+
+            vita.query("trajectory").during(0, 60).on_floor(1).count_by("partition_id")
+        """
+        return self.warehouse.query(dataset)
 
     def export(self, directory: Union[str, Path]) -> Dict[str, str]:
         """Export every generated dataset to CSV/JSON files in *directory*.

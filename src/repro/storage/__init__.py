@@ -1,4 +1,4 @@
-"""Storage: pluggable backends, typed repositories, Data Stream APIs, export."""
+"""Storage: pluggable backends, typed repositories, query builder, export."""
 
 from repro.storage.tables import Row, Table, TableSchema
 from repro.storage.backends import (
@@ -8,6 +8,8 @@ from repro.storage.backends import (
     StorageBackend,
     backend_by_name,
 )
+from repro.storage.plan import Aggregate, Filter, PlanExecution, QueryPlan, Region
+from repro.storage.query import Query, explain_plan, run_plan
 from repro.storage.repositories import (
     DataWarehouse,
     DeviceRepository,
@@ -44,6 +46,14 @@ __all__ = [
     "MemoryBackend",
     "SQLiteBackend",
     "backend_by_name",
+    "Aggregate",
+    "Filter",
+    "PlanExecution",
+    "QueryPlan",
+    "Region",
+    "Query",
+    "explain_plan",
+    "run_plan",
     "DataWarehouse",
     "DeviceRepository",
     "PositioningRepository",

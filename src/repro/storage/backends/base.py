@@ -28,11 +28,41 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import StorageError
+from repro.storage.plan import PlanExecution, QueryPlan, sorted_distinct
 
 Row = Dict[str, Any]
 
 #: Shared location column suffix used by every dataset that embeds a location.
 LOCATION_COLUMNS: Tuple[str, ...] = ("building_id", "floor_id", "partition_id", "x", "y")
+
+#: Column type affinities shared by every engine (anything unlisted is text).
+REAL_COLUMNS = frozenset(
+    {"t", "t_start", "t_end", "x", "y", "rssi", "detection_range", "detection_interval"}
+)
+INT_COLUMNS = frozenset({"floor_id", "cell_x", "cell_y"})
+
+
+def coerce_value(column: str, value: Any) -> Any:
+    """Normalise *value* to *column*'s type affinity (numpy scalars included).
+
+    Raises :class:`StorageError` when the value cannot represent the
+    column's type (e.g. ``floor_id = "abc"``), so a bad predicate fails the
+    same way on every engine instead of crashing one and no-matching the
+    other.
+    """
+    if value is None:
+        return None
+    try:
+        if column in REAL_COLUMNS:
+            return float(value)
+        if column in INT_COLUMNS:
+            return int(value)
+    except (TypeError, ValueError):
+        kind = "real" if column in REAL_COLUMNS else "integer"
+        raise StorageError(f"value {value!r} is not valid for {kind} column {column!r}")
+    # Text affinity, mirroring SQLite: a non-string operand is compared (and
+    # stored) as its text form, so both engines see the same value.
+    return value if isinstance(value, str) else str(value)
 
 
 @dataclass(frozen=True)
@@ -186,6 +216,58 @@ class StorageBackend(abc.ABC):
         }
 
     # ------------------------------------------------------------------ #
+    # Logical-plan execution (capability negotiation with the planner)
+    # ------------------------------------------------------------------ #
+    def execute_plan(self, plan: QueryPlan) -> PlanExecution:
+        """Push down what this engine can run natively; leave the rest residual.
+
+        The portable default pushes the time window onto the
+        :meth:`rows_in_time_range` primitive and the bare aggregates onto
+        their primitives (:meth:`count`, :meth:`count_by`, :meth:`distinct`);
+        every other plan step is reported residual, and the planner
+        (:func:`repro.storage.query.run_plan`) streams it in Python.  Engines
+        override this with index- or SQL-backed strategies.
+        """
+        spec = dataset_spec(plan.dataset)
+        pushed: List[Tuple[str, str]] = []
+        time_ordered = False
+        if plan.time_range is not None and spec.time_column is not None:
+            low, high = plan.time_range
+            rows = lambda: iter(self.rows_in_time_range(plan.dataset, low, high))
+            pushed.append(("during", "rows_in_time_range primitive"))
+            time_ordered = True
+        else:
+            rows = lambda: iter(self.all_rows(plan.dataset))
+        residual_order = plan.order_by
+        if time_ordered and plan.order_by == ((spec.time_column, False),):
+            residual_order = ()
+            pushed.append(("order_by", f"time-ordered {spec.time_column} scan"))
+        execution = PlanExecution(
+            rows=rows,
+            pushed=pushed,
+            residual_filters=plan.filters,
+            residual_region=plan.region,
+            residual_order=residual_order,
+            needs_projection=plan.columns is not None,
+            needs_limit=plan.limit is not None or plan.offset > 0,
+        )
+        bare = not plan.filters and plan.region is None and plan.time_range is None
+        aggregate = plan.aggregate
+        if aggregate is not None and bare:
+            if aggregate.kind == "count":
+                execution.aggregate_thunk = lambda: self.count(plan.dataset)
+                pushed.append(("aggregate count(*)", "count primitive"))
+            elif aggregate.kind == "count_by":
+                execution.aggregate_thunk = lambda: self.count_by(plan.dataset, aggregate.by)
+                pushed.append((f"aggregate {aggregate.describe()}", "count_by primitive"))
+            elif aggregate.kind == "distinct":
+                execution.aggregate_thunk = lambda: sorted_distinct(
+                    self.distinct(plan.dataset, aggregate.column)
+                )
+                pushed.append((f"aggregate {aggregate.describe()}", "distinct primitive"))
+        return execution
+
+    # ------------------------------------------------------------------ #
     # Query operators (portable defaults; engines override natively)
     # ------------------------------------------------------------------ #
     def time_bounds(self, dataset: str) -> Optional[Tuple[float, float]]:
@@ -245,15 +327,6 @@ class StorageBackend(abc.ABC):
         scored.sort(key=lambda pair: (pair[1], pair[0]))
         return scored[:k]
 
-    def partition_visit_counts(self) -> Dict[str, int]:
-        """Distinct objects observed per partition over the trajectory data."""
-        visits: Dict[str, set] = {}
-        for row in self.all_rows("trajectory"):
-            partition_id = row["partition_id"]
-            if partition_id:
-                visits.setdefault(partition_id, set()).add(row["object_id"])
-        return {partition_id: len(objects) for partition_id, objects in visits.items()}
-
     def proximity_active_at(self, t: float) -> List[Row]:
         """Proximity detection periods covering time *t*."""
         return [
@@ -262,25 +335,13 @@ class StorageBackend(abc.ABC):
             if row["t_start"] <= t <= row["t_end"]
         ]
 
-    def rssi_device_statistics(self) -> Dict[str, Dict[str, float]]:
-        """Count/mean/min/max RSSI per device over the raw RSSI data."""
-        grouped: Dict[str, List[float]] = {}
-        for row in self.all_rows("rssi"):
-            grouped.setdefault(row["device_id"], []).append(row["rssi"])
-        return {
-            device_id: {
-                "count": float(len(values)),
-                "mean": sum(values) / len(values),
-                "min": min(values),
-                "max": max(values),
-            }
-            for device_id, values in grouped.items()
-        }
-
 
 __all__ = [
     "Row",
     "LOCATION_COLUMNS",
+    "REAL_COLUMNS",
+    "INT_COLUMNS",
+    "coerce_value",
     "DatasetSpec",
     "DATASETS",
     "dataset_spec",

@@ -30,11 +30,16 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.core.errors import StorageError
-from repro.storage.backends.base import DATASETS, Row, StorageBackend, dataset_spec
-
-#: Column type affinities; anything not listed is TEXT.
-_REAL_COLUMNS = {"t", "t_start", "t_end", "x", "y", "rssi", "detection_range", "detection_interval"}
-_INT_COLUMNS = {"floor_id", "cell_x", "cell_y"}
+from repro.storage.backends.base import (
+    DATASETS,
+    INT_COLUMNS as _INT_COLUMNS,
+    REAL_COLUMNS as _REAL_COLUMNS,
+    Row,
+    StorageBackend,
+    coerce_value as _coerce,
+    dataset_spec,
+)
+from repro.storage.plan import Filter, PlanExecution, QueryPlan
 
 #: Pragmas applied to every connection (WAL is swapped for MEMORY when the
 #: database itself is in-memory, where WAL journalling is not supported).
@@ -52,17 +57,6 @@ def _column_type(column: str) -> str:
     if column in _INT_COLUMNS:
         return "INTEGER"
     return "TEXT"
-
-
-def _coerce(column: str, value: Any) -> Any:
-    """Normalise a cell to a type sqlite3 can bind (handles numpy scalars)."""
-    if value is None:
-        return None
-    if column in _REAL_COLUMNS:
-        return float(value)
-    if column in _INT_COLUMNS:
-        return int(value)
-    return value
 
 
 class SQLiteBackend(StorageBackend):
@@ -326,6 +320,237 @@ class SQLiteBackend(StorageBackend):
         return spec.time_column
 
     # ------------------------------------------------------------------ #
+    # Logical-plan execution (compilation to parameterized SQL)
+    # ------------------------------------------------------------------ #
+    def _filter_sql(self, filter_: Filter, params: List[Any]) -> Optional[str]:
+        """The SQL clause for one predicate, or ``None`` when not pushable.
+
+        NULL handling intentionally mirrors the Python fallback (missing
+        values satisfy ``!=``/``not_in`` and fail everything else), so both
+        engines return identical rows.
+        """
+        column, op, value = filter_.column, filter_.op, filter_.value
+        if op == "python":
+            return None
+        if op in ("in", "not_in"):
+            # Members the column type cannot represent can never match a cell
+            # (same as the Python fallback), so they just drop out of the set.
+            others = []
+            for member in value:
+                if member is None:
+                    continue
+                try:
+                    others.append(_coerce(column, member))
+                except StorageError:
+                    pass
+            placeholders = ", ".join("?" for _ in others)
+            params.extend(others)
+            if op == "in":
+                if None in value:
+                    return f"({column} IS NULL OR {column} IN ({placeholders}))"
+                return f"{column} IN ({placeholders})"
+            if None in value:
+                return f"({column} IS NOT NULL AND {column} NOT IN ({placeholders}))"
+            return f"({column} IS NULL OR {column} NOT IN ({placeholders}))"
+        if op == "between":
+            low, high = value
+            try:
+                params.extend((_coerce(column, low), _coerce(column, high)))
+            except StorageError:
+                return "0 = 1"  # an unrepresentable bound matches nothing
+            return f"{column} BETWEEN ? AND ?"
+        if value is None:
+            if op == "==":
+                return f"{column} IS NULL"
+            if op == "!=":
+                return f"{column} IS NOT NULL"
+            return "0 = 1"  # inequality against NULL matches nothing
+        try:
+            params.append(_coerce(column, value))
+        except StorageError:
+            # No cell can equal or order against an unrepresentable value;
+            # only '!=' is satisfied (by every row, NULLs included).
+            return "1 = 1" if op == "!=" else "0 = 1"
+        if op == "==":
+            return f"{column} = ?"
+        if op == "!=":
+            return f"({column} IS NULL OR {column} != ?)"
+        return f"{column} {op} ?"
+
+    def execute_plan(self, plan: QueryPlan) -> PlanExecution:
+        """Compile *plan* to one parameterized SQL statement.
+
+        Everything except callable (``python``) predicates is pushed down:
+        filters and the time window become WHERE clauses over the engine's
+        indices, a region becomes a grid-bucket prefilter plus the exact box,
+        projections/ordering/limits compile directly, and the aggregate verbs
+        become SQL aggregates.  When a callable predicate is present, the
+        engine still pushes the WHERE/ORDER BY work but leaves limiting,
+        projection and aggregation to the planner (they must run after the
+        Python predicate).
+        """
+        spec = dataset_spec(plan.dataset)
+        pushed: List[Tuple[str, str]] = []
+        where: List[str] = []
+        params: List[Any] = []
+        residual: List[Filter] = []
+
+        for filter_ in plan.filters:
+            clause = self._filter_sql(filter_, params)
+            if clause is None:
+                residual.append(filter_)
+            else:
+                where.append(clause)
+                pushed.append((f"where {filter_.describe()}", f"SQL predicate {clause}"))
+        if plan.time_range is not None:
+            low, high = plan.time_range
+            where.append(f"{spec.time_column} BETWEEN ? AND ?")
+            params.extend((float(low), float(high)))
+            pushed.append(
+                ("during", f"SQL {spec.time_column} BETWEEN ? AND ? (time index)")
+            )
+        if plan.region is not None:
+            region = plan.region
+            where.append(
+                "cell_x BETWEEN ? AND ? AND cell_y BETWEEN ? AND ? "
+                "AND x BETWEEN ? AND ? AND y BETWEEN ? AND ?"
+            )
+            params.extend(
+                (
+                    int(region.min_x // self.cell_size),
+                    int(region.max_x // self.cell_size),
+                    int(region.min_y // self.cell_size),
+                    int(region.max_y // self.cell_size),
+                    region.min_x,
+                    region.max_x,
+                    region.min_y,
+                    region.max_y,
+                )
+            )
+            pushed.append(
+                ("within", "spatial grid-bucket index prefilter + exact box")
+            )
+
+        where_sql = f" WHERE {' AND '.join(where)}" if where else ""
+        fully_filtered = not residual
+
+        order_sql = ""
+        residual_order: Tuple[Tuple[str, bool], ...] = ()
+        if plan.order_by:
+            terms = ", ".join(
+                f"{column} {'DESC' if descending else 'ASC'}"
+                for column, descending in plan.order_by
+            )
+            order_sql = f" ORDER BY {terms}, rowid"
+            pushed.append(("order_by", f"SQL ORDER BY {terms}"))
+
+        aggregate = plan.aggregate
+        if aggregate is not None and fully_filtered:
+            sql, finish = self._aggregate_sql(plan.dataset, aggregate, where_sql)
+            pushed.append((f"aggregate {aggregate.describe()}", "SQL aggregate"))
+            pushed.append(("sql", sql))
+            bound = tuple(params)
+
+            def aggregate_thunk() -> Any:
+                self._drain(plan.dataset)
+                return finish(self._connection.execute(sql, bound))
+
+            return PlanExecution(
+                rows=lambda: iter(()),
+                pushed=pushed,
+                aggregate_thunk=aggregate_thunk,
+            )
+
+        if fully_filtered and plan.columns is not None:
+            columns = plan.columns
+            pushed.append(("select", f"SQL projection ({', '.join(columns)})"))
+        else:
+            columns = spec.columns
+
+        limit_sql = ""
+        needs_limit = plan.limit is not None or plan.offset > 0
+        if fully_filtered and (plan.limit is not None or plan.offset):
+            limit = plan.limit if plan.limit is not None else -1
+            limit_sql = f" LIMIT {int(limit)} OFFSET {int(plan.offset)}"
+            pushed.append(("limit", f"SQL LIMIT {limit} OFFSET {plan.offset}"))
+            needs_limit = False
+
+        if not order_sql and not plan.order_by:
+            order_sql = " ORDER BY rowid"  # deterministic insertion order
+
+        sql = (
+            f"SELECT {', '.join(columns)} FROM {plan.dataset}"
+            f"{where_sql}{order_sql}{limit_sql}"
+        )
+        pushed.append(("sql", sql))
+        bound = tuple(params)
+
+        def rows() -> Iterator[Row]:
+            self._drain(plan.dataset)
+            return (dict(row) for row in self._connection.execute(sql, bound))
+
+        return PlanExecution(
+            rows=rows,
+            pushed=pushed,
+            residual_filters=tuple(residual),
+            residual_order=residual_order,
+            needs_projection=not fully_filtered and plan.columns is not None,
+            needs_limit=needs_limit,
+        )
+
+    def _aggregate_sql(self, dataset: str, aggregate, where_sql: str):
+        """``(sql, cursor -> value)`` for a fully pushed aggregate."""
+        if aggregate.kind == "count":
+            sql = f"SELECT COUNT(*) FROM {dataset}{where_sql}"
+            return sql, lambda cursor: int(cursor.fetchone()[0])
+        if aggregate.kind == "count_by":
+            sql = (
+                f"SELECT {aggregate.by}, COUNT(*) FROM {dataset}{where_sql} "
+                f"GROUP BY {aggregate.by}"
+            )
+            return sql, lambda cursor: {row[0]: int(row[1]) for row in cursor.fetchall()}
+        if aggregate.kind == "count_distinct_by":
+            sql = (
+                f"SELECT {aggregate.by}, COUNT(DISTINCT {aggregate.column}) "
+                f"FROM {dataset}{where_sql} GROUP BY {aggregate.by}"
+            )
+            return sql, lambda cursor: {row[0]: int(row[1]) for row in cursor.fetchall()}
+        if aggregate.kind == "distinct":
+            sql = (
+                f"SELECT DISTINCT {aggregate.column} FROM {dataset}{where_sql} "
+                f"ORDER BY {aggregate.column}"
+            )
+            return sql, lambda cursor: [row[0] for row in cursor.fetchall()]
+        # stats
+        selected = (
+            f"COUNT({aggregate.column}), AVG({aggregate.column}), "
+            f"MIN({aggregate.column}), MAX({aggregate.column}), SUM({aggregate.column})"
+        )
+
+        def to_stats(values) -> Optional[Dict[str, float]]:
+            count, mean, low, high, total = values
+            if not count:
+                return None
+            return {
+                "count": float(count),
+                "mean": float(mean),
+                "min": low,
+                "max": high,
+                "sum": float(total),
+            }
+
+        if aggregate.by is None:
+            sql = f"SELECT {selected} FROM {dataset}{where_sql}"
+            return sql, lambda cursor: to_stats(cursor.fetchone())
+        sql = (
+            f"SELECT {aggregate.by}, {selected} FROM {dataset}{where_sql} "
+            f"GROUP BY {aggregate.by}"
+        )
+        return sql, lambda cursor: {
+            row[0]: to_stats(tuple(row)[1:]) for row in cursor.fetchall()
+        }
+
+    # ------------------------------------------------------------------ #
     # Native query operators (index-backed SQL)
     # ------------------------------------------------------------------ #
     def time_bounds(self, dataset: str) -> Optional[Tuple[float, float]]:
@@ -429,39 +654,12 @@ class SQLiteBackend(StorageBackend):
         )
         return [(row[0], float(row[1]) ** 0.5) for row in cursor.fetchall()]
 
-    def partition_visit_counts(self) -> Dict[str, int]:
-        self._drain("trajectory")
-        cursor = self._connection.execute(
-            """
-            SELECT partition_id, COUNT(DISTINCT object_id) FROM trajectory
-            WHERE partition_id IS NOT NULL AND partition_id != ''
-            GROUP BY partition_id
-            """
-        )
-        return {row[0]: int(row[1]) for row in cursor.fetchall()}
-
     def proximity_active_at(self, t: float) -> List[Row]:
         return self._select(
             "proximity",
             "WHERE t_start <= ? AND t_end >= ? ORDER BY rowid",
             (float(t), float(t)),
         )
-
-    def rssi_device_statistics(self) -> Dict[str, Dict[str, float]]:
-        self._drain("rssi")
-        cursor = self._connection.execute(
-            "SELECT device_id, COUNT(*), AVG(rssi), MIN(rssi), MAX(rssi) "
-            "FROM rssi GROUP BY device_id"
-        )
-        return {
-            row[0]: {
-                "count": float(row[1]),
-                "mean": float(row[2]),
-                "min": float(row[3]),
-                "max": float(row[4]),
-            }
-            for row in cursor.fetchall()
-        }
 
     def describe(self) -> Dict[str, Any]:
         info = super().describe()

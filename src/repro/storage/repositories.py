@@ -105,6 +105,18 @@ def row_to_device_record(row: Dict) -> DeviceRecord:
     )
 
 
+#: Dataset name -> plain-row-to-typed-record converter, used by
+#: :meth:`repro.storage.query.Query.records`.
+ROW_CONVERTERS = {
+    "trajectory": row_to_trajectory_record,
+    "rssi": row_to_rssi_record,
+    "positioning": row_to_positioning_record,
+    "probabilistic": row_to_probabilistic_record,
+    "proximity": row_to_proximity_record,
+    "device": row_to_device_record,
+}
+
+
 class _Repository:
     """Shared plumbing: one dataset of one backend."""
 
@@ -368,6 +380,17 @@ class DataWarehouse:
             batch_size=storage_config.batch_size,
         )
 
+    def query(self, dataset: str) -> "Query":
+        """A composable :class:`~repro.storage.query.Query` over *dataset*.
+
+        The entry point of the builder API::
+
+            warehouse.query("trajectory").during(0, 60).on_floor(1).count()
+        """
+        from repro.storage.query import Query  # local import breaks the cycle
+
+        return Query(self.backend, dataset)
+
     def flush(self) -> None:
         """Make pending writes durable (no-op on the memory engine)."""
         self.backend.flush()
@@ -399,6 +422,7 @@ class DataWarehouse:
 
 
 __all__ = [
+    "ROW_CONVERTERS",
     "row_to_trajectory_record",
     "row_to_rssi_record",
     "row_to_positioning_record",

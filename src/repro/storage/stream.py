@@ -14,10 +14,13 @@ typically needs over the generated data:
 * per-partition visit counting (the "frequently visited POIs" style of query
   cited in the paper's motivation).
 
-Every query dispatches to the warehouse's storage backend, which supplies a
-native implementation: indexed Python structures on the memory engine,
-index-backed SQL on SQLite.  The API is therefore identical — and returns
-identical results — regardless of where the data lives.
+Every method is a thin compatibility shim over the composable query builder
+(:mod:`repro.storage.query`): it phrases the query with the builder grammar
+and lets the planner push the work into the storage engine — index-backed SQL
+on SQLite, the hash/time indices on the memory engine.  The API is therefore
+identical — and returns identical results — regardless of where the data
+lives, and any query these fixed methods cannot phrase is available directly
+through :meth:`DataStreamAPI.query`.
 """
 
 from __future__ import annotations
@@ -29,6 +32,7 @@ from repro.core.errors import StorageError
 from repro.core.types import IndoorLocation, ObjectId, Timestamp, TrajectoryRecord
 from repro.geometry.point import Point
 from repro.geometry.polygon import BoundingBox
+from repro.storage.query import Query
 from repro.storage.repositories import DataWarehouse, row_to_trajectory_record
 
 
@@ -39,6 +43,10 @@ class DataStreamAPI:
         self.warehouse = warehouse
         self.backend = warehouse.backend
 
+    def query(self, dataset: str) -> Query:
+        """A composable builder query over *dataset* (the generic entry point)."""
+        return self.warehouse.query(dataset)
+
     # ------------------------------------------------------------------ #
     # Temporal queries
     # ------------------------------------------------------------------ #
@@ -46,15 +54,13 @@ class DataStreamAPI:
         self, t_start: Timestamp, t_end: Timestamp
     ) -> List[TrajectoryRecord]:
         """Trajectory records with ``t_start <= t <= t_end``."""
-        if t_end < t_start:
-            raise StorageError("time window end must not precede its start")
-        return self.warehouse.trajectories.in_time_range(t_start, t_end)
+        return self.query("trajectory").during(t_start, t_end).records()
 
     def snapshot(self, t: Timestamp, tolerance: float = 1.0) -> Dict[ObjectId, IndoorLocation]:
         """Last known location of every object within *tolerance* seconds of *t*."""
         return {
             object_id: row_to_trajectory_record(row).location
-            for object_id, row in self.backend.snapshot_rows(t, tolerance).items()
+            for object_id, row in self.query("trajectory").snapshot(t, tolerance).items()
         }
 
     def sliding_windows(
@@ -62,9 +68,9 @@ class DataStreamAPI:
     ) -> Iterator[Tuple[Timestamp, Timestamp, List[TrajectoryRecord]]]:
         """Iterate ``(t_start, t_end, records)`` sliding windows over the data.
 
-        One time-ordered pass over the backend feeds a buffer that holds only
-        the records of the current window, so the cost is a single scan (not
-        one scan per window) and memory stays bounded by the largest window —
+        One time-ordered builder scan feeds a buffer that holds only the
+        records of the current window, so the cost is a single scan (not one
+        scan per window) and memory stays bounded by the largest window —
         datasets larger than RAM stream through.
         """
         if window <= 0:
@@ -74,7 +80,7 @@ class DataStreamAPI:
         if bounds is None:
             return
         t, t_max = bounds
-        rows = self.backend.iter_time_ordered("trajectory")
+        rows = self.query("trajectory").order_by("t").iter()
         buffer: Deque[TrajectoryRecord] = deque()
         pending = next(rows, None)
         while t <= t_max:
@@ -98,51 +104,55 @@ class DataStreamAPI:
         t_end: Timestamp,
     ) -> List[ObjectId]:
         """Objects that had at least one sample inside *box* during the window."""
-        if t_end < t_start:
-            raise StorageError("time window end must not precede its start")
         # Same edge tolerance as BoundingBox.contains_point, so a sample that
         # float round-off pushes marginally past the box edge still counts.
         eps = 1e-9
-        return self.backend.region_object_ids(
-            floor_id,
-            box.min_x - eps,
-            box.min_y - eps,
-            box.max_x + eps,
-            box.max_y + eps,
-            t_start,
-            t_end,
+        return (
+            self.query("trajectory")
+            .during(t_start, t_end)
+            .on_floor(floor_id)
+            .within((box.min_x - eps, box.min_y - eps, box.max_x + eps, box.max_y + eps))
+            .distinct("object_id")
         )
 
     def objects_in_partition(
         self, partition_id: str, t_start: Timestamp, t_end: Timestamp
     ) -> List[ObjectId]:
         """Objects observed in *partition_id* during the window."""
-        found = {
-            record.object_id
-            for record in self.warehouse.trajectories.in_partition(partition_id)
-            if t_start <= record.t <= t_end
-        }
-        return sorted(found)
+        return (
+            self.query("trajectory")
+            .where(partition_id=partition_id)
+            .during(t_start, t_end)
+            .distinct("object_id")
+        )
 
     def knn_at(self, floor_id: int, point: Point, t: Timestamp, k: int = 5,
                tolerance: float = 1.0) -> List[Tuple[ObjectId, float]]:
         """The *k* objects closest to *point* on *floor_id* around time *t*."""
-        return self.backend.knn(floor_id, point.x, point.y, t, k, tolerance)
+        return (
+            self.query("trajectory")
+            .on_floor(floor_id)
+            .knn(point.x, point.y, t, k=k, tolerance=tolerance)
+        )
 
     # ------------------------------------------------------------------ #
     # Aggregations
     # ------------------------------------------------------------------ #
     def partition_visit_counts(self) -> Dict[str, int]:
         """Number of distinct objects observed per partition (symbolic POI counts)."""
-        return self.backend.partition_visit_counts()
+        return (
+            self.query("trajectory")
+            .where("partition_id", "not_in", (None, ""))
+            .count_by("partition_id", distinct="object_id")
+        )
 
     def device_detection_counts(self) -> Dict[str, int]:
         """Number of proximity detection periods per device."""
-        return self.backend.count_by("proximity", "device_id")
+        return self.query("proximity").count_by("device_id")
 
     def rssi_statistics_by_device(self) -> Dict[str, Dict[str, float]]:
-        """Mean/min/max RSSI per device over the raw RSSI data."""
-        return self.backend.rssi_device_statistics()
+        """count/mean/min/max/sum RSSI per device over the raw RSSI data."""
+        return self.query("rssi").stats("rssi", by="device_id")
 
 
 __all__ = ["DataStreamAPI"]

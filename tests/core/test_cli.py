@@ -124,3 +124,81 @@ class TestSQLiteBackendCommands:
     def test_query_missing_database_fails_cleanly(self, tmp_path, capsys):
         exit_code = main(["query", "--db", str(tmp_path / "nope.sqlite")])
         assert exit_code == 2
+
+
+class TestBuilderQueryCommand:
+    @pytest.fixture()
+    def db_path(self, config_path, tmp_path, capsys):
+        output = tmp_path / "out"
+        assert main(["generate", "--config", str(config_path), "--output", str(output),
+                     "--backend", "sqlite"]) == 0
+        capsys.readouterr()
+        return output / "vita.sqlite"
+
+    def test_generic_rows_query(self, db_path, capsys):
+        exit_code = main([
+            "query", "--db", str(db_path), "--dataset", "trajectory",
+            "--where", "floor_id=0", "--during", "0", "20",
+            "--select", "object_id,t", "--order-by", "t", "--limit", "5",
+        ])
+        assert exit_code == 0
+        results = json.loads(capsys.readouterr().out)
+        rows = results["query"]["rows"]
+        assert 0 < len(rows) <= 5
+        assert set(rows[0]) == {"object_id", "t"}
+        assert [row["t"] for row in rows] == sorted(row["t"] for row in rows)
+
+    def test_count_by_with_explain_shows_sql_pushdown(self, db_path, capsys):
+        exit_code = main([
+            "query", "--db", str(db_path), "--dataset", "trajectory",
+            "--during", "0", "20", "--count-by", "partition_id", "--explain",
+        ])
+        assert exit_code == 0
+        results = json.loads(capsys.readouterr().out)
+        query = results["query"]
+        assert query["count_by"]
+        explain = query["explain"]
+        assert explain["pushdown"] == "full"
+        assert any("GROUP BY partition_id" in line for line in explain["pushed"])
+
+    def test_explain_alone_skips_the_row_fetch(self, db_path, capsys):
+        exit_code = main([
+            "query", "--db", str(db_path), "--dataset", "rssi",
+            "--where", "rssi>=-60", "--explain",
+        ])
+        assert exit_code == 0
+        results = json.loads(capsys.readouterr().out)
+        assert "rows" not in results["query"]
+        assert any("rssi >= ?" in line for line in results["query"]["explain"]["pushed"])
+
+    def test_distinct_and_stats_verbs(self, db_path, capsys):
+        assert main(["query", "--db", str(db_path), "--dataset", "trajectory",
+                     "--distinct", "object_id"]) == 0
+        distinct = json.loads(capsys.readouterr().out)["query"]["distinct"]
+        assert len(distinct) == 4
+        assert main(["query", "--db", str(db_path), "--dataset", "rssi",
+                     "--stats", "rssi"]) == 0
+        stats = json.loads(capsys.readouterr().out)["query"]["stats"]
+        assert stats["count"] > 0 and stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_builder_flags_require_dataset(self, db_path, capsys):
+        assert main(["query", "--db", str(db_path), "--where", "floor_id=0"]) == 2
+        assert "require --dataset" in capsys.readouterr().err
+        # Falsy flag values still count as builder flags.
+        assert main(["query", "--db", str(db_path), "--limit", "0"]) == 2
+        assert "require --dataset" in capsys.readouterr().err
+
+    def test_bad_where_expression_fails_cleanly(self, db_path, capsys):
+        assert main(["query", "--db", str(db_path), "--dataset", "trajectory",
+                     "--where", "no-ops-here"]) == 2
+        assert "cannot parse" in capsys.readouterr().err
+
+    def test_untypable_where_value_fails_cleanly(self, db_path, capsys):
+        assert main(["query", "--db", str(db_path), "--dataset", "trajectory",
+                     "--where", "floor_id=abc"]) == 2
+        assert "not valid" in capsys.readouterr().err
+
+    def test_multiple_aggregate_verbs_rejected(self, db_path, capsys):
+        assert main(["query", "--db", str(db_path), "--dataset", "trajectory",
+                     "--count", "--distinct", "object_id"]) == 2
+        assert "at most one" in capsys.readouterr().err

@@ -57,6 +57,14 @@ class TestSixStepPath:
         snapshot = vita.stream_api.snapshot(45.0)
         assert len(snapshot) > 0
 
+    def test_stream_api_is_cached(self, vita):
+        assert vita.stream_api is vita.stream_api
+
+    def test_facade_builder_query(self, vita):
+        counts = vita.query("trajectory").during(0.0, 45.0).count_by("object_id")
+        assert counts and all(count > 0 for count in counts.values())
+        assert vita.query("device").count() == 6
+
     def test_export_writes_files(self, vita, tmp_path):
         written = vita.export(tmp_path)
         assert {"devices", "trajectories", "rssi", "positioning"} <= set(written)
@@ -91,6 +99,28 @@ class TestMethodSwitching:
         by_string = vita.generate_positioning("trilateration")
         by_enum = vita.generate_positioning(PositioningMethod.TRILATERATION)
         assert len(by_string) == len(by_enum)
+
+
+class TestSessionLifecycle:
+    def test_vita_is_a_context_manager_closing_the_backend(self, tmp_path):
+        db_path = tmp_path / "session.sqlite"
+        with Vita(seed=3, backend="sqlite", db_path=db_path) as vita:
+            vita.use_synthetic_building("office", floors=1)
+            vita.deploy_devices("wifi", count_per_floor=3)
+            assert vita.summary()["device_records"] == 3
+        # The backend connection is released: further reads must fail ...
+        with pytest.raises(Exception):
+            vita.warehouse.summary()
+        # ... and the data is durable for a fresh session over the same file.
+        from repro.storage.repositories import DataWarehouse
+
+        with DataWarehouse.open("sqlite", path=str(db_path)) as reopened:
+            assert reopened.summary()["device_records"] == 3
+
+    def test_close_is_idempotent(self):
+        vita = Vita()
+        vita.close()
+        vita.close()
 
 
 class TestDBIImportPath:

@@ -66,6 +66,35 @@ class TestTemporalQueries:
         with pytest.raises(StorageError):
             list(api.sliding_windows(window=0.0))
 
+    def test_sliding_windows_empty_warehouse(self):
+        api = DataStreamAPI(DataWarehouse())
+        assert list(api.sliding_windows(window=5.0)) == []
+
+    def test_sliding_windows_step_larger_than_window_skips_gaps(self, api):
+        # Data spans t in [0, 10]; window 2 with step 4 gives windows at
+        # t = 0, 4, 8 covering [0,2], [4,6], [8,10] and skipping the gaps.
+        windows = list(api.sliding_windows(window=2.0, step=4.0))
+        assert [t for t, _, _ in windows] == [0.0, 4.0, 8.0]
+        for t_start, t_end, records in windows:
+            assert t_end == t_start + 2.0
+            assert all(t_start <= record.t <= t_end for record in records)
+        # Each window holds 3 sample times x 2 objects.
+        assert [len(records) for _, _, records in windows] == [6, 6, 6]
+
+    def test_sliding_windows_window_longer_than_data_span(self, api):
+        windows = list(api.sliding_windows(window=100.0))
+        assert len(windows) == 1
+        t_start, t_end, records = windows[0]
+        assert (t_start, t_end) == (0.0, 100.0)
+        assert len(records) == 22  # every sample of both objects
+
+    def test_sliding_windows_single_instant_data(self):
+        warehouse = DataWarehouse()
+        warehouse.trajectories.add(TrajectoryRecord("solo", _loc(1.0, 1.0), 42.0))
+        windows = list(DataStreamAPI(warehouse).sliding_windows(window=5.0))
+        assert len(windows) == 1
+        assert [record.object_id for record in windows[0][2]] == ["solo"]
+
 
 class TestSpatialQueries:
     def test_objects_in_region(self, api):
