@@ -95,3 +95,59 @@ class TestEndToEndThroughput:
         assert large_total < small_total * 60
         # Faster than real time even at 150 objects.
         assert large_total < DURATION
+
+
+class TestStreamingThroughput:
+    """Streaming mode: datasets larger than the flush buffer, O(flush) pending.
+
+    The streaming pipeline must generate a dataset larger than the configured
+    flush buffer while never buffering more than that flush budget — the
+    memory contract that makes dataset size independent of RAM.
+    """
+
+    def test_streaming_generates_beyond_the_flush_buffer(self, benchmark, tmp_path):
+        from repro.core.config import (
+            DeviceConfig,
+            EnvironmentConfig,
+            ObjectConfig,
+            StorageConfig,
+            VitaConfig,
+        )
+        from repro.core.pipeline import VitaPipeline
+
+        flush_every = 256
+        config = VitaConfig(
+            environment=EnvironmentConfig(building="office", floors=2),
+            devices=[DeviceConfig(count_per_floor=6)],
+            objects=ObjectConfig(count=30, duration=DURATION, time_step=0.5),
+            storage=StorageConfig(
+                backend="sqlite", path=str(tmp_path / "stream.sqlite"),
+                flush_every=flush_every,
+            ),
+            seed=7,
+            shards=4,
+        )
+        events = []
+        result = benchmark.pedantic(
+            lambda: VitaPipeline(config).run_streaming(progress=events.append),
+            rounds=1, iterations=1,
+        )
+        report = result.report
+        result.warehouse.close()
+        print_table(
+            "THROUGHPUT: streaming generation (flush buffer vs dataset size)",
+            ["records", "flush buffer", "max pending", "flushes", "records/s", "workers"],
+            [[
+                report.total_records,
+                report.flush_every,
+                report.max_pending,
+                report.flushes,
+                f"{report.records_per_second:,.0f}",
+                report.workers,
+            ]],
+        )
+        # The dataset outgrew the flush buffer many times over...
+        assert report.total_records > flush_every * 4
+        # ...yet the pipeline never held more than the flush budget pending.
+        assert report.max_pending <= flush_every
+        assert max(event.pending_records for event in events) <= flush_every

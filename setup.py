@@ -20,6 +20,14 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     install_requires=["numpy", "networkx"],
-    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    extras_require={
+        "dev": [
+            "pytest",
+            "pytest-benchmark",
+            "pytest-timeout",
+            "pytest-cov",
+            "hypothesis",
+        ]
+    },
     entry_points={"console_scripts": ["vita-generate=repro.cli:main"]},
 )

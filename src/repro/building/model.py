@@ -343,6 +343,18 @@ class Floor:
         self._walls = None
         self._partition_index = None
 
+    def __getstate__(self) -> dict:
+        # The lazy caches hold closures (not picklable) and are cheap to
+        # rebuild, so pickling ships the floor without them.  This is what
+        # lets a Building cross process boundaries for parallel generation.
+        state = self.__dict__.copy()
+        state["_walls"] = None
+        state["_partition_index"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

@@ -62,6 +62,19 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="storage backend (overrides the config's storage.backend)")
     generate.add_argument("--db", default=None,
                           help="SQLite database path (default: <output>/vita.sqlite)")
+    generate.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="run generation shards in N parallel processes "
+                               "(default: the config's 'workers'; output is "
+                               "identical for any N)")
+    generate.add_argument("--shards", type=int, default=None, metavar="N",
+                          help="deterministic shard count (default: the config's "
+                               "'shards', else derived from the object count)")
+    generate.add_argument("--flush-every", type=int, default=None, metavar="N",
+                          dest="flush_every",
+                          help="flush pending records to storage every N records "
+                               "(default: the config's storage.flush_every)")
+    generate.add_argument("--progress", action="store_true",
+                          help="report objects/records per second to stderr while generating")
 
     query = subparsers.add_parser(
         "query", help="run Data Stream API queries against a generated SQLite warehouse"
@@ -156,7 +169,14 @@ def _command_generate(args: argparse.Namespace) -> int:
         elif config.storage.path is None:
             config.storage.path = str(output / "vita.sqlite")
 
-    result = VitaPipeline(config).run()
+    progress = _progress_printer() if args.progress else None
+    result = VitaPipeline(config).run_streaming(
+        workers=args.workers,
+        shards=args.shards,
+        flush_every=args.flush_every,
+        progress=progress,
+    )
+    report = result.report
     output.mkdir(parents=True, exist_ok=True)
 
     with result.warehouse as warehouse:
@@ -165,12 +185,37 @@ def _command_generate(args: argparse.Namespace) -> int:
             "building": result.building.building_id,
             "storage": warehouse.backend.describe(),
             "records": warehouse.summary(),
-            "timings_seconds": {name: round(value, 3) for name, value in result.timings.items()},
+            "generation": {
+                "master_seed": report.master_seed,
+                "shards": report.shard_count,
+                "workers": report.workers,
+                "flush_every": report.flush_every,
+                "objects": report.objects,
+                "max_pending_records": report.max_pending,
+                "flushes": report.flushes,
+                "records_per_second": round(report.records_per_second, 1),
+            },
+            "timings_seconds": {name: round(value, 3) for name, value in report.timings.items()},
             "outputs": {name: str(path) for name, path in written.items()},
         }
     (output / "summary.json").write_text(json.dumps(summary, indent=2), encoding="utf-8")
     print(json.dumps(summary, indent=2))
     return 0
+
+
+def _progress_printer():
+    """A progress callback printing one line per event to stderr."""
+
+    def _print(event) -> None:
+        shard = "-" if event.shard_id is None else f"{event.shard_id + 1}/{event.shard_count}"
+        print(
+            f"[{event.phase:>11}] shard {shard} objects={event.objects_done} "
+            f"records={event.records_written} pending={event.pending_records} "
+            f"({event.records_per_second:,.0f} rec/s)",
+            file=sys.stderr,
+        )
+
+    return _print
 
 
 #: ``--where`` operators, longest spelling first so ``>=`` wins over ``>``.

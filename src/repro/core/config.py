@@ -170,6 +170,9 @@ class StorageConfig:
     #: when reopening an existing database, its stored bucket size.
     grid_cell_size: Optional[float] = None
     batch_size: int = 2000            # rows per bulk-insert batch
+    #: Streaming generation flushes pending records to the backend whenever
+    #: this many are buffered, bounding peak pending memory.
+    flush_every: int = 5000
 
     def __post_init__(self) -> None:
         if self.backend.lower().strip() not in ("memory", "sqlite"):
@@ -183,11 +186,19 @@ class StorageConfig:
             raise ConfigurationError("storage.grid_cell_size must be positive")
         if self.batch_size < 1:
             raise ConfigurationError("storage.batch_size must be at least 1")
+        if self.flush_every < 1:
+            raise ConfigurationError("storage.flush_every must be at least 1")
 
 
 @dataclass
 class VitaConfig:
-    """The complete configuration of one generation run."""
+    """The complete configuration of one generation run.
+
+    ``shards`` fixes the deterministic partition of the moving objects used
+    by streaming generation (``None`` derives it from the object count), and
+    ``workers`` sets how many processes run those shards concurrently.  The
+    streamed output depends on ``shards`` but never on ``workers``.
+    """
 
     environment: EnvironmentConfig = field(default_factory=EnvironmentConfig)
     devices: List[DeviceConfig] = field(default_factory=lambda: [DeviceConfig()])
@@ -196,10 +207,16 @@ class VitaConfig:
     positioning: PositioningLayerConfig = field(default_factory=PositioningLayerConfig)
     storage: StorageConfig = field(default_factory=StorageConfig)
     seed: Optional[int] = None
+    workers: int = 1
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.devices:
             raise ConfigurationError("at least one device deployment must be configured")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        if self.shards is not None and self.shards < 1:
+            raise ConfigurationError("shards must be at least 1")
         # Propagate the top-level seed to the sub-configurations that accept one.
         if self.seed is not None:
             if self.objects.seed is None:
@@ -254,7 +271,8 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     """Build a validated :class:`VitaConfig` from a plain dictionary."""
     _only_known_keys(
         "config", payload,
-        ("environment", "devices", "objects", "rssi", "positioning", "storage", "seed"),
+        ("environment", "devices", "objects", "rssi", "positioning", "storage",
+         "seed", "workers", "shards"),
     )
     environment_payload = dict(payload.get("environment", {}))
     _only_known_keys(
@@ -303,7 +321,7 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     storage_payload = dict(payload.get("storage", {}))
     _only_known_keys(
         "storage", storage_payload,
-        ("backend", "path", "grid_cell_size", "batch_size"),
+        ("backend", "path", "grid_cell_size", "batch_size", "flush_every"),
     )
     storage = StorageConfig(**storage_payload)
 
@@ -315,6 +333,8 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
         positioning=positioning,
         storage=storage,
         seed=payload.get("seed"),
+        workers=int(payload.get("workers", 1)),
+        shards=int(payload["shards"]) if payload.get("shards") is not None else None,
     )
 
 

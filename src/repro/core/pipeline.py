@@ -16,6 +16,7 @@ so that the Data Stream APIs can query it afterwards.
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -26,27 +27,29 @@ from repro.building.semantics import SemanticExtractor
 from repro.building.synthetic import building_by_name
 from repro.core.config import VitaConfig
 from repro.core.errors import ConfigurationError
+from repro.core.streaming import (
+    ProgressCallback,
+    ShardContext,
+    StreamingWriter,
+    arrival_process_for,
+    auto_shard_count,
+    build_rssi_config,
+    derive_seed,
+    iter_shard_outputs,
+    object_layer_components,
+    plan_shards,
+    resolve_master_seed,
+)
 from repro.core.types import PositioningMethod, PositioningRecord, ProbabilisticPositioningRecord
 from repro.devices.controller import DeviceDeploymentRequest, PositioningDeviceController
 from repro.devices.deployment import deployment_model_by_name
 from repro.geometry.decompose import DecompositionConfig
 from repro.ifc.extractor import DBIProcessor, DBIProcessorOptions
-from repro.mobility.behavior import behavior_by_name
 from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
-from repro.mobility.crowd import crowd_model_by_name
-from repro.mobility.distributions import (
-    CrowdOutliersDistribution,
-    NoArrivals,
-    PoissonArrivals,
-    UniformDistribution,
-)
 from repro.mobility.engine import SimulationResult
-from repro.mobility.intentions import intention_by_name
 from repro.positioning.controller import PositioningConfig, PositioningMethodController
 from repro.positioning.fingerprinting import RadioMap
 from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
-from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
-from repro.rssi.pathloss import PathLossModel
 from repro.storage.repositories import DataWarehouse
 
 
@@ -67,6 +70,61 @@ class GenerationResult:
         """Counts plus per-layer wall-clock timings."""
         summary: Dict[str, float] = {key: float(value) for key, value in self.warehouse.summary().items()}
         summary.update({f"seconds_{name}": value for name, value in self.timings.items()})
+        return summary
+
+
+@dataclass
+class StreamingReport:
+    """What a streaming run did: determinism inputs, volumes and throughput.
+
+    ``timings`` mixes two units: ``infrastructure`` and ``generation`` are
+    wall-clock seconds of the run, while the per-layer ``*_cpu`` entries are
+    summed across shards (with ``workers > 1`` they exceed wall-clock).
+    """
+
+    master_seed: int
+    shard_count: int
+    workers: int
+    flush_every: int
+    objects: int
+    records_written: Dict[str, int]
+    total_records: int
+    max_pending: int
+    flushes: int
+    timings: Dict[str, float]
+    elapsed_seconds: float
+
+    @property
+    def records_per_second(self) -> float:
+        """Overall write throughput of the run (records/sec of wall-clock)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.total_records / self.elapsed_seconds
+
+
+@dataclass
+class StreamingGenerationResult:
+    """Everything a streaming pipeline run produced.
+
+    Unlike :class:`GenerationResult` there is no materialised simulation or
+    positioning output — every record already lives in the warehouse, which
+    is the point of the streaming path.
+    """
+
+    config: VitaConfig
+    building: Building
+    warehouse: DataWarehouse
+    report: StreamingReport
+    radio_map: Optional[RadioMap] = None
+    devices: List = field(default_factory=list)
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        """Counts plus per-layer timings, mirroring :class:`GenerationResult`."""
+        summary: Dict[str, float] = {
+            key: float(value) for key, value in self.warehouse.summary().items()
+        }
+        summary.update({f"seconds_{name}": value for name, value in self.report.timings.items()})
         return summary
 
 
@@ -128,19 +186,8 @@ class VitaPipeline:
     def generate_objects(self, building: Building) -> SimulationResult:
         """Generate moving objects and their raw trajectories."""
         objects = self.config.objects
-        if objects.distribution.lower().replace("_", "-") in ("crowd-outliers", "crowdoutliers"):
-            distribution = CrowdOutliersDistribution(
-                crowd_count=objects.crowd_count,
-                crowd_fraction=objects.crowd_fraction,
-                hot_partition_tags=("shop", "canteen", "public_area"),
-            )
-        else:
-            distribution = UniformDistribution()
-        arrival_process = (
-            PoissonArrivals(rate_per_minute=objects.arrival_rate_per_minute)
-            if objects.arrival_rate_per_minute > 0
-            else NoArrivals()
-        )
+        distribution, intention, behavior, crowd_model = object_layer_components(objects)
+        arrival_process = arrival_process_for(objects.arrival_rate_per_minute)
         controller = MovingObjectController(
             building,
             config=ObjectGenerationConfig(
@@ -157,9 +204,9 @@ class VitaPipeline:
             ),
             distribution=distribution,
             arrival_process=arrival_process,
-            intention=intention_by_name(objects.intention),
-            behavior=behavior_by_name(objects.behavior),
-            crowd_model=crowd_model_by_name(objects.crowd_interaction),
+            intention=intention,
+            behavior=behavior,
+            crowd_model=crowd_model,
         )
         return controller.generate()
 
@@ -167,21 +214,7 @@ class VitaPipeline:
     # Layer 3: RSSI + positioning
     # ------------------------------------------------------------------ #
     def _rssi_config(self) -> RSSIGenerationConfig:
-        rssi = self.config.rssi
-        path_loss = None
-        if rssi.path_loss_exponent is not None or rssi.calibration_rssi is not None:
-            path_loss = PathLossModel(
-                exponent=rssi.path_loss_exponent or 2.5,
-                calibration_rssi=rssi.calibration_rssi if rssi.calibration_rssi is not None else -40.0,
-            )
-        return RSSIGenerationConfig(
-            sampling_period=rssi.sampling_period,
-            path_loss=path_loss,
-            obstacle_noise=ObstacleNoiseModel(wall_attenuation_db=rssi.wall_attenuation_db),
-            fluctuation_noise=FluctuationNoiseModel(sigma_db=rssi.fluctuation_sigma_db),
-            detection_probability=rssi.detection_probability,
-            seed=rssi.seed,
-        )
+        return build_rssi_config(self.config.rssi, self.config.rssi.seed)
 
     def generate_rssi(self, building: Building, devices, simulation: SimulationResult):
         """Generate raw RSSI measurements for the simulated trajectories."""
@@ -264,6 +297,152 @@ class VitaPipeline:
             timings=timings,
         )
 
+    # ------------------------------------------------------------------ #
+    # Streaming, sharded run
+    # ------------------------------------------------------------------ #
+    def run_streaming(
+        self,
+        *,
+        warehouse: Optional[DataWarehouse] = None,
+        progress: Optional[ProgressCallback] = None,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        flush_every: Optional[int] = None,
+    ) -> StreamingGenerationResult:
+        """Execute all three layers shard by shard, streaming into storage.
+
+        The moving objects are partitioned into deterministic shards; each
+        shard runs the full object -> trajectory -> RSSI -> positioning chain
+        independently (optionally across ``workers`` processes) and its
+        records are flushed to the backend in batches of ``flush_every``, so
+        peak memory is O(shard), not O(dataset).  For a fixed
+        ``(master seed, shard count)`` the stored output is record-identical
+        regardless of ``workers``.
+
+        Args:
+            warehouse: stream into this warehouse instead of opening one from
+                ``config.storage`` (it is cleared first: a run owns its
+                warehouse, like :meth:`run`).
+            progress: :class:`~repro.core.streaming.GenerationProgress`
+                callback for objects/records-per-second reporting.
+            workers / shards / flush_every: override the corresponding
+                configuration knobs for this run only.
+        """
+        config = self.config
+        workers = config.workers if workers is None else int(workers)
+        if workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        shard_count = config.shards if shards is None else int(shards)
+        if shard_count is None:
+            shard_count = auto_shard_count(config.objects.count)
+        if shard_count < 1:
+            raise ConfigurationError("shards must be at least 1")
+        flush_every = config.storage.flush_every if flush_every is None else int(flush_every)
+        if flush_every < 1:
+            raise ConfigurationError("flush_every must be at least 1")
+
+        timings: Dict[str, float] = {}
+        run_start = time.perf_counter()
+        building = self.build_environment()
+        device_controller = self.deploy_devices(building)
+        devices = list(device_controller.devices.values())
+        master_seed = resolve_master_seed(config)
+        radio_map = None
+        if config.positioning.method is PositioningMethod.FINGERPRINTING:
+            # The radio map is shared infrastructure: surveyed once by the
+            # parent with a seed derived from the master, never per shard.
+            survey_generator = RSSIGenerator(
+                building,
+                devices,
+                build_rssi_config(config.rssi, seed=derive_seed(master_seed, -1, "survey")),
+            )
+            radio_map = RadioMap.survey_grid(
+                building,
+                survey_generator,
+                spacing=config.positioning.radio_map_spacing,
+                samples_per_location=config.positioning.radio_map_samples,
+            )
+        timings["infrastructure"] = time.perf_counter() - run_start
+
+        if warehouse is None:
+            warehouse = DataWarehouse.from_config(config.storage)
+        # A run owns its warehouse (same contract as the materialising path).
+        warehouse.clear()
+        plan = plan_shards(config.objects.count, shard_count, master_seed)
+        writer = StreamingWriter(warehouse, flush_every, progress)
+        writer.set_context(None, len(plan), 0)
+        writer.write("devices", device_controller.device_records())
+        writer.emit("devices")
+
+        context = ShardContext(
+            config=config,
+            building=building,
+            devices=devices,
+            radio_map=radio_map,
+            master_seed=master_seed,
+        )
+        objects_done = 0
+        sample_ticks = itertools.count(1)
+
+        def on_shard_start(shard) -> None:
+            writer.set_context(shard.shard_id, len(plan), objects_done)
+            writer.emit("shard-start")
+
+        def on_sample(_record) -> None:
+            # Serial-mode heartbeat: report rates while a long shard simulates.
+            if next(sample_ticks) % 2000 == 0:
+                writer.emit("objects")
+
+        shards_start = time.perf_counter()
+        for output in iter_shard_outputs(
+            context,
+            plan,
+            workers,
+            on_sample=on_sample if progress is not None else None,
+            on_shard_start=on_shard_start,
+        ):
+            writer.set_context(output.shard_id, len(plan), objects_done)
+            writer.write("trajectories", output.trajectory_records)
+            writer.write("rssi", output.rssi_records)
+            writer.write_positioning(output.positioning_records)
+            objects_done += output.objects
+            # Per-layer shard timings are summed across shards: CPU seconds,
+            # not wall-clock (with workers > 1 they exceed elapsed time).
+            # The "_cpu" suffix keeps them distinct from the wall-clock
+            # "infrastructure"/"generation" entries.
+            for name, value in output.timings.items():
+                key = f"{name}_cpu"
+                timings[key] = timings.get(key, 0.0) + value
+            writer.set_context(output.shard_id, len(plan), objects_done)
+            writer.emit("shard-done")
+        timings["generation"] = time.perf_counter() - shards_start
+
+        warehouse.flush()
+        elapsed = time.perf_counter() - run_start
+        writer.set_context(None, len(plan), objects_done)
+        writer.emit("done")
+        report = StreamingReport(
+            master_seed=master_seed,
+            shard_count=len(plan),
+            workers=workers,
+            flush_every=flush_every,
+            objects=objects_done,
+            records_written=dict(writer.written_by_repo),
+            total_records=writer.records_written,
+            max_pending=writer.max_pending,
+            flushes=writer.flushes,
+            timings=timings,
+            elapsed_seconds=elapsed,
+        )
+        return StreamingGenerationResult(
+            config=config,
+            building=building,
+            warehouse=warehouse,
+            report=report,
+            radio_map=radio_map,
+            devices=devices,
+        )
+
     @staticmethod
     def _store_positioning(warehouse: DataWarehouse, output: list) -> None:
         deterministic, probabilistic, proximity = [], [], []
@@ -279,4 +458,9 @@ class VitaPipeline:
         warehouse.proximity.add_many(proximity)
 
 
-__all__ = ["GenerationResult", "VitaPipeline"]
+__all__ = [
+    "GenerationResult",
+    "StreamingReport",
+    "StreamingGenerationResult",
+    "VitaPipeline",
+]

@@ -1,0 +1,602 @@
+"""Deterministic sharding and streaming generation support.
+
+The original pipeline materialises every trajectory, RSSI and positioning
+record in memory before handing the full warehouse to storage, which bounds
+dataset size by RAM and uses one core.  This module provides the pieces of
+the *streaming* generation path instead:
+
+* **Deterministic shards** — the moving-object population is partitioned into
+  contiguous shards (:func:`plan_shards`).  Every shard is seeded as a pure
+  function of ``(master_seed, shard_id, role)`` (:func:`derive_seed`, built
+  on :mod:`hashlib` so it is stable across processes and runs, unlike the
+  builtin ``hash``), and runs the full object -> trajectory -> RSSI ->
+  positioning chain independently (:func:`run_shard`).
+* **Bounded flushing** — records stream into the
+  :class:`~repro.storage.repositories.DataWarehouse` through a
+  :class:`StreamingWriter` that flushes in batches of ``flush_every``
+  records, so peak pending memory is O(flush buffer), not O(dataset).
+* **Opt-in parallelism** — :func:`iter_shard_outputs` runs shards through a
+  ``concurrent.futures`` process pool when ``workers > 1`` and yields their
+  outputs in shard order, which makes the merged output byte-identical to a
+  serial run of the same shard plan: the partition and every seed depend
+  only on ``(master_seed, shard_count)``, never on ``workers``.
+* **Progress reporting** — long runs report objects/records per second
+  through the :class:`GenerationProgress` callback hook.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+import random
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.building.model import Building
+from repro.core.config import ObjectConfig, RSSIConfig, VitaConfig
+from repro.core.errors import ConfigurationError
+from repro.core.types import (
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    TrajectoryRecord,
+)
+from repro.devices.base import PositioningDevice
+from repro.mobility.behavior import behavior_by_name
+from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
+from repro.mobility.crowd import crowd_model_by_name
+from repro.mobility.distributions import (
+    CrowdOutliersDistribution,
+    NoArrivals,
+    PoissonArrivals,
+    UniformDistribution,
+)
+from repro.mobility.intentions import intention_by_name
+from repro.positioning.controller import PositioningConfig, PositioningMethodController
+from repro.positioning.fingerprinting import RadioMap
+from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+from repro.rssi.pathloss import PathLossModel
+
+#: Default shard sizing used when the configuration leaves ``shards`` unset.
+DEFAULT_OBJECTS_PER_SHARD = 16
+DEFAULT_MAX_SHARDS = 8
+
+#: The seed space: 63 bits so derived seeds stay positive ints everywhere.
+SEED_BITS = 63
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic seeding and shard planning
+# --------------------------------------------------------------------------- #
+def derive_seed(master_seed: int, shard_id: int, role: str = "shard") -> int:
+    """A deterministic 63-bit seed for ``(master_seed, shard_id, role)``.
+
+    Built on :func:`hashlib.blake2b` rather than the builtin ``hash`` so the
+    value is identical across interpreter runs and worker processes
+    (``PYTHONHASHSEED`` does not affect it).  This is the scheme that makes
+    ``workers=N`` byte-identical to ``workers=1``: every random stream a
+    shard consumes is seeded from its shard id, never from execution order.
+    """
+    payload = f"{int(master_seed)}|{int(shard_id)}|{role}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> (64 - SEED_BITS)
+
+
+def auto_shard_count(object_count: int) -> int:
+    """Default shard count: ~16 objects per shard, capped at 8 shards.
+
+    A pure function of the object count only — deliberately independent of
+    ``workers`` so the default partition (and therefore the output) does not
+    change when parallelism is turned on.
+    """
+    if object_count <= 0:
+        return 1
+    return max(1, min(DEFAULT_MAX_SHARDS, math.ceil(object_count / DEFAULT_OBJECTS_PER_SHARD)))
+
+
+def resolve_master_seed(config: VitaConfig) -> int:
+    """The master seed of a streaming run.
+
+    Prefers the explicit top-level seed, then the per-layer seeds; a fully
+    unseeded configuration draws a random master so the run is still
+    self-consistent (and reproducible from the reported seed).
+    """
+    for candidate in (config.seed, config.objects.seed, config.rssi.seed):
+        if candidate is not None:
+            return int(candidate)
+    return random.Random().getrandbits(SEED_BITS)
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard of the moving-object population."""
+
+    shard_id: int
+    shard_count: int
+    #: 1-based index of the shard's first initial object (ids are global:
+    #: shard objects are named ``obj_{index:04d}`` exactly like a serial run).
+    first_index: int
+    object_count: int
+    #: The shard's base seed, ``derive_seed(master_seed, shard_id)``.
+    seed: int
+
+    @property
+    def indices(self) -> range:
+        """The global 1-based indices of the shard's initial objects."""
+        return range(self.first_index, self.first_index + self.object_count)
+
+
+def plan_shards(object_count: int, shard_count: int, master_seed: int) -> List[ShardSpec]:
+    """Partition ``object_count`` objects into ``shard_count`` contiguous shards.
+
+    Every object index in ``1..object_count`` is covered by exactly one
+    shard; shard sizes differ by at most one (earlier shards take the
+    remainder).  The plan depends only on its three arguments.
+    """
+    if object_count < 0:
+        raise ConfigurationError("object_count must be non-negative")
+    if shard_count < 1:
+        raise ConfigurationError("shard_count must be at least 1")
+    base, extra = divmod(object_count, shard_count)
+    plan: List[ShardSpec] = []
+    first = 1
+    for shard_id in range(shard_count):
+        size = base + (1 if shard_id < extra else 0)
+        plan.append(
+            ShardSpec(
+                shard_id=shard_id,
+                shard_count=shard_count,
+                first_index=first,
+                object_count=size,
+                seed=derive_seed(master_seed, shard_id),
+            )
+        )
+        first += size
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# Progress reporting
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GenerationProgress:
+    """One progress event of a streaming generation run.
+
+    Attributes:
+        phase: ``"devices"``, ``"objects"``, ``"flush"``, ``"shard-start"``,
+            ``"shard-done"`` or ``"done"``.
+        shard_id: the shard the event refers to (``None`` for run-level events).
+        shard_count: total shards in the run.
+        objects_done: moving objects fully generated so far.
+        records_written: records flushed to the storage backend so far.
+        pending_records: records buffered in the writer, awaiting a flush.
+        elapsed_seconds: wall-clock time since the run started writing.
+    """
+
+    phase: str
+    shard_id: Optional[int]
+    shard_count: int
+    objects_done: int
+    records_written: int
+    pending_records: int
+    elapsed_seconds: float
+
+    @property
+    def records_per_second(self) -> float:
+        """Sustained write throughput (records/sec of wall-clock time)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.records_written / self.elapsed_seconds
+
+    @property
+    def objects_per_second(self) -> float:
+        """Sustained object generation rate (objects/sec of wall-clock time)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.objects_done / self.elapsed_seconds
+
+
+ProgressCallback = Callable[[GenerationProgress], None]
+
+
+# --------------------------------------------------------------------------- #
+# Bounded streaming writes
+# --------------------------------------------------------------------------- #
+class StreamingWriter:
+    """Flushes typed records into a warehouse in bounded batches.
+
+    The writer buffers at most ``flush_every`` records at any moment (its
+    invariant, asserted by the memory-bound regression tests); each flush
+    bulk-inserts through the repositories and makes the backend durable, and
+    emits a ``"flush"`` progress event.
+    """
+
+    #: Warehouse repository attribute per positioning record type.
+    _POSITIONING_REPOS = ("positioning", "probabilistic", "proximity")
+
+    def __init__(
+        self,
+        warehouse,
+        flush_every: int,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if flush_every < 1:
+            raise ConfigurationError("flush_every must be at least 1")
+        self.warehouse = warehouse
+        self.flush_every = int(flush_every)
+        self.progress = progress
+        self.records_written = 0
+        self.written_by_repo: Dict[str, int] = {}
+        self.max_pending = 0
+        self.flushes = 0
+        self.objects_done = 0
+        self._pending = 0
+        self._shard_id: Optional[int] = None
+        self._shard_count = 0
+        self._start = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # Context for progress events
+    # ------------------------------------------------------------------ #
+    def set_context(
+        self, shard_id: Optional[int], shard_count: int, objects_done: int
+    ) -> None:
+        """Attach shard context to subsequent progress events."""
+        self._shard_id = shard_id
+        self._shard_count = shard_count
+        self.objects_done = objects_done
+
+    @property
+    def pending_records(self) -> int:
+        """Records currently buffered, awaiting a flush."""
+        return self._pending
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return time.perf_counter() - self._start
+
+    def emit(self, phase: str) -> None:
+        """Emit a progress event for the current context."""
+        if self.progress is None:
+            return
+        self.progress(
+            GenerationProgress(
+                phase=phase,
+                shard_id=self._shard_id,
+                shard_count=self._shard_count,
+                objects_done=self.objects_done,
+                records_written=self.records_written,
+                pending_records=self._pending,
+                elapsed_seconds=self.elapsed_seconds,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def write(self, repo_name: str, records: Iterable) -> int:
+        """Stream *records* into the repository called *repo_name*.
+
+        Records are buffered and bulk-inserted every ``flush_every`` records;
+        within the stream the incoming order is preserved, so a per-object
+        ordering invariant (e.g. strictly increasing ``t``) survives every
+        flush boundary.
+        """
+        repo = getattr(self.warehouse, repo_name)
+        buffer: list = []
+        written = 0
+        for record in records:
+            buffer.append(record)
+            self._note_pending(1)
+            if self._pending >= self.flush_every:
+                written += self._flush(repo_name, repo, buffer)
+        if buffer:
+            written += self._flush(repo_name, repo, buffer)
+        return written
+
+    def write_positioning(self, records: Iterable) -> int:
+        """Stream a mixed positioning output, routing each record to its repo.
+
+        The three buffers share the writer's single pending budget: as soon
+        as ``flush_every`` records are pending *in total*, every non-empty
+        buffer is flushed, keeping the O(flush buffer) bound.
+        """
+        buffers: Dict[str, list] = {name: [] for name in self._POSITIONING_REPOS}
+        written = 0
+        for record in records:
+            if isinstance(record, PositioningRecord):
+                name = "positioning"
+            elif isinstance(record, ProbabilisticPositioningRecord):
+                name = "probabilistic"
+            else:
+                name = "proximity"
+            buffers[name].append(record)
+            self._note_pending(1)
+            if self._pending >= self.flush_every:
+                written += self._flush_buffers(buffers)
+        written += self._flush_buffers(buffers)
+        return written
+
+    def _note_pending(self, count: int) -> None:
+        self._pending += count
+        if self._pending > self.max_pending:
+            self.max_pending = self._pending
+
+    def _flush(self, repo_name: str, repo, buffer: list) -> int:
+        count = len(buffer)
+        if count == 0:
+            return 0
+        repo.add_many(buffer)
+        self.warehouse.flush()
+        buffer.clear()
+        self._pending -= count
+        self.records_written += count
+        self.written_by_repo[repo_name] = self.written_by_repo.get(repo_name, 0) + count
+        self.flushes += 1
+        self.emit("flush")
+        return count
+
+    def _flush_buffers(self, buffers: Dict[str, list]) -> int:
+        written = 0
+        for name, buffer in buffers.items():
+            written += self._flush(name, getattr(self.warehouse, name), buffer)
+        return written
+
+
+# --------------------------------------------------------------------------- #
+# The per-shard generation chain
+# --------------------------------------------------------------------------- #
+def object_layer_components(objects: ObjectConfig):
+    """Instantiate the Moving Object Layer strategies an :class:`ObjectConfig` names.
+
+    Returns ``(distribution, intention, behavior, crowd_model)`` — shared by
+    the materialising and streaming pipelines.  The arrival process is built
+    separately (:func:`arrival_process_for`) because the streaming path
+    splits the configured rate across shards.
+    """
+    if objects.distribution.lower().replace("_", "-") in ("crowd-outliers", "crowdoutliers"):
+        distribution = CrowdOutliersDistribution(
+            crowd_count=objects.crowd_count,
+            crowd_fraction=objects.crowd_fraction,
+            hot_partition_tags=("shop", "canteen", "public_area"),
+        )
+    else:
+        distribution = UniformDistribution()
+    return (
+        distribution,
+        intention_by_name(objects.intention),
+        behavior_by_name(objects.behavior),
+        crowd_model_by_name(objects.crowd_interaction),
+    )
+
+
+def arrival_process_for(rate_per_minute: float):
+    """The arrival process for a Poisson rate (``NoArrivals`` when zero)."""
+    if rate_per_minute > 0:
+        return PoissonArrivals(rate_per_minute=rate_per_minute)
+    return NoArrivals()
+
+
+def build_rssi_config(rssi: RSSIConfig, seed: Optional[int]) -> RSSIGenerationConfig:
+    """Translate an :class:`RSSIConfig` into an :class:`RSSIGenerationConfig`."""
+    path_loss = None
+    if rssi.path_loss_exponent is not None or rssi.calibration_rssi is not None:
+        path_loss = PathLossModel(
+            exponent=rssi.path_loss_exponent or 2.5,
+            calibration_rssi=rssi.calibration_rssi if rssi.calibration_rssi is not None else -40.0,
+        )
+    return RSSIGenerationConfig(
+        sampling_period=rssi.sampling_period,
+        path_loss=path_loss,
+        obstacle_noise=ObstacleNoiseModel(wall_attenuation_db=rssi.wall_attenuation_db),
+        fluctuation_noise=FluctuationNoiseModel(sigma_db=rssi.fluctuation_sigma_db),
+        detection_probability=rssi.detection_probability,
+        seed=seed,
+    )
+
+
+@dataclass
+class ShardContext:
+    """Everything a shard run needs; picklable, shipped once per worker.
+
+    The infrastructure (building, devices, radio map) is built once by the
+    parent and shared by every shard, so parallel workers position against
+    exactly the same environment as a serial run.
+    """
+
+    config: VitaConfig
+    building: Building
+    devices: List[PositioningDevice]
+    radio_map: Optional[RadioMap] = None
+    master_seed: int = 0
+
+
+@dataclass
+class ShardOutput:
+    """The records one shard produced, ready for ordered merging."""
+
+    shard_id: int
+    objects: int
+    trajectory_records: List[TrajectoryRecord]
+    rssi_records: list
+    positioning_records: list
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_records(self) -> int:
+        return (
+            len(self.trajectory_records)
+            + len(self.rssi_records)
+            + len(self.positioning_records)
+        )
+
+
+def run_shard(
+    context: ShardContext,
+    shard: ShardSpec,
+    on_sample: Optional[Callable[[TrajectoryRecord], None]] = None,
+) -> ShardOutput:
+    """Run the full object -> trajectory -> RSSI -> positioning chain for one shard.
+
+    Every random stream is seeded as ``derive_seed(master_seed, shard_id,
+    role)``, so the output depends only on the shard spec and the shared
+    context — not on which process or in which order the shard runs.
+    """
+    config = context.config
+    objects = config.objects
+    timings: Dict[str, float] = {}
+
+    distribution, intention, behavior, crowd_model = object_layer_components(objects)
+    # Poisson arrivals are split evenly across shards so the configured total
+    # arrival rate is preserved in expectation.
+    arrival_process = arrival_process_for(objects.arrival_rate_per_minute / shard.shard_count)
+
+    controller = MovingObjectController(
+        context.building,
+        config=ObjectGenerationConfig(
+            count=shard.object_count,
+            min_speed=objects.min_speed,
+            max_speed=objects.max_speed,
+            min_lifespan=objects.min_lifespan,
+            max_lifespan=objects.max_lifespan,
+            duration=objects.duration,
+            sampling_period=objects.sampling_period,
+            time_step=objects.time_step,
+            routing_metric=objects.routing,
+            seed=derive_seed(context.master_seed, shard.shard_id, "objects"),
+        ),
+        distribution=distribution,
+        arrival_process=arrival_process,
+        intention=intention,
+        behavior=behavior,
+        crowd_model=crowd_model,
+        first_object_index=shard.first_index,
+        arrival_id_prefix=f"obj_s{shard.shard_id}a",
+        engine_seed=derive_seed(context.master_seed, shard.shard_id, "engine"),
+    )
+    start = time.perf_counter()
+    simulation = controller.generate(record_sink=on_sample)
+    timings["moving_objects"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    rssi_config = build_rssi_config(
+        config.rssi, seed=derive_seed(context.master_seed, shard.shard_id, "rssi")
+    )
+    rssi_records = RSSIGenerator(context.building, context.devices, rssi_config).generate(
+        simulation.trajectories
+    )
+    timings["rssi"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    positioning = config.positioning
+    positioning_controller = PositioningMethodController(
+        context.building,
+        context.devices,
+        PositioningConfig(
+            method=positioning.method,
+            sampling_period=positioning.sampling_period,
+            fingerprinting_algorithm=positioning.algorithm,
+            knn_k=positioning.knn_k,
+            bayes_top_k=positioning.bayes_top_k,
+            min_devices=positioning.min_devices,
+            rssi_threshold=positioning.rssi_threshold,
+        ),
+        radio_map=context.radio_map,
+    )
+    positioning_records = positioning_controller.generate(rssi_records)
+    timings["positioning"] = time.perf_counter() - start
+
+    return ShardOutput(
+        shard_id=shard.shard_id,
+        objects=simulation.object_count,
+        trajectory_records=simulation.trajectories.all_records(),
+        rssi_records=rssi_records,
+        positioning_records=positioning_records,
+        timings=timings,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Parallel shard execution
+# --------------------------------------------------------------------------- #
+#: Per-worker-process shard context, installed by the pool initializer so the
+#: (potentially large) building/device payload is shipped once per worker
+#: instead of once per shard.
+_WORKER_CONTEXT: Optional[ShardContext] = None
+
+
+def _init_worker(context: ShardContext) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _run_shard_in_worker(shard: ShardSpec) -> ShardOutput:
+    if _WORKER_CONTEXT is None:  # pragma: no cover - defensive
+        raise RuntimeError("shard worker used before its context was installed")
+    return run_shard(_WORKER_CONTEXT, shard)
+
+
+def iter_shard_outputs(
+    context: ShardContext,
+    plan: Sequence[ShardSpec],
+    workers: int,
+    on_sample: Optional[Callable[[TrajectoryRecord], None]] = None,
+    on_shard_start: Optional[Callable[[ShardSpec], None]] = None,
+) -> Iterator[ShardOutput]:
+    """Yield shard outputs *in shard order*, serially or via a process pool.
+
+    Order is what makes the merged, bulk-inserted output independent of
+    ``workers``.  In parallel mode at most ``workers + 1`` shard outputs are
+    in flight at any moment, keeping peak memory O(shard * workers); the
+    ``on_sample``/``on_shard_start`` hooks only fire in serial mode (they
+    cannot cross process boundaries).
+    """
+    if workers < 1:
+        raise ConfigurationError("workers must be at least 1")
+    if workers == 1 or len(plan) <= 1:
+        for shard in plan:
+            if on_shard_start is not None:
+                on_shard_start(shard)
+            yield run_shard(context, shard, on_sample=on_sample)
+        return
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(plan)),
+        initializer=_init_worker,
+        initargs=(context,),
+    ) as pool:
+        shard_iter = iter(plan)
+        in_flight: deque = deque()
+        for shard in itertools.islice(shard_iter, workers + 1):
+            in_flight.append(pool.submit(_run_shard_in_worker, shard))
+        while in_flight:
+            output = in_flight.popleft().result()
+            upcoming = next(shard_iter, None)
+            if upcoming is not None:
+                in_flight.append(pool.submit(_run_shard_in_worker, upcoming))
+            yield output
+
+
+__all__ = [
+    "DEFAULT_MAX_SHARDS",
+    "DEFAULT_OBJECTS_PER_SHARD",
+    "SEED_BITS",
+    "derive_seed",
+    "auto_shard_count",
+    "resolve_master_seed",
+    "ShardSpec",
+    "plan_shards",
+    "GenerationProgress",
+    "ProgressCallback",
+    "StreamingWriter",
+    "object_layer_components",
+    "arrival_process_for",
+    "build_rssi_config",
+    "ShardContext",
+    "ShardOutput",
+    "run_shard",
+    "iter_shard_outputs",
+]

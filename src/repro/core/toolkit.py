@@ -25,7 +25,9 @@ from repro.building.editor import IndoorEnvironmentController
 from repro.building.model import Building
 from repro.building.semantics import SemanticExtractor
 from repro.building.synthetic import building_by_name
+from repro.core.config import VitaConfig
 from repro.core.errors import VitaError
+from repro.core.streaming import ProgressCallback
 from repro.core.types import (
     DeviceType,
     PositioningMethod,
@@ -216,6 +218,9 @@ class Vita:
             crowd_model=crowd_model_by_name(crowd_interaction),
         )
         self.simulation = controller.generate(snapshot_times=snapshot_times)
+        # Re-running a step replaces its output (the GUI-tab semantics);
+        # appending would violate the warehouse's (object_id, t) uniqueness.
+        self.warehouse.backend.clear("trajectory")
         self.warehouse.trajectories.add_trajectory_set(self.simulation.trajectories)
         self.warehouse.flush()
         return self.simulation
@@ -245,6 +250,7 @@ class Vita:
         )
         generator = RSSIGenerator(self.building, self.devices, config)
         self.rssi_records = generator.generate(self.simulation.trajectories)
+        self.warehouse.backend.clear("rssi")  # a re-run replaces the step's output
         self.warehouse.rssi.add_many(self.rssi_records)
         self.warehouse.flush()
         self._rssi_config = config
@@ -312,6 +318,9 @@ class Vita:
             radio_map=radio_map,
         )
         self.positioning_output = controller.generate(self.rssi_records)
+        # A re-run replaces the positioning step's previous output.
+        for dataset in ("positioning", "probabilistic", "proximity"):
+            self.warehouse.backend.clear(dataset)
         for record in self.positioning_output:
             if isinstance(record, PositioningRecord):
                 self.warehouse.positioning.add(record)
@@ -321,6 +330,67 @@ class Vita:
                 self.warehouse.proximity.add(record)
         self.warehouse.flush()
         return self.positioning_output
+
+    # ------------------------------------------------------------------ #
+    # One-shot streaming generation
+    # ------------------------------------------------------------------ #
+    def generate(
+        self,
+        config: Optional[VitaConfig] = None,
+        *,
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        flush_every: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        """Run the streaming, sharded pipeline into this session's warehouse.
+
+        The one-shot counterpart of the six step methods: the moving objects
+        are partitioned into deterministic shards, each shard runs the full
+        object -> trajectory -> RSSI -> positioning chain (across ``workers``
+        processes when ``workers > 1``) and records are flushed to the
+        session's storage backend in batches of ``flush_every``.  For a fixed
+        seed and shard count the stored records are identical for any
+        ``workers`` value.  Any datasets previously generated in this
+        session are replaced.
+
+        Returns the
+        :class:`~repro.core.pipeline.StreamingGenerationResult`; its
+        ``report`` carries the master seed, per-dataset record counts and
+        throughput of the run.
+        """
+        from repro.core.pipeline import VitaPipeline  # local import breaks the cycle
+
+        if config is None:
+            config = VitaConfig(seed=self.seed)
+        # The session's warehouse wins over config.storage's engine choice.
+        # Refuse rather than silently drop an explicitly requested persistent
+        # target into a volatile session warehouse.
+        if config.storage.backend == "sqlite" and not self.warehouse.backend.persistent:
+            raise VitaError(
+                "the configuration asks for the sqlite backend but this Vita "
+                "session stores to memory; construct "
+                "Vita(backend='sqlite', db_path=...) or run "
+                "VitaPipeline(config).run_streaming() instead"
+            )
+        result = VitaPipeline(config).run_streaming(
+            warehouse=self.warehouse,
+            workers=workers,
+            shards=shards,
+            flush_every=flush_every,
+            progress=progress,
+        )
+        # Adopt the run's environment so the step-wise API (environment
+        # editing, further deployments, queries) continues from it.
+        self._adopt_building(result.building)
+        self.device_controller.devices.update(
+            {device.device_id: device for device in result.devices}
+        )
+        self.simulation = None
+        self.rssi_records = []
+        self.positioning_output = []
+        self.radio_map = result.radio_map
+        return result
 
     # ------------------------------------------------------------------ #
     # Data access and export

@@ -15,14 +15,13 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.building.distance import RoutePlanner
 from repro.building.model import Building
 from repro.core.errors import ConfigurationError
 from repro.core.types import Timestamp
-from repro.geometry.point import Point
 from repro.mobility.behavior import Behavior, WalkStayBehavior
 from repro.mobility.crowd import CrowdInteractionModel
 from repro.mobility.distributions import (
@@ -95,7 +94,17 @@ class MovingObjectController:
         behavior: Optional[Behavior] = None,
         planner: Optional[RoutePlanner] = None,
         crowd_model: Optional[CrowdInteractionModel] = None,
+        first_object_index: int = 1,
+        arrival_id_prefix: Optional[str] = None,
+        engine_seed: Optional[int] = None,
     ) -> None:
+        """*first_object_index*, *arrival_id_prefix* and *engine_seed* exist
+        for sharded generation: a shard numbers its initial objects from its
+        global offset (so ids match a serial run), namespaces the ids of its
+        Poisson arrivals (so shards never collide), and seeds the simulation
+        engine independently of the object-creation RNG."""
+        if first_object_index < 1:
+            raise ConfigurationError("first_object_index must be at least 1")
         self.building = building
         self.config = config or ObjectGenerationConfig()
         self.distribution = distribution or UniformDistribution()
@@ -105,7 +114,10 @@ class MovingObjectController:
         self.crowd_model = crowd_model
         self.planner = planner or RoutePlanner(building)
         self.rng = random.Random(self.config.seed)
-        self._id_counter = itertools.count(1)
+        self._id_counter = itertools.count(first_object_index)
+        self._arrival_counter = itertools.count(1)
+        self.arrival_id_prefix = arrival_id_prefix
+        self.engine_seed = engine_seed
         self.objects: List[MovingObject] = []
         self.last_result: Optional[SimulationResult] = None
 
@@ -128,16 +140,25 @@ class MovingObjectController:
         )
         result: List[Tuple[Timestamp, MovingObject]] = []
         for start_time, placement in arrivals:
-            result.append((start_time, self._new_object(birth=start_time, placement=placement)))
+            result.append(
+                (start_time, self._new_object(birth=start_time, placement=placement, arrival=True))
+            )
         return result
 
-    def _new_object(self, birth: float, placement: Placement) -> MovingObject:
+    def _object_id(self, arrival: bool) -> str:
+        if arrival and self.arrival_id_prefix is not None:
+            return f"{self.arrival_id_prefix}_{next(self._arrival_counter):04d}"
+        return f"obj_{next(self._id_counter):04d}"
+
+    def _new_object(
+        self, birth: float, placement: Placement, arrival: bool = False
+    ) -> MovingObject:
         floor_id, point = placement
         lifespan_duration = self.rng.uniform(
             self.config.min_lifespan, self.config.max_lifespan
         )
         moving_object = MovingObject(
-            object_id=f"obj_{next(self._id_counter):04d}",
+            object_id=self._object_id(arrival),
             max_speed=self.rng.uniform(self.config.min_speed, self.config.max_speed),
             lifespan=Lifespan(birth=birth, death=birth + lifespan_duration),
             routing_metric=self.config.routing_metric,
@@ -148,8 +169,18 @@ class MovingObjectController:
     # ------------------------------------------------------------------ #
     # Generation
     # ------------------------------------------------------------------ #
-    def generate(self, snapshot_times: Optional[List[float]] = None) -> SimulationResult:
-        """Run the full Moving Object Layer and return the simulation result."""
+    def generate(
+        self,
+        snapshot_times: Optional[List[float]] = None,
+        record_sink=None,
+    ) -> SimulationResult:
+        """Run the full Moving Object Layer and return the simulation result.
+
+        *record_sink* is forwarded to :meth:`SimulationEngine.run` so callers
+        (e.g. the streaming pipeline's progress hook) can observe trajectory
+        samples as they are recorded.
+        """
+        engine_seed = self.engine_seed if self.engine_seed is not None else self.config.seed
         engine = SimulationEngine(
             building=self.building,
             planner=self.planner,
@@ -157,7 +188,7 @@ class MovingObjectController:
                 duration=self.config.duration,
                 time_step=self.config.time_step,
                 sampling_period=self.config.sampling_period,
-                seed=self.config.seed,
+                seed=engine_seed,
             ),
             intention=self.intention,
             behavior=self.behavior,
@@ -165,7 +196,12 @@ class MovingObjectController:
         )
         objects = self.create_objects() if not self.objects else self.objects
         arrivals = self.create_arrivals()
-        result = engine.run(objects, arrivals=arrivals, snapshot_times=snapshot_times)
+        result = engine.run(
+            objects,
+            arrivals=arrivals,
+            snapshot_times=snapshot_times,
+            record_sink=record_sink,
+        )
         self.last_result = result
         return result
 

@@ -101,6 +101,7 @@ class SimulationEngine:
         objects: List[MovingObject],
         arrivals: Optional[List[Tuple[Timestamp, MovingObject]]] = None,
         snapshot_times: Optional[List[float]] = None,
+        record_sink: Optional[Callable[[TrajectoryRecord], None]] = None,
     ) -> SimulationResult:
         """Simulate *objects* (plus timed *arrivals*) for the configured duration.
 
@@ -112,6 +113,9 @@ class SimulationEngine:
             snapshot_times: times at which a full position snapshot is kept in
                 the result (the paper's demo pauses generation to extract a
                 snapshot of the moving objects).
+            record_sink: called with every trajectory record as it is
+                recorded, in emission order — the streaming pipeline's
+                progress hook without waiting for the run to finish.
         """
         trajectories = TrajectorySet()
         pending = sorted(arrivals or [], key=lambda pair: pair[0])
@@ -155,7 +159,10 @@ class SimulationEngine:
                 for moving_object in active:
                     if moving_object.state == MovementState.FINISHED:
                         continue
-                    trajectories.add_record(self._record_of(moving_object, t))
+                    record = self._record_of(moving_object, t)
+                    trajectories.add_record(record)
+                    if record_sink is not None:
+                        record_sink(record)
             # Snapshots requested by the caller.
             while snapshot_queue and snapshot_queue[0] <= t + 1e-9:
                 snapshot_time = snapshot_queue.pop(0)

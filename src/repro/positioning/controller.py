@@ -154,11 +154,26 @@ class PositioningMethodController:
     # ------------------------------------------------------------------ #
     def generate(self, rssi_records: Sequence[RSSIRecord]) -> PositioningOutput:
         """Produce positioning data from raw RSSI data."""
+        return list(self.iter_generate(rssi_records))
+
+    def iter_generate(self, rssi_records: Sequence[RSSIRecord]):
+        """Yield positioning records one observation window at a time.
+
+        Streaming counterpart of :meth:`generate`: estimates are produced as
+        each window is processed instead of after the whole dataset, so a
+        consumer (e.g. the streaming pipeline's bounded-flush writer) never
+        needs the full positioning output in memory.  Proximity detection
+        inherently spans the record stream, so it yields its detection
+        periods once computed.
+        """
         method = self.build_method()
         if isinstance(method, ProximityMethod):
-            return method.detect(rssi_records)
-        windows = build_windows(rssi_records, self.config.sampling_period)
-        return method.estimate(windows)
+            yield from method.detect(rssi_records)
+            return
+        for window in build_windows(rssi_records, self.config.sampling_period):
+            estimate = method.estimate_window(window)
+            if estimate is not None:
+                yield estimate
 
 
 __all__ = ["PositioningConfig", "PositioningMethodController", "PositioningOutput"]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.building.model import Building
 from repro.core.errors import ConfigurationError
@@ -131,24 +131,39 @@ class RSSIGenerator:
     # ------------------------------------------------------------------ #
     # Trajectory-driven generation
     # ------------------------------------------------------------------ #
+    def iter_trajectory_records(self, trajectory) -> Iterator[RSSIRecord]:
+        """Raw RSSI records of one trajectory, in sampling-time order.
+
+        The building block of both :meth:`generate` (which collects and
+        globally sorts) and :meth:`iter_generate` (which streams without
+        materialising the full dataset).
+        """
+        if trajectory.is_empty:
+            return
+        period = self.config.sampling_period
+        t = trajectory.start_time
+        while t <= trajectory.end_time + 1e-9:
+            location = trajectory.location_at(min(t, trajectory.end_time))
+            if location is not None and location.has_point:
+                x, y = location.point()
+                yield from self.measure_all(
+                    location.floor_id, Point(x, y), trajectory.object_id, round(t, 6)
+                )
+            t += period
+
+    def iter_generate(self, trajectories: TrajectorySet) -> Iterator[RSSIRecord]:
+        """Stream raw RSSI records trajectory by trajectory (bounded memory).
+
+        Records arrive trajectory-major (every record of one object before
+        the next object), each object's records in time order.  Use
+        :meth:`generate` when the globally time-sorted dataset is needed.
+        """
+        for trajectory in trajectories:
+            yield from self.iter_trajectory_records(trajectory)
+
     def generate(self, trajectories: TrajectorySet) -> List[RSSIRecord]:
         """Raw RSSI data for every object, sampled at the RSSI sampling period."""
-        records: List[RSSIRecord] = []
-        period = self.config.sampling_period
-        for trajectory in trajectories:
-            if trajectory.is_empty:
-                continue
-            t = trajectory.start_time
-            while t <= trajectory.end_time + 1e-9:
-                location = trajectory.location_at(min(t, trajectory.end_time))
-                if location is not None and location.has_point:
-                    x, y = location.point()
-                    records.extend(
-                        self.measure_all(
-                            location.floor_id, Point(x, y), trajectory.object_id, round(t, 6)
-                        )
-                    )
-                t += period
+        records = list(self.iter_generate(trajectories))
         records.sort(key=lambda record: (record.t, record.object_id, record.device_id))
         return records
 

@@ -76,6 +76,10 @@ class DatasetSpec:
     #: Whether the dataset embeds a coordinate location (enables the spatial
     #: grid-bucket index on SQL engines).
     spatial: bool = False
+    #: Columns forming the dataset's natural key.  Both engines reject a
+    #: second row with the same key (:class:`StorageError`) instead of
+    #: silently storing duplicates.
+    unique_key: Tuple[str, ...] = ()
 
 
 #: The six storage formats of Section 4.2, keyed by dataset name.
@@ -88,6 +92,7 @@ DATASETS: Dict[str, DatasetSpec] = {
             time_column="t",
             hash_indexes=("object_id", "partition_id", "floor_id"),
             spatial=True,
+            unique_key=("object_id", "t"),
         ),
         DatasetSpec(
             name="rssi",
@@ -101,6 +106,9 @@ DATASETS: Dict[str, DatasetSpec] = {
             time_column="t",
             hash_indexes=("object_id", "method", "partition_id"),
             spatial=True,
+            # One estimate per object, timestamp and method; two different
+            # methods may legitimately estimate the same (object, t).
+            unique_key=("object_id", "t", "method"),
         ),
         # Probabilistic candidates are stored as one JSON document per row so
         # the row shape stays flat and identical across engines.
@@ -109,6 +117,7 @@ DATASETS: Dict[str, DatasetSpec] = {
             columns=("object_id", "t", "candidates"),
             time_column="t",
             hash_indexes=("object_id",),
+            unique_key=("object_id", "t"),
         ),
         DatasetSpec(
             name="proximity",

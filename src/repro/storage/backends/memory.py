@@ -39,6 +39,7 @@ class MemoryBackend(StorageBackend):
                     columns=spec.columns,
                     hash_indexes=spec.hash_indexes,
                     ordered_index=spec.time_column,
+                    unique_key=spec.unique_key,
                 )
             )
             for spec in DATASETS.values()

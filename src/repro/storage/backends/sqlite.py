@@ -120,6 +120,17 @@ class SQLiteBackend(StorageBackend):
             cursor.execute(f"CREATE TABLE IF NOT EXISTS {spec.name} ({columns})")
             for statement in self._index_statements(spec.name):
                 cursor.execute(statement)
+            if spec.unique_key:
+                try:
+                    cursor.execute(
+                        f"CREATE UNIQUE INDEX IF NOT EXISTS uq_{spec.name} "
+                        f"ON {spec.name} ({', '.join(spec.unique_key)})"
+                    )
+                except sqlite3.IntegrityError:
+                    # A database created before the uniqueness contract may
+                    # already hold duplicates; keep it readable rather than
+                    # refusing to open (new writes stay unguarded there).
+                    pass
         self._connection.commit()
 
     def _resolve_cell_size(self, requested: Optional[float]) -> float:
@@ -215,10 +226,26 @@ class SQLiteBackend(StorageBackend):
             return
         columns = self._physical_columns(dataset)
         placeholders = ", ".join("?" for _ in columns)
-        self._connection.executemany(
-            f"INSERT INTO {dataset} ({', '.join(columns)}) VALUES ({placeholders})",
-            pending,
-        )
+        # A savepoint scopes the rejection to this batch: a duplicate key
+        # rolls back the partially applied executemany only, leaving rows
+        # other datasets drained earlier in the same transaction intact —
+        # the same batch-atomic behaviour as the memory engine.
+        self._connection.execute("SAVEPOINT drain_batch")
+        try:
+            self._connection.executemany(
+                f"INSERT INTO {dataset} ({', '.join(columns)}) VALUES ({placeholders})",
+                pending,
+            )
+        except sqlite3.IntegrityError as error:
+            self._connection.execute("ROLLBACK TO drain_batch")
+            self._connection.execute("RELEASE drain_batch")
+            pending.clear()
+            unique_key = dataset_spec(dataset).unique_key
+            raise StorageError(
+                f"dataset {dataset!r}: duplicate row for unique key "
+                f"({', '.join(unique_key)}) [{error}]"
+            )
+        self._connection.execute("RELEASE drain_batch")
         pending.clear()
 
     def flush(self) -> None:

@@ -25,6 +25,10 @@ class TableSchema:
     columns: Tuple[str, ...]
     hash_indexes: Tuple[str, ...] = ()
     ordered_index: Optional[str] = None
+    #: Columns forming a uniqueness constraint; inserting a second row with
+    #: the same key raises :class:`StorageError` instead of silently
+    #: duplicating data.
+    unique_key: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.columns:
@@ -36,6 +40,9 @@ class TableSchema:
             raise StorageError(
                 f"table {self.name}: ordered index on unknown column {self.ordered_index}"
             )
+        unknown = [c for c in self.unique_key if c not in self.columns]
+        if unknown:
+            raise StorageError(f"table {self.name}: unique key on unknown columns {unknown}")
 
 
 class Table:
@@ -49,34 +56,68 @@ class Table:
         }
         # Sorted list of (key, row_index) pairs for the ordered index.
         self._ordered: List[Tuple[Any, int]] = []
+        #: Existing unique-key tuples (only populated when the schema has one).
+        self._unique: set = set()
 
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
-    def insert(self, row: Row) -> int:
-        """Insert one row; returns its row id."""
+    def _stored_row(self, row: Row) -> Row:
         missing = [c for c in self.schema.columns if c not in row]
         if missing:
             raise StorageError(
                 f"table {self.schema.name}: row is missing columns {missing}"
             )
+        return {column: row[column] for column in self.schema.columns}
+
+    def _key_of(self, stored: Row) -> Tuple:
+        return tuple(stored[column] for column in self.schema.unique_key)
+
+    def _duplicate_error(self, key: Tuple) -> StorageError:
+        described = dict(zip(self.schema.unique_key, key))
+        return StorageError(
+            f"table {self.schema.name}: duplicate row for unique key {described}"
+        )
+
+    def _insert_stored(self, stored: Row) -> int:
         row_id = len(self._rows)
-        stored = {column: row[column] for column in self.schema.columns}
         self._rows.append(stored)
         for column in self.schema.hash_indexes:
             self._hash[column].setdefault(stored[column], []).append(row_id)
         if self.schema.ordered_index is not None:
             key = stored[self.schema.ordered_index]
             bisect.insort(self._ordered, (key, row_id))
+        if self.schema.unique_key:
+            self._unique.add(self._key_of(stored))
         return row_id
 
+    def insert(self, row: Row) -> int:
+        """Insert one row; returns its row id."""
+        stored = self._stored_row(row)
+        if self.schema.unique_key:
+            key = self._key_of(stored)
+            if key in self._unique:
+                raise self._duplicate_error(key)
+        return self._insert_stored(stored)
+
     def insert_many(self, rows: Iterable[Row]) -> int:
-        """Insert many rows; returns the number inserted."""
-        count = 0
-        for row in rows:
-            self.insert(row)
-            count += 1
-        return count
+        """Insert many rows; returns the number inserted.
+
+        The batch is atomic with respect to the unique key: every row is
+        validated (against the table *and* the rest of the batch) before any
+        row is inserted, so a duplicate leaves the table unchanged.
+        """
+        stored_rows = [self._stored_row(row) for row in rows]
+        if self.schema.unique_key:
+            batch_keys: set = set()
+            for stored in stored_rows:
+                key = self._key_of(stored)
+                if key in self._unique or key in batch_keys:
+                    raise self._duplicate_error(key)
+                batch_keys.add(key)
+        for stored in stored_rows:
+            self._insert_stored(stored)
+        return len(stored_rows)
 
     def clear(self) -> None:
         """Remove every row (indexes included)."""
@@ -84,6 +125,7 @@ class Table:
         for index in self._hash.values():
             index.clear()
         self._ordered.clear()
+        self._unique.clear()
 
     # ------------------------------------------------------------------ #
     # Queries

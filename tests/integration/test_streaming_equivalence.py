@@ -1,0 +1,106 @@
+"""Parallel generation must be record-identical to serial generation.
+
+The determinism contract of the streaming pipeline: for a fixed master seed
+and shard count, ``Vita.generate(workers=N)`` stores exactly the same records
+in exactly the same order as ``workers=1``, on every storage backend.  The
+comparison is record-level through the composable query builder.
+"""
+
+import pytest
+
+from repro.core.config import (
+    DeviceConfig,
+    EnvironmentConfig,
+    ObjectConfig,
+    PositioningLayerConfig,
+    RSSIConfig,
+    VitaConfig,
+)
+from repro.core.toolkit import Vita
+from repro.core.types import DeviceType, PositioningMethod
+
+DATASETS = ("trajectory", "rssi", "positioning", "probabilistic", "proximity", "device")
+
+
+def _config(**overrides):
+    defaults = dict(
+        environment=EnvironmentConfig(building="clinic", floors=1),
+        devices=[DeviceConfig(count_per_floor=4)],
+        objects=ObjectConfig(
+            count=6, duration=40.0, time_step=0.5, min_lifespan=20.0, max_lifespan=40.0
+        ),
+        rssi=RSSIConfig(sampling_period=2.0),
+        positioning=PositioningLayerConfig(sampling_period=5.0),
+        seed=11,
+        shards=3,
+    )
+    defaults.update(overrides)
+    return VitaConfig(**defaults)
+
+
+def _generate_snapshot(backend, db_path, config, workers):
+    """Run ``Vita.generate`` and snapshot every dataset via the query builder."""
+    kwargs = {"backend": backend}
+    if backend == "sqlite":
+        kwargs["db_path"] = str(db_path)
+    with Vita(**kwargs) as vita:
+        report = vita.generate(config, workers=workers).report
+        snapshot = {dataset: vita.query(dataset).all() for dataset in DATASETS}
+    return report, snapshot
+
+
+class TestParallelSerialEquivalence:
+    @pytest.mark.parametrize("backend", ["memory", "sqlite"])
+    def test_workers_4_matches_workers_1(self, backend, tmp_path):
+        _, serial = _generate_snapshot(backend, tmp_path / "serial.sqlite", _config(), workers=1)
+        _, parallel = _generate_snapshot(
+            backend, tmp_path / "parallel.sqlite", _config(), workers=4
+        )
+        assert serial["trajectory"], "the run generated no data; the comparison is vacuous"
+        assert serial["rssi"] and serial["positioning"]
+        for dataset in DATASETS:
+            assert serial[dataset] == parallel[dataset], (
+                f"{dataset}: workers=4 diverged from workers=1 on {backend}"
+            )
+
+    def test_memory_and_sqlite_store_identical_records(self, tmp_path):
+        # Cross-backend: the same parallel run lands identically on both engines.
+        _, memory = _generate_snapshot("memory", None, _config(), workers=2)
+        _, sqlite = _generate_snapshot("sqlite", tmp_path / "x.sqlite", _config(), workers=2)
+        for dataset in DATASETS:
+            assert memory[dataset] == sqlite[dataset]
+
+    def test_workers_do_not_change_the_reported_seed_or_shards(self, tmp_path):
+        serial_report, _ = _generate_snapshot("memory", None, _config(), workers=1)
+        parallel_report, _ = _generate_snapshot("memory", None, _config(), workers=4)
+        assert serial_report.master_seed == parallel_report.master_seed == 11
+        assert serial_report.shard_count == parallel_report.shard_count == 3
+        assert serial_report.total_records == parallel_report.total_records
+
+    def test_proximity_method_is_also_worker_independent(self, tmp_path):
+        config = _config(
+            devices=[DeviceConfig(device_type=DeviceType.RFID, count_per_floor=3)],
+            positioning=PositioningLayerConfig(
+                method=PositioningMethod.PROXIMITY, sampling_period=5.0
+            ),
+        )
+        _, serial = _generate_snapshot("memory", None, config, workers=1)
+        _, parallel = _generate_snapshot("memory", None, config, workers=2)
+        assert serial["proximity"] == parallel["proximity"]
+        assert serial["trajectory"] == parallel["trajectory"]
+
+
+class TestShardCountChangesOutputButWorkersDoNot:
+    def test_different_shard_counts_are_different_datasets(self):
+        # Sanity check of the contract's fine print: shard count is part of
+        # the determinism key (it changes the partition and seeds)...
+        _, two = _generate_snapshot("memory", None, _config(shards=2), workers=1)
+        _, three = _generate_snapshot("memory", None, _config(shards=3), workers=1)
+        assert two["trajectory"] != three["trajectory"]
+
+    def test_same_shard_count_is_reproducible_across_runs(self):
+        # ...while re-running the same configuration reproduces the dataset.
+        _, first = _generate_snapshot("memory", None, _config(), workers=2)
+        _, second = _generate_snapshot("memory", None, _config(), workers=3)
+        for dataset in DATASETS:
+            assert first[dataset] == second[dataset]

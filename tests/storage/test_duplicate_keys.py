@@ -1,0 +1,148 @@
+"""Both engines reject duplicate natural-key rows instead of storing them.
+
+The bulk-insert paths used to silently accept a second trajectory /
+positioning / probabilistic row with the same ``(object_id, t)`` key; both
+backends now raise :class:`StorageError` consistently, and a rejected batch
+leaves the dataset unchanged.
+"""
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.types import (
+    IndoorLocation,
+    PositioningMethod,
+    PositioningRecord,
+    ProbabilisticPositioningRecord,
+    RSSIRecord,
+    TrajectoryRecord,
+)
+from repro.storage.repositories import DataWarehouse
+
+
+def _loc(x=1.0, y=2.0):
+    return IndoorLocation("b", 0, partition_id="hall", x=x, y=y)
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def warehouse(request, tmp_path):
+    if request.param == "memory":
+        with DataWarehouse() as warehouse:
+            yield warehouse
+    else:
+        with DataWarehouse.open("sqlite", path=str(tmp_path / "dup.sqlite")) as warehouse:
+            yield warehouse
+
+
+def _expect_duplicate(warehouse, action):
+    """Assert *action* is rejected as a duplicate.
+
+    The memory engine raises at insert time; SQLite buffers writes and may
+    defer the check to the flush — accept either surfacing point.
+    """
+    with pytest.raises(StorageError):
+        action()
+        warehouse.flush()
+
+
+class TestTrajectoryDuplicates:
+    def test_duplicate_in_one_batch_is_rejected_atomically(self, warehouse):
+        records = [
+            TrajectoryRecord("a", _loc(), 1.0),
+            TrajectoryRecord("a", _loc(x=9.0), 1.0),
+        ]
+        with pytest.raises(StorageError):
+            warehouse.trajectories.add_many(records)
+            warehouse.flush()
+        # Atomic rejection: the valid first row was not inserted either.
+        assert len(warehouse.trajectories) == 0
+
+    def test_duplicate_across_batches_is_rejected(self, warehouse):
+        warehouse.trajectories.add(TrajectoryRecord("a", _loc(), 1.0))
+        warehouse.flush()
+        _expect_duplicate(
+            warehouse, lambda: warehouse.trajectories.add(TrajectoryRecord("a", _loc(x=9.0), 1.0))
+        )
+        assert len(warehouse.trajectories) == 1
+
+    def test_same_timestamp_different_objects_is_fine(self, warehouse):
+        warehouse.trajectories.add_many(
+            [TrajectoryRecord("a", _loc(), 1.0), TrajectoryRecord("b", _loc(), 1.0)]
+        )
+        warehouse.flush()
+        assert len(warehouse.trajectories) == 2
+
+    def test_clear_resets_the_constraint(self, warehouse):
+        warehouse.trajectories.add(TrajectoryRecord("a", _loc(), 1.0))
+        warehouse.flush()
+        warehouse.clear()
+        warehouse.trajectories.add(TrajectoryRecord("a", _loc(), 1.0))
+        warehouse.flush()
+        assert len(warehouse.trajectories) == 1
+
+
+class TestPositioningDuplicates:
+    def test_same_object_time_and_method_is_rejected(self, warehouse):
+        record = PositioningRecord("a", _loc(), 5.0, PositioningMethod.TRILATERATION)
+        warehouse.positioning.add(record)
+        warehouse.flush()
+        _expect_duplicate(
+            warehouse,
+            lambda: warehouse.positioning.add(
+                PositioningRecord("a", _loc(x=3.0), 5.0, PositioningMethod.TRILATERATION)
+            ),
+        )
+        assert len(warehouse.positioning) == 1
+
+    def test_same_object_time_different_method_is_allowed(self, warehouse):
+        warehouse.positioning.add_many(
+            [
+                PositioningRecord("a", _loc(), 5.0, PositioningMethod.TRILATERATION),
+                PositioningRecord("a", _loc(), 5.0, PositioningMethod.FINGERPRINTING),
+            ]
+        )
+        warehouse.flush()
+        assert len(warehouse.positioning) == 2
+
+    def test_probabilistic_duplicates_are_rejected(self, warehouse):
+        record = ProbabilisticPositioningRecord("a", ((_loc(), 1.0),), 5.0)
+        warehouse.probabilistic.add(record)
+        warehouse.flush()
+        _expect_duplicate(
+            warehouse,
+            lambda: warehouse.probabilistic.add(
+                ProbabilisticPositioningRecord("a", ((_loc(), 1.0),), 5.0)
+            ),
+        )
+        assert len(warehouse.probabilistic) == 1
+
+
+class TestRejectionScope:
+    def test_rejected_batch_does_not_take_other_datasets_down(self, warehouse):
+        # A duplicate in one dataset must not discard valid rows that other
+        # datasets flushed in the same transaction (SQLite drains every
+        # dataset on flush; the rejection is scoped to the offending batch).
+        warehouse.trajectories.add(TrajectoryRecord("a", _loc(), 1.0))
+        _expect_duplicate(
+            warehouse,
+            lambda: warehouse.probabilistic.add_many(
+                [
+                    ProbabilisticPositioningRecord("a", ((_loc(), 1.0),), 5.0),
+                    ProbabilisticPositioningRecord("a", ((_loc(), 1.0),), 5.0),
+                ]
+            ),
+        )
+        warehouse.flush()  # the surviving work commits cleanly
+        assert len(warehouse.trajectories) == 1
+        assert len(warehouse.probabilistic) == 0
+
+
+class TestUnconstrainedDatasets:
+    def test_rssi_repeats_are_still_accepted(self, warehouse):
+        # Raw RSSI has no natural (object_id, t) key: several devices (and
+        # repeated survey passes) legitimately measure the same instant.
+        warehouse.rssi.add_many(
+            [RSSIRecord("a", "ap1", -60.0, 1.0), RSSIRecord("a", "ap1", -60.0, 1.0)]
+        )
+        warehouse.flush()
+        assert len(warehouse.rssi) == 2
