@@ -1,0 +1,149 @@
+"""SPATIAL CACHE: cached versus uncached routing / line-of-sight cost.
+
+PR "unified cached SpatialService" claim: with the streaming pipeline
+bounding memory, spatial recomputation dominates generation CPU, and the
+shared per-building cache layer removes most of it.  This bench runs the
+same routing- and LOS-heavy office workloads through a cached and an
+uncached :class:`~repro.spatial.SpatialService` and asserts the cached side
+is at least 2x faster, while spot-checking that both sides return identical
+answers (the cache's determinism contract).
+
+Run with ``pytest benchmarks/test_bench_spatial_cache.py -s`` to see the
+speedup table; the equivalence/property suites in ``tests/`` hold the
+correctness line exhaustively.
+"""
+
+import random
+import time
+
+import pytest
+
+from conftest import deploy_wifi, make_building, print_table
+
+from repro.core.config import SpatialConfig
+from repro.core.errors import RoutingError
+from repro.geometry.point import Point
+from repro.spatial import SpatialService
+
+#: The acceptance floor of the PR: cached must be at least this much faster.
+MIN_SPEEDUP = 2.0
+
+ROUTE_QUERIES = 150
+LOS_POINTS = 40
+LOS_REPEATS = 8  # RSSI sampling revisits stationary points many times
+
+
+@pytest.fixture(scope="module")
+def office():
+    return make_building("office", floors=2)
+
+
+@pytest.fixture(scope="module")
+def office_devices(office):
+    return deploy_wifi(office, count_per_floor=8)
+
+
+def _route_workload(building, seed=71, queries=ROUTE_QUERIES):
+    """Engine-shaped routing queries: (source, target) pairs across floors."""
+    rng = random.Random(seed)
+    pairs = []
+    while len(pairs) < queries:
+        a = building.random_location(rng)
+        b = building.random_location(rng)
+        pairs.append(((a.floor_id, Point(a.x, a.y)), (b.floor_id, Point(b.x, b.y))))
+    return pairs
+
+
+def _run_routes(service, pairs):
+    routed = []
+    for (sf, sp), (tf, tp) in pairs:
+        try:
+            routed.append(service.shortest_route(sf, sp, tf, tp).length)
+        except RoutingError:
+            routed.append(None)
+    return routed
+
+
+def _los_workload(building, devices, seed=83, points=LOS_POINTS):
+    """RSSI-shaped sight lines: every device against revisited object points."""
+    rng = random.Random(seed)
+    queries = []
+    anchors = []
+    while len(anchors) < points:
+        location = building.random_location(rng)
+        anchors.append((location.floor_id, Point(location.x, location.y)))
+    for _ in range(LOS_REPEATS):  # stationary objects re-sample the same spots
+        for floor_id, point in anchors:
+            for device in devices:
+                if device.floor_id == floor_id:
+                    queries.append((floor_id, device.position, point))
+    return queries
+
+
+def _run_sightlines(service, queries):
+    return [
+        service.sightline(floor_id, origin, target).total_crossings
+        for floor_id, origin, target in queries
+    ]
+
+
+def _timed(function, *args):
+    start = time.perf_counter()
+    result = function(*args)
+    return result, time.perf_counter() - start
+
+
+class TestSpatialCacheSpeedup:
+    def test_cached_routing_is_at_least_2x_faster(self, office):
+        pairs = _route_workload(office)
+        uncached = SpatialService(office, config=SpatialConfig(enabled=False))
+        cached = SpatialService(office)
+        plain_result, plain_seconds = _timed(_run_routes, uncached, pairs)
+        cached_result, cached_seconds = _timed(_run_routes, cached, pairs)
+        assert cached_result == plain_result, "caching changed a route"
+        speedup = plain_seconds / max(cached_seconds, 1e-9)
+        print_table(
+            "routing: cached vs uncached SpatialService (office, 2 floors)",
+            ("variant", "seconds", "queries/s"),
+            [
+                ("uncached", f"{plain_seconds:.3f}", f"{len(pairs) / plain_seconds:,.0f}"),
+                ("cached", f"{cached_seconds:.3f}", f"{len(pairs) / cached_seconds:,.0f}"),
+                ("speedup", f"{speedup:.1f}x", ""),
+            ],
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"cached routing is only {speedup:.2f}x faster (floor {MIN_SPEEDUP}x)"
+        )
+
+    def test_cached_sightlines_are_at_least_2x_faster(self, office, office_devices):
+        queries = _los_workload(office, office_devices)
+        uncached = SpatialService(office, config=SpatialConfig(enabled=False))
+        cached = SpatialService(office)
+        plain_result, plain_seconds = _timed(_run_sightlines, uncached, queries)
+        cached_result, cached_seconds = _timed(_run_sightlines, cached, queries)
+        assert cached_result == plain_result, "caching changed a sightline report"
+        speedup = plain_seconds / max(cached_seconds, 1e-9)
+        stats = cached.cache_stats()
+        print_table(
+            "line of sight: cached vs uncached SpatialService",
+            ("variant", "seconds", "sightlines/s"),
+            [
+                ("uncached", f"{plain_seconds:.3f}", f"{len(queries) / plain_seconds:,.0f}"),
+                ("cached", f"{cached_seconds:.3f}", f"{len(queries) / cached_seconds:,.0f}"),
+                ("speedup", f"{speedup:.1f}x",
+                 f"los hit rate {stats['los_hits'] / max(1, stats['los_hits'] + stats['los_misses']):.0%}"),
+            ],
+        )
+        assert speedup >= MIN_SPEEDUP, (
+            f"cached LOS is only {speedup:.2f}x faster (floor {MIN_SPEEDUP}x)"
+        )
+
+    def test_generation_chain_benefits_end_to_end(self, benchmark, office):
+        """Context number: a routing-heavy simulation through the cached service."""
+        from conftest import simulate
+
+        result = benchmark.pedantic(
+            lambda: simulate(office, count=15, duration=90.0, seed=7),
+            rounds=1, iterations=1,
+        )
+        assert result.object_count == 15

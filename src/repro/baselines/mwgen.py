@@ -27,6 +27,7 @@ from repro.core.errors import ConfigurationError
 from repro.core.types import IndoorLocation, TrajectoryRecord
 from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
+from repro.spatial import SpatialService
 
 
 @dataclass
@@ -119,7 +120,17 @@ class MWGenGenerator:
         self.config = config or MWGenConfig()
         self.rng = random.Random(self.config.seed)
         self.building = self._build_building()
-        self.planner = RoutePlanner(self.building, walking_speed=self.config.walking_speed)
+        # MWGen's selling point is its precomputed indoor graph; the cached
+        # spatial service is the modern equivalent (shared Dijkstra tables
+        # instead of a fresh whole-graph search per trip).
+        self.spatial = SpatialService(
+            self.building, walking_speed=self.config.walking_speed
+        )
+
+    @property
+    def planner(self) -> RoutePlanner:
+        """The door-to-door route planner (owned by the spatial service)."""
+        return self.spatial.planner
 
     # ------------------------------------------------------------------ #
     # Building construction: the floor plan is duplicated per floor
@@ -214,7 +225,7 @@ class MWGenGenerator:
                 target = self.rng.choice(partitions)
                 goal = target.random_point(self.rng)
                 try:
-                    route = self.planner.shortest_route(
+                    route = self.spatial.shortest_route(
                         current.floor_id, position, target.floor_id, goal,
                         metric=self.config.routing,
                     )

@@ -188,6 +188,32 @@ class RoutePlanner:
                 )
 
     # ------------------------------------------------------------------ #
+    # Graph introspection (read-only; used by repro.spatial.SpatialService)
+    # ------------------------------------------------------------------ #
+    def exit_nodes_of(self, floor_id: FloorId, partition_id: PartitionId) -> Sequence[Tuple]:
+        """Graph nodes through which an object can *leave* the partition.
+
+        Returns the planner's internal list — treat it as read-only.
+        """
+        return self._exit_nodes.get((floor_id, partition_id), ())
+
+    def entry_nodes_of(self, floor_id: FloorId, partition_id: PartitionId) -> Sequence[Tuple]:
+        """Graph nodes through which an object can *enter* the partition.
+
+        Returns the planner's internal list — treat it as read-only.
+        """
+        return self._entry_nodes.get((floor_id, partition_id), ())
+
+    def node_location(self, node: Tuple) -> Tuple[FloorId, Point]:
+        """The ``(floor_id, point)`` of a door/staircase graph node."""
+        return self._node_points[node]
+
+    def node_partition(self, node: Tuple) -> PartitionId:
+        """Best-effort partition annotation for a door/staircase graph node."""
+        floor_id, point = self._node_points[node]
+        return self._partition_of_node(node, floor_id, point)
+
+    # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def shortest_route(

@@ -278,6 +278,13 @@ class Floor:
         self.partitions: Dict[PartitionId, Partition] = {}
         self.doors: Dict[str, Door] = {}
         self.obstacles: Dict[str, Obstacle] = {}
+        #: Monotonic mutation counter; external caches (e.g. the spatial
+        #: service) compare it to detect stale derived state.
+        self.version: int = 0
+        #: The building this floor is registered with (set by
+        #: ``Building.add_floor``); mutations propagate to its counter so
+        #: ``Building.version`` stays an O(1) read on hot cache paths.
+        self._owner: Optional["Building"] = None
         self._walls: Optional[List[Wall]] = None
         self._partition_index: Optional[GridIndex[Partition]] = None
 
@@ -340,6 +347,9 @@ class Floor:
         return obstacle
 
     def _invalidate_caches(self) -> None:
+        self.version += 1
+        if self._owner is not None:
+            self._owner._structure_version += 1
         self._walls = None
         self._partition_index = None
 
@@ -470,6 +480,7 @@ class Building:
         self.name = name or building_id
         self.floors: Dict[FloorId, Floor] = {}
         self.staircases: Dict[str, Staircase] = {}
+        self._structure_version: int = 0
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -479,6 +490,8 @@ class Building:
         if floor.floor_id in self.floors:
             raise TopologyError(f"duplicate floor id {floor.floor_id}")
         self.floors[floor.floor_id] = floor
+        floor._owner = self
+        self._structure_version += 1
         return floor
 
     def new_floor(self, floor_id: FloorId, elevation: Optional[float] = None,
@@ -507,11 +520,26 @@ class Building:
                     f"partition {partition_id} on floor {floor_id}"
                 )
         self.staircases[staircase.staircase_id] = staircase
+        self._structure_version += 1
         return staircase
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
+    @property
+    def version(self) -> int:
+        """Aggregate mutation counter over the building and all its floors.
+
+        Any structural change (new floor or staircase, or any partition /
+        door / obstacle edit on a registered floor) advances the value,
+        letting derived caches such as
+        :class:`~repro.spatial.SpatialService` detect that they are stale
+        without subscribing to every mutation site.  Registered floors
+        propagate their mutations here (``Floor._invalidate_caches``), so
+        the read is O(1) — it sits on the hottest cache-check paths.
+        """
+        return self._structure_version
+
     @property
     def floor_ids(self) -> List[FloorId]:
         """Floor ids in ascending order."""

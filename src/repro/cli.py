@@ -74,7 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="flush pending records to storage every N records "
                                "(default: the config's storage.flush_every)")
     generate.add_argument("--progress", action="store_true",
-                          help="report objects/records per second to stderr while generating")
+                          help="report objects/records per second (and spatial cache "
+                               "hit rates) to stderr while generating")
+    generate.add_argument("--no-spatial-cache", action="store_true",
+                          dest="no_spatial_cache",
+                          help="disable the shared spatial-service caches (output is "
+                               "identical; useful for benchmarking the cache win)")
 
     query = subparsers.add_parser(
         "query", help="run Data Stream API queries against a generated SQLite warehouse"
@@ -168,6 +173,8 @@ def _command_generate(args: argparse.Namespace) -> int:
             config.storage.path = args.db
         elif config.storage.path is None:
             config.storage.path = str(output / "vita.sqlite")
+    if args.no_spatial_cache:
+        config.spatial.enabled = False
 
     progress = _progress_printer() if args.progress else None
     result = VitaPipeline(config).run_streaming(
@@ -195,6 +202,7 @@ def _command_generate(args: argparse.Namespace) -> int:
                 "flushes": report.flushes,
                 "records_per_second": round(report.records_per_second, 1),
             },
+            "spatial_cache": _cache_summary(report.cache_stats),
             "timings_seconds": {name: round(value, 3) for name, value in report.timings.items()},
             "outputs": {name: str(path) for name, path in written.items()},
         }
@@ -203,15 +211,46 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_summary(stats: dict) -> dict:
+    """Spatial-cache counters grouped per cache with a derived hit rate."""
+    summary: dict = {}
+    for name in ("route", "los", "locate", "table"):
+        hits = int(stats.get(f"{name}_hits", 0))
+        misses = int(stats.get(f"{name}_misses", 0))
+        lookups = hits + misses
+        summary[name] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+        }
+    return summary
+
+
+def _cache_hit_line(stats: dict) -> str:
+    """Compact ``route=93% los=88%`` rendering for progress lines."""
+    parts = []
+    for name in ("route", "los"):
+        hits = int(stats.get(f"{name}_hits", 0))
+        lookups = hits + int(stats.get(f"{name}_misses", 0))
+        if lookups:
+            parts.append(f"{name}={100.0 * hits / lookups:.0f}%")
+    return " ".join(parts)
+
+
 def _progress_printer():
     """A progress callback printing one line per event to stderr."""
 
     def _print(event) -> None:
         shard = "-" if event.shard_id is None else f"{event.shard_id + 1}/{event.shard_count}"
+        suffix = ""
+        if event.phase in ("shard-done", "done"):
+            hit_line = _cache_hit_line(event.cache_stats)
+            if hit_line:
+                suffix = f" cache[{hit_line}]"
         print(
             f"[{event.phase:>11}] shard {shard} objects={event.objects_done} "
             f"records={event.records_written} pending={event.pending_records} "
-            f"({event.records_per_second:,.0f} rec/s)",
+            f"({event.records_per_second:,.0f} rec/s){suffix}",
             file=sys.stderr,
         )
 

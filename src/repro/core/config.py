@@ -191,6 +191,44 @@ class StorageConfig:
 
 
 @dataclass
+class SpatialConfig:
+    """Cache knobs of the per-building :class:`~repro.spatial.SpatialService`.
+
+    Caching changes cost, never results: every cache verifies the exact
+    query arguments before answering (see :mod:`repro.spatial.cache`), so
+    any combination of these knobs produces record-identical output.
+
+    Attributes:
+        enabled: master switch; ``False`` recomputes every spatial answer
+            from scratch (same algorithms, no memoization) — useful for
+            benchmarking and for the cached-vs-uncached equivalence suite.
+        route_cache_size: LRU capacity of the end-to-end route cache, keyed
+            by (partition, quantized point, partition, quantized point,
+            metric, speed).
+        los_cache_size: LRU capacity of the line-of-sight cache, keyed by
+            (floor, quantized origin, quantized target).
+        locate_cache_size: LRU capacity of the point-location cache used
+            when annotating coordinates with their partition.
+        quantum: bucket resolution (metres) of the quantized cache keys.
+            Coarser quanta reduce key diversity (distinct queries sharing a
+            bucket evict each other); they never change answers.
+    """
+
+    enabled: bool = True
+    route_cache_size: int = 4096
+    los_cache_size: int = 16384
+    locate_cache_size: int = 8192
+    quantum: float = 1e-6
+
+    def __post_init__(self) -> None:
+        for name in ("route_cache_size", "los_cache_size", "locate_cache_size"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"spatial.{name} must be non-negative")
+        if self.quantum <= 0:
+            raise ConfigurationError("spatial.quantum must be positive")
+
+
+@dataclass
 class VitaConfig:
     """The complete configuration of one generation run.
 
@@ -206,6 +244,7 @@ class VitaConfig:
     rssi: RSSIConfig = field(default_factory=RSSIConfig)
     positioning: PositioningLayerConfig = field(default_factory=PositioningLayerConfig)
     storage: StorageConfig = field(default_factory=StorageConfig)
+    spatial: SpatialConfig = field(default_factory=SpatialConfig)
     seed: Optional[int] = None
     workers: int = 1
     shards: Optional[int] = None
@@ -272,7 +311,7 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     _only_known_keys(
         "config", payload,
         ("environment", "devices", "objects", "rssi", "positioning", "storage",
-         "seed", "workers", "shards"),
+         "spatial", "seed", "workers", "shards"),
     )
     environment_payload = dict(payload.get("environment", {}))
     _only_known_keys(
@@ -325,6 +364,14 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     )
     storage = StorageConfig(**storage_payload)
 
+    spatial_payload = dict(payload.get("spatial", {}))
+    _only_known_keys(
+        "spatial", spatial_payload,
+        ("enabled", "route_cache_size", "los_cache_size", "locate_cache_size",
+         "quantum"),
+    )
+    spatial = SpatialConfig(**spatial_payload)
+
     return VitaConfig(
         environment=environment,
         devices=devices,
@@ -332,6 +379,7 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
         rssi=rssi,
         positioning=positioning,
         storage=storage,
+        spatial=spatial,
         seed=payload.get("seed"),
         workers=int(payload.get("workers", 1)),
         shards=int(payload["shards"]) if payload.get("shards") is not None else None,
@@ -357,6 +405,7 @@ __all__ = [
     "RSSIConfig",
     "PositioningLayerConfig",
     "StorageConfig",
+    "SpatialConfig",
     "VitaConfig",
     "config_from_dict",
     "config_from_json",

@@ -50,6 +50,7 @@ from repro.mobility.engine import SimulationResult
 from repro.positioning.controller import PositioningConfig, PositioningMethodController
 from repro.positioning.fingerprinting import RadioMap
 from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+from repro.spatial import SpatialService, merge_stats
 from repro.storage.repositories import DataWarehouse
 
 
@@ -64,12 +65,15 @@ class GenerationResult:
     positioning_output: list
     radio_map: Optional[RadioMap] = None
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Spatial-service cache counters of the run (route/LOS/locate/table).
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def summary(self) -> Dict[str, float]:
-        """Counts plus per-layer wall-clock timings."""
+        """Counts plus per-layer wall-clock timings and cache counters."""
         summary: Dict[str, float] = {key: float(value) for key, value in self.warehouse.summary().items()}
         summary.update({f"seconds_{name}": value for name, value in self.timings.items()})
+        summary.update({f"cache_{name}": float(value) for name, value in self.cache_stats.items()})
         return summary
 
 
@@ -93,6 +97,10 @@ class StreamingReport:
     flushes: int
     timings: Dict[str, float]
     elapsed_seconds: float
+    #: Aggregated spatial-cache hit/miss counters across the parent (radio
+    #: map survey) and every shard.  With ``workers > 1`` each worker keeps
+    #: its own caches, so hit rates drop while output stays identical.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def records_per_second(self) -> float:
@@ -125,6 +133,9 @@ class StreamingGenerationResult:
             key: float(value) for key, value in self.warehouse.summary().items()
         }
         summary.update({f"seconds_{name}": value for name, value in self.report.timings.items()})
+        summary.update(
+            {f"cache_{name}": float(value) for name, value in self.report.cache_stats.items()}
+        )
         return summary
 
 
@@ -180,10 +191,16 @@ class VitaPipeline:
             )
         return controller
 
+    def build_spatial(self, building: Building, devices=None) -> SpatialService:
+        """The run-wide cached spatial service (configured by ``config.spatial``)."""
+        return SpatialService(building, devices=devices, config=self.config.spatial)
+
     # ------------------------------------------------------------------ #
     # Layer 2: Moving objects
     # ------------------------------------------------------------------ #
-    def generate_objects(self, building: Building) -> SimulationResult:
+    def generate_objects(
+        self, building: Building, spatial: Optional[SpatialService] = None
+    ) -> SimulationResult:
         """Generate moving objects and their raw trajectories."""
         objects = self.config.objects
         distribution, intention, behavior, crowd_model = object_layer_components(objects)
@@ -207,6 +224,7 @@ class VitaPipeline:
             intention=intention,
             behavior=behavior,
             crowd_model=crowd_model,
+            spatial=spatial,
         )
         return controller.generate()
 
@@ -216,17 +234,31 @@ class VitaPipeline:
     def _rssi_config(self) -> RSSIGenerationConfig:
         return build_rssi_config(self.config.rssi, self.config.rssi.seed)
 
-    def generate_rssi(self, building: Building, devices, simulation: SimulationResult):
+    def generate_rssi(
+        self,
+        building: Building,
+        devices,
+        simulation: SimulationResult,
+        spatial: Optional[SpatialService] = None,
+    ):
         """Generate raw RSSI measurements for the simulated trajectories."""
-        generator = RSSIGenerator(building, devices, self._rssi_config())
+        generator = RSSIGenerator(building, devices, self._rssi_config(), spatial=spatial)
         return generator.generate(simulation.trajectories)
 
-    def generate_positioning(self, building: Building, devices, rssi_records):
+    def generate_positioning(
+        self,
+        building: Building,
+        devices,
+        rssi_records,
+        spatial: Optional[SpatialService] = None,
+    ):
         """Derive positioning data with the configured method."""
         positioning = self.config.positioning
         radio_map = None
         if positioning.method is PositioningMethod.FINGERPRINTING:
-            survey_generator = RSSIGenerator(building, devices, self._rssi_config())
+            survey_generator = RSSIGenerator(
+                building, devices, self._rssi_config(), spatial=spatial
+            )
             radio_map = RadioMap.survey_grid(
                 building,
                 survey_generator,
@@ -246,6 +278,7 @@ class VitaPipeline:
                 rssi_threshold=positioning.rssi_threshold,
             ),
             radio_map=radio_map,
+            spatial=spatial,
         )
         return controller.generate(rssi_records), radio_map
 
@@ -260,18 +293,24 @@ class VitaPipeline:
         building = self.build_environment()
         device_controller = self.deploy_devices(building)
         devices = list(device_controller.devices.values())
+        # One spatial service serves every layer of the run: routes planned
+        # for the engine, sight lines analysed for the RSSI noise model and
+        # locations resolved for positioning all share the same caches.
+        spatial = self.build_spatial(building, devices)
         timings["infrastructure"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        simulation = self.generate_objects(building)
+        simulation = self.generate_objects(building, spatial=spatial)
         timings["moving_objects"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        rssi_records = self.generate_rssi(building, devices, simulation)
+        rssi_records = self.generate_rssi(building, devices, simulation, spatial=spatial)
         timings["rssi"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        positioning_output, radio_map = self.generate_positioning(building, devices, rssi_records)
+        positioning_output, radio_map = self.generate_positioning(
+            building, devices, rssi_records, spatial=spatial
+        )
         timings["positioning"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -295,6 +334,7 @@ class VitaPipeline:
             positioning_output=positioning_output,
             radio_map=radio_map,
             timings=timings,
+            cache_stats=spatial.cache_stats(),
         )
 
     # ------------------------------------------------------------------ #
@@ -342,10 +382,12 @@ class VitaPipeline:
             raise ConfigurationError("flush_every must be at least 1")
 
         timings: Dict[str, float] = {}
+        cache_stats: Dict[str, int] = {}
         run_start = time.perf_counter()
         building = self.build_environment()
         device_controller = self.deploy_devices(building)
         devices = list(device_controller.devices.values())
+        spatial = self.build_spatial(building, devices)
         master_seed = resolve_master_seed(config)
         radio_map = None
         if config.positioning.method is PositioningMethod.FINGERPRINTING:
@@ -355,6 +397,7 @@ class VitaPipeline:
                 building,
                 devices,
                 build_rssi_config(config.rssi, seed=derive_seed(master_seed, -1, "survey")),
+                spatial=spatial,
             )
             radio_map = RadioMap.survey_grid(
                 building,
@@ -362,6 +405,7 @@ class VitaPipeline:
                 spacing=config.positioning.radio_map_spacing,
                 samples_per_location=config.positioning.radio_map_samples,
             )
+            merge_stats(cache_stats, spatial.cache_stats())
         timings["infrastructure"] = time.perf_counter() - run_start
 
         if warehouse is None:
@@ -380,6 +424,7 @@ class VitaPipeline:
             devices=devices,
             radio_map=radio_map,
             master_seed=master_seed,
+            spatial=spatial,
         )
         objects_done = 0
         sample_ticks = itertools.count(1)
@@ -413,6 +458,8 @@ class VitaPipeline:
             for name, value in output.timings.items():
                 key = f"{name}_cpu"
                 timings[key] = timings.get(key, 0.0) + value
+            merge_stats(cache_stats, output.spatial_stats)
+            writer.cache_stats = dict(cache_stats)
             writer.set_context(output.shard_id, len(plan), objects_done)
             writer.emit("shard-done")
         timings["generation"] = time.perf_counter() - shards_start
@@ -433,6 +480,7 @@ class VitaPipeline:
             flushes=writer.flushes,
             timings=timings,
             elapsed_seconds=elapsed,
+            cache_stats=cache_stats,
         )
         return StreamingGenerationResult(
             config=config,

@@ -60,6 +60,7 @@ from repro.positioning.fingerprinting import RadioMap
 from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
 from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
 from repro.rssi.pathloss import PathLossModel
+from repro.spatial import SpatialService, diff_stats
 
 #: Default shard sizing used when the configuration leaves ``shards`` unset.
 DEFAULT_OBJECTS_PER_SHARD = 16
@@ -184,6 +185,9 @@ class GenerationProgress:
     records_written: int
     pending_records: int
     elapsed_seconds: float
+    #: Aggregated spatial-cache hit/miss counters (route/LOS/locate/table),
+    #: updated as shard outputs are merged.
+    cache_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def records_per_second(self) -> float:
@@ -234,6 +238,7 @@ class StreamingWriter:
         self.max_pending = 0
         self.flushes = 0
         self.objects_done = 0
+        self.cache_stats: Dict[str, int] = {}
         self._pending = 0
         self._shard_id: Optional[int] = None
         self._shard_count = 0
@@ -272,6 +277,7 @@ class StreamingWriter:
                 records_written=self.records_written,
                 pending_records=self._pending,
                 elapsed_seconds=self.elapsed_seconds,
+                cache_stats=dict(self.cache_stats),
             )
         )
 
@@ -403,9 +409,12 @@ def build_rssi_config(rssi: RSSIConfig, seed: Optional[int]) -> RSSIGenerationCo
 class ShardContext:
     """Everything a shard run needs; picklable, shipped once per worker.
 
-    The infrastructure (building, devices, radio map) is built once by the
-    parent and shared by every shard, so parallel workers position against
-    exactly the same environment as a serial run.
+    The infrastructure (building, devices, radio map, spatial service) is
+    built once by the parent and shared by every shard, so parallel workers
+    position against exactly the same environment as a serial run.  The
+    spatial service's caches — like ``Floor``'s lambda caches — are dropped
+    on pickle and rebuilt lazily inside each worker; caching never changes
+    results, so per-worker caches keep the output identical to serial.
     """
 
     config: VitaConfig
@@ -413,6 +422,15 @@ class ShardContext:
     devices: List[PositioningDevice]
     radio_map: Optional[RadioMap] = None
     master_seed: int = 0
+    spatial: Optional[SpatialService] = None
+
+    def spatial_service(self) -> SpatialService:
+        """The shared spatial service (created on first use when unset)."""
+        if self.spatial is None:
+            self.spatial = SpatialService(
+                self.building, devices=self.devices, config=self.config.spatial
+            )
+        return self.spatial
 
 
 @dataclass
@@ -425,6 +443,9 @@ class ShardOutput:
     rssi_records: list
     positioning_records: list
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Spatial-cache hit/miss counters attributable to this shard (a delta,
+    #: so serial and parallel runs aggregate identically).
+    spatial_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_records(self) -> int:
@@ -449,6 +470,8 @@ def run_shard(
     config = context.config
     objects = config.objects
     timings: Dict[str, float] = {}
+    spatial = context.spatial_service()
+    stats_before = spatial.cache_stats()
 
     distribution, intention, behavior, crowd_model = object_layer_components(objects)
     # Poisson arrivals are split evenly across shards so the configured total
@@ -477,6 +500,7 @@ def run_shard(
         first_object_index=shard.first_index,
         arrival_id_prefix=f"obj_s{shard.shard_id}a",
         engine_seed=derive_seed(context.master_seed, shard.shard_id, "engine"),
+        spatial=spatial,
     )
     start = time.perf_counter()
     simulation = controller.generate(record_sink=on_sample)
@@ -486,9 +510,9 @@ def run_shard(
     rssi_config = build_rssi_config(
         config.rssi, seed=derive_seed(context.master_seed, shard.shard_id, "rssi")
     )
-    rssi_records = RSSIGenerator(context.building, context.devices, rssi_config).generate(
-        simulation.trajectories
-    )
+    rssi_records = RSSIGenerator(
+        context.building, context.devices, rssi_config, spatial=spatial
+    ).generate(simulation.trajectories)
     timings["rssi"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -506,6 +530,7 @@ def run_shard(
             rssi_threshold=positioning.rssi_threshold,
         ),
         radio_map=context.radio_map,
+        spatial=spatial,
     )
     positioning_records = positioning_controller.generate(rssi_records)
     timings["positioning"] = time.perf_counter() - start
@@ -517,6 +542,7 @@ def run_shard(
         rssi_records=rssi_records,
         positioning_records=positioning_records,
         timings=timings,
+        spatial_stats=diff_stats(spatial.cache_stats(), stats_before),
     )
 
 

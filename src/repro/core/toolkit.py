@@ -54,6 +54,7 @@ from repro.positioning.controller import PositioningConfig, PositioningMethodCon
 from repro.positioning.fingerprinting import RadioMap
 from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
 from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
+from repro.spatial import SpatialService
 from repro.storage.backends import StorageBackend, backend_by_name
 from repro.storage.export import export_warehouse
 from repro.storage.query import Query
@@ -81,6 +82,7 @@ class Vita:
         self.extraction_report: Optional[ExtractionReport] = None
         self.environment_controller: Optional[IndoorEnvironmentController] = None
         self.device_controller: Optional[PositioningDeviceController] = None
+        self._spatial: Optional[SpatialService] = None
         self.simulation: Optional[SimulationResult] = None
         self.rssi_records: List[RSSIRecord] = []
         self.radio_map: Optional[RadioMap] = None
@@ -119,7 +121,19 @@ class Vita:
         self.building = building
         self.environment_controller = IndoorEnvironmentController(building)
         self.device_controller = PositioningDeviceController(building, seed=self.seed)
+        self._spatial = SpatialService(building)
         return building
+
+    @property
+    def spatial(self) -> SpatialService:
+        """The session's cached spatial service (one per adopted building).
+
+        Shared by steps 4–6 so routes, sight lines and point locations are
+        computed once; environment edits are detected through the building's
+        mutation counter and invalidate the caches automatically.
+        """
+        self._require_building()
+        return self._spatial
 
     # ------------------------------------------------------------------ #
     # Step 2 — view and modify the host indoor environment
@@ -154,6 +168,7 @@ class Vita:
                 overrides=overrides,
             )
         )
+        self.spatial.attach_devices(self.devices)
         self.warehouse.devices.add_many(device.as_record() for device in devices)
         self.warehouse.flush()
         return devices
@@ -216,6 +231,7 @@ class Vita:
             intention=intention_by_name(intention),
             behavior=behavior_by_name(behavior),
             crowd_model=crowd_model_by_name(crowd_interaction),
+            spatial=self.spatial,
         )
         self.simulation = controller.generate(snapshot_times=snapshot_times)
         # Re-running a step replaces its output (the GUI-tab semantics);
@@ -248,7 +264,7 @@ class Vita:
             detection_probability=detection_probability,
             seed=self.seed,
         )
-        generator = RSSIGenerator(self.building, self.devices, config)
+        generator = RSSIGenerator(self.building, self.devices, config, spatial=self.spatial)
         self.rssi_records = generator.generate(self.simulation.trajectories)
         self.warehouse.backend.clear("rssi")  # a re-run replaces the step's output
         self.warehouse.rssi.add_many(self.rssi_records)
@@ -298,7 +314,9 @@ class Vita:
         radio_map = None
         if method is PositioningMethod.FINGERPRINTING:
             survey_config = self._rssi_config or RSSIGenerationConfig(seed=self.seed)
-            generator = RSSIGenerator(self.building, self.devices, survey_config)
+            generator = RSSIGenerator(
+                self.building, self.devices, survey_config, spatial=self.spatial
+            )
             radio_map = RadioMap.survey_grid(
                 self.building,
                 generator,
@@ -316,6 +334,7 @@ class Vita:
                 **method_options,
             ),
             radio_map=radio_map,
+            spatial=self.spatial,
         )
         self.positioning_output = controller.generate(self.rssi_records)
         # A re-run replaces the positioning step's previous output.

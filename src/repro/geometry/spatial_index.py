@@ -38,8 +38,20 @@ class SpatialIndex(Generic[T]):
         """Return all items whose bounding box contains *point*."""
         raise NotImplementedError
 
-    def nearest(self, point: Point, k: int = 1) -> List[T]:
-        """Return the *k* items whose bounding boxes are closest to *point*."""
+    def nearest(
+        self,
+        point: Point,
+        k: int = 1,
+        distance_of: Optional[Callable[[T, Point], float]] = None,
+    ) -> List[T]:
+        """Return the *k* items closest to *point*.
+
+        Without *distance_of*, proximity is measured to the items' bounding
+        boxes.  With it, each candidate's true distance is computed with the
+        callable while bounding boxes still prune the search (the box
+        distance is a lower bound of any sensible item distance), making the
+        result exact for non-point geometry such as wall segments.
+        """
         raise NotImplementedError
 
     def __len__(self) -> int:
@@ -121,11 +133,19 @@ class GridIndex(SpatialIndex[T]):
                 results.append(item)
         return results
 
-    def nearest(self, point: Point, k: int = 1) -> List[T]:
+    def nearest(
+        self,
+        point: Point,
+        k: int = 1,
+        distance_of: Optional[Callable[[T, Point], float]] = None,
+    ) -> List[T]:
         if k <= 0:
             return []
+        if distance_of is None:
+            def distance_of(item, query):
+                return _box_distance(self._bbox_of(item), query)
         scored = sorted(
-            ((_box_distance(self._bbox_of(item), point), index, item)
+            ((distance_of(item, point), index, item)
              for index, item in enumerate(self._items)),
             key=lambda triple: (triple[0], triple[1]),
         )
@@ -247,10 +267,17 @@ class RTreeIndex(SpatialIndex[T]):
                 stack.extend(node.children)
         return results
 
-    def nearest(self, point: Point, k: int = 1) -> List[T]:
+    def nearest(
+        self,
+        point: Point,
+        k: int = 1,
+        distance_of: Optional[Callable[[T, Point], float]] = None,
+    ) -> List[T]:
         if k <= 0 or self._root is None:
             return []
-        # Best-first search over nodes ordered by box distance.
+        # Best-first search over nodes ordered by box distance.  Entry
+        # distances use *distance_of* when given; node boxes remain valid
+        # lower bounds, so the search stays exact while still pruning.
         import heapq
 
         heap: List[Tuple[float, int, object, bool]] = []
@@ -266,7 +293,12 @@ class RTreeIndex(SpatialIndex[T]):
             if node.is_leaf:  # type: ignore[union-attr]
                 for entry_box, item in node.entries:  # type: ignore[union-attr]
                     counter += 1
-                    heapq.heappush(heap, (_box_distance(entry_box, point), counter, item, True))
+                    entry_distance = (
+                        distance_of(item, point)
+                        if distance_of is not None
+                        else _box_distance(entry_box, point)
+                    )
+                    heapq.heappush(heap, (entry_distance, counter, item, True))
             else:
                 for child in node.children:  # type: ignore[union-attr]
                     counter += 1

@@ -34,6 +34,7 @@ from repro.mobility.distributions import (
 from repro.mobility.engine import EngineConfig, SimulationEngine, SimulationResult
 from repro.mobility.intentions import DestinationIntention, Intention
 from repro.mobility.objects import Lifespan, MovingObject
+from repro.spatial import SpatialService
 
 
 @dataclass
@@ -97,12 +98,15 @@ class MovingObjectController:
         first_object_index: int = 1,
         arrival_id_prefix: Optional[str] = None,
         engine_seed: Optional[int] = None,
+        spatial: Optional[SpatialService] = None,
     ) -> None:
         """*first_object_index*, *arrival_id_prefix* and *engine_seed* exist
         for sharded generation: a shard numbers its initial objects from its
         global offset (so ids match a serial run), namespaces the ids of its
         Poisson arrivals (so shards never collide), and seeds the simulation
-        engine independently of the object-creation RNG."""
+        engine independently of the object-creation RNG.  *spatial* shares
+        the building-wide cached spatial service with the engine (one is
+        created around *planner* when omitted)."""
         if first_object_index < 1:
             raise ConfigurationError("first_object_index must be at least 1")
         self.building = building
@@ -112,7 +116,9 @@ class MovingObjectController:
         self.intention = intention or DestinationIntention()
         self.behavior = behavior or WalkStayBehavior()
         self.crowd_model = crowd_model
-        self.planner = planner or RoutePlanner(building)
+        self.spatial = spatial if spatial is not None else SpatialService(
+            building, planner=planner
+        )
         self.rng = random.Random(self.config.seed)
         self._id_counter = itertools.count(first_object_index)
         self._arrival_counter = itertools.count(1)
@@ -120,6 +126,11 @@ class MovingObjectController:
         self.engine_seed = engine_seed
         self.objects: List[MovingObject] = []
         self.last_result: Optional[SimulationResult] = None
+
+    @property
+    def planner(self) -> RoutePlanner:
+        """The door-to-door route planner (owned by the spatial service)."""
+        return self.spatial.planner
 
     # ------------------------------------------------------------------ #
     # Object creation
@@ -183,7 +194,7 @@ class MovingObjectController:
         engine_seed = self.engine_seed if self.engine_seed is not None else self.config.seed
         engine = SimulationEngine(
             building=self.building,
-            planner=self.planner,
+            spatial=self.spatial,
             config=EngineConfig(
                 duration=self.config.duration,
                 time_step=self.config.time_step,

@@ -28,6 +28,7 @@ from repro.mobility.crowd import CrowdInteractionModel, NoInteraction
 from repro.mobility.intentions import DestinationIntention, Intention
 from repro.mobility.objects import MovementState, MovingObject
 from repro.mobility.trajectory import TrajectorySet
+from repro.spatial import SpatialService
 
 
 @dataclass
@@ -78,9 +79,15 @@ class SimulationEngine:
         intention: Optional[Intention] = None,
         behavior: Optional[Behavior] = None,
         crowd_model: Optional[CrowdInteractionModel] = None,
+        spatial: Optional[SpatialService] = None,
     ) -> None:
+        """Routing and point location go through *spatial* (the building-wide
+        cached :class:`~repro.spatial.SpatialService`); when omitted, one is
+        created around *planner* (or a fresh planner) for this engine."""
         self.building = building
-        self.planner = planner or RoutePlanner(building)
+        self.spatial = spatial if spatial is not None else SpatialService(
+            building, planner=planner
+        )
         self.config = config or EngineConfig()
         self.intention = intention or DestinationIntention()
         self.behavior = behavior or WalkStayBehavior()
@@ -92,6 +99,11 @@ class SimulationEngine:
         self._active_snapshot: List = []
         #: Optional per-tick observers, e.g. for live visualisation.
         self.observers: List[Callable[[float, List[MovingObject]], None]] = []
+
+    @property
+    def planner(self) -> RoutePlanner:
+        """The underlying door-to-door route planner (owned by the service)."""
+        return self.spatial.planner
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -274,7 +286,7 @@ class SimulationEngine:
                 self.building, moving_object.floor_id, moving_object.position, self.rng
             )
             try:
-                route = self.planner.shortest_route(
+                route = self.spatial.shortest_route(
                     moving_object.floor_id,
                     moving_object.position,
                     goal_floor,
@@ -324,7 +336,10 @@ class SimulationEngine:
         return max(current_wp.point.distance_to(next_wp.point), 3.0)
 
     def _record_of(self, moving_object: MovingObject, t: float) -> TrajectoryRecord:
-        location = self.building.locate(moving_object.floor_id, moving_object.position)
+        # Point location through the spatial service: an object that stays
+        # at a destination samples the same coordinate for many ticks, which
+        # the locate cache answers without re-running partition lookup.
+        location = self.spatial.locate(moving_object.floor_id, moving_object.position)
         return TrajectoryRecord(object_id=moving_object.object_id, location=location, t=t)
 
 

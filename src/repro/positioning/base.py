@@ -26,6 +26,7 @@ from repro.core.types import (
 )
 from repro.devices.base import PositioningDevice
 from repro.geometry.point import Point
+from repro.spatial import SpatialService
 
 
 @dataclass
@@ -99,8 +100,18 @@ class PositioningMethodBase:
 
     name = "abstract"
 
-    def __init__(self, building: Building, devices: Sequence[PositioningDevice]) -> None:
+    def __init__(
+        self,
+        building: Building,
+        devices: Sequence[PositioningDevice],
+        spatial: Optional[SpatialService] = None,
+    ) -> None:
+        """*spatial* shares the building-wide cached
+        :class:`~repro.spatial.SpatialService` (point-location cache, floor
+        extents, device index) with the other layers; a private one is
+        created when omitted."""
         self.building = building
+        self.spatial = spatial if spatial is not None else SpatialService(building)
         self.devices: Dict[DeviceId, PositioningDevice] = {
             device.device_id: device for device in devices
         }
@@ -116,8 +127,8 @@ class PositioningMethodBase:
             raise PositioningError(f"RSSI record references unknown device {device_id}")
 
     def locate_point(self, floor_id: int, point: Point) -> IndoorLocation:
-        """Annotate a coordinate estimate with its partition."""
-        return self.building.locate(floor_id, point)
+        """Annotate a coordinate estimate with its partition (cached)."""
+        return self.spatial.locate(floor_id, point)
 
     def dominant_floor(self, window: ObservationWindow) -> int:
         """The floor where most of the window's observing devices live."""

@@ -91,12 +91,17 @@ class PositioningMethodController:
         config: Optional[PositioningConfig] = None,
         radio_map: Optional[RadioMap] = None,
         rssi_conversion: Optional[RSSIConversion] = None,
+        spatial=None,
     ) -> None:
+        """*spatial* shares the building-wide cached
+        :class:`~repro.spatial.SpatialService` with the constructed method
+        (candidate device index, floor extents, point-location cache)."""
         self.building = building
         self.devices = list(devices)
         self.config = config or PositioningConfig()
         self.radio_map = radio_map
         self.rssi_conversion = rssi_conversion
+        self.spatial = spatial
         self._validate_compatibility()
 
     def _validate_compatibility(self) -> None:
@@ -123,6 +128,7 @@ class PositioningMethodController:
                 self.devices,
                 rssi_conversion=self.rssi_conversion,
                 min_devices=self.config.min_devices,
+                spatial=self.spatial,
             )
         if method is PositioningMethod.FINGERPRINTING:
             if self.radio_map is None:
@@ -132,13 +138,15 @@ class PositioningMethodController:
                 )
             if self.config.fingerprinting_algorithm == "knn":
                 return KNNFingerprinting(
-                    self.building, self.devices, self.radio_map, k=self.config.knn_k
+                    self.building, self.devices, self.radio_map, k=self.config.knn_k,
+                    spatial=self.spatial,
                 )
             return NaiveBayesFingerprinting(
                 self.building,
                 self.devices,
                 self.radio_map,
                 top_k=self.config.bayes_top_k,
+                spatial=self.spatial,
             )
         if method is PositioningMethod.PROXIMITY:
             return ProximityMethod(
@@ -146,6 +154,7 @@ class PositioningMethodController:
                 self.devices,
                 rssi_threshold=self.config.rssi_threshold,
                 miss_tolerance=self.config.proximity_miss_tolerance,
+                spatial=self.spatial,
             )
         raise PositioningError(f"unsupported positioning method {method!r}")
 

@@ -187,8 +187,9 @@ class _FingerprintingBase(PositioningMethodBase):
         building: Building,
         devices: Sequence[PositioningDevice],
         radio_map: RadioMap,
+        spatial=None,
     ) -> None:
-        super().__init__(building, devices)
+        super().__init__(building, devices, spatial=spatial)
         if not len(radio_map):
             raise RadioMapError("the radio map contains no reference locations")
         self.radio_map = radio_map
@@ -205,8 +206,9 @@ class KNNFingerprinting(_FingerprintingBase):
         devices: Sequence[PositioningDevice],
         radio_map: RadioMap,
         k: int = 3,
+        spatial=None,
     ) -> None:
-        super().__init__(building, devices, radio_map)
+        super().__init__(building, devices, radio_map, spatial=spatial)
         if k < 1:
             raise RadioMapError("k must be at least 1")
         self.k = k
@@ -256,8 +258,9 @@ class NaiveBayesFingerprinting(_FingerprintingBase):
         radio_map: RadioMap,
         top_k: int = 5,
         min_std: float = 2.0,
+        spatial=None,
     ) -> None:
-        super().__init__(building, devices, radio_map)
+        super().__init__(building, devices, radio_map, spatial=spatial)
         if top_k < 1:
             raise RadioMapError("top_k must be at least 1")
         self.top_k = top_k

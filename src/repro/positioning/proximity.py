@@ -46,8 +46,9 @@ class ProximityMethod(PositioningMethodBase):
         devices: Sequence[PositioningDevice],
         rssi_threshold: Optional[float] = None,
         miss_tolerance: int = 1,
+        spatial=None,
     ) -> None:
-        super().__init__(building, devices)
+        super().__init__(building, devices, spatial=spatial)
         if miss_tolerance < 1:
             raise ValueError("miss_tolerance must be at least 1")
         self.miss_tolerance = miss_tolerance

@@ -48,8 +48,9 @@ class TrilaterationMethod(PositioningMethodBase):
         max_devices: int = 5,
         path_loss: Optional[PathLossModel] = None,
         clamp_to_floor: bool = True,
+        spatial=None,
     ) -> None:
-        super().__init__(building, devices)
+        super().__init__(building, devices, spatial=spatial)
         if min_devices < 3:
             raise ValueError("trilateration needs at least three circles")
         if max_devices < min_devices:
@@ -101,7 +102,9 @@ class TrilaterationMethod(PositioningMethodBase):
 
     def _clamp_to_floor(self, floor_id: int, estimate: Point) -> Point:
         """Clamp an estimate into the floor extent (a real system knows it)."""
-        box = self.building.floor(floor_id).bounding_box
+        # The floor extent is memoized by the spatial service — the original
+        # recomputed the union over every partition per estimated window.
+        box = self.spatial.floor_bounds(floor_id)
         return Point(
             min(max(estimate.x, box.min_x), box.max_x),
             min(max(estimate.y, box.min_y), box.max_y),

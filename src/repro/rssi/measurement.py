@@ -25,6 +25,7 @@ from repro.geometry.point import Point
 from repro.mobility.trajectory import TrajectorySet
 from repro.rssi.noise import FluctuationNoiseModel, ObstacleNoiseModel
 from repro.rssi.pathloss import PathLossModel, default_model_for
+from repro.spatial import SpatialService
 
 
 @dataclass
@@ -71,17 +72,25 @@ class RSSIGenerator:
         building: Building,
         devices: Sequence[PositioningDevice],
         config: Optional[RSSIGenerationConfig] = None,
+        spatial: Optional[SpatialService] = None,
     ) -> None:
+        """*spatial* shares a building-wide
+        :class:`~repro.spatial.SpatialService` (LOS cache, device index)
+        with the other layers; a private one is created when omitted."""
         self.building = building
         self.devices = list(devices)
         self.config = config or RSSIGenerationConfig()
         self.rng = random.Random(self.config.seed)
-        self._walls_cache: Dict[int, list] = {}
-        self._obstacles_cache: Dict[int, list] = {}
+        self.spatial = spatial if spatial is not None else SpatialService(building)
         self._models: Dict[str, PathLossModel] = {
             device.device_id: (self.config.path_loss or default_model_for(device))
             for device in self.devices
         }
+        if not self.spatial.devices:
+            self.spatial.attach_devices(self.devices)
+        self._device_key = tuple(device.device_id for device in self.devices)
+        self._index_decision_epoch: Optional[int] = None
+        self._use_device_index = False
 
     # ------------------------------------------------------------------ #
     # Core measurement primitives
@@ -106,21 +115,49 @@ class RSSIGenerator:
             return None
         model = self._models[device.device_id]
         rssi = model.rssi_at(distance)
-        rssi += self.config.obstacle_noise.attenuation(
-            device.position,
-            point,
-            self._walls(floor_id),
-            self._obstacles(floor_id),
-        )
+        report = self.spatial.sightline(floor_id, device.position, point)
+        rssi += self.config.obstacle_noise.attenuation_from_report(report)
         rssi += self.config.fluctuation_noise.sample(self.rng)
         return rssi
+
+    def _candidate_devices(self, floor_id: int, point: Point) -> Sequence[PositioningDevice]:
+        """Devices that could observe (*floor_id*, *point*), in deployment order.
+
+        A superset of the devices :meth:`measure` will accept, found through
+        the spatial service's device index instead of a full scan.  Order
+        matters: the RNG draws (packet loss, fluctuation noise) happen per
+        accepted device, so iterating the superset in deployment order keeps
+        the noise stream — and therefore the output — identical to scanning
+        ``self.devices`` directly.
+        """
+        if not self._index_usable():
+            return self.devices
+        radius = self.spatial.max_device_range(floor_id) * self.config.range_factor
+        return self.spatial.candidate_devices(floor_id, point, radius)
+
+    def _index_usable(self) -> bool:
+        """Whether the service indexes exactly this generator's devices.
+
+        A shared service may be re-pointed at a different deployment by
+        another consumer (``attach_devices``); the decision is re-validated
+        whenever the service's ``device_epoch`` changes — an O(1) check on
+        the hot path, an O(devices) comparison only after a change.
+        """
+        epoch = self.spatial.device_epoch
+        if epoch != self._index_decision_epoch:
+            self._index_decision_epoch = epoch
+            self._use_device_index = (
+                tuple(device.device_id for device in self.spatial.devices)
+                == self._device_key
+            )
+        return self._use_device_index
 
     def measure_all(
         self, floor_id: int, point: Point, object_id: str, t: Timestamp
     ) -> List[RSSIRecord]:
         """RSSI records from every device that observes the given position."""
         records: List[RSSIRecord] = []
-        for device in self.devices:
+        for device in self._candidate_devices(floor_id, point):
             rssi = self.measure(device, floor_id, point)
             if rssi is not None:
                 records.append(
@@ -184,25 +221,15 @@ class RSSIGenerator:
         if samples <= 0:
             raise ConfigurationError("samples must be positive")
         observations: Dict[str, List[float]] = {}
+        # The survey point is stationary: resolve the candidate devices once
+        # and let the spatial LOS cache serve every repeated sight line.
+        candidates = self._candidate_devices(floor_id, point)
         for _ in range(samples):
-            for device in self.devices:
+            for device in candidates:
                 rssi = self.measure(device, floor_id, point)
                 if rssi is not None:
                     observations.setdefault(device.device_id, []).append(rssi)
         return observations
-
-    # ------------------------------------------------------------------ #
-    # Caches
-    # ------------------------------------------------------------------ #
-    def _walls(self, floor_id: int) -> list:
-        if floor_id not in self._walls_cache:
-            self._walls_cache[floor_id] = self.building.floor(floor_id).wall_segments()
-        return self._walls_cache[floor_id]
-
-    def _obstacles(self, floor_id: int) -> list:
-        if floor_id not in self._obstacles_cache:
-            self._obstacles_cache[floor_id] = self.building.floor(floor_id).obstacle_polygons()
-        return self._obstacles_cache[floor_id]
 
 
 __all__ = ["RSSIGenerationConfig", "RSSIGenerator"]

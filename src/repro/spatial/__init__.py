@@ -1,0 +1,24 @@
+"""The shared, cached spatial layer (routing, line of sight, nearest neighbour).
+
+Public surface:
+
+* :class:`~repro.spatial.service.SpatialService` — per-building cached
+  spatial primitives consumed by the mobility, baseline, RSSI, positioning
+  and analysis layers;
+* :class:`~repro.core.config.SpatialConfig` — the cache knobs (re-exported
+  here for convenience);
+* :class:`~repro.spatial.cache.CacheStats` / hit-miss helpers.
+"""
+
+from repro.core.config import SpatialConfig
+from repro.spatial.cache import CacheStats, LRUCache, diff_stats, merge_stats
+from repro.spatial.service import SpatialService
+
+__all__ = [
+    "CacheStats",
+    "LRUCache",
+    "SpatialConfig",
+    "SpatialService",
+    "diff_stats",
+    "merge_stats",
+]

@@ -1,0 +1,105 @@
+"""Cache primitives of the shared spatial service.
+
+The :class:`~repro.spatial.service.SpatialService` memoizes pure geometric
+computations (routes, sight lines, point location).  Two properties make the
+caches safe for the generator's determinism contract:
+
+* **Exact verification** — cache keys are *quantized* coordinates (bucket
+  resolution controlled by ``SpatialConfig.quantum``), but every entry also
+  stores the exact arguments it was computed for.  A lookup only hits when
+  the exact arguments match; two distinct queries that land in the same
+  bucket evict each other instead of answering for one another.  Caching can
+  therefore change cost, never results.
+* **Bounded size** — entries are evicted least-recently-used once ``maxsize``
+  is reached, so a long generation run keeps O(cache) memory.
+
+Hit/miss counters are kept per cache and surfaced through
+``SpatialService.cache_stats()`` up to the CLI progress output.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class LRUCache:
+    """A bounded LRU cache with exact-argument verification.
+
+    Keys are coarse *buckets*; every entry stores the *exact* arguments it
+    answers for.  ``get`` only returns a value when the exact arguments
+    match, which is what keeps quantized keys from ever corrupting results
+    (see the module docstring).
+    """
+
+    __slots__ = ("maxsize", "stats", "_entries")
+
+    def __init__(self, maxsize: int, stats: Optional[CacheStats] = None) -> None:
+        self.maxsize = int(maxsize)
+        self.stats = stats if stats is not None else CacheStats()
+        self._entries: "OrderedDict[Hashable, Tuple[Hashable, Any]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, bucket: Hashable, exact: Hashable) -> Tuple[Any, bool]:
+        """Return ``(value, hit)`` for *bucket*, verifying the *exact* args."""
+        entry = self._entries.get(bucket)
+        if entry is not None and entry[0] == exact:
+            self._entries.move_to_end(bucket)
+            self.stats.hits += 1
+            return entry[1], True
+        self.stats.misses += 1
+        return None, False
+
+    def put(self, bucket: Hashable, exact: Hashable, value: Any) -> None:
+        """Store *value* for *bucket*, evicting the least recently used entry."""
+        if self.maxsize <= 0:
+            return
+        self._entries[bucket] = (exact, value)
+        self._entries.move_to_end(bucket)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (the counters survive: they describe the run)."""
+        self._entries.clear()
+
+
+def merge_stats(into: Dict[str, int], extra: Dict[str, int]) -> Dict[str, int]:
+    """Accumulate one flat counter dict into another (in place and returned)."""
+    for key, value in extra.items():
+        into[key] = into.get(key, 0) + int(value)
+    return into
+
+
+def diff_stats(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """The counter delta ``after - before`` (used for per-shard attribution)."""
+    return {key: value - before.get(key, 0) for key, value in after.items()}
+
+
+__all__ = ["CacheStats", "LRUCache", "merge_stats", "diff_stats"]

@@ -43,6 +43,47 @@ class TestGenerateCommand:
         exit_code = main(["generate", "--config", str(bad), "--output", str(tmp_path / "o")])
         assert exit_code == 2
 
+    def test_summary_reports_spatial_cache_hit_rates(self, config_path, tmp_path):
+        output = tmp_path / "out"
+        exit_code = main(["generate", "--config", str(config_path), "--output", str(output)])
+        assert exit_code == 0
+        summary = json.loads((output / "summary.json").read_text())
+        caches = summary["spatial_cache"]
+        assert set(caches) == {"route", "los", "locate", "table"}
+        for counters in caches.values():
+            assert set(counters) == {"hits", "misses", "hit_rate"}
+        # The run exercised routing and point location through the service.
+        assert caches["route"]["misses"] + caches["route"]["hits"] > 0
+        assert caches["locate"]["hits"] > 0
+
+    def test_no_spatial_cache_flag_disables_counters_but_not_output(
+        self, config_path, tmp_path
+    ):
+        cached_out = tmp_path / "cached"
+        plain_out = tmp_path / "plain"
+        assert main(["generate", "--config", str(config_path),
+                     "--output", str(cached_out)]) == 0
+        assert main(["generate", "--config", str(config_path),
+                     "--output", str(plain_out), "--no-spatial-cache"]) == 0
+        cached = json.loads((cached_out / "summary.json").read_text())
+        plain = json.loads((plain_out / "summary.json").read_text())
+        # Caching changes cost, never results: the stored datasets match.
+        assert plain["records"] == cached["records"]
+        assert all(
+            counters["hits"] == 0 and counters["misses"] == 0
+            for counters in plain["spatial_cache"].values()
+        )
+        assert (plain_out / "raw_trajectories.csv").read_text() == (
+            (cached_out / "raw_trajectories.csv").read_text()
+        )
+
+    def test_progress_lines_include_cache_hit_rates(self, config_path, tmp_path, capsys):
+        exit_code = main(["generate", "--config", str(config_path),
+                          "--output", str(tmp_path / "o"), "--progress"])
+        assert exit_code == 0
+        stderr = capsys.readouterr().err
+        assert "cache[" in stderr
+
 
 class TestDescribeCommand:
     def test_describe_synthetic_building(self, capsys):

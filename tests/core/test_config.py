@@ -187,3 +187,39 @@ class TestStorageConfig:
     def test_unknown_storage_key_rejected(self):
         with pytest.raises(ConfigurationError):
             config_from_dict({"storage": {"wal": True}})
+
+
+class TestSpatialConfig:
+    def test_defaults_enable_the_caches(self):
+        config = config_from_dict({})
+        assert config.spatial.enabled
+        assert config.spatial.route_cache_size == 4096
+        assert config.spatial.quantum == 1e-6
+
+    def test_spatial_section_parsed(self):
+        config = config_from_dict(
+            {
+                "spatial": {
+                    "enabled": False,
+                    "route_cache_size": 128,
+                    "los_cache_size": 256,
+                    "locate_cache_size": 64,
+                    "quantum": 0.001,
+                }
+            }
+        )
+        assert not config.spatial.enabled
+        assert config.spatial.route_cache_size == 128
+        assert config.spatial.los_cache_size == 256
+        assert config.spatial.locate_cache_size == 64
+        assert config.spatial.quantum == 0.001
+
+    def test_invalid_spatial_options_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"spatial": {"route_cache_size": -1}})
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"spatial": {"quantum": 0}})
+
+    def test_unknown_spatial_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict({"spatial": {"warmup": True}})

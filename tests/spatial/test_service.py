@@ -1,0 +1,279 @@
+"""Unit tests of the shared cached SpatialService."""
+
+import math
+
+import pytest
+
+from repro.building.distance import RoutePlanner
+from repro.building.model import Door, Obstacle, Partition, PartitionKind
+from repro.building.synthetic import OfficeSpec, office_building
+from repro.core.config import SpatialConfig
+from repro.core.errors import ConfigurationError, RoutingError
+from repro.geometry.line_of_sight import analyze_sightline
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.spatial import LRUCache, SpatialService
+from repro.spatial.cache import CacheStats, diff_stats, merge_stats
+
+
+@pytest.fixture()
+def service(office):
+    return SpatialService(office)
+
+
+@pytest.fixture()
+def uncached(office):
+    return SpatialService(office, config=SpatialConfig(enabled=False))
+
+
+class TestConfig:
+    def test_defaults_are_enabled(self):
+        config = SpatialConfig()
+        assert config.enabled
+        assert config.route_cache_size > 0
+
+    def test_rejects_negative_sizes_and_zero_quantum(self):
+        with pytest.raises(ConfigurationError):
+            SpatialConfig(route_cache_size=-1)
+        with pytest.raises(ConfigurationError):
+            SpatialConfig(quantum=0.0)
+
+
+class TestLRUCache:
+    def test_exact_verification_prevents_bucket_collisions(self):
+        cache = LRUCache(8, CacheStats())
+        cache.put("bucket", ("exact-a",), "value-a")
+        value, hit = cache.get("bucket", ("exact-a",))
+        assert hit and value == "value-a"
+        # A different exact query in the same bucket must miss, never
+        # return value-a (caching may change cost, not results).
+        value, hit = cache.get("bucket", ("exact-b",))
+        assert not hit and value is None
+
+    def test_lru_eviction_bounds_size(self):
+        cache = LRUCache(2, CacheStats())
+        for index in range(5):
+            cache.put(index, index, index)
+        assert len(cache) == 2
+
+    def test_stats_helpers(self):
+        stats = CacheStats(hits=3, misses=1)
+        assert stats.hit_rate == 0.75
+        merged = merge_stats({"a": 1}, {"a": 2, "b": 5})
+        assert merged == {"a": 3, "b": 5}
+        assert diff_stats({"a": 3, "b": 5}, {"a": 1}) == {"a": 2, "b": 5}
+
+
+class TestRouting:
+    def test_same_partition_is_a_straight_walk(self, service):
+        route = service.shortest_route(0, Point(3.0, 3.0), 0, Point(5.0, 4.0))
+        assert len(route.waypoints) == 2
+        assert route.length == pytest.approx(Point(3.0, 3.0).distance_to(Point(5.0, 4.0)))
+
+    def test_cross_floor_route_uses_a_staircase(self, service):
+        route = service.shortest_route(0, Point(4.0, 3.0), 1, Point(35.0, 3.0))
+        assert route.staircases
+        assert route.floors_visited == [0, 1]
+
+    def test_route_matches_legacy_planner_cost(self, office, service):
+        planner = RoutePlanner(office)
+        for source, target in (
+            (Point(4.0, 3.0), Point(35.0, 3.0)),
+            (Point(12.0, 3.0), Point(4.0, 8.0)),
+        ):
+            for metric in ("length", "time"):
+                ours = service.shortest_route(0, source, 1, target, metric=metric)
+                legacy = planner.shortest_route(0, source, 1, target, metric=metric)
+                assert ours.length == pytest.approx(legacy.length, rel=1e-9)
+                assert ours.travel_time == pytest.approx(legacy.travel_time, rel=1e-9)
+
+    def test_repeated_query_hits_the_route_cache(self, service):
+        first = service.shortest_route(0, Point(4.0, 3.0), 1, Point(35.0, 3.0))
+        second = service.shortest_route(0, Point(4.0, 3.0), 1, Point(35.0, 3.0))
+        assert second is first
+        stats = service.cache_stats()
+        assert stats["route_hits"] == 1
+
+    def test_disabled_service_never_counts_or_caches(self, uncached):
+        uncached.shortest_route(0, Point(4.0, 3.0), 1, Point(35.0, 3.0))
+        uncached.shortest_route(0, Point(4.0, 3.0), 1, Point(35.0, 3.0))
+        stats = uncached.cache_stats()
+        assert all(value == 0 for value in stats.values())
+
+    def test_unknown_metric_raises(self, service):
+        with pytest.raises(RoutingError):
+            service.shortest_route(0, Point(4.0, 3.0), 0, Point(5.0, 3.0), metric="teleport")
+
+    def test_point_outside_any_partition_raises(self, service):
+        with pytest.raises(RoutingError):
+            service.shortest_route(0, Point(-50.0, -50.0), 0, Point(5.0, 3.0))
+
+    def test_shortest_distance_is_route_length(self, service):
+        route = service.shortest_route(0, Point(4.0, 3.0), 1, Point(35.0, 3.0))
+        assert service.shortest_distance(0, Point(4.0, 3.0), 1, Point(35.0, 3.0)) == (
+            pytest.approx(route.length)
+        )
+
+
+class TestSightline:
+    def test_matches_legacy_analysis(self, office, service):
+        floor = office.floor(0)
+        origin, target = Point(2.0, 2.0), Point(30.0, 9.0)
+        ours = service.sightline(0, origin, target)
+        legacy = analyze_sightline(
+            origin, target, floor.wall_segments(), floor.obstacle_polygons()
+        )
+        assert ours == legacy
+
+    def test_repeated_sightline_hits_the_cache(self, service):
+        origin, target = Point(2.0, 2.0), Point(30.0, 9.0)
+        first = service.sightline(0, origin, target)
+        second = service.sightline(0, origin, target)
+        assert second is first
+        assert service.cache_stats()["los_hits"] == 1
+
+    def test_obstacles_are_counted(self, fresh_office):
+        fresh_office.floor(0).add_obstacle(
+            Obstacle(
+                obstacle_id="cabinet",
+                floor_id=0,
+                polygon=Polygon.rectangle(5.0, 2.5, 6.0, 3.5),
+                attenuation_db=6.0,
+            )
+        )
+        service = SpatialService(fresh_office)
+        report = service.sightline(0, Point(4.0, 3.0), Point(8.0, 3.0))
+        assert report.obstacle_crossings == 1
+
+
+class TestNearestNeighbour:
+    def test_nearest_door_matches_brute_force(self, office, service):
+        floor = office.floor(0)
+        for point in (Point(2.0, 2.0), Point(18.0, 7.5), Point(33.0, 4.0)):
+            expected = min(
+                door.position.distance_to(point) for door in floor.doors.values()
+            )
+            assert service.nearest_door_distance(0, point) == expected
+
+    def test_nearest_wall_matches_brute_force(self, office, service):
+        for point in (Point(2.0, 2.0), Point(18.0, 7.5), Point(33.0, 4.0)):
+            expected = min(
+                wall.distance_to_point(point)
+                for wall in office.floor(0).wall_segments()
+            )
+            assert service.nearest_wall_distance(0, point) == expected
+
+    def test_doorless_floor_returns_infinity(self):
+        building = office_building(OfficeSpec(floors=1))
+        lonely = building.floor(0)
+        for door_id in list(lonely.doors):
+            del lonely.doors[door_id]
+        lonely._invalidate_caches()
+        service = SpatialService(building)
+        assert service.nearest_door(0, Point(2.0, 2.0)) is None
+        assert math.isinf(service.nearest_door_distance(0, Point(2.0, 2.0)))
+
+
+class TestDeviceIndex:
+    def test_candidates_preserve_deployment_order(self, office, office_wifi):
+        service = SpatialService(office, devices=office_wifi)
+        point = office_wifi[0].position
+        radius = service.max_device_range(office_wifi[0].floor_id) * 1.0
+        candidates = service.candidate_devices(office_wifi[0].floor_id, point, radius)
+        expected = [
+            device for device in office_wifi
+            if device.floor_id == office_wifi[0].floor_id
+            and device.position.distance_to(point) <= radius
+        ]
+        assert [d.device_id for d in candidates] == [d.device_id for d in expected]
+
+    def test_candidates_match_uncached_filter(self, office, office_wifi):
+        cached = SpatialService(office, devices=office_wifi)
+        plain = SpatialService(
+            office, devices=office_wifi, config=SpatialConfig(enabled=False)
+        )
+        for point in (Point(5.0, 5.0), Point(20.0, 8.0)):
+            for radius in (5.0, 15.0, 40.0):
+                assert [
+                    d.device_id for d in cached.candidate_devices(0, point, radius)
+                ] == [d.device_id for d in plain.candidate_devices(0, point, radius)]
+
+    def test_attach_devices_replaces_the_index(self, office, office_wifi):
+        service = SpatialService(office, devices=office_wifi[:2])
+        epoch = service.device_epoch
+        service.attach_devices(office_wifi)
+        assert service.device_epoch > epoch
+        everything = service.candidate_devices(0, Point(18.0, 5.0), 1e6)
+        on_floor = [d for d in office_wifi if d.floor_id == 0]
+        assert len(everything) == len(on_floor)
+
+    def test_rssi_generator_survives_service_repointing(self, office, office_wifi):
+        # A shared service re-pointed at a different deployment must not
+        # leak foreign devices into a live generator's measurements.
+        from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
+
+        service = SpatialService(office, devices=office_wifi)
+        generator = RSSIGenerator(
+            office, office_wifi[:3],  # a subset: index unusable from the start
+            RSSIGenerationConfig(seed=1), spatial=service,
+        )
+        point = office_wifi[0].position
+        records = generator.measure_all(office_wifi[0].floor_id, point, "o1", 0.0)
+        allowed = {d.device_id for d in office_wifi[:3]}
+        assert {r.device_id for r in records} <= allowed
+        # Now a full-set generator flips to the index, another consumer
+        # re-points the service, and the generator must fall back cleanly.
+        full = RSSIGenerator(
+            office, office_wifi, RSSIGenerationConfig(seed=1), spatial=service
+        )
+        service.attach_devices(office_wifi[:1])
+        records = full.measure_all(office_wifi[0].floor_id, point, "o1", 0.0)
+        assert {r.device_id for r in records} <= {d.device_id for d in office_wifi}
+
+
+class TestLocateAndBounds:
+    def test_locate_matches_building_locate(self, office, service):
+        point = Point(4.0, 3.0)
+        assert service.locate(0, point) == office.locate(0, point)
+        # The second lookup is served from the cache and shares the instance.
+        assert service.locate(0, point) is service.locate(0, point)
+
+    def test_floor_bounds_are_memoized(self, office, service):
+        assert service.floor_bounds(0) == office.floor(0).bounding_box
+        assert service.floor_bounds(0) is service.floor_bounds(0)
+
+
+class TestInvalidation:
+    def test_building_mutation_invalidates_stale_answers(self, fresh_office):
+        service = SpatialService(fresh_office)
+        point = Point(18.0, 5.0)
+        before = service.nearest_door_distance(0, point)
+        floor = fresh_office.floor(0)
+        hall = next(
+            p for p in floor.partitions.values() if p.kind is PartitionKind.HALLWAY
+        )
+        room = next(
+            p for p in floor.partitions.values() if p.partition_id != hall.partition_id
+        )
+        floor.add_door(
+            Door(
+                door_id="door_right_here",
+                floor_id=0,
+                position=point,
+                partitions=(hall.partition_id, room.partition_id),
+            )
+        )
+        after = service.nearest_door_distance(0, point)
+        assert before > 0.0
+        assert after == 0.0
+
+    def test_version_counter_advances_on_mutation(self, fresh_office):
+        version = fresh_office.version
+        fresh_office.floor(0).add_partition(
+            Partition(
+                partition_id="annex",
+                floor_id=0,
+                polygon=Polygon.rectangle(100.0, 100.0, 104.0, 104.0),
+            )
+        )
+        assert fresh_office.version > version
