@@ -19,6 +19,9 @@ setup(
     python_requires=">=3.9",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    # PEP 561: ship the py.typed marker so downstream type-checkers consume
+    # the package's inline annotations.
+    package_data={"repro": ["py.typed"]},
     install_requires=["numpy", "networkx"],
     extras_require={
         "dev": [

@@ -12,6 +12,9 @@ The public API is organised by pipeline layer:
 * :mod:`repro.mobility` — the Moving Object Layer;
 * :mod:`repro.rssi` / :mod:`repro.positioning` — the Positioning Layer;
 * :mod:`repro.storage` — repositories, Data Stream APIs and import/export;
+* :mod:`repro.live` — continuous queries: standing monitors evaluated
+  incrementally over the live generation stream (or replayed over a
+  warehouse);
 * :mod:`repro.analysis` — accuracy vs ground truth and dataset statistics;
 * :mod:`repro.baselines` — MWGen / IndoorSTG / RFID-tool style baselines.
 
@@ -30,6 +33,7 @@ Quickstart::
 from repro.core.config import VitaConfig, config_from_dict, config_from_json
 from repro.core.pipeline import GenerationResult, VitaPipeline
 from repro.core.toolkit import Vita
+from repro.live.monitors import Monitor
 from repro.core.types import (
     DeviceType,
     IndoorLocation,
@@ -44,6 +48,7 @@ from repro.core.types import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Monitor",
     "Vita",
     "VitaConfig",
     "VitaPipeline",

@@ -14,6 +14,11 @@ equivalent is a small CLI:
   interface composes arbitrary queries over any dataset, e.g.
   ``vita-generate query --db out/vita.sqlite --dataset trajectory
   --where 'floor_id=1' --during 0 120 --count-by partition_id --explain``;
+* ``vita-generate monitor --config run.json --follow`` — run the streaming
+  pipeline with the configuration's standing monitors attached, printing
+  geofence alert lines as shards merge and a final per-window report;
+  ``--replay --db out/vita.sqlite`` evaluates the same monitors over an
+  already generated warehouse instead (identical results, by contract);
 * ``vita-generate describe --building mall --floors 2`` — print a summary and
   an ASCII rendering of one of the synthetic buildings (or of an IFC file via
   ``--ifc``);
@@ -26,7 +31,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import re
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -39,6 +43,7 @@ from repro.core.pipeline import VitaPipeline
 from repro.ifc.extractor import DBIProcessor
 from repro.ifc.writer import ErrorInjection, write_ifc
 from repro.geometry.point import Point
+from repro.live.monitors import parse_condition
 from repro.geometry.polygon import BoundingBox
 from repro.storage.export import export_warehouse
 from repro.storage.repositories import DataWarehouse
@@ -104,9 +109,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "compose one query over any dataset; combine freely with --explain",
     )
     builder.add_argument("--dataset",
-                         choices=("trajectory", "rssi", "positioning",
-                                  "probabilistic", "proximity", "device"),
-                         help="dataset to query with the builder interface")
+                         help="dataset to query with the builder interface: "
+                              "trajectory, rssi, positioning, probabilistic, "
+                              "proximity or device")
     builder.add_argument("--where", action="append", default=[], metavar="COND",
                          help="predicate like 'object_id=o12', 'rssi>=-60' or "
                               "'floor_id!=0' (repeatable, ANDed)")
@@ -128,6 +133,31 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="count/mean/min/max/sum of COL")
     builder.add_argument("--explain", action="store_true",
                          help="report what the engine pushes down for the query")
+
+    monitor = subparsers.add_parser(
+        "monitor",
+        help="evaluate the configuration's standing monitors, live or replayed",
+    )
+    monitor.add_argument("--config", required=True,
+                         help="JSON configuration with a 'monitors' section")
+    mode = monitor.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--follow", action="store_true",
+                      help="attach the monitors to a streaming generation run")
+    mode.add_argument("--replay", action="store_true",
+                      help="evaluate the monitors over an existing --db warehouse")
+    monitor.add_argument("--db", default=None,
+                         help="SQLite warehouse: the replay source, or where "
+                              "--follow persists the generated data")
+    monitor.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="generation workers for --follow (results are "
+                              "identical for any N)")
+    monitor.add_argument("--shards", type=int, default=None, metavar="N",
+                         help="deterministic shard count for --follow")
+    monitor.add_argument("--flush-every", type=int, default=None, metavar="N",
+                         dest="flush_every",
+                         help="flush/evaluation batch size for --follow")
+    monitor.add_argument("--no-alerts", action="store_true", dest="no_alerts",
+                         help="suppress the live alert lines on stderr")
 
     describe = subparsers.add_parser(
         "describe", help="summarise and render a building (synthetic or IFC)"
@@ -206,6 +236,8 @@ def _command_generate(args: argparse.Namespace) -> int:
             "timings_seconds": {name: round(value, 3) for name, value in report.timings.items()},
             "outputs": {name: str(path) for name, path in written.items()},
         }
+        if report.monitors:
+            summary["monitors"] = report.monitors
     (output / "summary.json").write_text(json.dumps(summary, indent=2), encoding="utf-8")
     print(json.dumps(summary, indent=2))
     return 0
@@ -257,24 +289,9 @@ def _progress_printer():
     return _print
 
 
-#: ``--where`` operators, longest spelling first so ``>=`` wins over ``>``.
-_WHERE_PATTERN = re.compile(r"^\s*(\w+)\s*(==|!=|>=|<=|=|>|<)\s*(.*?)\s*$")
-
-
-def _parse_where(condition: str):
-    """``'rssi>=-60'`` -> ``("rssi", ">=", -60.0)`` (values parsed as JSON)."""
-    match = _WHERE_PATTERN.match(condition)
-    if match is None:
-        raise VitaError(
-            f"cannot parse --where {condition!r}; expected COLUMN<OP>VALUE "
-            "with one of ==, !=, >=, <=, =, >, <"
-        )
-    column, op, raw = match.groups()
-    try:
-        value = json.loads(raw)
-    except json.JSONDecodeError:
-        value = raw  # bare strings need no quoting on the command line
-    return column, op, value
+# ``--where`` conditions share the standing monitors' textual predicate
+# syntax (``'rssi>=-60'`` -> ("rssi", ">=", -60), values parsed as JSON).
+_parse_where = parse_condition
 
 
 def _builder_query(args: argparse.Namespace, warehouse: DataWarehouse) -> dict:
@@ -314,6 +331,62 @@ def _builder_query(args: argparse.Namespace, warehouse: DataWarehouse) -> dict:
     elif not args.explain:  # --explain alone skips the row fetch
         result["rows"] = query.all()
     return result
+
+
+def _command_monitor(args: argparse.Namespace) -> int:
+    config = config_from_json(args.config)
+    if not config.monitors:
+        print(f"error: {args.config} has no 'monitors' section; nothing to watch",
+              file=sys.stderr)
+        return 2
+    on_alert = None if args.no_alerts else _alert_printer()
+
+    if args.replay:
+        if args.db is None:
+            print("error: --replay needs --db pointing at a generated warehouse",
+                  file=sys.stderr)
+            return 2
+        if not Path(args.db).exists():
+            print(f"error: no such database {args.db}", file=sys.stderr)
+            return 2
+        monitors = [monitor_config.build() for monitor_config in config.monitors]
+        with DataWarehouse.open("sqlite", path=args.db) as warehouse:
+            live = DataStreamAPI(warehouse).replay_monitors(monitors, on_alert=on_alert)
+        print(json.dumps({"mode": "replay", "db": args.db, **live.to_json()}, indent=2))
+        return 0
+
+    if args.db is not None:
+        config.storage.backend = "sqlite"
+        config.storage.path = args.db
+    result = VitaPipeline(config).run_streaming(
+        workers=args.workers,
+        shards=args.shards,
+        flush_every=args.flush_every,
+        on_alert=on_alert,
+    )
+    result.warehouse.close()
+    live = result.live
+    summary = {
+        "mode": "follow",
+        "master_seed": result.report.master_seed,
+        "records": {name: count for name, count in result.report.records_written.items()},
+        **live.to_json(),
+    }
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+def _alert_printer():
+    """One stderr line per geofence alert, as shard merges drain them."""
+
+    def _print(alert) -> None:
+        print(
+            f"[alert] monitor={alert.monitor} t={alert.t:g} "
+            f"object={alert.object_id} {alert.kind}",
+            file=sys.stderr,
+        )
+
+    return _print
 
 
 def _command_query(args: argparse.Namespace) -> int:
@@ -406,6 +479,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _command_generate(args)
         if args.command == "query":
             return _command_query(args)
+        if args.command == "monitor":
+            return _command_monitor(args)
         if args.command == "describe":
             return _command_describe(args)
         if args.command == "export-ifc":

@@ -229,6 +229,105 @@ class SpatialConfig:
 
 
 @dataclass
+class MonitorConfig:
+    """One standing monitor of the ``monitors:`` configuration section.
+
+    Declarative counterpart of the :class:`repro.live.Monitor` grammar: the
+    ``monitor`` field names the kind and the remaining fields carry the
+    kind's parameters.  Field-level validation happens here; the kind's
+    cross-field requirements are enforced by :meth:`build` (which compiles
+    to a :class:`~repro.live.Monitor`), keeping this module import-light.
+
+    ``where`` holds textual ``'COLUMN<OP>VALUE'`` conditions or
+    ``[column, op, value]`` triples, identical to the CLI ``--where`` syntax.
+    """
+
+    monitor: str = "density"            # density|flow|geofence|knn|visit_counts
+    name: Optional[str] = None
+    window: float = 60.0
+    slide: Optional[float] = None
+    floor: Optional[int] = None
+    partition: Optional[str] = None
+    region: Optional[List[float]] = None        # [min_x, min_y, max_x, max_y]
+    from_partition: Optional[str] = None        # flow
+    to_partition: Optional[str] = None          # flow
+    x: Optional[float] = None                   # knn
+    y: Optional[float] = None                   # knn
+    k: int = 5                                  # knn
+    top_k: int = 5                              # visit_counts
+    alert_on: List[str] = field(default_factory=lambda: ["enter", "exit"])
+    where: List[Any] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.monitor = self.monitor.lower().strip().replace("-", "_")
+        if self.monitor not in ("density", "flow", "geofence", "knn", "visit_counts"):
+            raise ConfigurationError(
+                f"monitors[].monitor must be one of density, flow, geofence, "
+                f"knn, visit_counts; got {self.monitor!r}"
+            )
+        if self.window <= 0:
+            raise ConfigurationError("monitors[].window must be positive")
+        if self.slide is not None and self.slide <= 0:
+            raise ConfigurationError("monitors[].slide must be positive")
+        if self.region is not None and len(self.region) != 4:
+            raise ConfigurationError(
+                "monitors[].region must be [min_x, min_y, max_x, max_y]"
+            )
+
+    def build(self):
+        """Compile into a :class:`repro.live.Monitor` (full validation)."""
+        # Local import: the live subsystem depends on the storage layer,
+        # which this configuration module must stay independent of.
+        from repro.core.errors import MonitorError
+        from repro.live.monitors import Monitor
+
+        try:
+            kind = self.monitor
+            if kind == "density":
+                built = Monitor.density(
+                    self.region, partition=self.partition, floor=self.floor
+                )
+            elif kind == "flow":
+                if not (self.from_partition and self.to_partition):
+                    raise MonitorError("flow needs 'from_partition' and 'to_partition'")
+                built = Monitor.flow(self.from_partition, self.to_partition)
+            elif kind == "geofence":
+                if self.region is None:
+                    raise MonitorError("geofence needs a 'region'")
+                if self.floor is None:
+                    raise MonitorError("geofence needs a 'floor'")
+                built = Monitor.geofence(
+                    self.region, floor=self.floor, on=tuple(self.alert_on)
+                )
+            elif kind == "knn":
+                if self.x is None or self.y is None or self.floor is None:
+                    raise MonitorError("knn needs 'x', 'y' and a 'floor'")
+                built = Monitor.knn((self.x, self.y), k=self.k, floor=self.floor)
+            else:
+                built = Monitor.visit_counts(top_k=self.top_k)
+            built = built.window(self.window)
+            if self.slide is not None:
+                built = built.slide(self.slide)
+            if self.name:
+                built = built.named(self.name)
+            for condition in self.where:
+                if isinstance(condition, str):
+                    built = built.where(condition)
+                else:
+                    try:
+                        column, op, value = condition
+                    except (TypeError, ValueError):
+                        raise MonitorError(
+                            "where entries must be 'COLUMN<OP>VALUE' strings "
+                            f"or [column, op, value] triples, got {condition!r}"
+                        )
+                    built = built.where(column, op, value)
+            return built
+        except MonitorError as error:
+            raise ConfigurationError(f"monitors[]: {error}")
+
+
+@dataclass
 class VitaConfig:
     """The complete configuration of one generation run.
 
@@ -245,6 +344,7 @@ class VitaConfig:
     positioning: PositioningLayerConfig = field(default_factory=PositioningLayerConfig)
     storage: StorageConfig = field(default_factory=StorageConfig)
     spatial: SpatialConfig = field(default_factory=SpatialConfig)
+    monitors: List[MonitorConfig] = field(default_factory=list)
     seed: Optional[int] = None
     workers: int = 1
     shards: Optional[int] = None
@@ -311,7 +411,7 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     _only_known_keys(
         "config", payload,
         ("environment", "devices", "objects", "rssi", "positioning", "storage",
-         "spatial", "seed", "workers", "shards"),
+         "spatial", "monitors", "seed", "workers", "shards"),
     )
     environment_payload = dict(payload.get("environment", {}))
     _only_known_keys(
@@ -372,6 +472,11 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     )
     spatial = SpatialConfig(**spatial_payload)
 
+    monitor_payloads = payload.get("monitors", [])
+    if isinstance(monitor_payloads, dict):
+        monitor_payloads = [monitor_payloads]
+    monitors = [_parse_monitor(dict(item)) for item in monitor_payloads]
+
     return VitaConfig(
         environment=environment,
         devices=devices,
@@ -380,10 +485,29 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
         positioning=positioning,
         storage=storage,
         spatial=spatial,
+        monitors=monitors,
         seed=payload.get("seed"),
         workers=int(payload.get("workers", 1)),
         shards=int(payload["shards"]) if payload.get("shards") is not None else None,
     )
+
+
+def _parse_monitor(payload: Dict[str, Any]) -> MonitorConfig:
+    _only_known_keys(
+        "monitors[]", payload,
+        ("monitor", "name", "window", "slide", "floor", "partition", "region",
+         "from", "to", "from_partition", "to_partition", "x", "y", "k",
+         "top_k", "alert_on", "where"),
+    )
+    # "from"/"to" are the natural JSON spellings of the flow endpoints but
+    # are keywords/ambiguous as Python field names.
+    if "from" in payload:
+        payload["from_partition"] = payload.pop("from")
+    if "to" in payload:
+        payload["to_partition"] = payload.pop("to")
+    config = MonitorConfig(**payload)
+    config.build()  # surface cross-field errors at load time
+    return config
 
 
 def config_from_json(path: Union[str, Path]) -> VitaConfig:
@@ -406,6 +530,7 @@ __all__ = [
     "PositioningLayerConfig",
     "StorageConfig",
     "SpatialConfig",
+    "MonitorConfig",
     "VitaConfig",
     "config_from_dict",
     "config_from_json",

@@ -65,3 +65,7 @@ class RadioMapError(PositioningError):
 
 class StorageError(VitaError):
     """A repository or Data-Stream-API operation failed."""
+
+
+class MonitorError(VitaError):
+    """A continuous-query monitor is malformed or was driven incorrectly."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.building.editor import IndoorEnvironmentController
 from repro.building.model import Building
@@ -101,6 +101,9 @@ class StreamingReport:
     #: map survey) and every shard.  With ``workers > 1`` each worker keeps
     #: its own caches, so hit rates drop while output stays identical.
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: Per-monitor counters (windows emitted, alerts, records matched) when
+    #: standing monitors were attached to the run.
+    monitors: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def records_per_second(self) -> float:
@@ -125,6 +128,9 @@ class StreamingGenerationResult:
     report: StreamingReport
     radio_map: Optional[RadioMap] = None
     devices: List = field(default_factory=list)
+    #: The finalized :class:`~repro.live.LiveReport` when standing monitors
+    #: were attached to the run (``None`` otherwise).
+    live: Optional[Any] = None
 
     @property
     def summary(self) -> Dict[str, float]:
@@ -348,6 +354,8 @@ class VitaPipeline:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         flush_every: Optional[int] = None,
+        monitors: Optional[Sequence[Any]] = None,
+        on_alert: Optional[Callable[[Any], None]] = None,
     ) -> StreamingGenerationResult:
         """Execute all three layers shard by shard, streaming into storage.
 
@@ -367,6 +375,15 @@ class VitaPipeline:
                 callback for objects/records-per-second reporting.
             workers / shards / flush_every: override the corresponding
                 configuration knobs for this run only.
+            monitors: standing :class:`~repro.live.Monitor` subscriptions
+                evaluated incrementally as the records stream through the
+                writer, *in addition to* the configuration's ``monitors:``
+                section.  The finalized :class:`~repro.live.LiveReport` is
+                returned as the result's ``live`` attribute; emission is
+                identical for every ``workers`` value (per-shard partial
+                window states merge in shard order).
+            on_alert: geofence alert callback; alerts drain at every shard
+                merge (without it they queue, bounded by ``flush_every``).
         """
         config = self.config
         workers = config.workers if workers is None else int(workers)
@@ -408,12 +425,32 @@ class VitaPipeline:
             merge_stats(cache_stats, spatial.cache_stats())
         timings["infrastructure"] = time.perf_counter() - run_start
 
+        # Standing monitors: the config's monitors: section plus any passed
+        # explicitly, evaluated through the writer's flush-batch tap.
+        engine = None
+        all_monitors = [monitor_config.build() for monitor_config in config.monitors]
+        all_monitors.extend(monitors or ())
+        if all_monitors:
+            from repro.live.engine import LiveEngine  # local: optional subsystem
+
+            engine = LiveEngine(
+                all_monitors,
+                spatial=spatial,
+                on_alert=on_alert,
+                max_pending_alerts=max(flush_every, 1),
+            )
+
         if warehouse is None:
             warehouse = DataWarehouse.from_config(config.storage)
         # A run owns its warehouse (same contract as the materialising path).
         warehouse.clear()
         plan = plan_shards(config.objects.count, shard_count, master_seed)
-        writer = StreamingWriter(warehouse, flush_every, progress)
+        writer = StreamingWriter(
+            warehouse,
+            flush_every,
+            progress,
+            record_hook=engine.writer_hook() if engine is not None else None,
+        )
         writer.set_context(None, len(plan), 0)
         writer.write("devices", device_controller.device_records())
         writer.emit("devices")
@@ -447,9 +484,17 @@ class VitaPipeline:
             on_shard_start=on_shard_start,
         ):
             writer.set_context(output.shard_id, len(plan), objects_done)
+            if engine is not None:
+                # Each shard's records accumulate into a per-shard partial
+                # window state, merged (and alert-drained) in shard order —
+                # the outputs arrive shard-ordered for any workers value, so
+                # monitor emission is identical to a serial run.
+                engine.begin_shard(output.shard_id)
             writer.write("trajectories", output.trajectory_records)
             writer.write("rssi", output.rssi_records)
             writer.write_positioning(output.positioning_records)
+            if engine is not None:
+                engine.end_shard()
             objects_done += output.objects
             # Per-layer shard timings are summed across shards: CPU seconds,
             # not wall-clock (with workers > 1 they exceed elapsed time).
@@ -465,6 +510,7 @@ class VitaPipeline:
         timings["generation"] = time.perf_counter() - shards_start
 
         warehouse.flush()
+        live_report = engine.finalize() if engine is not None else None
         elapsed = time.perf_counter() - run_start
         writer.set_context(None, len(plan), objects_done)
         writer.emit("done")
@@ -481,6 +527,7 @@ class VitaPipeline:
             timings=timings,
             elapsed_seconds=elapsed,
             cache_stats=cache_stats,
+            monitors=live_report.summary() if live_report is not None else {},
         )
         return StreamingGenerationResult(
             config=config,
@@ -489,6 +536,7 @@ class VitaPipeline:
             report=report,
             radio_map=radio_map,
             devices=devices,
+            live=live_report,
         )
 
     @staticmethod

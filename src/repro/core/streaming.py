@@ -227,12 +227,18 @@ class StreamingWriter:
         warehouse,
         flush_every: int,
         progress: Optional[ProgressCallback] = None,
+        record_hook: Optional[Callable[[str, list], None]] = None,
     ) -> None:
+        """*record_hook*, when set, receives every flushed batch as
+        ``(repo_name, records)`` before the buffer is released — the tap the
+        continuous-query engine consumes the stream through, at exactly the
+        flush-bounded cadence the memory budget already pays for."""
         if flush_every < 1:
             raise ConfigurationError("flush_every must be at least 1")
         self.warehouse = warehouse
         self.flush_every = int(flush_every)
         self.progress = progress
+        self.record_hook = record_hook
         self.records_written = 0
         self.written_by_repo: Dict[str, int] = {}
         self.max_pending = 0
@@ -338,6 +344,8 @@ class StreamingWriter:
             return 0
         repo.add_many(buffer)
         self.warehouse.flush()
+        if self.record_hook is not None:
+            self.record_hook(repo_name, buffer)
         buffer.clear()
         self._pending -= count
         self.records_written += count

@@ -89,6 +89,9 @@ class Vita:
         self.positioning_output: list = []
         self._rssi_config: Optional[RSSIGenerationConfig] = None
         self._stream_api: Optional[DataStreamAPI] = None
+        self._monitors: list = []
+        #: The finalized live report of the most recent monitored run.
+        self.live_report = None
         if backend is None and db_path is not None:
             backend = "sqlite"
         if isinstance(backend, str):
@@ -361,6 +364,7 @@ class Vita:
         shards: Optional[int] = None,
         flush_every: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
+        on_alert=None,
     ):
         """Run the streaming, sharded pipeline into this session's warehouse.
 
@@ -398,7 +402,10 @@ class Vita:
             shards=shards,
             flush_every=flush_every,
             progress=progress,
+            monitors=self._monitors,
+            on_alert=on_alert,
         )
+        self.live_report = result.live
         # Adopt the run's environment so the step-wise API (environment
         # editing, further deployments, queries) continues from it.
         self._adopt_building(result.building)
@@ -410,6 +417,48 @@ class Vita:
         self.positioning_output = []
         self.radio_map = result.radio_map
         return result
+
+    # ------------------------------------------------------------------ #
+    # Continuous queries (standing monitors)
+    # ------------------------------------------------------------------ #
+    def monitor(self, *monitors) -> list:
+        """Register standing :class:`~repro.live.Monitor` subscriptions.
+
+        Registered monitors attach to the next :meth:`generate` call (their
+        finalized report lands on :attr:`live_report` and on the result's
+        ``live`` attribute), and :meth:`replay_monitors` evaluates them over
+        whatever the session warehouse already stores.  Returns the full
+        list of registered monitors.
+        """
+        from repro.live.monitors import Monitor  # local: optional subsystem
+
+        for monitor in monitors:
+            if not isinstance(monitor, Monitor):
+                raise VitaError(
+                    "monitor() takes repro.live.Monitor instances, e.g. "
+                    "Monitor.density(floor=1).window(60)"
+                )
+            monitor.plan()  # validate eagerly, before any run starts
+            self._monitors.append(monitor)
+        return list(self._monitors)
+
+    def replay_monitors(self, monitors=None, *, on_alert=None):
+        """Replay registered (or given) monitors over the session warehouse.
+
+        The offline drive mode: scans the stored datasets back out through
+        the query planner and feeds the same incremental engine a live run
+        uses, so the emitted windows are identical to an attached run over
+        the same data.  Returns the :class:`~repro.live.LiveReport`.
+        """
+        from repro.live.replay import replay  # local: optional subsystem
+
+        chosen = list(monitors) if monitors is not None else list(self._monitors)
+        if not chosen:
+            raise VitaError("no monitors registered; call monitor() first")
+        self.live_report = replay(
+            self.warehouse, chosen, spatial=self._spatial, on_alert=on_alert
+        )
+        return self.live_report
 
     # ------------------------------------------------------------------ #
     # Data access and export

@@ -1,0 +1,42 @@
+"""The continuous-query subsystem: standing monitors over the live stream.
+
+Public surface:
+
+* :class:`~repro.live.monitors.Monitor` — the immutable monitor grammar
+  (``density`` / ``flow`` / ``geofence`` / ``knn`` / ``visit_counts``, each
+  with ``window`` / ``slide`` / ``where``);
+* :class:`~repro.live.engine.LiveEngine` — the subscription registry and
+  incremental evaluator (attached to streaming generation or driven by
+  hand);
+* :func:`~repro.live.replay.replay` — evaluate monitors over an existing
+  warehouse through the query planner;
+* the result types: :class:`~repro.live.engine.LiveReport`,
+  :class:`~repro.live.engine.MonitorResult`,
+  :class:`~repro.live.engine.WindowResult`,
+  :class:`~repro.live.engine.GeofenceAlert`.
+
+See ``docs/live.md`` for the grammar, the window model and the
+replay-equivalence contract.
+"""
+
+from repro.live.engine import (
+    GeofenceAlert,
+    LiveEngine,
+    LiveReport,
+    MonitorResult,
+    WindowResult,
+)
+from repro.live.monitors import Monitor, MonitorPlan, parse_condition
+from repro.live.replay import replay
+
+__all__ = [
+    "GeofenceAlert",
+    "LiveEngine",
+    "LiveReport",
+    "Monitor",
+    "MonitorPlan",
+    "MonitorResult",
+    "WindowResult",
+    "parse_condition",
+    "replay",
+]

@@ -1,0 +1,372 @@
+"""The immutable standing-monitor grammar of the continuous-query engine.
+
+A :class:`Monitor` is to the live subsystem what
+:class:`repro.storage.query.Query` is to the offline one: an immutable,
+declarative description of a computation, built fluently and compiled into a
+frozen :class:`MonitorPlan` before any data flows.  Five monitor kinds cover
+the continuous indoor-monitoring questions the paper's Data Stream APIs were
+designed to feed:
+
+>>> Monitor.density(floor=1).window(60).slide(30)            # occupancy
+>>> Monitor.flow("p_1_0", "p_1_2").window(120)               # partition flow
+>>> Monitor.geofence((0, 0, 10, 10), floor=1)                # enter/exit alerts
+>>> Monitor.knn((5.0, 5.0), k=3, floor=1).window(30)         # nearest objects
+>>> Monitor.visit_counts(top_k=5).window(300)                # popular POIs
+
+Every monitor evaluates over *sliding windows* of the generation clock:
+window ``i`` spans ``[i * slide, i * slide + window]``, inclusive on both
+ends exactly like :meth:`Query.during`, so each finalized window result has a
+well-defined offline equivalent over the stored warehouse (the
+replay-equivalence contract, see ``docs/live.md``).  ``where`` predicates
+reuse the builder's operator spellings and value coercion, so a monitor
+predicate and the equivalent offline ``where`` always agree.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Optional, Tuple
+
+from repro.core.errors import MonitorError
+from repro.storage.plan import Filter, Region
+
+#: Monitor kinds the engine evaluates.
+MONITOR_KINDS = ("density", "flow", "geofence", "knn", "visit_counts")
+
+#: Operator spellings accepted by :meth:`Monitor.where` (same set as the
+#: offline query builder, so predicates translate one-to-one).
+_WHERE_OPS = {
+    "=": "==",
+    **{op: op for op in ("==", "!=", "<", "<=", ">", ">=", "in", "not_in", "between")},
+}
+
+#: ``COLUMN<OP>VALUE`` conditions, longest operator first (``>=`` beats ``>``).
+_CONDITION_PATTERN = re.compile(r"^\s*(\w+)\s*(==|!=|>=|<=|=|>|<)\s*(.*?)\s*$")
+
+
+def parse_condition(condition: str) -> Tuple[str, str, Any]:
+    """``'rssi>=-60'`` -> ``("rssi", ">=", -60.0)`` (values parsed as JSON).
+
+    The textual predicate syntax shared by the CLI ``--where`` flag and the
+    ``monitors:`` configuration section.
+    """
+    import json
+
+    match = _CONDITION_PATTERN.match(condition)
+    if match is None:
+        raise MonitorError(
+            f"cannot parse condition {condition!r}; expected COLUMN<OP>VALUE "
+            "with one of ==, !=, >=, <=, =, >, <"
+        )
+    column, op, raw = match.groups()
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw  # bare strings need no quoting
+    return column, op, value
+
+
+def as_region(box: Any) -> Region:
+    """Normalise a BoundingBox-like or 4-sequence into a :class:`Region`."""
+    if isinstance(box, Region):
+        return box
+    if hasattr(box, "min_x"):
+        region = Region(float(box.min_x), float(box.min_y), float(box.max_x), float(box.max_y))
+    else:
+        try:
+            min_x, min_y, max_x, max_y = box
+        except (TypeError, ValueError):
+            raise MonitorError(
+                "a region must be a BoundingBox or a (min_x, min_y, max_x, max_y) sequence"
+            )
+        region = Region(float(min_x), float(min_y), float(max_x), float(max_y))
+    if region.min_x > region.max_x or region.min_y > region.max_y:
+        raise MonitorError("region must have min <= max on both axes")
+    return region
+
+
+@dataclass(frozen=True)
+class MonitorPlan:
+    """The frozen description one :class:`Monitor` compiles to.
+
+    Only the fields its ``kind`` uses are populated; :meth:`validate`
+    enforces the per-kind requirements.  ``window`` defaults to 60 seconds
+    and ``slide`` to the window (tumbling) unless set explicitly.
+    """
+
+    kind: str
+    dataset: str = "trajectory"
+    name: Optional[str] = None
+    window: float = 60.0
+    slide: Optional[float] = None
+    filters: Tuple[Filter, ...] = ()
+    floor_id: Optional[int] = None
+    partition_id: Optional[str] = None
+    region: Optional[Region] = None
+    #: Flow endpoints (``flow`` monitors only).
+    from_partition: Optional[str] = None
+    to_partition: Optional[str] = None
+    #: Query point and result size (``knn`` monitors only).
+    x: Optional[float] = None
+    y: Optional[float] = None
+    k: int = 5
+    #: Result size of ``visit_counts`` monitors.
+    top_k: int = 5
+    #: Which geofence transitions raise alerts ("enter", "exit").
+    alert_on: Tuple[str, ...] = ("enter", "exit")
+
+    @property
+    def slide_seconds(self) -> float:
+        """The effective slide (defaults to the window: tumbling)."""
+        return self.window if self.slide is None else self.slide
+
+    def validate(self) -> "MonitorPlan":
+        """Check per-kind requirements; returns self so calls chain."""
+        if self.kind not in MONITOR_KINDS:
+            raise MonitorError(
+                f"unknown monitor kind {self.kind!r}; expected one of {MONITOR_KINDS}"
+            )
+        if self.window <= 0:
+            raise MonitorError("monitor window must be positive")
+        if self.slide is not None and self.slide <= 0:
+            raise MonitorError("monitor slide must be positive")
+        if self.kind == "density" and not any(
+            (self.region is not None, self.partition_id is not None, self.floor_id is not None)
+        ):
+            raise MonitorError(
+                "density() needs a target: a region, a partition or a floor"
+            )
+        if self.region is not None and self.floor_id is None:
+            raise MonitorError(
+                f"{self.kind}() with a region needs a floor (coordinates are per floor)"
+            )
+        if self.kind == "flow" and not (self.from_partition and self.to_partition):
+            raise MonitorError("flow() needs both a from- and a to-partition")
+        if self.kind == "flow" and self.from_partition == self.to_partition:
+            raise MonitorError("flow() endpoints must be two distinct partitions")
+        if self.kind == "geofence" and self.region is None:
+            raise MonitorError("geofence() needs a region")
+        if self.kind == "geofence":
+            unknown = [k for k in self.alert_on if k not in ("enter", "exit")]
+            if unknown:
+                raise MonitorError(f"geofence() alert kinds must be enter/exit, got {unknown}")
+        if self.kind == "knn":
+            if self.x is None or self.y is None or self.floor_id is None:
+                raise MonitorError("knn() needs a point and a floor")
+            if self.k < 1:
+                raise MonitorError("knn() needs k >= 1")
+        if self.kind == "visit_counts" and self.top_k < 1:
+            raise MonitorError("visit_counts() needs top_k >= 1")
+        return self
+
+    def describe(self) -> str:
+        """A compact human-readable label, used as the default monitor name."""
+        parts = []
+        if self.partition_id is not None:
+            parts.append(f"partition={self.partition_id}")
+        if self.floor_id is not None:
+            parts.append(f"floor={self.floor_id}")
+        if self.region is not None:
+            parts.append(f"region=({self.region.min_x:g},{self.region.min_y:g},"
+                         f"{self.region.max_x:g},{self.region.max_y:g})")
+        if self.kind == "flow":
+            parts.append(f"{self.from_partition}->{self.to_partition}")
+        if self.kind == "knn":
+            parts.append(f"point=({self.x:g},{self.y:g}) k={self.k}")
+        if self.kind == "visit_counts":
+            parts.append(f"top_k={self.top_k}")
+        inner = " ".join(parts)
+        return f"{self.kind}[{inner}]" if inner else self.kind
+
+
+class Monitor:
+    """An immutable standing monitor: every verb returns a new builder."""
+
+    def __init__(self, _plan: MonitorPlan) -> None:
+        self._plan = _plan
+
+    # ------------------------------------------------------------------ #
+    # Constructors (one per monitor kind)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def density(
+        cls,
+        region: Any = None,
+        *,
+        partition: Optional[str] = None,
+        floor: Optional[int] = None,
+    ) -> "Monitor":
+        """Distinct objects observed per window in a region, partition or floor."""
+        return cls(
+            MonitorPlan(
+                kind="density",
+                region=as_region(region) if region is not None else None,
+                partition_id=partition,
+                floor_id=int(floor) if floor is not None else None,
+            ).validate()
+        )
+
+    @classmethod
+    def flow(cls, from_partition: str, to_partition: str) -> "Monitor":
+        """Transitions from one partition into another, counted per window.
+
+        A transition happens at the time of the first sample an object takes
+        in *to_partition* when its immediately preceding sample was in
+        *from_partition*.
+        """
+        return cls(
+            MonitorPlan(
+                kind="flow",
+                from_partition=str(from_partition),
+                to_partition=str(to_partition),
+            ).validate()
+        )
+
+    @classmethod
+    def geofence(
+        cls, region: Any, *, floor: int, on: Tuple[str, ...] = ("enter", "exit")
+    ) -> "Monitor":
+        """Enter/exit alerts (and per-window event lists) for a floor region."""
+        return cls(
+            MonitorPlan(
+                kind="geofence",
+                region=as_region(region),
+                floor_id=int(floor),
+                alert_on=tuple(on),
+            ).validate()
+        )
+
+    @classmethod
+    def knn(cls, point: Any, k: int = 5, *, floor: int) -> "Monitor":
+        """The *k* objects whose closest in-window sample is nearest *point*.
+
+        Per window, each object's distance is the minimum distance over its
+        samples in the window on *floor*; ties break by object id.
+        """
+        if hasattr(point, "x"):
+            x, y = float(point.x), float(point.y)
+        else:
+            x, y = (float(value) for value in point)
+        return cls(
+            MonitorPlan(kind="knn", x=x, y=y, k=int(k), floor_id=int(floor)).validate()
+        )
+
+    @classmethod
+    def visit_counts(cls, top_k: int = 5) -> "Monitor":
+        """Per window, the *top_k* partitions by distinct visiting objects."""
+        return cls(MonitorPlan(kind="visit_counts", top_k=int(top_k)).validate())
+
+    # ------------------------------------------------------------------ #
+    # Chainable verbs
+    # ------------------------------------------------------------------ #
+    def _derive(self, **changes: Any) -> "Monitor":
+        return Monitor(replace(self._plan, **changes).validate())
+
+    def window(self, seconds: float) -> "Monitor":
+        """Evaluate over windows of *seconds* (inclusive bounds, like ``during``)."""
+        return self._derive(window=float(seconds))
+
+    def slide(self, seconds: float) -> "Monitor":
+        """Advance the window start every *seconds* (default: tumbling).
+
+        A slide larger than the window is allowed and leaves sampling gaps
+        between consecutive windows.
+        """
+        return self._derive(slide=float(seconds))
+
+    def where(self, *condition: Any, **equalities: Any) -> "Monitor":
+        """Filter the record stream feeding this monitor.
+
+        Accepts the query builder's three spellings — keyword equalities, a
+        ``(column, op, value)`` triple, or a single callable predicate — plus
+        a textual ``'COLUMN<OP>VALUE'`` condition (the CLI/JSON form).
+        Values are coerced with the builder's rules, so the live predicate
+        and the equivalent offline ``where`` always match the same rows.
+        """
+        # Local import: keeps the grammar importable without dragging in the
+        # storage engines (and avoids a config -> live -> backends cycle).
+        from repro.storage.backends.base import coerce_value, dataset_spec
+
+        spec = dataset_spec(self._plan.dataset)
+
+        def check(column: str) -> str:
+            if column not in spec.columns:
+                raise MonitorError(
+                    f"dataset {self._plan.dataset!r} has no column {column!r}; "
+                    f"columns are {list(spec.columns)}"
+                )
+            return column
+
+        def coerced(column: str, op: str, value: Any) -> Any:
+            if op in ("in", "not_in"):
+                return tuple(
+                    member if member is None else coerce_value(column, member)
+                    for member in value
+                )
+            if op == "between":
+                low, high = value
+                return (coerce_value(column, low), coerce_value(column, high))
+            return coerce_value(column, value)
+
+        filters = list(self._plan.filters)
+        if condition:
+            if len(condition) == 1 and callable(condition[0]):
+                filters.append(Filter("*", "python", condition[0]))
+            elif len(condition) == 1 and isinstance(condition[0], str):
+                column, op, value = parse_condition(condition[0])
+                column = check(column)
+                op = _WHERE_OPS[op]
+                filters.append(Filter(column, op, coerced(column, op, value)))
+            elif len(condition) == 3:
+                column, op, value = condition
+                if op not in _WHERE_OPS:
+                    raise MonitorError(
+                        f"unknown operator {op!r}; expected one of "
+                        f"{sorted(set(_WHERE_OPS.values()))}"
+                    )
+                op = _WHERE_OPS[op]
+                column = check(column)
+                filters.append(Filter(column, op, coerced(column, op, value)))
+            else:
+                raise MonitorError(
+                    "where() takes keyword equalities, a (column, op, value) "
+                    "triple, a 'COLUMN<OP>VALUE' string, or a callable predicate"
+                )
+        for column, value in equalities.items():
+            column = check(column)
+            filters.append(Filter(column, "==", coerced(column, "==", value)))
+        return self._derive(filters=tuple(filters))
+
+    def filter(self, predicate: Callable[[dict], bool]) -> "Monitor":
+        """Alias for ``where(predicate)`` — an explicit Python predicate."""
+        return self.where(predicate)
+
+    def named(self, name: str) -> "Monitor":
+        """Set the monitor's subscription name (defaults to a descriptive label)."""
+        if not name:
+            raise MonitorError("a monitor name must be non-empty")
+        return self._derive(name=str(name))
+
+    # ------------------------------------------------------------------ #
+    # Compilation
+    # ------------------------------------------------------------------ #
+    def plan(self) -> MonitorPlan:
+        """The validated frozen plan this builder describes."""
+        return self._plan.validate()
+
+    @property
+    def kind(self) -> str:
+        return self._plan.kind
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Monitor({self._plan.describe()})"
+
+
+__all__ = [
+    "MONITOR_KINDS",
+    "Monitor",
+    "MonitorPlan",
+    "as_region",
+    "parse_condition",
+]

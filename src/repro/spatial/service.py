@@ -140,6 +140,9 @@ class SpatialService:
         self._indices_epoch = -1
         self._floor_bounds: Dict[FloorId, BoundingBox] = {}
         self._max_device_range: Dict[FloorId, float] = {}
+        #: (floor, region corners) -> frozenset of partition ids whose bbox
+        #: overlaps the region; used by the live monitors' record pruning.
+        self._region_partitions: Dict[Tuple, frozenset] = {}
 
     def invalidate(self) -> None:
         """Drop every derived structure; they rebuild lazily on next use.
@@ -666,6 +669,50 @@ class SpatialService:
     def floor(self, floor_id: FloorId) -> Floor:
         """Convenience passthrough to :meth:`Building.floor`."""
         return self.building.floor(floor_id)
+
+    # ------------------------------------------------------------------ #
+    # Region pruning (used by the live monitor engine)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _region_box(region) -> BoundingBox:
+        """Normalise anything exposing min/max corners into a bounding box."""
+        return BoundingBox(
+            float(region.min_x), float(region.min_y),
+            float(region.max_x), float(region.max_y),
+        )
+
+    def region_overlaps_floor(self, floor_id: FloorId, region) -> bool:
+        """Whether an axis-aligned *region* intersects the floor's bounds.
+
+        *region* is anything exposing ``min_x``/``min_y``/``max_x``/``max_y``
+        (a :class:`BoundingBox` or a query-plan ``Region``).  A monitor whose
+        region misses its floor entirely is statically empty and skips every
+        record.
+        """
+        return self._region_box(region).intersects(self.floor_bounds(floor_id))
+
+    def partitions_overlapping(self, floor_id: FloorId, region) -> frozenset:
+        """Partition ids whose bounding box intersects *region* (memoized).
+
+        A conservative superset of the partitions whose geometry can contain
+        a point inside the region: any record annotated with a partition
+        outside this set is provably outside the region, so region-targeted
+        monitors can discard it on the partition id alone.
+        """
+        self._check_version()
+        box = self._region_box(region)
+        key = (floor_id, box.min_x, box.min_y, box.max_x, box.max_y)
+        cached = self._region_partitions.get(key)
+        if cached is not None:
+            return cached
+        result = frozenset(
+            partition.partition_id
+            for partition in self.building.floor(floor_id).partitions.values()
+            if partition.polygon.bounding_box.intersects(box)
+        )
+        if self.enabled:
+            self._region_partitions[key] = result
+        return result
 
     def __repr__(self) -> str:
         state = "enabled" if self.enabled else "disabled"

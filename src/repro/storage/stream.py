@@ -154,5 +154,22 @@ class DataStreamAPI:
         """count/mean/min/max/sum RSSI per device over the raw RSSI data."""
         return self.query("rssi").stats("rssi", by="device_id")
 
+    # ------------------------------------------------------------------ #
+    # Continuous queries
+    # ------------------------------------------------------------------ #
+    def replay_monitors(self, monitors, *, spatial=None, on_alert=None):
+        """Evaluate standing :class:`~repro.live.Monitor` subscriptions over
+        the stored data, scanning it back out through the query planner.
+
+        The offline drive mode of the continuous-query subsystem: the result
+        sequences are identical to what the same monitors would have emitted
+        attached to the generation run that produced this warehouse (the
+        replay-equivalence contract, see ``docs/live.md``).  Returns the
+        :class:`~repro.live.LiveReport`.
+        """
+        from repro.live.replay import replay  # local: optional subsystem
+
+        return replay(self.warehouse, monitors, spatial=spatial, on_alert=on_alert)
+
 
 __all__ = ["DataStreamAPI"]

@@ -243,3 +243,80 @@ class TestBuilderQueryCommand:
         assert main(["query", "--db", str(db_path), "--dataset", "trajectory",
                      "--count", "--distinct", "object_id"]) == 2
         assert "at most one" in capsys.readouterr().err
+
+    def test_unknown_dataset_fails_with_one_line_error(self, db_path, capsys):
+        assert main(["query", "--db", str(db_path), "--dataset", "bogus",
+                     "--count"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+
+@pytest.fixture()
+def monitored_config_path(tmp_path):
+    payload = {
+        "environment": {"building": "clinic", "floors": 1},
+        "devices": [{"type": "wifi", "count_per_floor": 4}],
+        "objects": {"count": 4, "duration": 40, "time_step": 0.5, "seed": 3},
+        "monitors": [
+            {"monitor": "density", "floor": 0, "window": 20, "slide": 10,
+             "name": "occ"},
+            {"monitor": "geofence", "floor": 0, "region": [0, 0, 12, 12],
+             "name": "fence"},
+        ],
+        "seed": 3,
+    }
+    path = tmp_path / "monitored.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestMonitorCommand:
+    def test_follow_prints_alerts_and_report(self, monitored_config_path, capsys):
+        exit_code = main(["monitor", "--config", str(monitored_config_path),
+                          "--follow"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["mode"] == "follow"
+        assert report["monitors"]["occ"]["windows"]
+        assert all(w["value"] >= 0 for w in report["monitors"]["occ"]["windows"])
+        assert "[alert] monitor=fence" in captured.err
+
+    def test_follow_then_replay_agree(self, monitored_config_path, tmp_path, capsys):
+        db = tmp_path / "run.sqlite"
+        assert main(["monitor", "--config", str(monitored_config_path),
+                     "--follow", "--db", str(db), "--no-alerts"]) == 0
+        followed = json.loads(capsys.readouterr().out)
+        assert main(["monitor", "--config", str(monitored_config_path),
+                     "--replay", "--db", str(db), "--no-alerts"]) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed["mode"] == "replay"
+        for name in ("occ", "fence"):
+            assert (
+                [w["value"] for w in replayed["monitors"][name]["windows"]]
+                == [w["value"] for w in followed["monitors"][name]["windows"]]
+            )
+
+    def test_replay_without_db_fails_cleanly(self, monitored_config_path, capsys):
+        assert main(["monitor", "--config", str(monitored_config_path),
+                     "--replay"]) == 2
+        err = capsys.readouterr().err
+        assert "needs --db" in err and "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_replay_missing_database_fails_cleanly(
+        self, monitored_config_path, tmp_path, capsys
+    ):
+        assert main(["monitor", "--config", str(monitored_config_path),
+                     "--replay", "--db", str(tmp_path / "nope.sqlite")]) == 2
+        err = capsys.readouterr().err
+        assert "no such database" in err and "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_config_without_monitors_fails_cleanly(self, config_path, capsys):
+        assert main(["monitor", "--config", str(config_path), "--follow"]) == 2
+        err = capsys.readouterr().err
+        assert "no 'monitors' section" in err
+        assert len(err.strip().splitlines()) == 1

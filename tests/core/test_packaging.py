@@ -1,0 +1,14 @@
+"""Packaging invariants: the PEP 561 marker must ship with the package."""
+
+from pathlib import Path
+
+import repro
+
+
+def test_py_typed_marker_is_next_to_the_package():
+    assert (Path(repro.__file__).parent / "py.typed").exists()
+
+
+def test_setup_declares_the_marker_as_package_data():
+    setup_py = Path(repro.__file__).resolve().parents[2] / "setup.py"
+    assert "py.typed" in setup_py.read_text(encoding="utf-8")

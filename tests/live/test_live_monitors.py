@@ -1,0 +1,158 @@
+"""Unit tests for the standing-monitor grammar."""
+
+import pytest
+
+from repro.core.config import MonitorConfig, config_from_dict
+from repro.core.errors import ConfigurationError, MonitorError
+from repro.geometry.polygon import BoundingBox
+from repro.live.monitors import Monitor, parse_condition
+
+
+class TestGrammar:
+    def test_builders_are_immutable(self):
+        base = Monitor.density(floor=1)
+        windowed = base.window(30.0)
+        assert base.plan().window == 60.0
+        assert windowed.plan().window == 30.0
+        assert base is not windowed
+
+    def test_slide_defaults_to_window(self):
+        plan = Monitor.density(floor=1).window(45.0).plan()
+        assert plan.slide is None
+        assert plan.slide_seconds == 45.0
+        assert Monitor.density(floor=1).window(45.0).slide(5.0).plan().slide_seconds == 5.0
+
+    def test_density_accepts_bounding_box_and_tuple_regions(self):
+        from_box = Monitor.density(BoundingBox(0, 0, 5, 5), floor=1).plan()
+        from_tuple = Monitor.density((0, 0, 5, 5), floor=1).plan()
+        assert from_box.region == from_tuple.region
+
+    def test_density_needs_a_target(self):
+        with pytest.raises(MonitorError):
+            Monitor.density()
+
+    def test_region_needs_a_floor(self):
+        with pytest.raises(MonitorError):
+            Monitor.density((0, 0, 5, 5))
+
+    def test_flow_needs_two_distinct_partitions(self):
+        with pytest.raises(MonitorError):
+            Monitor.flow("hall", "hall")
+
+    def test_knn_point_forms(self):
+        from repro.geometry.point import Point
+
+        assert Monitor.knn(Point(1.0, 2.0), k=2, floor=0).plan().x == 1.0
+        assert Monitor.knn((1.0, 2.0), k=2, floor=0).plan().y == 2.0
+        with pytest.raises(MonitorError):
+            Monitor.knn((1.0, 2.0), k=0, floor=0)
+
+    def test_geofence_rejects_unknown_alert_kinds(self):
+        with pytest.raises(MonitorError):
+            Monitor.geofence((0, 0, 1, 1), floor=0, on=("teleport",))
+
+    def test_invalid_window_and_slide(self):
+        with pytest.raises(MonitorError):
+            Monitor.density(floor=0).window(0.0)
+        with pytest.raises(MonitorError):
+            Monitor.density(floor=0).slide(-1.0)
+
+    def test_named_sets_subscription_name(self):
+        assert Monitor.visit_counts().named("pois").plan().name == "pois"
+        with pytest.raises(MonitorError):
+            Monitor.visit_counts().named("")
+
+    def test_default_name_is_descriptive(self):
+        assert Monitor.flow("a", "b").plan().describe() == "flow[a->b]"
+
+
+class TestWhere:
+    def test_keyword_triple_and_string_spellings_agree(self):
+        by_kw = Monitor.density(floor=0).where(object_id="o1").plan().filters
+        by_triple = Monitor.density(floor=0).where("object_id", "==", "o1").plan().filters
+        by_text = Monitor.density(floor=0).where("object_id=o1").plan().filters
+        assert by_kw == by_triple == by_text
+
+    def test_values_are_coerced_like_the_query_builder(self):
+        plan = Monitor.density(floor=0).where("t", ">=", 10).plan()
+        assert plan.filters[0].value == 10.0
+        assert isinstance(plan.filters[0].value, float)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(MonitorError):
+            Monitor.density(floor=0).where(bogus=1)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(MonitorError):
+            Monitor.density(floor=0).where("t", "~~", 1)
+
+    def test_callable_predicate(self):
+        plan = Monitor.density(floor=0).filter(lambda row: row["t"] > 1).plan()
+        assert plan.filters[0].op == "python"
+
+    def test_parse_condition_values(self):
+        assert parse_condition("rssi>=-60") == ("rssi", ">=", -60)
+        assert parse_condition("object_id=o12") == ("object_id", "=", "o12")
+        with pytest.raises(MonitorError):
+            parse_condition("no operator here")
+
+
+class TestMonitorConfig:
+    def test_build_each_kind(self):
+        configs = [
+            MonitorConfig(monitor="density", floor=1),
+            MonitorConfig(monitor="flow", from_partition="a", to_partition="b"),
+            MonitorConfig(monitor="geofence", floor=0, region=[0, 0, 5, 5]),
+            MonitorConfig(monitor="knn", floor=0, x=1.0, y=2.0, k=3),
+            MonitorConfig(monitor="visit_counts", top_k=2),
+        ]
+        kinds = [config.build().kind for config in configs]
+        assert kinds == ["density", "flow", "geofence", "knn", "visit_counts"]
+
+    def test_from_and_to_json_aliases(self):
+        config = config_from_dict(
+            {
+                "objects": {"count": 1},
+                "monitors": [{"monitor": "flow", "from": "a", "to": "b"}],
+            }
+        )
+        plan = config.monitors[0].build().plan()
+        assert (plan.from_partition, plan.to_partition) == ("a", "b")
+
+    def test_where_conditions_and_window_thread_through(self):
+        config = MonitorConfig(
+            monitor="density", floor=1, window=30, slide=10,
+            where=["object_id=o1", ["t", ">=", 5]],
+        )
+        plan = config.build().plan()
+        assert plan.window == 30.0 and plan.slide_seconds == 10.0
+        assert len(plan.filters) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MonitorConfig(monitor="teleport")
+
+    def test_cross_field_errors_surface_at_load_time(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict(
+                {"objects": {"count": 1}, "monitors": [{"monitor": "flow", "from": "a"}]}
+            )
+        with pytest.raises(ConfigurationError):
+            config_from_dict(
+                {"objects": {"count": 1}, "monitors": [{"monitor": "density"}]}
+            )
+
+    def test_malformed_where_triple_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict(
+                {"objects": {"count": 1},
+                 "monitors": [{"monitor": "density", "floor": 0,
+                               "where": [["floor_id", 0]]}]}
+            )
+
+    def test_unknown_monitor_keys_rejected(self):
+        with pytest.raises(ConfigurationError):
+            config_from_dict(
+                {"objects": {"count": 1},
+                 "monitors": [{"monitor": "visit_counts", "bogus": 1}]}
+            )

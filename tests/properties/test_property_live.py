@@ -1,0 +1,141 @@
+"""Property-based tests for the continuous-query engine.
+
+The replay-equivalence contract, quantified: for random buildings, seeds and
+window shapes, every monitor's finalized window sequence is identical between
+
+* the monitors attached to a streaming generation run,
+* a ``replay()`` over the warehouse that run produced, and
+* the equivalent offline computation over the same warehouse (builder
+  ``distinct``/``count_by`` queries for density and visit counts);
+
+and ``workers=2`` streaming emission equals serial emission.  Pipeline runs
+are expensive, so the examples are few and tiny — the breadth comes from the
+randomised buildings, seeds, windows and slides.
+"""
+
+from functools import lru_cache
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import config_from_dict
+from repro.core.pipeline import VitaPipeline
+from repro.live import replay
+
+
+@lru_cache(maxsize=None)
+def _monitored_run(building, seed, window, slide):
+    """One monitored streaming run (cached: hypothesis revisits examples)."""
+    config = config_from_dict(
+        {
+            "environment": {"building": building, "floors": 1},
+            "devices": [{"type": "wifi", "count_per_floor": 3}],
+            "objects": {"count": 4, "duration": 40, "time_step": 0.5, "seed": seed},
+            "monitors": [
+                {"monitor": "density", "floor": 0, "window": window, "slide": slide,
+                 "name": "occ"},
+                {"monitor": "visit_counts", "top_k": 3, "window": window,
+                 "slide": slide, "name": "pois"},
+                {"monitor": "geofence", "floor": 0, "region": [0, 0, 14, 10],
+                 "window": window, "slide": slide, "name": "fence"},
+            ],
+            "seed": seed,
+        }
+    )
+    return config, VitaPipeline(config).run_streaming()
+
+
+run_parameters = {
+    "building": st.sampled_from(("office", "clinic")),
+    "seed": st.integers(0, 10_000),
+    "window": st.sampled_from((7.0, 15.0, 30.0, 60.0)),
+    "slide": st.sampled_from((5.0, 10.0, 30.0)),
+}
+
+few_examples = settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+
+
+class TestReplayEquivalence:
+    @given(**run_parameters)
+    @few_examples
+    def test_replay_matches_attached_emission(self, building, seed, window, slide):
+        config, result = _monitored_run(building, seed, window, slide)
+        monitors = [mc.build() for mc in config.monitors]
+        replayed = replay(result.warehouse, monitors)
+        for name, live_result in result.live.results.items():
+            assert replayed.results[name].values() == live_result.values(), name
+
+    @given(**run_parameters)
+    @few_examples
+    def test_attached_emission_matches_offline_builder_queries(
+        self, building, seed, window, slide
+    ):
+        _, result = _monitored_run(building, seed, window, slide)
+        warehouse = result.warehouse
+        for w in result.live.results["occ"].windows:
+            expected = len(
+                warehouse.query("trajectory")
+                .during(w.t_start, w.t_end)
+                .on_floor(0)
+                .distinct("object_id")
+            )
+            assert w.value == expected
+        for w in result.live.results["pois"].windows:
+            counts = (
+                warehouse.query("trajectory")
+                .during(w.t_start, w.t_end)
+                .where("partition_id", "not_in", (None, ""))
+                .count_by("partition_id", distinct="object_id")
+            )
+            expected = tuple(
+                sorted(counts.items(), key=lambda item: (-item[1], item[0]))[:3]
+            )
+            assert w.value == expected
+
+    @given(**run_parameters)
+    @few_examples
+    def test_windows_cover_the_data_span(self, building, seed, window, slide):
+        _, result = _monitored_run(building, seed, window, slide)
+        bounds = result.warehouse.backend.time_bounds("trajectory")
+        occ = result.live.results["occ"].windows
+        if bounds is None:
+            assert occ == []
+            return
+        _, t_max = bounds
+        assert occ[0].t_start == 0.0
+        assert occ[-1].t_start <= t_max
+        assert occ[-1].t_start + slide > t_max
+        indices = [w.index for w in occ]
+        assert indices == list(range(len(occ)))
+
+
+class TestWorkerEquivalence:
+    @given(seed=st.integers(0, 10_000), shards=st.integers(2, 4))
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=(HealthCheck.too_slow,))
+    def test_workers_2_equals_serial(self, seed, shards):
+        config = config_from_dict(
+            {
+                "environment": {"building": "clinic", "floors": 1},
+                "devices": [{"type": "wifi", "count_per_floor": 3}],
+                "objects": {"count": 4, "duration": 30, "time_step": 0.5, "seed": seed},
+                "monitors": [
+                    {"monitor": "density", "floor": 0, "window": 10, "slide": 5,
+                     "name": "occ"},
+                    {"monitor": "geofence", "floor": 0, "region": [0, 0, 12, 12],
+                     "name": "fence"},
+                ],
+                "seed": seed,
+            }
+        )
+        serial = VitaPipeline(config).run_streaming(shards=shards, workers=1)
+        parallel = VitaPipeline(config).run_streaming(shards=shards, workers=2)
+        for name, serial_result in serial.live.results.items():
+            parallel_result = parallel.live.results[name]
+            assert parallel_result.values() == serial_result.values(), name
+            assert [
+                (a.t, a.object_id, a.kind) for a in parallel_result.alerts
+            ] == [(a.t, a.object_id, a.kind) for a in serial_result.alerts], name

@@ -133,3 +133,55 @@ class TestAggregations:
         assert statistics["ap1"]["count"] == 2.0
         assert statistics["ap1"]["mean"] == pytest.approx(-62.0)
         assert statistics["ap2"]["min"] == -70.0
+
+
+class TestSlidingWindowsAcrossBackends:
+    """The sliding-window edge cases must behave identically on both engines."""
+
+    @pytest.fixture(params=("memory", "sqlite"))
+    def make_api(self, request, tmp_path):
+        def _make(records=()):
+            if request.param == "memory":
+                warehouse = DataWarehouse()
+            else:
+                warehouse = DataWarehouse.open(
+                    "sqlite", path=str(tmp_path / "stream.sqlite")
+                )
+            warehouse.trajectories.add_many(records)
+            warehouse.flush()
+            return DataStreamAPI(warehouse)
+
+        return _make
+
+    @staticmethod
+    def _two_object_records():
+        records = []
+        for t in range(11):
+            records.append(TrajectoryRecord("a", _loc(float(t * 2), 5.0), float(t)))
+            records.append(
+                TrajectoryRecord("b", _loc(50.0, 5.0, floor=1, partition="room9"), float(t))
+            )
+        return records
+
+    def test_empty_warehouse_yields_no_windows(self, make_api):
+        assert list(make_api().sliding_windows(window=5.0)) == []
+
+    def test_window_wider_than_data_span_is_a_single_full_window(self, make_api):
+        api = make_api(self._two_object_records())
+        windows = list(api.sliding_windows(window=100.0))
+        assert len(windows) == 1
+        t_start, t_end, records = windows[0]
+        assert (t_start, t_end) == (0.0, 100.0)
+        assert len(records) == 22
+
+    def test_slide_larger_than_window_skips_the_gaps(self, make_api):
+        api = make_api(self._two_object_records())
+        windows = list(api.sliding_windows(window=2.0, step=4.0))
+        assert [t for t, _, _ in windows] == [0.0, 4.0, 8.0]
+        for t_start, t_end, records in windows:
+            assert all(t_start <= record.t <= t_end for record in records)
+        assert [len(records) for _, _, records in windows] == [6, 6, 6]
+
+    def test_zero_window_rejected_before_any_scan(self, make_api):
+        with pytest.raises(StorageError):
+            list(make_api(self._two_object_records()).sliding_windows(window=0.0))
