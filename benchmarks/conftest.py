@@ -11,9 +11,23 @@ Run with::
 
 The ``-s`` flag shows the per-experiment summary tables that mirror what the
 paper reports qualitatively.
+
+Every bench run also persists the measured perf trajectory: each bench module
+(an "area": the module name minus its ``test_bench_`` prefix) gets a
+``BENCH_<area>.json`` file at the repository root holding the wall-clock of
+every passed test plus whatever richer numbers the module published through
+:func:`record_bench` (records/sec, cache hit rates, query latencies, monitor
+overhead).  The files are committed, so the repo carries a machine-readable
+history of how fast it was at each PR — CI regenerates and uploads them as
+workflow artifacts.
 """
 
 from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+from typing import Dict
 
 import pytest
 
@@ -77,6 +91,65 @@ def office_workload():
     simulation = simulate(building, count=20, duration=240.0)
     rssi = generate_rssi(building, devices, simulation.trajectories)
     return building, devices, simulation, rssi
+
+
+# --------------------------------------------------------------------------- #
+# Persisted perf trajectory (BENCH_<area>.json at the repository root)
+# --------------------------------------------------------------------------- #
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: area -> {"tests": {test name -> seconds}, "metrics": {name -> value}}.
+_BENCH_RESULTS: Dict[str, Dict[str, dict]] = {}
+
+
+def _area_of(module_path) -> str:
+    """``benchmarks/test_bench_query_planner.py`` -> ``query_planner``."""
+    stem = Path(str(module_path)).stem
+    prefix = "test_bench_"
+    return stem[len(prefix):] if stem.startswith(prefix) else stem
+
+
+def _area_entry(area: str) -> Dict[str, dict]:
+    return _BENCH_RESULTS.setdefault(area, {"tests": {}, "metrics": {}})
+
+
+def record_bench(area: str, **metrics) -> None:
+    """Publish rich numbers (records/sec, hit rates, latencies) for *area*.
+
+    Bench tests call this with whatever they measured beyond wall clock;
+    the values land in the area's ``BENCH_<area>.json`` under ``metrics``.
+    Later calls with the same key overwrite — record final numbers.
+    """
+    _area_entry(area)["metrics"].update(metrics)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    # Directory-scoped conftest: only benchmarks/ tests reach this hook, so a
+    # full-repo pytest run never mixes unit-test timings into the bench files.
+    if report.when == "call" and report.passed:
+        _area_entry(_area_of(item.fspath))["tests"][item.name] = round(
+            report.duration, 6
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for area, entry in sorted(_BENCH_RESULTS.items()):
+        if not entry["tests"] and not entry["metrics"]:
+            continue
+        payload = {
+            "schema": 1,
+            "area": area,
+            "python": platform.python_version(),
+            "tests_seconds": dict(sorted(entry["tests"].items())),
+            "metrics": dict(sorted(entry["metrics"].items())),
+        }
+        path = _REPO_ROOT / f"BENCH_{area}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
 
 
 def print_table(title: str, headers, rows) -> None:

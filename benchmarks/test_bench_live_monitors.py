@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from conftest import print_table
+from conftest import print_table, record_bench
 
 from repro.live import LiveEngine, Monitor
 from repro.storage.repositories import DataWarehouse
@@ -116,6 +116,17 @@ def test_incremental_monitors_beat_naive_per_window_requery(live_workload):
             ["naive per-window re-query", f"{naive_seconds:.3f}", "1.0x"],
             ["incremental engine", f"{incremental_seconds:.3f}", f"{speedup:.1f}x"],
         ],
+    )
+    record_bench(
+        "live_monitors",
+        incremental_seconds=round(incremental_seconds, 4),
+        naive_seconds=round(naive_seconds, 4),
+        speedup=round(speedup, 2),
+        records=len(records),
+        windows=len(bounds),
+        monitor_overhead_us_per_record=round(
+            1e6 * incremental_seconds / max(len(records), 1), 2
+        ),
     )
     assert speedup >= MIN_SPEEDUP, (
         f"incremental evaluation is only {speedup:.1f}x faster than naive "

@@ -12,7 +12,7 @@ import time
 
 import pytest
 
-from conftest import print_table
+from conftest import print_table, record_bench
 
 from repro.storage.backends import MemoryBackend, SQLiteBackend
 from repro.storage.repositories import DataWarehouse
@@ -106,6 +106,14 @@ def test_planner_comparison_summary(office_workload, tmp_path_factory):
                 for _ in range(5):
                     query(warehouse.query)
                 timings[form] = (time.perf_counter() - t0) * 1000.0 / 5.0
+            key = f"{kind}_{label}".replace("-", "_")
+            record_bench(
+                "query_planner",
+                **{
+                    f"{key}_pushed_ms": round(timings["pushed"], 3),
+                    f"{key}_fallback_ms": round(timings["fallback"], 3),
+                },
+            )
             explain = warehouse.query("trajectory").during(60.0, 120.0).explain()
             rows.append(
                 (

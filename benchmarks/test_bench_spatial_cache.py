@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from conftest import deploy_wifi, make_building, print_table
+from conftest import deploy_wifi, make_building, print_table, record_bench
 
 from repro.core.config import SpatialConfig
 from repro.core.errors import RoutingError
@@ -111,6 +111,11 @@ class TestSpatialCacheSpeedup:
                 ("speedup", f"{speedup:.1f}x", ""),
             ],
         )
+        record_bench(
+            "spatial_cache",
+            routing_speedup=round(speedup, 2),
+            routing_cached_queries_per_second=round(len(pairs) / max(cached_seconds, 1e-9), 1),
+        )
         assert speedup >= MIN_SPEEDUP, (
             f"cached routing is only {speedup:.2f}x faster (floor {MIN_SPEEDUP}x)"
         )
@@ -133,6 +138,12 @@ class TestSpatialCacheSpeedup:
                 ("speedup", f"{speedup:.1f}x",
                  f"los hit rate {stats['los_hits'] / max(1, stats['los_hits'] + stats['los_misses']):.0%}"),
             ],
+        )
+        lookups = max(1, stats["los_hits"] + stats["los_misses"])
+        record_bench(
+            "spatial_cache",
+            los_speedup=round(speedup, 2),
+            los_cache_hit_rate=round(stats["los_hits"] / lookups, 3),
         )
         assert speedup >= MIN_SPEEDUP, (
             f"cached LOS is only {speedup:.2f}x faster (floor {MIN_SPEEDUP}x)"

@@ -1,0 +1,85 @@
+"""TELEMETRY OVERHEAD: disabled instrumentation must be free.
+
+The observability layer's contract (docs/observability.md): with
+``telemetry.enabled = False`` — the default, and therefore what every tier-1
+test and the seed baseline measured — every instrument call hits a shared
+no-op singleton, so the instrumented pipeline must run at the seed's speed.
+This bench holds that line relatively: the same workload is generated with
+telemetry off and on, the outputs must be byte-identical (instrumentation
+never changes data), the disabled run must not be slower than the enabled
+one beyond timing noise, and even the enabled run must stay within a small
+multiple (tracing + counters are increments and appends, not work).
+"""
+
+import time
+
+from conftest import record_bench
+
+from repro.core.config import (
+    DeviceConfig,
+    EnvironmentConfig,
+    ObjectConfig,
+    TelemetryConfig,
+    VitaConfig,
+)
+from repro.core.pipeline import VitaPipeline
+
+#: Enabled telemetry may cost at most this multiple of the disabled run.
+MAX_ENABLED_RATIO = 1.5
+#: Absolute slack absorbing scheduler noise on a ~seconds-long workload.
+NOISE_SECONDS = 0.75
+ROUNDS = 3
+
+
+def _config(enabled: bool) -> VitaConfig:
+    return VitaConfig(
+        environment=EnvironmentConfig(building="office", floors=1),
+        devices=[DeviceConfig(count_per_floor=6)],
+        objects=ObjectConfig(count=10, duration=90.0, time_step=0.5),
+        telemetry=TelemetryConfig(enabled=enabled),
+        seed=7,
+        shards=4,
+    )
+
+
+def _run_once(enabled: bool):
+    start = time.perf_counter()
+    result = VitaPipeline(_config(enabled)).run_streaming(workers=1)
+    seconds = time.perf_counter() - start
+    counts = dict(result.report.records_written)
+    result.warehouse.close()
+    return seconds, counts
+
+
+def test_disabled_telemetry_is_within_noise_of_enabled():
+    # Interleave the rounds (off, on, off, on, ...) so cache warm-up and
+    # machine drift hit both variants equally; compare the best of each.
+    disabled_seconds = enabled_seconds = float("inf")
+    disabled_counts = enabled_counts = None
+    for _ in range(ROUNDS):
+        seconds, disabled_counts = _run_once(enabled=False)
+        disabled_seconds = min(disabled_seconds, seconds)
+        seconds, enabled_counts = _run_once(enabled=True)
+        enabled_seconds = min(enabled_seconds, seconds)
+
+    # Instrumentation never changes the generated data.
+    assert disabled_counts == enabled_counts
+
+    ratio = enabled_seconds / max(disabled_seconds, 1e-9)
+    record_bench(
+        "telemetry_overhead",
+        disabled_seconds=round(disabled_seconds, 4),
+        enabled_seconds=round(enabled_seconds, 4),
+        enabled_over_disabled_ratio=round(ratio, 3),
+    )
+
+    # The guard proper: the default (disabled) path — the one tier-1 and the
+    # seed baseline time — must not have grown a telemetry tax.
+    assert disabled_seconds <= enabled_seconds + NOISE_SECONDS, (
+        f"disabled telemetry ({disabled_seconds:.2f}s) is slower than enabled "
+        f"({enabled_seconds:.2f}s) beyond noise: the no-op path is doing work"
+    )
+    assert enabled_seconds <= disabled_seconds * MAX_ENABLED_RATIO + NOISE_SECONDS, (
+        f"enabled telemetry costs {ratio:.2f}x (floor {MAX_ENABLED_RATIO}x): "
+        "instrumentation is on a hot path it should not be on"
+    )

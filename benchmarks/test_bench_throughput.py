@@ -14,7 +14,14 @@ import time
 
 import pytest
 
-from conftest import deploy_wifi, generate_rssi, make_building, print_table, simulate
+from conftest import (
+    deploy_wifi,
+    generate_rssi,
+    make_building,
+    print_table,
+    record_bench,
+    simulate,
+)
 
 DURATION = 120.0
 
@@ -88,6 +95,18 @@ class TestEndToEndThroughput:
                 for row in rows
             ],
         )
+        largest = rows[-1]
+        record_bench(
+            "throughput",
+            trajectory_records_per_second=round(
+                largest["trajectory_records"] / max(largest["trajectory_seconds"], 1e-9), 1
+            ),
+            rssi_records_per_second=round(
+                largest["rssi_records"] / max(largest["rssi_seconds"], 1e-9), 1
+            ),
+            objects=largest["count"],
+            simulated_duration_seconds=DURATION,
+        )
         # Roughly linear scaling: 15x the objects should cost far less than 60x the time.
         small, large = rows[0], rows[-1]
         small_total = small["trajectory_seconds"] + small["rssi_seconds"]
@@ -145,6 +164,12 @@ class TestStreamingThroughput:
                 f"{report.records_per_second:,.0f}",
                 report.workers,
             ]],
+        )
+        record_bench(
+            "throughput",
+            streaming_records_per_second=round(report.records_per_second, 1),
+            streaming_total_records=report.total_records,
+            streaming_max_pending=report.max_pending,
         )
         # The dataset outgrew the flush buffer many times over...
         assert report.total_records > flush_every * 4

@@ -15,6 +15,9 @@ The public API is organised by pipeline layer:
 * :mod:`repro.live` — continuous queries: standing monitors evaluated
   incrementally over the live generation stream (or replayed over a
   warehouse);
+* :mod:`repro.obs` — observability: metrics registry, span tracing and the
+  per-run :class:`~repro.obs.Telemetry` bundle (off by default, zero-cost
+  when disabled);
 * :mod:`repro.analysis` — accuracy vs ground truth and dataset statistics;
 * :mod:`repro.baselines` — MWGen / IndoorSTG / RFID-tool style baselines.
 
@@ -34,6 +37,7 @@ from repro.core.config import VitaConfig, config_from_dict, config_from_json
 from repro.core.pipeline import GenerationResult, VitaPipeline
 from repro.core.toolkit import Vita
 from repro.live.monitors import Monitor
+from repro.obs import MetricsRegistry, Telemetry, Tracer
 from repro.core.types import (
     DeviceType,
     IndoorLocation,
@@ -48,7 +52,10 @@ from repro.core.types import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "MetricsRegistry",
     "Monitor",
+    "Telemetry",
+    "Tracer",
     "Vita",
     "VitaConfig",
     "VitaPipeline",

@@ -85,6 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           dest="no_spatial_cache",
                           help="disable the shared spatial-service caches (output is "
                                "identical; useful for benchmarking the cache win)")
+    _add_telemetry_flags(generate)
 
     query = subparsers.add_parser(
         "query", help="run Data Stream API queries against a generated SQLite warehouse"
@@ -133,6 +134,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="count/mean/min/max/sum of COL")
     builder.add_argument("--explain", action="store_true",
                          help="report what the engine pushes down for the query")
+    builder.add_argument("--profile", action="store_true",
+                         help="execute the query and report per-stage wall time, "
+                              "rows scanned vs returned and engine statement "
+                              "timings (implies --explain's plan description)")
+    _add_telemetry_flags(query)
 
     monitor = subparsers.add_parser(
         "monitor",
@@ -158,6 +164,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="flush/evaluation batch size for --follow")
     monitor.add_argument("--no-alerts", action="store_true", dest="no_alerts",
                          help="suppress the live alert lines on stderr")
+    _add_telemetry_flags(monitor)
 
     describe = subparsers.add_parser(
         "describe", help="summarise and render a building (synthetic or IFC)"
@@ -180,6 +187,31 @@ def _build_parser() -> argparse.ArgumentParser:
     export_ifc.add_argument("--inject-degenerate-spaces", type=int, default=0,
                             help="number of spaces to degenerate (data-error injection)")
     return parser
+
+
+def _add_telemetry_flags(subparser: argparse.ArgumentParser) -> None:
+    """The observability flags shared by generate / query / monitor."""
+    telemetry = subparser.add_argument_group(
+        "observability",
+        "either flag enables telemetry for the run (see docs/observability.md)",
+    )
+    telemetry.add_argument("--metrics-json", default=None, metavar="PATH",
+                           dest="metrics_json",
+                           help="write the run's metrics registry (counters, "
+                                "gauges, histogram percentiles) as JSON to PATH")
+    telemetry.add_argument("--trace-json", default=None, metavar="PATH",
+                           dest="trace_json",
+                           help="write the run's span trace as JSON to PATH")
+
+
+def _apply_telemetry_flags(config, args: argparse.Namespace) -> None:
+    """CLI telemetry flags override (and enable) the config's telemetry section."""
+    if args.metrics_json is not None or args.trace_json is not None:
+        config.telemetry.enabled = True
+    if args.metrics_json is not None:
+        config.telemetry.metrics_json = args.metrics_json
+    if args.trace_json is not None:
+        config.telemetry.trace_json = args.trace_json
 
 
 # --------------------------------------------------------------------------- #
@@ -205,6 +237,7 @@ def _command_generate(args: argparse.Namespace) -> int:
             config.storage.path = str(output / "vita.sqlite")
     if args.no_spatial_cache:
         config.spatial.enabled = False
+    _apply_telemetry_flags(config, args)
 
     progress = _progress_printer() if args.progress else None
     result = VitaPipeline(config).run_streaming(
@@ -238,6 +271,8 @@ def _command_generate(args: argparse.Namespace) -> int:
         }
         if report.monitors:
             summary["monitors"] = report.monitors
+        if report.telemetry.get("enabled"):
+            summary["telemetry"] = report.telemetry
     (output / "summary.json").write_text(json.dumps(summary, indent=2), encoding="utf-8")
     print(json.dumps(summary, indent=2))
     return 0
@@ -320,6 +355,9 @@ def _builder_query(args: argparse.Namespace, warehouse: DataWarehouse) -> dict:
     result: dict = {"dataset": args.dataset}
     if args.explain:
         result["explain"] = query.explain(verb, column=column, by=by)
+    if args.profile:
+        result["profile"] = query.profile(verb, column=column, by=by)
+        return result  # the profile executed the query; don't run it twice
     if verb == "count":
         result["count"] = query.count()
     elif verb == "count_by":
@@ -350,14 +388,21 @@ def _command_monitor(args: argparse.Namespace) -> int:
             print(f"error: no such database {args.db}", file=sys.stderr)
             return 2
         monitors = [monitor_config.build() for monitor_config in config.monitors]
+        telemetry = _query_telemetry(args)
         with DataWarehouse.open("sqlite", path=args.db) as warehouse:
-            live = DataStreamAPI(warehouse).replay_monitors(monitors, on_alert=on_alert)
-        print(json.dumps({"mode": "replay", "db": args.db, **live.to_json()}, indent=2))
+            live = DataStreamAPI(warehouse).replay_monitors(
+                monitors, on_alert=on_alert, telemetry=telemetry
+            )
+        _write_telemetry_files(telemetry, args)
+        summary = {"mode": "replay", "db": args.db,
+                   "dropped_alerts": _total_dropped(live), **live.to_json()}
+        print(json.dumps(summary, indent=2))
         return 0
 
     if args.db is not None:
         config.storage.backend = "sqlite"
         config.storage.path = args.db
+    _apply_telemetry_flags(config, args)
     result = VitaPipeline(config).run_streaming(
         workers=args.workers,
         shards=args.shards,
@@ -370,10 +415,18 @@ def _command_monitor(args: argparse.Namespace) -> int:
         "mode": "follow",
         "master_seed": result.report.master_seed,
         "records": {name: count for name, count in result.report.records_written.items()},
+        "dropped_alerts": _total_dropped(live),
         **live.to_json(),
     }
+    if result.report.telemetry.get("enabled"):
+        summary["telemetry"] = result.report.telemetry
     print(json.dumps(summary, indent=2))
     return 0
+
+
+def _total_dropped(live) -> int:
+    """Alerts evicted from the bounded pending queue, across all monitors."""
+    return sum(result.dropped_alerts for result in live.results.values())
 
 
 def _alert_printer():
@@ -396,43 +449,77 @@ def _command_query(args: argparse.Namespace) -> int:
     builder_flags = (args.dataset is not None, bool(args.where), args.during is not None,
                      args.select is not None, args.order_by is not None,
                      args.limit is not None, args.count, args.count_by is not None,
-                     args.distinct is not None, args.stats is not None, args.explain)
+                     args.distinct is not None, args.stats is not None, args.explain,
+                     args.profile)
     if any(builder_flags) and args.dataset is None:
         print("error: builder query flags require --dataset", file=sys.stderr)
         return 2
+    telemetry = _query_telemetry(args)
+    tracer, latency = telemetry.tracer, telemetry.metrics.histogram("cli.query.seconds")
     results = {}
     with DataWarehouse.open("sqlite", path=args.db) as warehouse:
         api = DataStreamAPI(warehouse)
         if args.dataset is not None:
-            results["query"] = _builder_query(args, warehouse)
+            with tracer.span("query.builder", dataset=args.dataset) as span:
+                results["query"] = _builder_query(args, warehouse)
+            latency.observe(span.duration or 0.0)
         if args.summary or not any((args.snapshot is not None, args.window, args.knn,
                                     args.region, args.visits, args.dataset)):
-            results["summary"] = warehouse.summary()
+            with tracer.span("query.summary"):
+                results["summary"] = warehouse.summary()
         if args.snapshot is not None:
-            results["snapshot"] = {
-                object_id: location.as_record()
-                for object_id, location in api.snapshot(args.snapshot, args.tolerance).items()
-            }
+            with tracer.span("query.snapshot") as span:
+                results["snapshot"] = {
+                    object_id: location.as_record()
+                    for object_id, location in api.snapshot(args.snapshot,
+                                                            args.tolerance).items()
+                }
+            latency.observe(span.duration or 0.0)
         if args.window:
             t0, t1 = args.window
-            results["window"] = {"t_start": t0, "t_end": t1,
-                                 "records": len(api.trajectory_window(t0, t1))}
+            with tracer.span("query.window") as span:
+                results["window"] = {"t_start": t0, "t_end": t1,
+                                     "records": len(api.trajectory_window(t0, t1))}
+            latency.observe(span.duration or 0.0)
         if args.knn:
             floor, x, y, t, k = args.knn
-            results["knn"] = [
-                {"object_id": object_id, "distance": round(distance, 3)}
-                for object_id, distance in api.knn_at(int(floor), Point(x, y), t,
-                                                      k=int(k), tolerance=args.tolerance)
-            ]
+            with tracer.span("query.knn") as span:
+                results["knn"] = [
+                    {"object_id": object_id, "distance": round(distance, 3)}
+                    for object_id, distance in api.knn_at(int(floor), Point(x, y), t,
+                                                          k=int(k), tolerance=args.tolerance)
+                ]
+            latency.observe(span.duration or 0.0)
         if args.region:
             floor, min_x, min_y, max_x, max_y, t0, t1 = args.region
-            results["region"] = api.objects_in_region(
-                int(floor), BoundingBox(min_x, min_y, max_x, max_y), t0, t1
-            )
+            with tracer.span("query.region") as span:
+                results["region"] = api.objects_in_region(
+                    int(floor), BoundingBox(min_x, min_y, max_x, max_y), t0, t1
+                )
+            latency.observe(span.duration or 0.0)
         if args.visits:
-            results["visits"] = api.partition_visit_counts()
+            with tracer.span("query.visits") as span:
+                results["visits"] = api.partition_visit_counts()
+            latency.observe(span.duration or 0.0)
+    _write_telemetry_files(telemetry, args)
     print(json.dumps(results, indent=2))
     return 0
+
+
+def _query_telemetry(args: argparse.Namespace):
+    """An enabled Telemetry when either observability flag is set, else no-op."""
+    from repro.obs import Telemetry
+
+    if args.metrics_json is None and args.trace_json is None:
+        return Telemetry.disabled()
+    return Telemetry()
+
+
+def _write_telemetry_files(telemetry, args: argparse.Namespace) -> None:
+    if args.metrics_json is not None:
+        telemetry.write_metrics_json(args.metrics_json)
+    if args.trace_json is not None:
+        telemetry.write_trace_json(args.trace_json)
 
 
 def _command_describe(args: argparse.Namespace) -> int:

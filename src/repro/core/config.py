@@ -229,6 +229,36 @@ class SpatialConfig:
 
 
 @dataclass
+class TelemetryConfig:
+    """The ``telemetry:`` section: the run's observability switches.
+
+    Disabled by default — the instrumented code paths then execute shared
+    no-op instruments, so generated records, query results and (to within
+    noise) wall clock are identical to an uninstrumented build.
+
+    Attributes:
+        enabled: master switch for the metrics registry and tracer.
+        trace: record timed spans (only meaningful when ``enabled``);
+            ``False`` keeps metrics but skips span bookkeeping.
+        trace_capacity: ring-buffer size — a run retains at most this many
+            finished spans and counts the rest as dropped.
+        metrics_json: optional path; the pipeline writes the merged metrics
+            registry there after a run (the CLI ``--metrics-json`` flag).
+        trace_json: optional path for the span dump (``--trace-json``).
+    """
+
+    enabled: bool = False
+    trace: bool = True
+    trace_capacity: int = 4096
+    metrics_json: Optional[str] = None
+    trace_json: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.trace_capacity < 1:
+            raise ConfigurationError("telemetry.trace_capacity must be at least 1")
+
+
+@dataclass
 class MonitorConfig:
     """One standing monitor of the ``monitors:`` configuration section.
 
@@ -344,6 +374,7 @@ class VitaConfig:
     positioning: PositioningLayerConfig = field(default_factory=PositioningLayerConfig)
     storage: StorageConfig = field(default_factory=StorageConfig)
     spatial: SpatialConfig = field(default_factory=SpatialConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     monitors: List[MonitorConfig] = field(default_factory=list)
     seed: Optional[int] = None
     workers: int = 1
@@ -411,7 +442,7 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     _only_known_keys(
         "config", payload,
         ("environment", "devices", "objects", "rssi", "positioning", "storage",
-         "spatial", "monitors", "seed", "workers", "shards"),
+         "spatial", "telemetry", "monitors", "seed", "workers", "shards"),
     )
     environment_payload = dict(payload.get("environment", {}))
     _only_known_keys(
@@ -472,6 +503,13 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
     )
     spatial = SpatialConfig(**spatial_payload)
 
+    telemetry_payload = dict(payload.get("telemetry", {}))
+    _only_known_keys(
+        "telemetry", telemetry_payload,
+        ("enabled", "trace", "trace_capacity", "metrics_json", "trace_json"),
+    )
+    telemetry = TelemetryConfig(**telemetry_payload)
+
     monitor_payloads = payload.get("monitors", [])
     if isinstance(monitor_payloads, dict):
         monitor_payloads = [monitor_payloads]
@@ -485,6 +523,7 @@ def config_from_dict(payload: Dict[str, Any]) -> VitaConfig:
         positioning=positioning,
         storage=storage,
         spatial=spatial,
+        telemetry=telemetry,
         monitors=monitors,
         seed=payload.get("seed"),
         workers=int(payload.get("workers", 1)),
@@ -530,6 +569,7 @@ __all__ = [
     "PositioningLayerConfig",
     "StorageConfig",
     "SpatialConfig",
+    "TelemetryConfig",
     "MonitorConfig",
     "VitaConfig",
     "config_from_dict",

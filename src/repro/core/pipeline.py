@@ -47,6 +47,7 @@ from repro.geometry.decompose import DecompositionConfig
 from repro.ifc.extractor import DBIProcessor, DBIProcessorOptions
 from repro.mobility.controller import MovingObjectController, ObjectGenerationConfig
 from repro.mobility.engine import SimulationResult
+from repro.obs import Telemetry
 from repro.positioning.controller import PositioningConfig, PositioningMethodController
 from repro.positioning.fingerprinting import RadioMap
 from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
@@ -67,6 +68,9 @@ class GenerationResult:
     timings: Dict[str, float] = field(default_factory=dict)
     #: Spatial-service cache counters of the run (route/LOS/locate/table).
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    #: The run's :meth:`~repro.obs.Telemetry.snapshot` (``{"enabled": False}``
+    #: unless the configuration's ``telemetry:`` section enables it).
+    telemetry: Dict[str, Any] = field(default_factory=lambda: {"enabled": False})
 
     @property
     def summary(self) -> Dict[str, float]:
@@ -101,9 +105,12 @@ class StreamingReport:
     #: map survey) and every shard.  With ``workers > 1`` each worker keeps
     #: its own caches, so hit rates drop while output stays identical.
     cache_stats: Dict[str, int] = field(default_factory=dict)
-    #: Per-monitor counters (windows emitted, alerts, records matched) when
-    #: standing monitors were attached to the run.
+    #: Per-monitor counters (windows emitted, alerts, records matched and
+    #: dropped alerts) when standing monitors were attached to the run.
     monitors: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: The run's :meth:`~repro.obs.Telemetry.snapshot`: merged shard metrics,
+    #: writer/live-engine instruments and the span-count summary.
+    telemetry: Dict[str, Any] = field(default_factory=lambda: {"enabled": False})
 
     @property
     def records_per_second(self) -> float:
@@ -291,46 +298,71 @@ class VitaPipeline:
     # ------------------------------------------------------------------ #
     # Full run
     # ------------------------------------------------------------------ #
-    def run(self) -> GenerationResult:
+    def run(self, *, telemetry: Optional[Telemetry] = None) -> GenerationResult:
         """Execute all three layers and collect the output in a warehouse."""
         timings: Dict[str, float] = {}
+        if telemetry is None:
+            telemetry = Telemetry.from_config(self.config.telemetry, id_prefix="p:")
+        tracer = telemetry.tracer
+        root = tracer.span("pipeline.run")
+        root.__enter__()
 
         start = time.perf_counter()
-        building = self.build_environment()
-        device_controller = self.deploy_devices(building)
-        devices = list(device_controller.devices.values())
-        # One spatial service serves every layer of the run: routes planned
-        # for the engine, sight lines analysed for the RSSI noise model and
-        # locations resolved for positioning all share the same caches.
-        spatial = self.build_spatial(building, devices)
+        with tracer.span("infrastructure"):
+            building = self.build_environment()
+            device_controller = self.deploy_devices(building)
+            devices = list(device_controller.devices.values())
+            # One spatial service serves every layer of the run: routes planned
+            # for the engine, sight lines analysed for the RSSI noise model and
+            # locations resolved for positioning all share the same caches.
+            spatial = self.build_spatial(building, devices)
         timings["infrastructure"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        simulation = self.generate_objects(building, spatial=spatial)
+        with tracer.span("phase.moving_objects"):
+            simulation = self.generate_objects(building, spatial=spatial)
         timings["moving_objects"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        rssi_records = self.generate_rssi(building, devices, simulation, spatial=spatial)
+        with tracer.span("phase.rssi"):
+            rssi_records = self.generate_rssi(building, devices, simulation, spatial=spatial)
         timings["rssi"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        positioning_output, radio_map = self.generate_positioning(
-            building, devices, rssi_records, spatial=spatial
-        )
+        with tracer.span("phase.positioning"):
+            positioning_output, radio_map = self.generate_positioning(
+                building, devices, rssi_records, spatial=spatial
+            )
         timings["positioning"] = time.perf_counter() - start
 
         start = time.perf_counter()
-        warehouse = DataWarehouse.from_config(self.config.storage)
-        # A pipeline run owns its warehouse: reusing an existing database
-        # file replaces its contents, so the summary always describes this
-        # run rather than an accumulation of appended reruns.
-        warehouse.clear()
-        warehouse.devices.add_many(device_controller.device_records())
-        warehouse.trajectories.add_trajectory_set(simulation.trajectories)
-        warehouse.rssi.add_many(rssi_records)
-        self._store_positioning(warehouse, positioning_output)
-        warehouse.flush()
+        with tracer.span("storage"):
+            warehouse = DataWarehouse.from_config(self.config.storage)
+            warehouse.attach_metrics(telemetry.metrics)
+            # A pipeline run owns its warehouse: reusing an existing database
+            # file replaces its contents, so the summary always describes this
+            # run rather than an accumulation of appended reruns.
+            warehouse.clear()
+            warehouse.devices.add_many(device_controller.device_records())
+            warehouse.trajectories.add_trajectory_set(simulation.trajectories)
+            warehouse.rssi.add_many(rssi_records)
+            self._store_positioning(warehouse, positioning_output)
+            warehouse.flush()
         timings["storage"] = time.perf_counter() - start
+
+        cache_stats = spatial.cache_stats()
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.counter("generated.objects").inc(simulation.object_count)
+            metrics.counter("generated.records.trajectory").inc(
+                len(simulation.trajectories.all_records())
+            )
+            metrics.counter("generated.records.rssi").inc(len(rssi_records))
+            metrics.counter("generated.records.positioning").inc(len(positioning_output))
+            spatial.record_metrics(metrics)
+            for phase, seconds in timings.items():
+                metrics.histogram(f"pipeline.phase_seconds.{phase}").observe(seconds)
+        root.__exit__(None, None, None)
 
         return GenerationResult(
             config=self.config,
@@ -340,7 +372,8 @@ class VitaPipeline:
             positioning_output=positioning_output,
             radio_map=radio_map,
             timings=timings,
-            cache_stats=spatial.cache_stats(),
+            cache_stats=cache_stats,
+            telemetry=telemetry.snapshot(),
         )
 
     # ------------------------------------------------------------------ #
@@ -356,6 +389,7 @@ class VitaPipeline:
         flush_every: Optional[int] = None,
         monitors: Optional[Sequence[Any]] = None,
         on_alert: Optional[Callable[[Any], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> StreamingGenerationResult:
         """Execute all three layers shard by shard, streaming into storage.
 
@@ -384,6 +418,9 @@ class VitaPipeline:
                 window states merge in shard order).
             on_alert: geofence alert callback; alerts drain at every shard
                 merge (without it they queue, bounded by ``flush_every``).
+            telemetry: a pre-built :class:`~repro.obs.Telemetry` to record
+                into (defaults to one built from ``config.telemetry``; the
+                default section is disabled, a true no-op).
         """
         config = self.config
         workers = config.workers if workers is None else int(workers)
@@ -398,31 +435,42 @@ class VitaPipeline:
         if flush_every < 1:
             raise ConfigurationError("flush_every must be at least 1")
 
+        if telemetry is None:
+            # "p:" prefixes the parent's span ids; shard tracers use
+            # "s<shard>:", so adopted worker spans can never collide.
+            telemetry = Telemetry.from_config(config.telemetry, id_prefix="p:")
+        tracer = telemetry.tracer
+        root_context = tracer.span(
+            "pipeline.run_streaming", workers=workers, shards=shard_count
+        )
+        root_span = root_context.__enter__()
+
         timings: Dict[str, float] = {}
         cache_stats: Dict[str, int] = {}
         run_start = time.perf_counter()
-        building = self.build_environment()
-        device_controller = self.deploy_devices(building)
-        devices = list(device_controller.devices.values())
-        spatial = self.build_spatial(building, devices)
-        master_seed = resolve_master_seed(config)
-        radio_map = None
-        if config.positioning.method is PositioningMethod.FINGERPRINTING:
-            # The radio map is shared infrastructure: surveyed once by the
-            # parent with a seed derived from the master, never per shard.
-            survey_generator = RSSIGenerator(
-                building,
-                devices,
-                build_rssi_config(config.rssi, seed=derive_seed(master_seed, -1, "survey")),
-                spatial=spatial,
-            )
-            radio_map = RadioMap.survey_grid(
-                building,
-                survey_generator,
-                spacing=config.positioning.radio_map_spacing,
-                samples_per_location=config.positioning.radio_map_samples,
-            )
-            merge_stats(cache_stats, spatial.cache_stats())
+        with tracer.span("infrastructure"):
+            building = self.build_environment()
+            device_controller = self.deploy_devices(building)
+            devices = list(device_controller.devices.values())
+            spatial = self.build_spatial(building, devices)
+            master_seed = resolve_master_seed(config)
+            radio_map = None
+            if config.positioning.method is PositioningMethod.FINGERPRINTING:
+                # The radio map is shared infrastructure: surveyed once by the
+                # parent with a seed derived from the master, never per shard.
+                survey_generator = RSSIGenerator(
+                    building,
+                    devices,
+                    build_rssi_config(config.rssi, seed=derive_seed(master_seed, -1, "survey")),
+                    spatial=spatial,
+                )
+                radio_map = RadioMap.survey_grid(
+                    building,
+                    survey_generator,
+                    spacing=config.positioning.radio_map_spacing,
+                    samples_per_location=config.positioning.radio_map_samples,
+                )
+                merge_stats(cache_stats, spatial.cache_stats())
         timings["infrastructure"] = time.perf_counter() - run_start
 
         # Standing monitors: the config's monitors: section plus any passed
@@ -438,10 +486,13 @@ class VitaPipeline:
                 spatial=spatial,
                 on_alert=on_alert,
                 max_pending_alerts=max(flush_every, 1),
+                metrics=telemetry.metrics,
+                tracer=telemetry.tracer,
             )
 
         if warehouse is None:
             warehouse = DataWarehouse.from_config(config.storage)
+        warehouse.attach_metrics(telemetry.metrics)
         # A run owns its warehouse (same contract as the materialising path).
         warehouse.clear()
         plan = plan_shards(config.objects.count, shard_count, master_seed)
@@ -450,6 +501,7 @@ class VitaPipeline:
             flush_every,
             progress,
             record_hook=engine.writer_hook() if engine is not None else None,
+            telemetry=telemetry,
         )
         writer.set_context(None, len(plan), 0)
         writer.write("devices", device_controller.device_records())
@@ -503,6 +555,11 @@ class VitaPipeline:
             for name, value in output.timings.items():
                 key = f"{name}_cpu"
                 timings[key] = timings.get(key, 0.0) + value
+            # Shard telemetry merges exactly like spatial_stats: per-shard
+            # deltas folded in shard order, so the merged counters are
+            # identical for every workers value.
+            telemetry.metrics.merge(output.metrics)
+            tracer.adopt(output.spans, parent=root_span)
             merge_stats(cache_stats, output.spatial_stats)
             writer.cache_stats = dict(cache_stats)
             writer.set_context(output.shard_id, len(plan), objects_done)
@@ -510,10 +567,24 @@ class VitaPipeline:
         timings["generation"] = time.perf_counter() - shards_start
 
         warehouse.flush()
-        live_report = engine.finalize() if engine is not None else None
+        with tracer.span("finalize"):
+            live_report = engine.finalize() if engine is not None else None
         elapsed = time.perf_counter() - run_start
         writer.set_context(None, len(plan), objects_done)
         writer.emit("done")
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.gauge("pipeline.elapsed_seconds").set(elapsed)
+            metrics.gauge("pipeline.records_per_second").set(
+                writer.records_written / elapsed if elapsed > 0 else 0.0
+            )
+            for name, value in sorted(cache_stats.items()):
+                metrics.gauge(f"spatial.cache.{name}").set(value)
+        root_context.__exit__(None, None, None)
+        if getattr(config.telemetry, "metrics_json", None):
+            telemetry.write_metrics_json(config.telemetry.metrics_json)
+        if getattr(config.telemetry, "trace_json", None):
+            telemetry.write_trace_json(config.telemetry.trace_json)
         report = StreamingReport(
             master_seed=master_seed,
             shard_count=len(plan),
@@ -528,6 +599,7 @@ class VitaPipeline:
             elapsed_seconds=elapsed,
             cache_stats=cache_stats,
             monitors=live_report.summary() if live_report is not None else {},
+            telemetry=telemetry.snapshot(),
         )
         return StreamingGenerationResult(
             config=config,

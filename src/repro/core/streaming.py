@@ -55,6 +55,7 @@ from repro.mobility.distributions import (
     UniformDistribution,
 )
 from repro.mobility.intentions import intention_by_name
+from repro.obs import Telemetry
 from repro.positioning.controller import PositioningConfig, PositioningMethodController
 from repro.positioning.fingerprinting import RadioMap
 from repro.rssi.measurement import RSSIGenerationConfig, RSSIGenerator
@@ -228,6 +229,7 @@ class StreamingWriter:
         flush_every: int,
         progress: Optional[ProgressCallback] = None,
         record_hook: Optional[Callable[[str, list], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         """*record_hook*, when set, receives every flushed batch as
         ``(repo_name, records)`` before the buffer is released — the tap the
@@ -239,6 +241,7 @@ class StreamingWriter:
         self.flush_every = int(flush_every)
         self.progress = progress
         self.record_hook = record_hook
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
         self.records_written = 0
         self.written_by_repo: Dict[str, int] = {}
         self.max_pending = 0
@@ -342,8 +345,10 @@ class StreamingWriter:
         count = len(buffer)
         if count == 0:
             return 0
-        repo.add_many(buffer)
-        self.warehouse.flush()
+        flush_start = time.perf_counter()
+        with self.telemetry.tracer.span("flush", repo=repo_name, records=count):
+            repo.add_many(buffer)
+            self.warehouse.flush()
         if self.record_hook is not None:
             self.record_hook(repo_name, buffer)
         buffer.clear()
@@ -351,6 +356,10 @@ class StreamingWriter:
         self.records_written += count
         self.written_by_repo[repo_name] = self.written_by_repo.get(repo_name, 0) + count
         self.flushes += 1
+        metrics = self.telemetry.metrics
+        metrics.counter("storage.flushes").inc()
+        metrics.counter(f"storage.records_written.{repo_name}").inc(count)
+        metrics.histogram("storage.flush_seconds").observe(time.perf_counter() - flush_start)
         self.emit("flush")
         return count
 
@@ -454,6 +463,11 @@ class ShardOutput:
     #: Spatial-cache hit/miss counters attributable to this shard (a delta,
     #: so serial and parallel runs aggregate identically).
     spatial_stats: Dict[str, int] = field(default_factory=dict)
+    #: Shard-local metrics snapshot (``MetricsRegistry.snapshot``) — also a
+    #: delta, merged by the parent in shard order like ``spatial_stats``.
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+    #: Shard-local trace spans (``Tracer.export``), adopted by the parent.
+    spans: List[Dict] = field(default_factory=list)
 
     @property
     def total_records(self) -> int:
@@ -480,6 +494,17 @@ def run_shard(
     timings: Dict[str, float] = {}
     spatial = context.spatial_service()
     stats_before = spatial.cache_stats()
+    # Each shard carries its own registry/tracer (the telemetry section rides
+    # in ``context.config``, so this works identically inside pool workers);
+    # the ``s<shard>:`` id prefix keeps span ids collision-free when the
+    # parent adopts them.
+    telemetry = Telemetry.from_config(
+        config.telemetry, id_prefix=f"s{shard.shard_id}:"
+    )
+    shard_span = telemetry.tracer.span(
+        "shard", shard_id=shard.shard_id, objects=shard.object_count
+    )
+    shard_span.__enter__()
 
     distribution, intention, behavior, crowd_model = object_layer_components(objects)
     # Poisson arrivals are split evenly across shards so the configured total
@@ -511,16 +536,18 @@ def run_shard(
         spatial=spatial,
     )
     start = time.perf_counter()
-    simulation = controller.generate(record_sink=on_sample)
+    with telemetry.tracer.span("phase.moving_objects"):
+        simulation = controller.generate(record_sink=on_sample)
     timings["moving_objects"] = time.perf_counter() - start
 
     start = time.perf_counter()
     rssi_config = build_rssi_config(
         config.rssi, seed=derive_seed(context.master_seed, shard.shard_id, "rssi")
     )
-    rssi_records = RSSIGenerator(
-        context.building, context.devices, rssi_config, spatial=spatial
-    ).generate(simulation.trajectories)
+    with telemetry.tracer.span("phase.rssi"):
+        rssi_records = RSSIGenerator(
+            context.building, context.devices, rssi_config, spatial=spatial
+        ).generate(simulation.trajectories)
     timings["rssi"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -540,17 +567,33 @@ def run_shard(
         radio_map=context.radio_map,
         spatial=spatial,
     )
-    positioning_records = positioning_controller.generate(rssi_records)
+    with telemetry.tracer.span("phase.positioning"):
+        positioning_records = positioning_controller.generate(rssi_records)
     timings["positioning"] = time.perf_counter() - start
+
+    trajectory_records = simulation.trajectories.all_records()
+    metrics = telemetry.metrics
+    # Counters depend only on what was generated — the determinism guarantee
+    # that makes workers=N merge to exactly the serial values.
+    metrics.counter("generated.objects").inc(simulation.object_count)
+    metrics.counter("generated.records.trajectory").inc(len(trajectory_records))
+    metrics.counter("generated.records.rssi").inc(len(rssi_records))
+    metrics.counter("generated.records.positioning").inc(len(positioning_records))
+    metrics.counter("generated.shards").inc()
+    for phase, seconds in timings.items():
+        metrics.histogram(f"shard.phase_seconds.{phase}").observe(seconds)
+    shard_span.__exit__(None, None, None)
 
     return ShardOutput(
         shard_id=shard.shard_id,
         objects=simulation.object_count,
-        trajectory_records=simulation.trajectories.all_records(),
+        trajectory_records=trajectory_records,
         rssi_records=rssi_records,
         positioning_records=positioning_records,
         timings=timings,
         spatial_stats=diff_stats(spatial.cache_stats(), stats_before),
+        metrics=metrics.snapshot(),
+        spans=telemetry.tracer.export(),
     )
 
 

@@ -92,6 +92,9 @@ class Vita:
         self._monitors: list = []
         #: The finalized live report of the most recent monitored run.
         self.live_report = None
+        #: Telemetry snapshot of the most recent :meth:`generate` run
+        #: (``{"enabled": False}`` until a run with ``telemetry.enabled``).
+        self.telemetry: Dict = {"enabled": False}
         if backend is None and db_path is not None:
             backend = "sqlite"
         if isinstance(backend, str):
@@ -380,7 +383,8 @@ class Vita:
         Returns the
         :class:`~repro.core.pipeline.StreamingGenerationResult`; its
         ``report`` carries the master seed, per-dataset record counts and
-        throughput of the run.
+        throughput of the run.  When ``config.telemetry.enabled`` the run's
+        metrics/trace snapshot also lands on :attr:`telemetry`.
         """
         from repro.core.pipeline import VitaPipeline  # local import breaks the cycle
 
@@ -406,6 +410,7 @@ class Vita:
             on_alert=on_alert,
         )
         self.live_report = result.live
+        self.telemetry = result.report.telemetry
         # Adopt the run's environment so the step-wise API (environment
         # editing, further deployments, queries) continues from it.
         self._adopt_building(result.building)

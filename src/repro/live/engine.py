@@ -38,13 +38,20 @@ warehouse, and the equivalent offline builder query.
 from __future__ import annotations
 
 import math
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import MonitorError
 from repro.live.monitors import Monitor, MonitorPlan
+from repro.obs import MetricsRegistry, Tracer
 from repro.storage.plan import Row
+
+#: Shared no-op instrumentation for unobserved engines (module-level so an
+#: uninstrumented engine allocates nothing per instance).
+_NULL_METRICS = MetricsRegistry(enabled=False)
+_NULL_TRACER = Tracer(enabled=False)
 
 #: Map from warehouse repository attribute names (the StreamingWriter's
 #: vocabulary) to logical dataset names (the monitor grammar's vocabulary).
@@ -135,6 +142,7 @@ class LiveReport:
                 "windows": len(result.windows),
                 "alerts": len(result.alerts),
                 "records_matched": result.records_matched,
+                "dropped_alerts": result.dropped_alerts,
             }
             for name, result in self.results.items()
         }
@@ -409,11 +417,18 @@ class LiveEngine:
         spatial: Any = None,
         on_alert: Optional[Callable[[GeofenceAlert], None]] = None,
         max_pending_alerts: int = 5000,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_pending_alerts < 1:
             raise MonitorError("max_pending_alerts must be at least 1")
         self._spatial = spatial
         self.on_alert = on_alert
+        #: Live-engine instruments (records/sec, window-finalize latency,
+        #: alert-queue depth and drops); no-op unless a registry is attached.
+        self.metrics = metrics if metrics is not None else _NULL_METRICS
+        self.tracer = tracer if tracer is not None else _NULL_TRACER
+        self._first_feed: Optional[float] = None
         #: Undrained alerts (no ``on_alert`` callback): bounded so a chatty
         #: geofence cannot grow memory without bound; overflow drops the
         #: oldest alert and counts it on the owning monitor.
@@ -516,6 +531,9 @@ class LiveEngine:
                         runtime.absorb(partial.states[runtime.name], row, indices)
         partial.records += count
         self.records_seen += count
+        if count and self._first_feed is None:
+            self._first_feed = time.perf_counter()
+        self.metrics.counter("live.records_fed").inc(count)
         return count
 
     def writer_hook(self) -> Callable[[str, Sequence[Any]], None]:
@@ -543,6 +561,7 @@ class LiveEngine:
         for name, runtime in self._runtimes.items():
             alerts = runtime.merge(partial.states[name])
             for alert in alerts:
+                self.metrics.counter("live.alerts_emitted").inc()
                 if self.on_alert is not None:
                     self.on_alert(alert)
                 else:
@@ -551,7 +570,15 @@ class LiveEngine:
                         # to the monitor that owned the evicted alert.
                         evicted = self.pending_alerts[0]
                         self._runtimes[evicted.monitor].dropped_alerts += 1
+                        self.metrics.counter("live.alerts_dropped").inc()
                     self.pending_alerts.append(alert)
+        self.metrics.gauge("live.alert_queue_depth").set(len(self.pending_alerts))
+        if self._first_feed is not None:
+            elapsed = time.perf_counter() - self._first_feed
+            if elapsed > 0:
+                self.metrics.gauge("live.records_per_second").set(
+                    self.records_seen / elapsed
+                )
 
     # ------------------------------------------------------------------ #
     # Finalization
@@ -573,16 +600,21 @@ class LiveEngine:
             plan = runtime.plan
             windows: List[WindowResult] = []
             t_max = self._t_max.get(plan.dataset)
-            if t_max is not None:
-                slide = plan.slide_seconds
-                index = 0
-                while index * slide <= t_max:
-                    start = index * slide
-                    windows.append(
-                        WindowResult(index, start, start + plan.window,
-                                     runtime.window_value(index))
-                    )
-                    index += 1
+            finalize_start = time.perf_counter()
+            with self.tracer.span("monitor.window-finalize", monitor=name):
+                if t_max is not None:
+                    slide = plan.slide_seconds
+                    index = 0
+                    while index * slide <= t_max:
+                        start = index * slide
+                        windows.append(
+                            WindowResult(index, start, start + plan.window,
+                                         runtime.window_value(index))
+                        )
+                        index += 1
+            self.metrics.histogram("live.window_finalize_seconds").observe(
+                time.perf_counter() - finalize_start
+            )
             results[name] = MonitorResult(
                 name=name,
                 plan=plan,

@@ -30,6 +30,7 @@ def replay(
     spatial: Any = None,
     on_alert: Optional[Callable[[GeofenceAlert], None]] = None,
     batch_size: int = 5000,
+    telemetry: Any = None,
 ) -> LiveReport:
     """Evaluate *monitors* over everything *warehouse* already stores.
 
@@ -43,11 +44,20 @@ def replay(
             (the scan order), once per ``batch_size`` records.
         batch_size: how many rows to feed between alert drains — replay's
             analogue of the streaming path's ``flush_every`` cadence.
+        telemetry: optional :class:`~repro.obs.Telemetry`; the engine records
+            its live gauges/counters (records fed, queue depth, finalize
+            latency) into it.  Instrumentation never changes emission.
 
     Returns:
         The :class:`LiveReport` with every monitor's finalized windows.
     """
-    engine = LiveEngine(monitors, spatial=spatial, on_alert=on_alert)
+    engine = LiveEngine(
+        monitors,
+        spatial=spatial,
+        on_alert=on_alert,
+        metrics=telemetry.metrics if telemetry is not None else None,
+        tracer=telemetry.tracer if telemetry is not None else None,
+    )
     for dataset in engine.datasets:
         # One streaming, time-ordered scan per dataset: the planner pushes
         # the order-by into the engine's index, and per-object time order

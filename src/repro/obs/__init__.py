@@ -1,0 +1,39 @@
+"""Unified observability layer: metrics, tracing, and run telemetry.
+
+Three stdlib-only building blocks (see ``docs/observability.md``):
+
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket histograms
+  with deterministic snapshot/merge across generation shards;
+* :class:`Tracer` — hierarchical timed spans in a bounded ring buffer, with
+  cross-process adoption for worker shards;
+* :class:`Telemetry` — the per-run bundle of both, built from the
+  ``telemetry:`` configuration section and threaded through the pipeline,
+  storage, live engine and CLI.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    merge_snapshots,
+)
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import DEFAULT_CAPACITY, NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_SPAN",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "merge_snapshots",
+]

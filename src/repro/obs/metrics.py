@@ -1,0 +1,284 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+Zero-dependency instrumentation primitives for the generator.  Three design
+constraints shape this module:
+
+1. **True no-op when disabled.**  A disabled registry hands out a single
+   shared null instrument whose ``inc``/``set``/``observe`` methods do
+   nothing and allocate nothing, so instrumented hot loops cost one attribute
+   call when telemetry is off.  The determinism contract follows for free:
+   disabled telemetry cannot change generated records or query results
+   because it executes no code that touches them.
+
+2. **Deterministic shard merging.**  Streaming generation runs shards in
+   worker processes; each shard records into its own registry and ships a
+   plain-dict :meth:`MetricsRegistry.snapshot` back in the ``ShardOutput``.
+   The parent merges snapshots *in shard order* with
+   :meth:`MetricsRegistry.merge` — the same delta-aggregation pattern the
+   spatial cache uses (:func:`repro.spatial.cache.merge_stats`).  Counter
+   values depend only on what was generated, never on scheduling, so
+   ``workers=N`` merges to exactly the serial values.
+
+3. **Fixed-bucket histograms.**  Histograms accumulate counts into a fixed
+   ladder of upper bounds (seconds-scale by default), which makes merging a
+   pointwise sum and lets :meth:`Histogram.quantile` give percentile
+   *estimates* without retaining samples.
+
+Everything here is plain stdlib; the registry is not thread-safe (the
+generator is process-parallel, not thread-parallel).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+#: Default histogram bucket upper bounds (seconds-scale latencies).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, records, drops)."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time measurement (queue depth, records/sec)."""
+
+    __slots__ = ("name", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket distribution with percentile estimates.
+
+    ``counts[i]`` counts observations ``<= bounds[i]``; the final slot counts
+    the overflow (observations above the last bound).
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total", "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(f"histogram {name!r}: bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the *q*-quantile (``0 <= q <= 1``) from the buckets.
+
+        Interpolates linearly inside the bucket holding the target rank;
+        the estimate is clamped to the observed ``[min, max]`` envelope, so
+        single-bucket distributions still report sane values.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile q must be in [0, 1]")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        rank = q * self.count
+        seen = 0.0
+        lower = self.min
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            upper = self.bounds[index] if index < len(self.bounds) else self.max
+            if seen + bucket_count >= rank:
+                fraction = (rank - seen) / bucket_count if bucket_count else 0.0
+                estimate = lower + (min(upper, self.max) - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            seen += bucket_count
+            lower = upper
+        return self.max
+
+
+class _NullInstrument:
+    """The shared do-nothing instrument a disabled registry hands out."""
+
+    __slots__ = ()
+    kind = "null"
+    name = "<null>"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> None:
+        return None
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument, with snapshot/merge support.
+
+    Instruments are keyed by name; asking for an existing name with a
+    different type raises ``ValueError``.  A registry constructed with
+    ``enabled=False`` returns :data:`NULL_INSTRUMENT` from every factory and
+    snapshots to an empty dict.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.enabled = bool(enabled)
+        self.buckets = tuple(buckets)
+        self._instruments: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instrument factories
+    # ------------------------------------------------------------------ #
+    def _get(self, name: str, cls: type, **kwargs: Any) -> Any:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} is a {instrument.kind}, not a {cls.kind}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, bounds: Optional[Tuple[float, ...]] = None) -> Histogram:
+        return self._get(name, Histogram, bounds=bounds or self.buckets)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / merge (the shard-boundary delta protocol)
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain, picklable, deterministic dict of every instrument.
+
+        Keys are sorted so equal registries serialize byte-identically.
+        """
+        if not self.enabled:
+            return {}
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if instrument.kind == "counter":
+                out["counters"][name] = instrument.value
+            elif instrument.kind == "gauge":
+                out["gauges"][name] = instrument.value
+            else:
+                out["histograms"][name] = {
+                    "bounds": list(instrument.bounds),
+                    "counts": list(instrument.counts),
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                }
+        return out
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. one shard's delta) into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming value
+        (last merge wins — merges happen in shard order, so the result is
+        deterministic).  A no-op on a disabled registry or empty snapshot.
+        """
+        if not self.enabled or not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, payload in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name, bounds=tuple(payload["bounds"]))
+            if list(histogram.bounds) != [float(b) for b in payload["bounds"]]:
+                raise ValueError(f"histogram {name!r}: mismatched bucket bounds in merge")
+            for index, bucket_count in enumerate(payload["counts"]):
+                histogram.counts[index] += bucket_count
+            histogram.count += payload["count"]
+            histogram.total += payload["sum"]
+            for extreme, pick in (("min", min), ("max", max)):
+                incoming = payload[extreme]
+                if incoming is not None:
+                    current = getattr(histogram, extreme)
+                    setattr(histogram, extreme,
+                            incoming if current is None else pick(current, incoming))
+
+    def to_json(self) -> Dict[str, Any]:
+        """The snapshot plus derived percentile estimates per histogram."""
+        snapshot = self.snapshot()
+        if not snapshot:
+            return {"enabled": False}
+        for name, payload in snapshot["histograms"].items():
+            histogram = self._instruments[name]
+            payload["mean"] = histogram.mean
+            payload["p50"] = histogram.quantile(0.5)
+            payload["p90"] = histogram.quantile(0.9)
+            payload["p99"] = histogram.quantile(0.99)
+        snapshot["enabled"] = True
+        return snapshot
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge snapshot dicts (in iteration order) into one snapshot."""
+    registry = MetricsRegistry(enabled=True)
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "MetricsRegistry",
+    "merge_snapshots",
+]

@@ -1,0 +1,74 @@
+"""The per-run telemetry bundle: one metrics registry plus one tracer.
+
+:class:`Telemetry` is what the pipeline, CLI, live engine and storage layer
+actually pass around.  It is duck-typed against
+:class:`repro.core.config.TelemetryConfig` (anything exposing ``enabled`` /
+``trace`` / ``trace_capacity`` works), so this package stays importable with
+zero dependencies on the rest of the codebase.
+
+``Telemetry.disabled()`` is the canonical off state: both members are no-op
+and :meth:`snapshot` reports ``{"enabled": False}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DEFAULT_CAPACITY, Tracer
+
+
+class Telemetry:
+    """One run's instrumentation: ``metrics`` registry + ``tracer``."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.metrics = metrics if metrics is not None else MetricsRegistry(enabled=enabled)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=enabled)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(enabled=False)
+
+    @classmethod
+    def from_config(cls, config: Any, *, id_prefix: str = "") -> "Telemetry":
+        """Build from a ``TelemetryConfig``-shaped object (or ``None``)."""
+        if config is None or not getattr(config, "enabled", False):
+            return cls.disabled()
+        trace_enabled = bool(getattr(config, "trace", True))
+        capacity = int(getattr(config, "trace_capacity", DEFAULT_CAPACITY) or DEFAULT_CAPACITY)
+        return cls(
+            metrics=MetricsRegistry(enabled=True),
+            tracer=Tracer(enabled=trace_enabled, capacity=capacity, id_prefix=id_prefix),
+            enabled=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """A compact summary for run reports (``summary["telemetry"]``)."""
+        if not self.enabled:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "metrics": self.metrics.to_json(),
+            "trace": {
+                "enabled": self.tracer.enabled,
+                "spans": len(self.tracer.export()),
+                "dropped": self.tracer.dropped,
+            },
+        }
+
+    def write_metrics_json(self, path: Any) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.metrics.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def write_trace_json(self, path: Any) -> None:
+        self.tracer.dump(path)
+
+
+__all__ = ["Telemetry"]

@@ -1,0 +1,215 @@
+"""Span-based tracing with a bounded ring-buffer exporter.
+
+A :class:`Tracer` records hierarchical timed spans::
+
+    with tracer.span("pipeline.run_streaming", workers=2) as root:
+        with tracer.span("infrastructure"):
+            ...
+
+Finished spans land in a ring buffer (a ``deque`` with ``maxlen``), so a
+long run keeps the most recent ``capacity`` spans and counts the rest as
+``dropped`` — tracing never grows without bound.  :meth:`Tracer.export`
+yields plain dicts ready for :func:`json.dump`.
+
+Cross-process propagation follows the shard protocol: each worker builds its
+own tracer (seeded with an ``s<shard_id>:`` id prefix so span ids never
+collide across processes), exports its spans into the ``ShardOutput``, and
+the parent re-roots them under its own span tree with :meth:`Tracer.adopt`
+— in shard order, like every other shard-boundary merge.
+
+Span ids are sequence numbers, not random — tracing must not perturb any
+random stream and must serialize identically across runs of equal work.
+Timestamps are ``perf_counter`` offsets from the tracer's origin (durations
+are exact; absolute wall-clock times are deliberately absent).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional
+
+#: Default ring-buffer capacity (finished spans retained).
+DEFAULT_CAPACITY = 4096
+
+
+class Span:
+    """One timed operation; mutable while open, exported as a dict."""
+
+    __slots__ = ("name", "span_id", "parent_id", "t_start", "duration", "attrs")
+
+    def __init__(self, name: str, span_id: str, parent_id: Optional[str],
+                 t_start: float, attrs: Dict[str, Any]) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.t_start = t_start
+        self.duration: Optional[float] = None
+        self.attrs = attrs
+
+    def set_attr(self, key: str, value: Any) -> None:
+        self.attrs[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "t_start": self.t_start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Shared inert span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    name = "<null>"
+    span_id = ""
+    parent_id = None
+    duration = None
+
+    def set_attr(self, key: str, value: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that opens a span on enter and finishes it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        self._tracer._finish(self._span)
+        return False
+
+
+class Tracer:
+    """Hierarchical span recorder with a bounded export buffer."""
+
+    def __init__(self, enabled: bool = True, capacity: int = DEFAULT_CAPACITY,
+                 id_prefix: str = "") -> None:
+        self.enabled = bool(enabled)
+        self.capacity = int(capacity)
+        if self.capacity < 1:
+            raise ValueError("tracer capacity must be at least 1")
+        self.id_prefix = id_prefix
+        self.dropped = 0
+        self._sequence = 0
+        self._stack: List[Span] = []
+        self._finished: Deque[Span] = deque(maxlen=self.capacity)
+        self._origin = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs: Any) -> Any:
+        """Open a child of the current span; use as a context manager."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        self._sequence += 1
+        span = Span(
+            name=name,
+            span_id=f"{self.id_prefix}{self._sequence}",
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            t_start=time.perf_counter() - self._origin,
+            attrs=attrs,
+        )
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span) -> None:
+        span.duration = time.perf_counter() - self._origin - span.t_start
+        # Unwind to the finishing span (robust against exotic exit orders).
+        while self._stack:
+            popped = self._stack.pop()
+            if popped is span:
+                break
+        if len(self._finished) == self._finished.maxlen:
+            self.dropped += 1
+        self._finished.append(span)
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    # ------------------------------------------------------------------ #
+    # Cross-process adoption
+    # ------------------------------------------------------------------ #
+    def adopt(self, spans: Iterable[Dict[str, Any]],
+              parent: Optional[Any] = None) -> None:
+        """Graft exported *spans* (e.g. from a worker's shard) into this tree.
+
+        Top-level imported spans (``parent_id is None``) are re-parented
+        under *parent* (or the current span), and every imported timestamp is
+        re-based onto the parent's start so the merged timeline nests.  The
+        imported ids already carry their shard prefix, so no renumbering is
+        needed.
+        """
+        if not self.enabled:
+            return
+        anchor = parent if parent is not None else self.current
+        anchor_id = getattr(anchor, "span_id", None)
+        base = getattr(anchor, "t_start", 0.0) or 0.0
+        for payload in spans:
+            span = Span(
+                name=payload["name"],
+                span_id=payload["span_id"],
+                parent_id=payload["parent_id"] if payload["parent_id"] is not None else anchor_id,
+                t_start=base + payload["t_start"],
+                attrs=dict(payload.get("attrs", {})),
+            )
+            span.duration = payload.get("duration")
+            if len(self._finished) == self._finished.maxlen:
+                self.dropped += 1
+            self._finished.append(span)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def export(self) -> List[Dict[str, Any]]:
+        """Finished spans, oldest first, as plain dicts."""
+        return [span.to_dict() for span in self._finished]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "capacity": self.capacity,
+            "dropped": self.dropped,
+            "spans": self.export(),
+        }
+
+    def dump(self, path: Any) -> None:
+        """Write :meth:`to_json` to *path* as indented JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+__all__ = ["DEFAULT_CAPACITY", "Span", "NULL_SPAN", "Tracer"]

@@ -155,6 +155,26 @@ class StorageBackend(abc.ABC):
     name: str = "abstract"
     #: Whether data survives the process (an on-disk engine).
     persistent: bool = False
+    #: Attached :class:`~repro.obs.MetricsRegistry` (``None`` = uninstrumented;
+    #: a class attribute so engines need no ``__init__`` cooperation).
+    _metrics = None
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def attach_metrics(self, registry) -> None:
+        """Record insert volumes into *registry* (``None`` detaches).
+
+        Engines call :meth:`_observe_insert` from their ``insert_rows``;
+        counters are named ``storage.rows_inserted.<dataset>``.  Counting
+        happens per inserted batch, so the overhead is one counter increment
+        per bulk insert, not per row.
+        """
+        self._metrics = registry if registry is not None and registry.enabled else None
+
+    def _observe_insert(self, dataset: str, count: int) -> None:
+        if self._metrics is not None and count:
+            self._metrics.counter(f"storage.rows_inserted.{dataset}").inc(count)
 
     # ------------------------------------------------------------------ #
     # Storage primitives

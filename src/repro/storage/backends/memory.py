@@ -54,7 +54,9 @@ class MemoryBackend(StorageBackend):
     # Storage primitives
     # ------------------------------------------------------------------ #
     def insert_rows(self, dataset: str, rows: List[Row]) -> int:
-        return self.table_handle(dataset).insert_many(rows)
+        inserted = self.table_handle(dataset).insert_many(rows)
+        self._observe_insert(dataset, inserted)
+        return inserted
 
     def count(self, dataset: str) -> int:
         return len(self.table_handle(dataset))

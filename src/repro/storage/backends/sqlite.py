@@ -218,6 +218,7 @@ class SQLiteBackend(StorageBackend):
             count += 1
             if len(pending) >= self.batch_size:
                 self._drain(dataset)
+        self._observe_insert(dataset, count)
         return count
 
     def _drain(self, dataset: str) -> None:

@@ -28,6 +28,7 @@ absorbed.  :meth:`Query.explain` reports that split without reading any data.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.errors import StorageError
@@ -83,7 +84,10 @@ def run_plan(backend: StorageBackend, plan: QueryPlan) -> Any:
 
 def explain_plan(backend: StorageBackend, plan: QueryPlan) -> Dict[str, Any]:
     """What *backend* would do for *plan*, without executing it."""
-    execution = backend.execute_plan(plan)
+    return _describe_execution(backend, plan, backend.execute_plan(plan))
+
+
+def _describe_execution(backend: StorageBackend, plan: QueryPlan, execution) -> Dict[str, Any]:
     residual = execution.residual_steps()
     if plan.aggregate is not None and execution.aggregate_thunk is None:
         residual.append(f"aggregate {plan.aggregate.describe()}")
@@ -102,6 +106,79 @@ def explain_plan(backend: StorageBackend, plan: QueryPlan) -> Dict[str, Any]:
         "residual": residual,
         "pushdown": pushdown,
     }
+
+
+def profile_plan(backend: StorageBackend, plan: QueryPlan) -> Dict[str, Any]:
+    """Execute *plan* and report where the time went.
+
+    :func:`explain_plan` extended with measurements: per-stage wall time
+    (plan compilation / push-down, engine execution, residual Python steps),
+    rows scanned (what the engine handed back) versus rows returned (after
+    the residual pipeline), and — on SQLite — the pushed statement with its
+    wall time (the engine compiles one statement per plan, so the backend
+    stage *is* the statement timing).
+
+    A measurement run, not a lazy one: the engine's rows are materialised to
+    separate engine time from residual time, so profile a representative
+    query, not an unbounded scan.  Results are identical to :func:`run_plan`
+    — the same execution pipeline runs, with counting in between.
+    """
+    total_start = time.perf_counter()
+    execution = backend.execute_plan(plan)
+    compile_seconds = time.perf_counter() - total_start
+    report = _describe_execution(backend, plan, execution)
+
+    rows_scanned: Optional[int] = None
+    rows_returned: Optional[int] = None
+    result: Dict[str, Any]
+    if plan.aggregate is not None and execution.aggregate_thunk is not None:
+        # Engine-side aggregate: the engine scans internally, so only its
+        # wall time is observable, not a row count.
+        backend_start = time.perf_counter()
+        value = execution.aggregate_thunk()
+        backend_seconds = time.perf_counter() - backend_start
+        residual_seconds = 0.0
+        result = {"kind": "aggregate", "value": value}
+    else:
+        backend_start = time.perf_counter()
+        scanned = list(execution.rows())
+        backend_seconds = time.perf_counter() - backend_start
+        rows_scanned = len(scanned)
+        residual_start = time.perf_counter()
+        if plan.aggregate is not None:
+            rows = apply_filters(
+                iter(scanned), execution.residual_filters, execution.residual_region
+            )
+            value = compute_aggregate(rows, plan.aggregate)
+            result = {"kind": "aggregate", "value": value}
+        else:
+            rows: Any = iter(scanned)
+            if execution.residual_filters or execution.residual_region is not None:
+                rows = apply_filters(rows, execution.residual_filters, execution.residual_region)
+            if execution.residual_order:
+                rows = iter(apply_order(rows, execution.residual_order))
+            if execution.needs_limit and (plan.limit is not None or plan.offset):
+                rows = apply_window(rows, plan.offset, plan.limit)
+            if execution.needs_projection and plan.columns is not None:
+                rows = apply_projection(rows, plan.columns)
+            rows_returned = sum(1 for _ in rows)
+            result = {"kind": "rows", "count": rows_returned}
+        residual_seconds = time.perf_counter() - residual_start
+
+    report["stages"] = {
+        "compile_seconds": compile_seconds,
+        "backend_seconds": backend_seconds,
+        "residual_seconds": residual_seconds,
+        "total_seconds": time.perf_counter() - total_start,
+    }
+    report["rows"] = {"scanned": rows_scanned, "returned": rows_returned}
+    report["statements"] = [
+        {"sql": how, "seconds": backend_seconds}
+        for step, how in execution.pushed
+        if step == "sql"
+    ]
+    report["result"] = result
+    return report
 
 
 def _describe_plan(plan: QueryPlan) -> Dict[str, Any]:
@@ -416,8 +493,20 @@ class Query:
         """
         return explain_plan(self._backend, self.plan(verb, column=column, by=by))
 
+    def profile(self, verb: str = "all", column: Optional[str] = None,
+                by: Optional[str] = None) -> Dict[str, Any]:
+        """Execute this query and report per-stage wall time and row counts.
+
+        The :meth:`explain` report plus ``stages`` (compile / backend /
+        residual / total seconds), ``rows`` (scanned by the engine vs
+        returned after residual steps), ``statements`` (the pushed SQL and
+        its timing, SQLite only) and the ``result`` summary.  Same *verb* /
+        *column* / *by* selection as :meth:`explain`.
+        """
+        return profile_plan(self._backend, self.plan(verb, column=column, by=by))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Query({self._backend.name}:{_describe_plan(self._plan)!r})"
 
 
-__all__ = ["Query", "run_plan", "explain_plan"]
+__all__ = ["Query", "run_plan", "explain_plan", "profile_plan"]

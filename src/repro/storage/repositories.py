@@ -391,6 +391,10 @@ class DataWarehouse:
 
         return Query(self.backend, dataset)
 
+    def attach_metrics(self, registry: Any) -> None:
+        """Count backend insert volumes into an :class:`~repro.obs.MetricsRegistry`."""
+        self.backend.attach_metrics(registry)
+
     def flush(self) -> None:
         """Make pending writes durable (no-op on the memory engine)."""
         self.backend.flush()

@@ -157,7 +157,7 @@ class DataStreamAPI:
     # ------------------------------------------------------------------ #
     # Continuous queries
     # ------------------------------------------------------------------ #
-    def replay_monitors(self, monitors, *, spatial=None, on_alert=None):
+    def replay_monitors(self, monitors, *, spatial=None, on_alert=None, telemetry=None):
         """Evaluate standing :class:`~repro.live.Monitor` subscriptions over
         the stored data, scanning it back out through the query planner.
 
@@ -165,11 +165,15 @@ class DataStreamAPI:
         sequences are identical to what the same monitors would have emitted
         attached to the generation run that produced this warehouse (the
         replay-equivalence contract, see ``docs/live.md``).  Returns the
-        :class:`~repro.live.LiveReport`.
+        :class:`~repro.live.LiveReport`.  An optional
+        :class:`~repro.obs.Telemetry` collects the engine's live instruments.
         """
         from repro.live.replay import replay  # local: optional subsystem
 
-        return replay(self.warehouse, monitors, spatial=spatial, on_alert=on_alert)
+        return replay(
+            self.warehouse, monitors, spatial=spatial, on_alert=on_alert,
+            telemetry=telemetry,
+        )
 
 
 __all__ = ["DataStreamAPI"]

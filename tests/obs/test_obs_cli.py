@@ -1,0 +1,125 @@
+"""CLI tests for the observability flags.
+
+``--metrics-json`` / ``--trace-json`` on ``generate``, ``query`` and
+``monitor``, the ``query --profile`` stage report, the ``telemetry`` summary
+block and the surfaced dropped-alert totals.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def config_path(tmp_path):
+    payload = {
+        "environment": {"building": "clinic", "floors": 1},
+        "devices": [{"type": "wifi", "count_per_floor": 4}],
+        "objects": {"count": 4, "duration": 40, "time_step": 0.5},
+        "monitors": [{"name": "occ", "monitor": "density", "floor": 0, "window": 20}],
+        "seed": 3,
+    }
+    path = tmp_path / "run.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture()
+def generated_db(config_path, tmp_path):
+    db = tmp_path / "wh.sqlite"
+    exit_code = main([
+        "generate", "--config", str(config_path),
+        "--output", str(tmp_path / "out"), "--db", str(db),
+    ])
+    assert exit_code == 0
+    return db
+
+
+class TestGenerateTelemetryFlags:
+    def test_flags_enable_telemetry_and_write_files(self, config_path, tmp_path):
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.json"
+        exit_code = main([
+            "generate", "--config", str(config_path),
+            "--output", str(tmp_path / "out"),
+            "--metrics-json", str(metrics_path),
+            "--trace-json", str(trace_path),
+        ])
+        assert exit_code == 0
+        summary = json.loads((tmp_path / "out" / "summary.json").read_text())
+        assert summary["telemetry"]["enabled"] is True
+        counters = summary["telemetry"]["metrics"]["counters"]
+        assert counters["generated.records.trajectory"] == (
+            summary["records"]["trajectory_records"]
+        )
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"] == counters
+        trace = json.loads(trace_path.read_text())
+        names = {span["name"] for span in trace["spans"]}
+        assert "pipeline.run_streaming" in names and "shard" in names
+
+    def test_without_flags_the_summary_has_no_telemetry_block(
+        self, config_path, tmp_path
+    ):
+        exit_code = main([
+            "generate", "--config", str(config_path), "--output", str(tmp_path / "out"),
+        ])
+        assert exit_code == 0
+        summary = json.loads((tmp_path / "out" / "summary.json").read_text())
+        assert "telemetry" not in summary
+
+
+class TestQueryProfileFlag:
+    def test_profile_reports_stages_rows_and_statements(
+        self, generated_db, tmp_path, capsys
+    ):
+        exit_code = main([
+            "query", "--db", str(generated_db),
+            "--dataset", "trajectory", "--during", "0", "20", "--count", "--profile",
+            "--metrics-json", str(tmp_path / "qm.json"),
+            "--trace-json", str(tmp_path / "qt.json"),
+        ])
+        assert exit_code == 0
+        output = json.loads(capsys.readouterr().out)
+        profile = output["query"]["profile"]
+        assert set(profile["stages"]) == {
+            "compile_seconds", "backend_seconds", "residual_seconds", "total_seconds"
+        }
+        assert profile["result"]["kind"] == "aggregate"
+        assert profile["statements"], "the SQLite backend pushed a statement"
+        metrics = json.loads((tmp_path / "qm.json").read_text())
+        assert metrics["histograms"]["cli.query.seconds"]["count"] == 1
+        trace = json.loads((tmp_path / "qt.json").read_text())
+        assert [span["name"] for span in trace["spans"]] == ["query.builder"]
+
+
+class TestMonitorTelemetry:
+    def test_replay_surfaces_dropped_alerts_and_metrics(
+        self, config_path, generated_db, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "mm.json"
+        exit_code = main([
+            "monitor", "--config", str(config_path), "--replay",
+            "--db", str(generated_db), "--no-alerts",
+            "--metrics-json", str(metrics_path),
+        ])
+        assert exit_code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["dropped_alerts"] == 0
+        assert summary["monitors"]["occ"]["dropped_alerts"] == 0
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["counters"]["live.records_fed"] > 0
+
+    def test_follow_includes_telemetry_block(self, config_path, tmp_path, capsys):
+        exit_code = main([
+            "monitor", "--config", str(config_path), "--follow", "--no-alerts",
+            "--metrics-json", str(tmp_path / "fm.json"),
+        ])
+        assert exit_code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["telemetry"]["enabled"] is True
+        assert summary["dropped_alerts"] == 0
+        assert summary["telemetry"]["metrics"]["counters"]["live.records_fed"] > 0
+        assert (tmp_path / "fm.json").exists()

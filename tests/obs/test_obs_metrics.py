@@ -1,0 +1,170 @@
+"""Unit tests for the metrics registry (repro.obs.metrics).
+
+The three contracts the observability layer leans on: instruments behave,
+disabled registries are true no-ops, and snapshot/merge is the deterministic
+delta-aggregation the streaming pipeline uses at shard boundaries.
+"""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge_keeps_last_value(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+    def test_histogram_tracks_count_sum_and_envelope(self):
+        histogram = Histogram("h")
+        for value in (0.002, 0.004, 0.4):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(0.406)
+        assert histogram.min == pytest.approx(0.002)
+        assert histogram.max == pytest.approx(0.4)
+        assert histogram.mean == pytest.approx(0.406 / 3)
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 0.5))
+
+    def test_quantile_is_clamped_to_observed_envelope(self):
+        histogram = Histogram("h")
+        for _ in range(100):
+            histogram.observe(0.003)
+        # All observations share one bucket; the estimate must not leak
+        # outside the observed [min, max].
+        assert histogram.quantile(0.5) == pytest.approx(0.003)
+        assert histogram.quantile(0.99) == pytest.approx(0.003)
+
+    def test_quantile_orders_and_bounds(self):
+        histogram = Histogram("h")
+        for value in (0.0002, 0.003, 0.03, 0.3, 3.0):
+            histogram.observe(value)
+        p10, p50, p99 = (histogram.quantile(q) for q in (0.1, 0.5, 0.99))
+        assert p10 <= p50 <= p99
+        assert histogram.min <= p10 and p99 <= histogram.max
+        assert histogram.quantile(0.0) == pytest.approx(histogram.min)
+        assert histogram.quantile(1.0) == pytest.approx(histogram.max)
+
+    def test_quantile_of_empty_histogram_is_none(self):
+        assert Histogram("h").quantile(0.5) is None
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_overflow_bucket_counts_values_above_the_ladder(self):
+        histogram = Histogram("h", bounds=(1.0, 2.0))
+        histogram.observe(99.0)
+        assert histogram.counts == [0, 0, 1]
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            registry.gauge("x")
+
+    def test_disabled_registry_hands_out_the_shared_null_instrument(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("a") is NULL_INSTRUMENT
+        assert registry.gauge("b") is NULL_INSTRUMENT
+        assert registry.histogram("c") is NULL_INSTRUMENT
+        # Null instruments absorb every recording call without state.
+        registry.counter("a").inc(10)
+        registry.histogram("c").observe(1.0)
+        assert registry.snapshot() == {}
+        assert registry.to_json() == {"enabled": False}
+
+    def test_snapshot_is_sorted_and_plain(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(2)
+        registry.counter("a.count").inc(1)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat").observe(0.01)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a.count", "z.count"]
+        assert snapshot["gauges"] == {"depth": 7.0}
+        payload = snapshot["histograms"]["lat"]
+        assert payload["count"] == 1
+        assert payload["bounds"] == list(DEFAULT_BUCKETS)
+
+    def test_to_json_adds_percentiles(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe(0.01)
+        payload = registry.to_json()["histograms"]["lat"]
+        assert {"mean", "p50", "p90", "p99"} <= set(payload)
+
+
+class TestMerge:
+    def test_counters_add_and_gauges_take_last(self):
+        a = MetricsRegistry()
+        a.counter("records").inc(10)
+        a.gauge("depth").set(3)
+        b = MetricsRegistry()
+        b.counter("records").inc(5)
+        b.gauge("depth").set(9)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["records"] == 15
+        assert merged["gauges"]["depth"] == 9.0
+
+    def test_histograms_merge_pointwise(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        serial = MetricsRegistry()
+        for registry, values in ((a, (0.001, 0.5)), (b, (0.02, 70.0))):
+            for value in values:
+                registry.histogram("lat").observe(value)
+                serial.histogram("lat").observe(value)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["histograms"]["lat"] == serial.snapshot()["histograms"]["lat"]
+
+    def test_merge_order_does_not_change_counters_or_histograms(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(1)
+        a.histogram("lat").observe(0.1)
+        b = MetricsRegistry()
+        b.counter("n").inc(2)
+        b.histogram("lat").observe(0.2)
+        forward = merge_snapshots([a.snapshot(), b.snapshot()])
+        backward = merge_snapshots([b.snapshot(), a.snapshot()])
+        assert forward["counters"] == backward["counters"]
+        assert forward["histograms"] == backward["histograms"]
+
+    def test_mismatched_bounds_refuse_to_merge(self):
+        a = MetricsRegistry()
+        a.histogram("lat", bounds=(1.0, 2.0)).observe(0.5)
+        b = MetricsRegistry()
+        b.histogram("lat").observe(0.5)
+        registry = MetricsRegistry()
+        registry.merge(b.snapshot())
+        with pytest.raises(ValueError, match="mismatched bucket bounds"):
+            registry.merge(a.snapshot())
+
+    def test_merging_into_disabled_registry_is_a_no_op(self):
+        source = MetricsRegistry()
+        source.counter("n").inc(3)
+        disabled = MetricsRegistry(enabled=False)
+        disabled.merge(source.snapshot())
+        assert disabled.snapshot() == {}

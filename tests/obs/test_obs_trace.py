@@ -1,0 +1,136 @@
+"""Unit tests for the span tracer (repro.obs.trace).
+
+Covers the span tree shape, the bounded ring buffer, the disabled no-op
+path and the cross-process ``adopt`` protocol the streaming pipeline uses
+to graft worker spans into the parent's trace.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestSpanTree:
+    def test_nesting_links_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child") as child:
+                with tracer.span("grandchild") as grandchild:
+                    pass
+        assert root.parent_id is None
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+
+    def test_span_ids_are_sequence_numbers_with_prefix(self):
+        tracer = Tracer(id_prefix="s3:")
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert (a.span_id, b.span_id) == ("s3:1", "s3:2")
+
+    def test_durations_are_recorded_and_ordered(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.export()  # finished order: inner first
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert 0.0 <= inner["duration"] <= outer["duration"]
+
+    def test_exceptions_finish_the_span_and_tag_the_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (span,) = tracer.export()
+        assert span["attrs"]["error"] == "RuntimeError"
+        assert span["duration"] is not None
+        assert tracer.current is None  # the stack unwound
+
+    def test_attrs_flow_through(self):
+        tracer = Tracer()
+        with tracer.span("s", shard=2) as span:
+            span.set_attr("records", 10)
+        (exported,) = tracer.export()
+        assert exported["attrs"] == {"shard": 2, "records": 10}
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retention_and_counts_drops(self):
+        tracer = Tracer(capacity=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span["name"] for span in tracer.export()] == ["s2", "s3", "s4"]
+        assert tracer.dropped == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ignored") as span:
+            span.set_attr("k", "v")  # absorbed silently
+        assert span is NULL_SPAN
+        assert tracer.export() == []
+        assert tracer.dropped == 0
+
+    def test_disabled_adopt_is_a_no_op(self):
+        tracer = Tracer(enabled=False)
+        tracer.adopt([{"name": "x", "span_id": "s0:1", "parent_id": None,
+                       "t_start": 0.0, "duration": 0.1}])
+        assert tracer.export() == []
+
+
+class TestAdopt:
+    def _worker_spans(self):
+        worker = Tracer(id_prefix="s0:")
+        with worker.span("shard"):
+            with worker.span("phase.rssi"):
+                pass
+        return worker.export()
+
+    def test_top_level_spans_reparent_under_the_given_parent(self):
+        parent = Tracer(id_prefix="p:")
+        with parent.span("pipeline") as root:
+            parent.adopt(self._worker_spans(), parent=root)
+        names = {span["name"]: span for span in parent.export()}
+        assert names["shard"]["parent_id"] == root.span_id
+        # Nested worker spans keep their own in-shard parent links.
+        assert names["phase.rssi"]["parent_id"] == names["shard"]["span_id"]
+
+    def test_adoption_rebases_timestamps_onto_the_parent(self):
+        parent = Tracer(id_prefix="p:")
+        with parent.span("pipeline") as root:
+            worker_spans = self._worker_spans()
+            parent.adopt(worker_spans, parent=root)
+        adopted = {span["name"]: span for span in parent.export()}
+        assert adopted["shard"]["t_start"] == pytest.approx(
+            root.t_start + worker_spans[1]["t_start"]
+        )
+
+    def test_adopt_defaults_to_the_current_span(self):
+        parent = Tracer()
+        with parent.span("pipeline") as root:
+            parent.adopt(self._worker_spans())
+        shard = next(s for s in parent.export() if s["name"] == "shard")
+        assert shard["parent_id"] == root.span_id
+
+
+class TestExport:
+    def test_to_json_and_dump_round_trip(self, tmp_path):
+        tracer = Tracer(capacity=8)
+        with tracer.span("only"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.dump(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["enabled"] is True
+        assert payload["capacity"] == 8
+        assert [span["name"] for span in payload["spans"]] == ["only"]

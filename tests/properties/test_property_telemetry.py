@@ -1,0 +1,93 @@
+"""Property tests for the telemetry determinism contracts.
+
+Two invariants of the observability layer (docs/observability.md):
+
+* **Non-interference** — enabling telemetry changes no generated record and
+  no query result: instruments only *read* what the pipeline produced, and
+  span ids are sequence numbers, never draws from any random stream.
+* **Worker-count independence** — counter-type instruments depend only on
+  what was generated, so the shard-merged registry of a ``workers=2`` run
+  equals the serial run's exactly (the same delta-aggregation guarantee the
+  spatial cache statistics established in PR 4).
+
+Both are exercised end-to-end through the streaming pipeline over random
+seeds — small workloads, few examples: each example is a full generation run.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import (
+    DeviceConfig,
+    EnvironmentConfig,
+    ObjectConfig,
+    TelemetryConfig,
+    VitaConfig,
+)
+from repro.core.pipeline import VitaPipeline
+
+DATASETS = ("trajectory", "rssi", "positioning")
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _config(seed, *, enabled, shards=2):
+    return VitaConfig(
+        environment=EnvironmentConfig(building="clinic", floors=1),
+        devices=[DeviceConfig(count_per_floor=3)],
+        objects=ObjectConfig(
+            count=4, duration=30.0, time_step=0.5, min_lifespan=15.0, max_lifespan=30.0
+        ),
+        telemetry=TelemetryConfig(enabled=enabled),
+        seed=seed,
+        shards=shards,
+    )
+
+
+def _run(config, workers=1):
+    result = VitaPipeline(config).run_streaming(workers=workers)
+    rows = {dataset: result.warehouse.query(dataset).all() for dataset in DATASETS}
+    counts = {
+        dataset: result.warehouse.query(dataset).count_by("object_id")
+        for dataset in ("trajectory", "positioning")
+    }
+    report = result.report
+    result.warehouse.close()
+    return report, rows, counts
+
+
+class TestNonInterference:
+    @given(seed=seeds)
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_enabling_telemetry_changes_no_records_or_query_results(self, seed):
+        _, plain_rows, plain_counts = _run(_config(seed, enabled=False))
+        report, instrumented_rows, instrumented_counts = _run(
+            _config(seed, enabled=True)
+        )
+        assert plain_rows["trajectory"], "vacuous example: no data generated"
+        assert instrumented_rows == plain_rows
+        assert instrumented_counts == plain_counts
+        # ...and the instruments saw exactly what was stored.
+        counters = report.telemetry["metrics"]["counters"]
+        assert counters["generated.records.trajectory"] == len(plain_rows["trajectory"])
+        assert counters["generated.records.rssi"] == len(plain_rows["rssi"])
+
+
+class TestWorkerIndependence:
+    @given(seed=seeds, shards=st.integers(2, 4))
+    @settings(max_examples=3, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_merged_counters_equal_serial_for_workers_2(self, seed, shards):
+        serial, _, _ = _run(_config(seed, enabled=True, shards=shards), workers=1)
+        parallel, _, _ = _run(_config(seed, enabled=True, shards=shards), workers=2)
+        serial_counters = serial.telemetry["metrics"]["counters"]
+        parallel_counters = parallel.telemetry["metrics"]["counters"]
+        assert serial_counters == parallel_counters
+        assert serial_counters["generated.shards"] == shards
+        # Histogram observation counts are scheduling-independent too (the
+        # observed durations differ; the number of observations cannot).
+        serial_histograms = serial.telemetry["metrics"]["histograms"]
+        parallel_histograms = parallel.telemetry["metrics"]["histograms"]
+        assert set(serial_histograms) == set(parallel_histograms)
+        for name, payload in serial_histograms.items():
+            assert parallel_histograms[name]["count"] == payload["count"]
